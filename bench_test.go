@@ -1,0 +1,263 @@
+package pmfuzz
+
+// One benchmark per table and figure of the paper's evaluation (§5).
+// Each benchmark prints the regenerated rows/series via b.ReportMetric
+// and (for the renderable artifacts) b.Log; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+//
+// Budgets are simulated time. Override with PMFUZZ_BENCH_BUDGET_MS to
+// scale every experiment up or down.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"pmfuzz/internal/core"
+	"pmfuzz/internal/executor"
+	"pmfuzz/internal/experiments"
+	"pmfuzz/internal/workloads"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// benchBudgetNS returns the per-session simulated budget.
+func benchBudgetNS(defMS int64) int64 {
+	if v := os.Getenv("PMFUZZ_BENCH_BUDGET_MS"); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			return ms * 1_000_000
+		}
+	}
+	return defMS * 1_000_000
+}
+
+// BenchmarkFig13PMPathCoverage regenerates Figure 13: PM-path coverage
+// under an equal simulated budget for all eight workloads × five
+// configurations. The pmpaths metric is the figure's y-axis endpoint.
+func BenchmarkFig13PMPathCoverage(b *testing.B) {
+	budget := benchBudgetNS(200)
+	for _, wl := range experiments.PaperWorkloads() {
+		for _, cn := range core.ConfigNames() {
+			b.Run(fmt.Sprintf("%s/%s", wl, cn), func(b *testing.B) {
+				var paths, execs int
+				for i := 0; i < b.N; i++ {
+					cfg, err := core.DefaultConfig(wl, cn, budget, 7)
+					if err != nil {
+						b.Fatal(err)
+					}
+					f, err := core.New(cfg, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res := f.Run()
+					paths, execs = res.PMPaths, res.Execs
+				}
+				b.ReportMetric(float64(paths), "pmpaths")
+				b.ReportMetric(float64(execs), "execs")
+			})
+		}
+	}
+}
+
+// BenchmarkFig13Geomean reports the paper's headline geo-mean PM-path
+// ratio of PMFuzz over AFL++ (paper: 4.6x).
+func BenchmarkFig13Geomean(b *testing.B) {
+	budget := benchBudgetNS(200)
+	var g, gSys, gImg float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13(nil, budget, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = res.GeomeanSpeedup(core.PMFuzzAll, core.AFLPlusPlus)
+		gSys = res.GeomeanSpeedup(core.AFLSysOpt, core.AFLPlusPlus)
+		gImg = res.GeomeanSpeedup(core.PMFuzzAll, core.AFLImgFuzz)
+	}
+	b.ReportMetric(g, "pmfuzz/afl++")
+	b.ReportMetric(gSys, "sysopt/afl++")
+	b.ReportMetric(gImg, "pmfuzz/imgfuzz")
+}
+
+// BenchmarkTable2Configs profiles the five comparison points' execution
+// throughput on one workload — the feature-cost view behind Table 2.
+func BenchmarkTable2Configs(b *testing.B) {
+	budget := benchBudgetNS(150)
+	for _, cn := range core.ConfigNames() {
+		b.Run(string(cn), func(b *testing.B) {
+			var execsPerSimSec float64
+			for i := 0; i < b.N; i++ {
+				cfg, err := core.DefaultConfig("btree", cn, budget, 7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f, err := core.New(cfg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := f.Run()
+				execsPerSimSec = float64(res.Execs) / (float64(res.SimNS) / 1e9)
+			}
+			b.ReportMetric(execsPerSimSec, "execs/sim-sec")
+		})
+	}
+}
+
+// BenchmarkTable3SyntheticBugs regenerates Table 3 one workload at a
+// time: inject every synthetic bug, fuzz under PMFuzz and AFL++ w/
+// SysOpt, hand test cases to the tools, count detections.
+func BenchmarkTable3SyntheticBugs(b *testing.B) {
+	budget := benchBudgetNS(300)
+	for _, wl := range experiments.PaperWorkloads() {
+		b.Run(wl, func(b *testing.B) {
+			var row experiments.Table3Row
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Table3([]string{wl}, budget, 7, experiments.DefaultDetect())
+				if err != nil {
+					b.Fatal(err)
+				}
+				row = res.Rows[0]
+			}
+			b.ReportMetric(float64(row.Total), "injected")
+			b.ReportMetric(float64(row.PMFuzz), "pmfuzz-found")
+			b.ReportMetric(float64(row.AFLSysOpt), "aflsysopt-found")
+		})
+	}
+}
+
+// BenchmarkSec54RealBugs regenerates §5.4: reproduce each of the twelve
+// real-world bugs with PMFuzz-generated test cases.
+func BenchmarkSec54RealBugs(b *testing.B) {
+	budget := benchBudgetNS(500)
+	var detected int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RealBugs(budget, 7, experiments.DefaultDetect())
+		if err != nil {
+			b.Fatal(err)
+		}
+		detected = res.DetectedCount()
+	}
+	b.ReportMetric(float64(detected), "bugs-found")
+	b.ReportMetric(float64(bugs.NumRealBugs), "bugs-total")
+}
+
+// BenchmarkSec541TimeToBug regenerates §5.4.1: the (simulated) time to
+// generate the test case that exposes each real-world bug. The paper
+// reports 2 s for the init-path bugs and 37–91 s for the deeper ones;
+// the shape to preserve is init bugs ≪ deep bugs.
+func BenchmarkSec541TimeToBug(b *testing.B) {
+	budget := benchBudgetNS(500)
+	for bug := bugs.RealBug(1); bug <= bugs.NumRealBugs; bug++ {
+		bug := bug
+		b.Run(fmt.Sprintf("bug%d", int(bug)), func(b *testing.B) {
+			var ms float64 = -1
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RealBug1(bug, budget, 7, experiments.DefaultDetect())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Detected {
+					ms = float64(res.SimNS) / 1e6
+				}
+			}
+			b.ReportMetric(ms, "detect-sim-ms")
+		})
+	}
+}
+
+// BenchmarkAblation isolates the contribution of each PMFuzz design
+// decision by disabling one at a time: crash-image generation (§3.2),
+// PM-path feedback (§3.3), and indirect image generation (§3.1).
+func BenchmarkAblation(b *testing.B) {
+	budget := benchBudgetNS(300)
+	base, err := core.DefaultConfig("hashmap-tx", core.PMFuzzAll, budget, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name   string
+		mutate func(core.Config) core.Config
+	}{
+		{"full", func(c core.Config) core.Config { return c }},
+		{"no-crash-images", func(c core.Config) core.Config {
+			c.MaxBarrierImages = 0
+			c.ProbFailRate = 0
+			return c
+		}},
+		{"no-pm-path-feedback", func(c core.Config) core.Config {
+			c.Features.PMPathOpt = false
+			return c
+		}},
+		{"no-image-generation", func(c core.Config) core.Config {
+			c.Features.ImgFuzzIndirect = false
+			c.MaxBarrierImages = 0
+			c.ProbFailRate = 0
+			return c
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			var paths, crashEntries int
+			for i := 0; i < b.N; i++ {
+				f, err := core.New(v.mutate(base), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := f.Run()
+				paths = res.PMPaths
+				crashEntries = 0
+				for _, e := range res.Queue.Entries() {
+					if e.IsCrashImage {
+						crashEntries++
+					}
+				}
+			}
+			b.ReportMetric(float64(paths), "pmpaths")
+			b.ReportMetric(float64(crashEntries), "crash-images")
+		})
+	}
+}
+
+// BenchmarkFuzzerThroughput is the raw end-to-end fuzzing speed: how
+// many target executions per wall-clock second the whole stack sustains.
+func BenchmarkFuzzerThroughput(b *testing.B) {
+	budget := benchBudgetNS(100)
+	b.ReportAllocs()
+	totalExecs := 0
+	for i := 0; i < b.N; i++ {
+		cfg, err := core.DefaultConfig("hashmap-tx", core.PMFuzzAll, budget, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := core.New(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := f.Run()
+		totalExecs += res.Execs
+	}
+	b.ReportMetric(float64(totalExecs)/b.Elapsed().Seconds(), "target-execs/sec")
+}
+
+// BenchmarkWorkloadExecution measures single-execution cost per workload
+// (the unit of all fuzzing throughput).
+func BenchmarkWorkloadExecution(b *testing.B) {
+	for _, wl := range experiments.PaperWorkloads() {
+		wl := wl
+		b.Run(wl, func(b *testing.B) {
+			prog, err := workloads.New(wl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			input := prog.SeedInputs()[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := executor.Run(executor.TestCase{Workload: wl, Input: input, Seed: 1}, executor.Options{})
+				if res.Faulted() {
+					b.Fatalf("seed execution faulted: err=%v panic=%v", res.Err, res.PanicVal)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+// Command pmcheck runs the PM testing tools — the Pmemcheck-analog trace
+// checker and the XFDetector-analog cross-failure checker — on one test
+// case (a command input plus an optional PM image), the way PMFuzz hands
+// generated test cases to the backend tools (Figure 9 step ⑤).
+//
+// Usage:
+//
+//	pmcheck -workload btree -input case.input [-image case.img]
+//	pmcheck -workload redis -input case.input -xfd -xfd-barriers 50
+//	pmcheck -workload hashmap-tx -input case.input -real-bug 1 -xfd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmfuzz/internal/executor"
+	"pmfuzz/internal/pmcheck"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/workloads/bugs"
+	"pmfuzz/internal/xfd"
+)
+
+func main() {
+	var (
+		workload    = flag.String("workload", "btree", "workload to execute")
+		inputPath   = flag.String("input", "", "command input file (required)")
+		imagePath   = flag.String("image", "", "serialized PM image to start from")
+		seed        = flag.Int64("seed", 1, "execution seed")
+		synBug      = flag.Int("syn-bug", 0, "enable a synthetic injection point")
+		realBug     = flag.Int("real-bug", 0, "enable a real-world bug (1-12)")
+		runXFD      = flag.Bool("xfd", false, "also run the cross-failure checker")
+		xfdBarriers = flag.Int("xfd-barriers", 50, "cross-failure barrier sweep cap")
+		xfdProb     = flag.Float64("xfd-prob", 0, "probabilistic failure rate for the cross-failure sweep")
+	)
+	flag.Parse()
+
+	if *inputPath == "" {
+		fmt.Fprintln(os.Stderr, "pmcheck: -input is required")
+		os.Exit(2)
+	}
+	input, err := os.ReadFile(*inputPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmcheck:", err)
+		os.Exit(1)
+	}
+	tc := executor.TestCase{Workload: *workload, Input: input, Seed: *seed}
+	if *imagePath != "" {
+		raw, err := os.ReadFile(*imagePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmcheck:", err)
+			os.Exit(1)
+		}
+		img, err := pmem.UnmarshalImage(raw)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmcheck:", err)
+			os.Exit(1)
+		}
+		tc.Image = img
+	}
+	bg := bugs.NewSet()
+	if *synBug > 0 {
+		bg.EnableSyn(*synBug)
+	}
+	if *realBug > 0 {
+		bg.EnableReal(bugs.RealBug(*realBug))
+	}
+	tc.Bugs = bg
+
+	findings := 0
+
+	res := executor.Run(tc, executor.Options{RecordTrace: true})
+	fmt.Printf("execution: %d commands, %d PM ops, %d ordering points\n",
+		res.Commands, res.Ops, res.Barriers)
+	if res.Panicked {
+		findings++
+		fmt.Printf("[fault] program faulted: %v\n", res.PanicVal)
+	} else if res.Err != nil {
+		findings++
+		fmt.Printf("[fault] program reported: %v\n", res.Err)
+	}
+	if res.Trace != nil {
+		reports := pmcheck.Check(res.Trace.Events())
+		for _, r := range reports {
+			fmt.Println(r)
+		}
+		findings += len(reports)
+		sum := pmcheck.Summary(reports)
+		if len(sum) > 0 {
+			fmt.Printf("pmemcheck summary: %v\n", sum)
+		} else {
+			fmt.Println("pmemcheck: clean")
+		}
+	}
+
+	if *runXFD {
+		reports := xfd.Check(tc, *xfdBarriers, *xfdProb, 2)
+		for _, r := range reports {
+			fmt.Println(r)
+		}
+		findings += len(reports)
+		if len(reports) == 0 {
+			fmt.Println("xfdetector: clean")
+		}
+	}
+
+	if findings > 0 {
+		os.Exit(1)
+	}
+}

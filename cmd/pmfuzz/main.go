@@ -1,0 +1,282 @@
+// Command pmfuzz runs the PMFuzz test-case generator (or one of the
+// paper's comparison configurations) against a PM workload, or
+// regenerates one of the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	pmfuzz -workload btree -config pmfuzz -budget-ms 500
+//	pmfuzz -experiment fig13 -budget-ms 400
+//	pmfuzz -experiment table3 -workloads skiplist,btree -budget-ms 120
+//	pmfuzz -experiment realbugs -budget-ms 500
+//	pmfuzz -list
+//
+// Generated test cases (command inputs plus serialized PM images) can be
+// exported with -out for replay by cmd/pmcheck or cmd/mapcli.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pmfuzz/internal/core"
+	"pmfuzz/internal/experiments"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/workloads"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "btree", "workload to fuzz (see -list)")
+		config     = flag.String("config", "pmfuzz", "comparison point: pmfuzz, pmfuzz-no-sysopt, afl++, afl++-sysopt, afl++-imgfuzz")
+		budgetMS   = flag.Int64("budget-ms", 500, "simulated-time budget in milliseconds")
+		seed       = flag.Int64("seed", 1, "session seed (identical seeds replay identically)")
+		experiment = flag.String("experiment", "", "regenerate a paper artifact: fig13, table3, realbugs")
+		workloadsF = flag.String("workloads", "", "comma-separated workload subset for experiments (default: all eight)")
+		synBug     = flag.Int("syn-bug", 0, "enable a synthetic injection point by ID")
+		realBug    = flag.Int("real-bug", 0, "enable a real-world bug (1-12, section 5.4)")
+		outDir     = flag.String("out", "", "export generated test cases to this directory")
+		inDir      = flag.String("in", "", "import a previously exported corpus as extra seeds")
+		seriesOut  = flag.String("series-out", "", "write the coverage time series as JSON (for plotting Figure 13)")
+		showTree   = flag.Bool("show-tree", false, "print the test-case tree (Figure 12)")
+		list       = flag.Bool("list", false, "list workloads and configurations")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, n := range workloads.Names() {
+			prog, _ := workloads.New(n)
+			fmt.Printf("  %-16s %d synthetic injection points\n", n, len(prog.SynPoints()))
+		}
+		fmt.Println("configurations (Table 2):")
+		for _, c := range core.ConfigNames() {
+			f, _ := core.FeaturesFor(c)
+			fmt.Printf("  %-18s input=%v img-indirect=%v img-direct=%v pmpath=%v sysopt=%v\n",
+				c, f.InputFuzz, f.ImgFuzzIndirect, f.ImgFuzzDirect, f.PMPathOpt, f.SysOpt)
+		}
+		return
+	}
+
+	budget := *budgetMS * 1_000_000
+	if *experiment != "" {
+		if err := runExperiment(*experiment, *workloadsF, budget, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	bg := bugs.NewSet()
+	if *synBug > 0 {
+		bg.EnableSyn(*synBug)
+	}
+	if *realBug > 0 {
+		bg.EnableReal(bugs.RealBug(*realBug))
+	}
+	cfg, err := core.DefaultConfig(*workload, core.ConfigName(*config), budget, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmfuzz:", err)
+		os.Exit(1)
+	}
+	fuzzer, err := core.New(cfg, bg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmfuzz:", err)
+		os.Exit(1)
+	}
+	if *inDir != "" {
+		n, err := importCorpus(fuzzer, *inDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz: import:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("imported %d test cases from %s\n", n, *inDir)
+	}
+	res := fuzzer.Run()
+	printSession(res)
+	if *showTree {
+		printTree(res)
+	}
+	if *seriesOut != "" {
+		if err := writeSeries(res, *seriesOut); err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz: series:", err)
+			os.Exit(1)
+		}
+	}
+	if *outDir != "" {
+		if err := export(res, *outDir); err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz: export:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeSeries dumps the coverage time series as JSON.
+func writeSeries(res *core.Result, path string) error {
+	data, err := json.MarshalIndent(res.Series, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// printTree renders the test-case tree of Figure 12: nodes are PM
+// images, edges the inputs that produced them. Large corpora are
+// truncated per level.
+func printTree(res *core.Result) {
+	fmt.Println("\ntest-case tree (Figure 12; images as nodes):")
+	const maxChildren = 6
+	var walk func(id, depth int)
+	walk = func(id, depth int) {
+		e := res.Queue.Get(id)
+		if e == nil {
+			return
+		}
+		indent := strings.Repeat("  ", depth)
+		kind := "input"
+		if e.IsCrashImage {
+			kind = "crash-image"
+		} else if e.HasImage {
+			kind = "image"
+		}
+		label := strings.TrimSpace(strings.ReplaceAll(string(e.Input), "\n", "; "))
+		if len(label) > 48 {
+			label = label[:48] + "..."
+		}
+		fmt.Printf("%s#%d [%s] %q\n", indent, e.ID, kind, label)
+		kids := res.Queue.Children(e.ID)
+		for i, k := range kids {
+			if i >= maxChildren {
+				fmt.Printf("%s  ... %d more\n", indent, len(kids)-maxChildren)
+				break
+			}
+			walk(k, depth+1)
+		}
+	}
+	shown := 0
+	for _, e := range res.Queue.Entries() {
+		if e.ParentID == -1 {
+			walk(e.ID, 0)
+			shown++
+			if shown >= 4 {
+				break
+			}
+		}
+	}
+}
+
+func runExperiment(name, workloadList string, budget, seed int64) error {
+	var wls []string
+	if workloadList != "" {
+		wls = strings.Split(workloadList, ",")
+	}
+	switch name {
+	case "fig13":
+		res, err := experiments.Fig13(wls, budget, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "table3":
+		res, err := experiments.Table3(wls, budget, seed, experiments.DefaultDetect())
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "realbugs":
+		res, err := experiments.RealBugs(budget, seed, experiments.DefaultDetect())
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	default:
+		return fmt.Errorf("unknown experiment %q (want fig13, table3, realbugs)", name)
+	}
+	return nil
+}
+
+func printSession(res *core.Result) {
+	fmt.Printf("workload:       %s\n", res.Config.Workload)
+	fmt.Printf("features:       %+v\n", res.Config.Features)
+	fmt.Printf("simulated time: %.2f ms (budget %.2f ms)\n",
+		float64(res.SimNS)/1e6, float64(res.Config.BudgetNS)/1e6)
+	fmt.Printf("executions:     %d\n", res.Execs)
+	fmt.Printf("PM paths:       %d\n", res.PMPaths)
+	fmt.Printf("queue entries:  %d\n", res.Queue.Len())
+	st := res.Store.Stats()
+	fmt.Printf("images:         %d stored (%d dedup hits, %.1fx compression)\n",
+		res.Store.Len(), st.Dedups, res.Store.CompressionRatio())
+	crash := 0
+	for _, e := range res.Queue.Entries() {
+		if e.IsCrashImage {
+			crash++
+		}
+	}
+	fmt.Printf("crash images:   %d\n", crash)
+	if len(res.Faults) > 0 {
+		fmt.Printf("faults (%d):\n", len(res.Faults))
+		for _, f := range res.Faults {
+			fmt.Printf("  @%.2f ms: %s\n", float64(f.SimNS)/1e6, f.Msg)
+		}
+	} else {
+		fmt.Println("faults:         none")
+	}
+}
+
+// importCorpus loads case-*.input (+ optional case-*.img) pairs written
+// by export and seeds the fuzzer with them.
+func importCorpus(f *core.Fuzzer, dir string) (int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "case-*.input"))
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, path := range matches {
+		input, err := os.ReadFile(path)
+		if err != nil {
+			return n, err
+		}
+		var img *pmem.Image
+		imgPath := strings.TrimSuffix(path, ".input") + ".img"
+		if raw, err := os.ReadFile(imgPath); err == nil {
+			img, err = pmem.UnmarshalImage(raw)
+			if err != nil {
+				return n, fmt.Errorf("%s: %w", imgPath, err)
+			}
+		}
+		if err := f.AddSeed(input, img); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// export writes each queue entry as <id>.input (command bytes) and, when
+// the entry carries an image, <id>.img (serialized pool image).
+func export(res *core.Result, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, e := range res.Queue.Entries() {
+		base := filepath.Join(dir, fmt.Sprintf("case-%05d", e.ID))
+		if err := os.WriteFile(base+".input", e.Input, 0o644); err != nil {
+			return err
+		}
+		if e.HasImage {
+			img, err := res.Store.Get(e.ImageID, nil)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(base+".img", img.Marshal(), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("exported %d test cases to %s\n", res.Queue.Len(), dir)
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pmfuzz/internal/core"
+	"pmfuzz/internal/pmem"
+)
+
+func TestExportWritesTestCases(t *testing.T) {
+	cfg, err := core.DefaultConfig("btree", core.PMFuzzAll, 25_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.Run()
+
+	dir := t.TempDir()
+	if err := export(res, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs, images := 0, 0
+	for _, de := range entries {
+		switch {
+		case strings.HasSuffix(de.Name(), ".input"):
+			inputs++
+		case strings.HasSuffix(de.Name(), ".img"):
+			images++
+			raw, err := os.ReadFile(filepath.Join(dir, de.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pmem.UnmarshalImage(raw); err != nil {
+				t.Fatalf("%s: exported image invalid: %v", de.Name(), err)
+			}
+		}
+	}
+	if inputs != res.Queue.Len() {
+		t.Fatalf("exported %d inputs, queue has %d", inputs, res.Queue.Len())
+	}
+	if images == 0 {
+		t.Fatalf("no images exported")
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if err := runExperiment("nope", "", 1, 1); err == nil {
+		t.Fatalf("unknown experiment accepted")
+	}
+}
+
+func TestImportCorpusRoundTrip(t *testing.T) {
+	cfg, err := core.DefaultConfig("skiplist", core.PMFuzzAll, 20_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.Run()
+	dir := t.TempDir()
+	if err := export(res, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := importCorpus(f2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != res.Queue.Len() {
+		t.Fatalf("imported %d, exported %d", n, res.Queue.Len())
+	}
+	res2 := f2.Run()
+	if res2.Execs == 0 {
+		t.Fatalf("resumed session did nothing")
+	}
+}

@@ -1,0 +1,17 @@
+// Package pmfuzz is a Go reproduction of "PMFuzz: Test Case Generation
+// for Persistent Memory Programs" (Liu, Mahar, Ray, Khan — ASPLOS 2021).
+//
+// The module contains the complete system stack the paper builds on,
+// re-implemented as a simulation (see DESIGN.md for the substitution
+// table): a persistent-memory device model with x86 durability semantics
+// (internal/pmem), a PMDK-analog object/transaction library
+// (internal/pmemobj), the eight evaluated PM workloads with the paper's
+// twelve real-world bugs and 125 synthetic injection points
+// (internal/workloads), the Pmemcheck- and XFDetector-analog testing
+// tools (internal/pmcheck, internal/xfd), an AFL++-analog fuzzing engine
+// (internal/fuzz), and PMFuzz itself (internal/core).
+//
+// The benchmarks in this package regenerate every table and figure of
+// the paper's evaluation; see EXPERIMENTS.md for paper-vs-measured
+// results.
+package pmfuzz

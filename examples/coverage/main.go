@@ -1,0 +1,50 @@
+// Coverage: a miniature Figure 13 — run the five Table 2 comparison
+// points on one workload under the same simulated budget and compare PM
+// path coverage, demonstrating why PM-aware feedback and indirect image
+// generation matter.
+//
+//	go run ./examples/coverage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmfuzz/internal/core"
+)
+
+func main() {
+	const budget = 400_000_000 // 400 simulated ms
+	workload := "redis"
+
+	fmt.Printf("workload %q, %d simulated ms per configuration\n\n", workload, budget/1_000_000)
+	fmt.Printf("%-20s %9s %9s %9s %8s\n", "configuration", "PM paths", "execs", "corpus", "images")
+
+	results := map[core.ConfigName]*core.Result{}
+	for _, name := range core.ConfigNames() {
+		cfg, err := core.DefaultConfig(workload, name, budget, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fuzzer, err := core.New(cfg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := fuzzer.Run()
+		results[name] = res
+		fmt.Printf("%-20s %9d %9d %9d %8d\n",
+			name, res.PMPaths, res.Execs, res.Queue.Len(), res.Store.Len())
+	}
+
+	pm := float64(results[core.PMFuzzAll].PMPaths)
+	afl := float64(results[core.AFLPlusPlus].PMPaths)
+	img := float64(results[core.AFLImgFuzz].PMPaths)
+	fmt.Printf("\nPMFuzz / AFL++ PM-path ratio:        %.2fx (paper geo-mean: 4.6x)\n", pm/afl)
+	fmt.Printf("PMFuzz / AFL++ w/ ImgFuzz ratio:     %.2fx (direct image mutation mostly\n", pm/img)
+	fmt.Println("                                      produces invalid pool states, §5.2)")
+
+	fmt.Println("\nWhy: PMFuzz reuses the program logic to mutate images (every")
+	fmt.Println("generated image is a valid persistent state), injects failures at")
+	fmt.Println("ordering points for crash images, and prioritizes test cases that")
+	fmt.Println("cover new PM paths (Algorithm 2) instead of only new branches.")
+}

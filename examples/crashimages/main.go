@@ -1,0 +1,75 @@
+// Crash images and cross-failure detection: reproduce the paper's
+// Example 2 (Figure 3) — a PM database whose tail-append forgets to back
+// up the previous tail's next pointer. The bug is invisible to normal
+// execution; it only corrupts state when a failure interrupts the
+// update. This example walks the full §3.2 pipeline by hand:
+//
+//  1. run a command sequence that forces tail appends,
+//  2. inject failures at every ordering point to generate crash images,
+//  3. run the recovery + workload on each crash image under the
+//     XFDetector-analog and watch the bug surface.
+//
+// go run ./examples/crashimages
+package main
+
+import (
+	"fmt"
+
+	"pmfuzz/internal/executor"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/workloads/bugs"
+	"pmfuzz/internal/xfd"
+)
+
+func main() {
+	// Keys 1, 9, 17 collide in the redis analog's 8-bucket table, so the
+	// second and third SETs append at the tail of the chain — the buggy
+	// code path (Figure 3 line 32).
+	input := []byte("SET 1 10\nSET 9 20\nSET 17 30\nCHECK\n")
+
+	fixed := executor.TestCase{Workload: "redis", Input: input, Seed: 1}
+	buggy := executor.TestCase{
+		Workload: "redis",
+		Input:    input,
+		Seed:     1,
+		// Synthetic point 5 removes the TX_ADD of the tail's next field —
+		// exactly the Example 2 bug.
+		Bugs: bugs.NewSet().EnableSyn(5),
+	}
+
+	// How many ordering points does the execution have?
+	clean := executor.Run(fixed, executor.Options{})
+	fmt.Printf("clean run: %d commands, %d ordering points\n", clean.Commands, clean.Barriers)
+
+	// Sweep failures across every ordering point for both versions.
+	for name, tc := range map[string]executor.TestCase{"fixed": fixed, "buggy": buggy} {
+		crashImages := 0
+		findings := 0
+		var first *xfd.Report
+		for b := 1; b <= clean.Barriers; b++ {
+			pre := tc
+			pre.Injector = pmem.BarrierFailure{N: b}
+			res := executor.Run(pre, executor.Options{})
+			if !res.Crashed {
+				continue
+			}
+			crashImages++
+			reports := xfd.CheckPoint(tc, pmem.BarrierFailure{N: b}, nil)
+			if len(reports) > 0 && first == nil {
+				r := reports[0]
+				first = &r
+			}
+			findings += len(reports)
+		}
+		fmt.Printf("\n%s program: %d crash images, %d cross-failure findings\n",
+			name, crashImages, findings)
+		if first != nil {
+			fmt.Printf("  first finding: %s\n", *first)
+		}
+	}
+
+	fmt.Println("\nThe fixed program recovers cleanly from every failure point;")
+	fmt.Println("the buggy one loses the tail link whenever the failure lands")
+	fmt.Println("inside the un-backed-up update — found only because the test")
+	fmt.Println("case included a crash image (the paper's Requirement 2).")
+}

@@ -1,0 +1,3 @@
+module pmfuzz
+
+go 1.22

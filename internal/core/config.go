@@ -1,0 +1,126 @@
+// Package core implements PMFuzz: the test-case generator for persistent
+// memory programs described in the paper. A test case is a command input
+// plus a PM image (normal or crash image); the fuzzer generates new test
+// cases by mutating inputs, reusing program logic to mutate images
+// indirectly (§3.1), injecting failures at ordering points to produce
+// crash images (§3.2), and prioritizing test cases that cover new PM
+// paths (§3.3, Algorithms 1–2). The same engine also runs the paper's
+// comparison points (Table 2) by toggling features.
+package core
+
+import (
+	"fmt"
+
+	"pmfuzz/internal/workloads"
+)
+
+// Features are Table 2's four feature columns.
+type Features struct {
+	// InputFuzz mutates the input commands.
+	InputFuzz bool
+	// ImgFuzzIndirect generates PM images by executing inputs on
+	// existing images (PMFuzz's indirect mutation).
+	ImgFuzzIndirect bool
+	// ImgFuzzDirect mutates PM image bytes directly (AFL++ w/ ImgFuzz).
+	ImgFuzzDirect bool
+	// PMPathOpt enables the PM-path coverage feedback of Algorithm 2.
+	PMPathOpt bool
+	// SysOpt enables the system-level optimizations of §4.7 (fork-server
+	// style image caching and cheap re-opens).
+	SysOpt bool
+}
+
+// ConfigName identifies a Table 2 comparison point.
+type ConfigName string
+
+// The five comparison points of Table 2.
+const (
+	PMFuzzAll      ConfigName = "pmfuzz"
+	PMFuzzNoSysOpt ConfigName = "pmfuzz-no-sysopt"
+	AFLPlusPlus    ConfigName = "afl++"
+	AFLSysOpt      ConfigName = "afl++-sysopt"
+	AFLImgFuzz     ConfigName = "afl++-imgfuzz"
+)
+
+// ConfigNames lists the comparison points in Table 2 order.
+func ConfigNames() []ConfigName {
+	return []ConfigName{PMFuzzAll, PMFuzzNoSysOpt, AFLPlusPlus, AFLSysOpt, AFLImgFuzz}
+}
+
+// FeaturesFor returns the feature matrix row for a comparison point.
+func FeaturesFor(name ConfigName) (Features, error) {
+	switch name {
+	case PMFuzzAll:
+		return Features{InputFuzz: true, ImgFuzzIndirect: true, PMPathOpt: true, SysOpt: true}, nil
+	case PMFuzzNoSysOpt:
+		return Features{InputFuzz: true, ImgFuzzIndirect: true, PMPathOpt: true}, nil
+	case AFLPlusPlus:
+		return Features{InputFuzz: true}, nil
+	case AFLSysOpt:
+		return Features{InputFuzz: true, SysOpt: true}, nil
+	case AFLImgFuzz:
+		return Features{ImgFuzzDirect: true}, nil
+	default:
+		return Features{}, fmt.Errorf("core: unknown config %q", name)
+	}
+}
+
+// Config parameterizes one fuzzing session.
+type Config struct {
+	// Workload is the registered program name.
+	Workload string
+	// Seed drives every random decision; identical configs replay
+	// identically (§4.4's derandomization requirement).
+	Seed int64
+	// Features toggles the Table 2 columns.
+	Features Features
+	// BudgetNS is the simulated-time budget; the session stops when the
+	// shared clock passes it (the equal-wall-clock comparison of Fig 13).
+	BudgetNS int64
+	// MaxBarrierImages caps the per-test-case barrier sweep for crash
+	// image generation (0 = no crash images).
+	MaxBarrierImages int
+	// ProbFailRate is the probabilistic failure-injection rate of §3.2;
+	// ProbFailSeeds is how many probabilistic placements to try per test
+	// case.
+	ProbFailRate  float64
+	ProbFailSeeds int
+	// ImageCacheCap is the decompressed-image cache size used when
+	// SysOpt is on.
+	ImageCacheCap int
+	// SampleEveryExecs sets the coverage time-series sampling interval.
+	SampleEveryExecs int
+	// MaxCommands caps command lines per execution (0 = default).
+	MaxCommands int
+}
+
+// DefaultConfig returns a ready-to-run configuration for the comparison
+// point, with the defaults the experiments use.
+func DefaultConfig(workload string, name ConfigName, budgetNS int64, seed int64) (Config, error) {
+	feats, err := FeaturesFor(name)
+	if err != nil {
+		return Config{}, err
+	}
+	if _, err := workloads.New(workload); err != nil {
+		return Config{}, err
+	}
+	cfg := Config{
+		Workload:         workload,
+		Seed:             seed,
+		Features:         feats,
+		BudgetNS:         budgetNS,
+		ImageCacheCap:    64,
+		SampleEveryExecs: 20,
+		// Each execution is short (the paper caps executions at 150 ms,
+		// §4.6): deep persistent states are reached by accumulating
+		// across images, not within one run. This is what makes image
+		// generation matter.
+		MaxCommands: 12,
+	}
+	if feats.ImgFuzzIndirect {
+		cfg.MaxBarrierImages = 4
+		cfg.ProbFailRate = 0.0005
+		cfg.ProbFailSeeds = 1
+	}
+	return cfg, nil
+}

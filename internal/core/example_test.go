@@ -1,0 +1,29 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pmfuzz/internal/core"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// A complete fuzzing session in a few lines: configure a Table 2
+// comparison point, run until the simulated budget is spent, inspect
+// the corpus.
+func ExampleFuzzer() {
+	cfg, err := core.DefaultConfig("skiplist", core.PMFuzzAll, 50_000_000, 1)
+	if err != nil {
+		panic(err)
+	}
+	fuzzer, err := core.New(cfg, bugs.NewSet())
+	if err != nil {
+		panic(err)
+	}
+	res := fuzzer.Run()
+
+	fmt.Println("budget exhausted:", res.SimNS >= cfg.BudgetNS)
+	fmt.Println("made progress:", res.Execs > 0 && res.PMPaths > 0 && res.Queue.Len() > 4)
+	// Output:
+	// budget exhausted: true
+	// made progress: true
+}

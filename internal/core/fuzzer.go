@@ -1,0 +1,444 @@
+package core
+
+import (
+	"fmt"
+
+	"pmfuzz/internal/executor"
+	"pmfuzz/internal/fuzz"
+	"pmfuzz/internal/imgstore"
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/workloads"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// Sample is one point of the coverage time series (Figure 13's y-axis
+// over its x-axis).
+type Sample struct {
+	// SimNS is the simulated time of the sample.
+	SimNS int64
+	// Execs counts executions so far.
+	Execs int
+	// PMPaths is the number of distinct PM-path signatures covered — the
+	// paper's "number of covered PM paths", where a PM path π_PM is a
+	// sequence of PM nodes and two executions share a path exactly when
+	// their classified PM counter-maps match.
+	PMPaths int
+	// BranchCov is the covered branch-edge slot count.
+	BranchCov int
+	// QueueLen and Images track corpus growth.
+	QueueLen int
+	Images   int
+}
+
+// Fault is a captured program fault or inconsistency (the crash bucket).
+type Fault struct {
+	// Input and image that triggered the fault.
+	Input    []byte
+	ImageID  imgstore.ID
+	HasImage bool
+	// Msg is the deduplication key (panic value or error text).
+	Msg string
+	// Execs is when the fault was first seen.
+	Execs int
+	// SimNS is the simulated time of first detection (§5.4.1's
+	// time-to-detection).
+	SimNS int64
+}
+
+// Result is the outcome of a fuzzing session.
+type Result struct {
+	Config  Config
+	Series  []Sample
+	Faults  []Fault
+	Execs   int
+	SimNS   int64
+	PMPaths int
+	// Queue and Store are retained so testing tools can replay the
+	// generated test cases (step ⑤ of Figure 9).
+	Queue *fuzz.Queue
+	Store *imgstore.Store
+}
+
+// Fuzzer is one fuzzing session.
+type Fuzzer struct {
+	cfg   Config
+	bugs  *bugs.Set
+	queue *fuzz.Queue
+	mut   *fuzz.Mutator
+	store *imgstore.Store
+	clock *pmem.Clock
+
+	branchVirgin *instr.Virgin
+	pmVirgin     *instr.Virgin
+	// pmPathSigs holds the distinct PM-path signatures observed — the
+	// paper's "number of covered PM paths" (each distinct PM-operation
+	// sequence is one path).
+	pmPathSigs map[uint64]struct{}
+
+	seedInput []byte // fixed input for direct image fuzzing
+	execs     int
+	series    []Sample
+	faults    []Fault
+	faultMsgs map[string]bool
+}
+
+// New builds a fuzzer for the configuration. bugSet configures the
+// target's bug flags (nil = fixed program).
+func New(cfg Config, bugSet *bugs.Set) (*Fuzzer, error) {
+	prog, err := workloads.New(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	seeds := prog.SeedInputs()
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("core: workload %q has no seed inputs", cfg.Workload)
+	}
+	cacheCap := 0
+	if cfg.Features.SysOpt {
+		cacheCap = cfg.ImageCacheCap
+	}
+	f := &Fuzzer{
+		cfg:          cfg,
+		bugs:         bugSet,
+		queue:        fuzz.NewQueue(cfg.Seed + 1),
+		mut:          fuzz.NewMutator(cfg.Seed+2, fuzz.DictFor(seeds)),
+		store:        imgstore.New(cacheCap),
+		clock:        pmem.NewClock(),
+		branchVirgin: instr.NewVirgin(),
+		pmVirgin:     instr.NewVirgin(),
+		seedInput:    seeds[0],
+		faultMsgs:    map[string]bool{},
+		pmPathSigs:   map[uint64]struct{}{},
+	}
+	for _, s := range seeds {
+		f.queue.Add(&fuzz.Entry{Input: s, ParentID: -1, Favored: fuzz.FavoredHigh})
+	}
+	return f, nil
+}
+
+// AddSeed injects an extra seed test case (input plus optional starting
+// image) before Run — used to resume fuzzing from an exported corpus.
+func (f *Fuzzer) AddSeed(input []byte, img *pmem.Image) error {
+	e := &fuzz.Entry{
+		Input:    append([]byte(nil), input...),
+		ParentID: -1,
+		Favored:  fuzz.FavoredHigh,
+	}
+	if img != nil {
+		id, _, err := f.store.Put(img)
+		if err != nil {
+			return err
+		}
+		e.ImageID = id
+		e.HasImage = true
+	}
+	f.queue.Add(e)
+	return nil
+}
+
+// Run executes the fuzzing loop until the simulated budget is exhausted
+// and returns the session result.
+func (f *Fuzzer) Run() *Result {
+	// Warm-up: execute every seed once to initialize coverage and (for
+	// PMFuzz) generate the first images — Figure 11 step ①.
+	for _, e := range f.queue.Entries() {
+		if f.clock.Now() >= f.cfg.BudgetNS {
+			break
+		}
+		f.runCase(e, e.Input, true)
+	}
+	for f.clock.Now() < f.cfg.BudgetNS {
+		e := f.queue.Next()
+		if e == nil {
+			break
+		}
+		energy := 4 << uint(e.Favored) // 4 / 8 / 16 children
+		for i := 0; i < energy && f.clock.Now() < f.cfg.BudgetNS; i++ {
+			input, image := f.deriveChild(e)
+			f.runMutated(e, input, image)
+		}
+	}
+	f.sample(true)
+	return &Result{
+		Config:  f.cfg,
+		Series:  f.series,
+		Faults:  f.faults,
+		Execs:   f.execs,
+		SimNS:   f.clock.Now(),
+		PMPaths: len(f.pmPathSigs),
+		Queue:   f.queue,
+		Store:   f.store,
+	}
+}
+
+// deriveChild produces a mutated (input, image) pair from a queue entry.
+// The image part is either inherited (indirect mutation happens through
+// execution) or byte-mutated (the ImgFuzzDirect comparison point).
+func (f *Fuzzer) deriveChild(e *fuzz.Entry) ([]byte, *imageRef) {
+	input := e.Input
+	if f.cfg.Features.InputFuzz {
+		if other := f.queue.Random(); other != nil && other.ID != e.ID && len(f.queue.Entries()) > 4 && f.mutCoin() {
+			input = f.mut.Splice(e.Input, other.Input)
+		} else {
+			input = f.mut.Havoc(e.Input)
+		}
+	}
+	img := f.resolveImage(e)
+	if f.cfg.Features.ImgFuzzDirect {
+		// Direct image mutation: corrupt the image payload, keep the
+		// fixed seed input.
+		input = f.seedInput
+		base := img
+		if base == nil || base.img == nil {
+			// Build the initial image by one clean seed run.
+			res := executor.Run(executor.TestCase{
+				Workload: f.cfg.Workload, Input: f.seedInput, Bugs: f.bugs, Seed: f.cfg.Seed,
+			}, executor.Options{Clock: f.clock})
+			if res.Image == nil {
+				return input, nil
+			}
+			base = &imageRef{img: res.Image}
+		}
+		mutated := base.img.Clone()
+		mutated.Data = f.mut.MutateImage(mutated.Data)
+		return input, &imageRef{img: mutated}
+	}
+	return input, img
+}
+
+func (f *Fuzzer) mutCoin() bool { return f.execs%4 == 3 }
+
+// imageRef resolves a queue entry's image lazily.
+type imageRef struct {
+	img    *pmem.Image
+	cached bool
+}
+
+func (f *Fuzzer) resolveImage(e *fuzz.Entry) *imageRef {
+	if !e.HasImage {
+		return nil
+	}
+	cached := f.store.Cached(e.ImageID)
+	img, err := f.store.Get(e.ImageID, f.clock)
+	if err != nil {
+		return nil
+	}
+	return &imageRef{img: img, cached: cached && f.cfg.Features.SysOpt}
+}
+
+// runCase executes one seed entry as-is.
+func (f *Fuzzer) runCase(e *fuzz.Entry, input []byte, isSeed bool) {
+	f.runMutated(e, input, f.resolveImage(e))
+}
+
+// runMutated executes a candidate test case, applies the coverage
+// feedback, and grows the corpus.
+func (f *Fuzzer) runMutated(parent *fuzz.Entry, input []byte, img *imageRef) {
+	tc := executor.TestCase{
+		Workload: f.cfg.Workload,
+		Input:    input,
+		Bugs:     f.bugs,
+		Seed:     f.cfg.Seed,
+	}
+	var cached bool
+	if img != nil && img.img != nil {
+		tc.Image = img.img
+		cached = img.cached
+	}
+	res := executor.Run(tc, executor.Options{
+		Clock:       f.clock,
+		ImageCached: cached || (tc.Image == nil && f.cfg.Features.SysOpt),
+		MaxCommands: f.cfg.MaxCommands,
+	})
+	f.execs++
+	f.observe(parent, tc, res)
+	if f.execs%max(1, f.cfg.SampleEveryExecs) == 0 {
+		f.sample(false)
+	}
+}
+
+// observe applies branch and PM-path feedback (Algorithm 2) and corpus
+// growth (Figure 11 steps ②–⑤).
+func (f *Fuzzer) observe(parent *fuzz.Entry, tc executor.TestCase, res *executor.Result) {
+	newBranchSlot, newBranchBucket := f.branchVirgin.Merge(res.Tracer.BranchMap())
+	newPMSlot, newPMBucket := f.pmVirgin.Merge(res.Tracer.PMMap())
+	if res.Tracer.PMOps() > 0 {
+		f.pmPathSigs[instr.Signature(res.Tracer.PMMap())] = struct{}{}
+	}
+
+	if res.Faulted() {
+		f.recordFault(parent, tc, res)
+		return
+	}
+
+	// Algorithm 2: Favored from the PM counter-map.
+	favored := fuzz.FavoredLow
+	if f.cfg.Features.PMPathOpt {
+		switch {
+		case newPMSlot:
+			favored = fuzz.FavoredHigh
+		case newPMBucket:
+			favored = fuzz.FavoredMedium
+		}
+	}
+	newBranch := newBranchSlot || newBranchBucket
+	interesting := newBranch || favored > fuzz.FavoredLow
+	if !interesting {
+		return
+	}
+
+	parentID := -1
+	depth := 0
+	if parent != nil {
+		parentID = parent.ID
+		depth = parent.Depth
+	}
+	e := &fuzz.Entry{
+		Input:      append([]byte(nil), tc.Input...),
+		ParentID:   parentID,
+		Depth:      depth,
+		Favored:    favored,
+		NewBranch:  newBranch,
+		NewPM:      newPMSlot || newPMBucket,
+		FoundSimNS: f.clock.Now(),
+	}
+	if tc.Image != nil {
+		// Keep fuzzing on the same parent image.
+		id, _, err := f.store.Put(tc.Image)
+		if err == nil {
+			e.ImageID = id
+			e.HasImage = true
+		}
+	}
+	f.queue.Add(e)
+
+	// Image generation is driven by new PM paths only (Figure 11 step ②:
+	// "upon observing a new PM path, it saves this test case for further
+	// PM image generation").
+	if f.cfg.Features.ImgFuzzIndirect && res.Image != nil && e.NewPM {
+		f.harvestImages(e, tc, res)
+	}
+}
+
+// harvestImages stores the normal output image and sweeps failure
+// injection for crash images (Figure 11 steps ③–④), deduplicating by
+// content hash (§4.5's image reduction) and enqueueing new images as
+// future parents (step ⑤).
+func (f *Fuzzer) harvestImages(parent *fuzz.Entry, tc executor.TestCase, res *executor.Result) {
+	f.addImageEntry(parent, tc.Input, res.Image, false)
+
+	if f.cfg.MaxBarrierImages <= 0 {
+		return
+	}
+	// Sample failure points across the whole execution rather than only
+	// its head: ordering points bracket every commit-variable update
+	// (§3.2), and the interesting recovery states come from crashes at
+	// different phases of the run.
+	n := f.cfg.MaxBarrierImages
+	if n > res.Barriers {
+		n = res.Barriers
+	}
+	for i := 1; i <= n && f.clock.Now() < f.cfg.BudgetNS; i++ {
+		b := i * res.Barriers / n
+		if b < 1 {
+			b = 1
+		}
+		tcb := tc
+		tcb.Injector = pmem.BarrierFailure{N: b}
+		crash := executor.Run(tcb, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands})
+		f.execs++
+		if crash.Crashed && crash.Image != nil {
+			f.addImageEntry(parent, tc.Input, crash.Image, true)
+		}
+	}
+	for s := 0; s < f.cfg.ProbFailSeeds && f.cfg.ProbFailRate > 0 && f.clock.Now() < f.cfg.BudgetNS; s++ {
+		tcp := tc
+		tcp.Injector = pmem.NewProbabilisticFailure(f.cfg.Seed+int64(f.execs)*131, f.cfg.ProbFailRate)
+		crash := executor.Run(tcp, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands})
+		f.execs++
+		if crash.Crashed && crash.Image != nil {
+			f.addImageEntry(parent, tc.Input, crash.Image, true)
+		}
+	}
+}
+
+func (f *Fuzzer) addImageEntry(parent *fuzz.Entry, input []byte, img *pmem.Image, isCrash bool) {
+	id, fresh, err := f.store.Put(img)
+	if err != nil || !fresh {
+		return // image reduction: identical images are dropped
+	}
+	parentID := -1
+	depth := 0
+	if parent != nil {
+		parentID = parent.ID
+		depth = parent.Depth + 1
+	}
+	f.queue.Add(&fuzz.Entry{
+		Input:        append([]byte(nil), input...),
+		ImageID:      id,
+		HasImage:     true,
+		IsCrashImage: isCrash,
+		ParentID:     parentID,
+		Depth:        depth,
+		// Fresh images are the next iteration's inputs (Figure 11 step
+		// ⑤): a new persistent state means unexplored PM paths, so they
+		// start high priority and Algorithm 2 demotes their offspring.
+		Favored:    fuzz.FavoredHigh,
+		NewPM:      true,
+		FoundSimNS: f.clock.Now(),
+	})
+}
+
+func (f *Fuzzer) recordFault(parent *fuzz.Entry, tc executor.TestCase, res *executor.Result) {
+	msg := ""
+	if res.Panicked {
+		msg = fmt.Sprintf("panic: %v", res.PanicVal)
+	} else if res.Err != nil {
+		msg = res.Err.Error()
+	}
+	if msg == "" || f.faultMsgs[msg] {
+		return
+	}
+	f.faultMsgs[msg] = true
+	fault := Fault{
+		Input: append([]byte(nil), tc.Input...),
+		Msg:   msg,
+		Execs: f.execs,
+		SimNS: f.clock.Now(),
+	}
+	if parent != nil && parent.HasImage {
+		fault.ImageID = parent.ImageID
+		fault.HasImage = true
+	}
+	f.faults = append(f.faults, fault)
+}
+
+func (f *Fuzzer) sample(force bool) {
+	s := Sample{
+		SimNS:     f.clock.Now(),
+		Execs:     f.execs,
+		PMPaths:   len(f.pmPathSigs),
+		BranchCov: f.branchVirgin.CoveredStates(),
+		QueueLen:  f.queue.Len(),
+		Images:    f.store.Len(),
+	}
+	if !force && len(f.series) > 0 {
+		last := f.series[len(f.series)-1]
+		if last.PMPaths == s.PMPaths && last.BranchCov == s.BranchCov && last.QueueLen == s.QueueLen {
+			// Avoid unbounded flat series; keep endpoints accurate.
+			if len(f.series) > 1 && f.series[len(f.series)-2].PMPaths == s.PMPaths {
+				f.series[len(f.series)-1] = s
+				return
+			}
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pmfuzz/internal/workloads/bugs"
+)
+
+const testBudget = 200_000_000 // 200 simulated ms
+
+func runSession(t *testing.T, workload string, name ConfigName, budget int64, bg *bugs.Set) *Result {
+	t.Helper()
+	cfg, err := DefaultConfig(workload, name, budget, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(cfg, bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Run()
+}
+
+func TestConfigPresetsMatchTable2(t *testing.T) {
+	want := map[ConfigName]Features{
+		PMFuzzAll:      {InputFuzz: true, ImgFuzzIndirect: true, PMPathOpt: true, SysOpt: true},
+		PMFuzzNoSysOpt: {InputFuzz: true, ImgFuzzIndirect: true, PMPathOpt: true},
+		AFLPlusPlus:    {InputFuzz: true},
+		AFLSysOpt:      {InputFuzz: true, SysOpt: true},
+		AFLImgFuzz:     {ImgFuzzDirect: true},
+	}
+	for name, w := range want {
+		got, err := FeaturesFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Errorf("%s: features = %+v, want %+v", name, got, w)
+		}
+	}
+	if _, err := FeaturesFor("nonsense"); err == nil {
+		t.Errorf("unknown config accepted")
+	}
+}
+
+func TestDefaultConfigRejectsUnknownWorkload(t *testing.T) {
+	if _, err := DefaultConfig("nope", PMFuzzAll, 1, 1); err == nil {
+		t.Fatalf("unknown workload accepted")
+	}
+}
+
+func TestFuzzerRespectsBudget(t *testing.T) {
+	res := runSession(t, "btree", PMFuzzAll, testBudget, nil)
+	if res.SimNS < testBudget {
+		t.Fatalf("stopped early: %d < %d", res.SimNS, testBudget)
+	}
+	// One execution should not blow far past the budget.
+	if res.SimNS > testBudget*2 {
+		t.Fatalf("overshot budget: %d", res.SimNS)
+	}
+	if res.Execs == 0 {
+		t.Fatalf("no executions")
+	}
+}
+
+func TestFuzzerCoversPMPaths(t *testing.T) {
+	res := runSession(t, "btree", PMFuzzAll, testBudget, nil)
+	if res.PMPaths < 50 {
+		t.Fatalf("PM paths = %d, expected substantial coverage", res.PMPaths)
+	}
+	if res.Queue.Len() <= 4 {
+		t.Fatalf("queue did not grow: %d entries", res.Queue.Len())
+	}
+	if res.Store.Len() == 0 {
+		t.Fatalf("no images generated")
+	}
+}
+
+func TestFuzzerGeneratesCrashImages(t *testing.T) {
+	res := runSession(t, "hashmap-tx", PMFuzzAll, testBudget, nil)
+	crash := 0
+	for _, e := range res.Queue.Entries() {
+		if e.IsCrashImage {
+			crash++
+		}
+	}
+	if crash == 0 {
+		t.Fatalf("no crash-image entries in the queue")
+	}
+}
+
+func TestFuzzerDeterministic(t *testing.T) {
+	a := runSession(t, "skiplist", PMFuzzAll, testBudget/2, nil)
+	b := runSession(t, "skiplist", PMFuzzAll, testBudget/2, nil)
+	if a.Execs != b.Execs || a.PMPaths != b.PMPaths || a.Queue.Len() != b.Queue.Len() {
+		t.Fatalf("sessions diverged: execs %d/%d paths %d/%d queue %d/%d",
+			a.Execs, b.Execs, a.PMPaths, b.PMPaths, a.Queue.Len(), b.Queue.Len())
+	}
+}
+
+func TestFuzzerSeriesMonotonic(t *testing.T) {
+	res := runSession(t, "rbtree", PMFuzzAll, testBudget, nil)
+	if len(res.Series) < 2 {
+		t.Fatalf("series too short: %d", len(res.Series))
+	}
+	for i := 1; i < len(res.Series); i++ {
+		if res.Series[i].PMPaths < res.Series[i-1].PMPaths {
+			t.Fatalf("PM path coverage regressed at sample %d", i)
+		}
+		if res.Series[i].SimNS < res.Series[i-1].SimNS {
+			t.Fatalf("time went backwards at sample %d", i)
+		}
+	}
+}
+
+func TestPMFuzzBeatsAFLOnPMPaths(t *testing.T) {
+	// The paper's headline claim at miniature scale: under the same
+	// simulated budget, PMFuzz covers more PM paths than plain AFL++.
+	budget := int64(400_000_000)
+	pm := runSession(t, "hashmap-tx", PMFuzzAll, budget, nil)
+	afl := runSession(t, "hashmap-tx", AFLPlusPlus, budget, nil)
+	if pm.PMPaths <= afl.PMPaths {
+		t.Fatalf("PMFuzz %d PM paths <= AFL++ %d", pm.PMPaths, afl.PMPaths)
+	}
+}
+
+func TestImgFuzzDirectMostlyInvalid(t *testing.T) {
+	// Direct image mutation should make little coverage progress (§5.2
+	// point 4): most mutated images fail pool validation.
+	budget := int64(300_000_000)
+	direct := runSession(t, "btree", AFLImgFuzz, budget, nil)
+	pmfuzz := runSession(t, "btree", PMFuzzAll, budget, nil)
+	if direct.PMPaths >= pmfuzz.PMPaths {
+		t.Fatalf("direct image fuzzing (%d paths) should trail PMFuzz (%d)",
+			direct.PMPaths, pmfuzz.PMPaths)
+	}
+}
+
+func TestFuzzerFindsInitFault(t *testing.T) {
+	// With Bug 1 enabled, PMFuzz's crash images land in the queue; some
+	// reuse then dereferences the rolled-back NULL map. §5.4.1 reports
+	// this class found within seconds of fuzzing.
+	res := runSession(t, "hashmap-tx", PMFuzzAll, 600_000_000,
+		bugs.NewSet().EnableReal(bugs.Bug1HashmapTXCreateNotRetried))
+	found := false
+	for _, f := range res.Faults {
+		if strings.Contains(f.Msg, "null object dereference") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Bug 1 fault not observed; faults: %d", len(res.Faults))
+	}
+}
+
+func TestFuzzerAccumulatesImageDepth(t *testing.T) {
+	// Incremental image generation must stack generations (Figure 12's
+	// tree growing downward), not just fan out from the seeds.
+	res := runSession(t, "hashmap-tx", PMFuzzAll, 300_000_000, nil)
+	if d := res.Queue.MaxDepth(); d < 3 {
+		t.Fatalf("max image depth = %d, want >= 3", d)
+	}
+}
+
+func TestFuzzerHangsAreCaptured(t *testing.T) {
+	// A corrupted structure can loop; the op limit must convert that into
+	// a recorded fault, never a stuck fuzzer. Use a buggy skiplist whose
+	// skipped link logging can produce cycles on crash images.
+	res := runSession(t, "skiplist", PMFuzzAll, 300_000_000,
+		bugs.NewSet().EnableSyn(2))
+	// The session must have completed its budget regardless of hangs.
+	if res.SimNS < 300_000_000 {
+		t.Fatalf("session ended early at %d", res.SimNS)
+	}
+}

@@ -1,0 +1,260 @@
+// Package executor runs one PM-program execution under full
+// observation: coverage tracing, PM-operation trace recording, failure
+// injection, simulated-time accounting, and crash-image harvesting. It is
+// the equivalent of the instrumented target process AFL++ forks off, and
+// the primitive both PMFuzz and the testing tools are built on.
+package executor
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/trace"
+	"pmfuzz/internal/workloads"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// TestCase is one input to a PM program: command bytes plus the PM image
+// to execute on (the paper's Requirement 1), optionally with an injected
+// failure (Requirement 2).
+type TestCase struct {
+	// Workload names the registered program.
+	Workload string
+	// Input is the raw command stream (fuzzer-controlled bytes).
+	Input []byte
+	// Image is the starting PM image; nil runs on a fresh empty device.
+	Image *pmem.Image
+	// Injector optionally injects a failure; nil runs to completion.
+	Injector pmem.FailureInjector
+	// Bugs configures the workload's bug flags.
+	Bugs *bugs.Set
+	// Seed drives the workload's derandomized RNG.
+	Seed int64
+}
+
+// Options tunes one execution.
+type Options struct {
+	// RecordTrace attaches a PM-operation trace recorder (needed by the
+	// checkers; costs memory, so the fuzzing hot loop leaves it off).
+	RecordTrace bool
+	// Clock, when non-nil, charges this execution's simulated time to a
+	// shared budget.
+	Clock *pmem.Clock
+	// ImageCached marks the input image as already resident (the
+	// fork-server/SysOpt path), reducing the simulated open cost.
+	ImageCached bool
+	// MaxCommands caps executed command lines (0 = workloads.MaxCommands).
+	MaxCommands int
+	// MaxOps bounds PM operations per execution (0 = DefaultMaxOps); a
+	// run exceeding it is reported as a hang, like a fuzzing timeout.
+	MaxOps int
+}
+
+// DefaultMaxOps bounds runaway executions (e.g. cyclic structures on
+// corrupted crash images).
+const DefaultMaxOps = 200_000
+
+// Result is everything observed during one execution.
+type Result struct {
+	// Image is the output PM image: the final durable state for clean
+	// runs, or the crash image when a failure fired.
+	Image *pmem.Image
+	// Crashed reports whether an injected failure fired.
+	Crashed bool
+	// Crash describes the failure point when Crashed.
+	Crash pmem.Crash
+	// LostAtCrash lists the byte ranges whose pre-failure volatile
+	// content never became durable — the cross-failure taint set.
+	LostAtCrash []pmem.Range
+	// Err is a workload-reported error (e.g. a failing consistency
+	// check), if any.
+	Err error
+	// Panicked reports an unexpected program fault (the segmentation
+	// fault analog, e.g. a null-OID dereference).
+	Panicked bool
+	// PanicVal is the recovered panic value when Panicked.
+	PanicVal interface{}
+	// Tracer holds the branch and PM coverage maps.
+	Tracer *instr.Tracer
+	// Trace is the PM-operation event trace (nil unless RecordTrace).
+	Trace *trace.Recorder
+	// CommitVars are the commit-variable annotations registered during
+	// the run (the XFDetector annotation analog); the cross-failure
+	// checker exempts them from taint analysis.
+	CommitVars []pmem.Range
+	// Barriers and Ops count ordering points and PM operations executed.
+	Barriers int
+	Ops      int
+	// BarrierOps holds the PM-op index of each fence, for pre-fence
+	// failure placement.
+	BarrierOps []int
+	// Commands counts command lines actually executed.
+	Commands int
+}
+
+// Faulted reports whether the execution ended in an unexpected fault or
+// a workload-detected inconsistency (as opposed to a clean run or an
+// intentionally injected crash).
+func (r *Result) Faulted() bool {
+	return r.Panicked || (r.Err != nil && !errors.Is(r.Err, workloads.ErrStop))
+}
+
+// Run executes a test case and returns the observed result. It never
+// lets a panic escape: injected crashes produce crash images, and
+// program faults (the segfault analog) are captured in the result the
+// way a fuzzer captures a crashing target.
+func Run(tc TestCase, opts Options) *Result {
+	res := &Result{Tracer: instr.NewTracer()}
+	prog, err := workloads.New(tc.Workload)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+
+	var dev *pmem.Device
+	if tc.Image != nil {
+		dev = pmem.NewDeviceFromImage(tc.Image)
+	} else {
+		dev = pmem.NewDevice(prog.PoolSize())
+	}
+	if opts.Clock != nil {
+		dev.SetClock(opts.Clock)
+		opts.Clock.ChargeExecBase()
+		opts.Clock.ChargeOpen(opts.ImageCached)
+	}
+	dev.SetTracer(res.Tracer)
+	if opts.RecordTrace {
+		res.Trace = trace.NewRecorder()
+		dev.SetSink(res.Trace)
+	}
+	if tc.Injector != nil {
+		dev.SetInjector(tc.Injector)
+	}
+	maxOps := opts.MaxOps
+	if maxOps <= 0 {
+		maxOps = DefaultMaxOps
+	}
+	dev.SetOpLimit(maxOps)
+
+	env := &workloads.Env{
+		Dev:  dev,
+		T:    res.Tracer,
+		RNG:  rand.New(rand.NewSource(tc.Seed)),
+		Bugs: tc.Bugs,
+	}
+
+	maxCmds := opts.MaxCommands
+	if maxCmds <= 0 {
+		maxCmds = workloads.MaxCommands
+	}
+
+	finish := func() {
+		res.Barriers = dev.Barriers()
+		res.Ops = dev.Ops()
+		res.BarrierOps = dev.BarrierOps()
+		res.CommitVars = dev.CommitVars()
+	}
+
+	// The body runs under a recover that distinguishes injected crashes
+	// (harvest the crash image) from program faults (record the fault).
+	done := func() (completed bool) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if c, ok := r.(pmem.Crash); ok {
+				res.Crashed = true
+				res.Crash = c
+				res.LostAtCrash = dev.UnpersistedRanges()
+				res.Image = &pmem.Image{Layout: tc.Workload, Data: dev.PersistedSnapshot()}
+				return
+			}
+			res.Panicked = true
+			res.PanicVal = r
+			res.Image = &pmem.Image{Layout: tc.Workload, Data: dev.PersistedSnapshot()}
+		}()
+		if err := prog.Setup(env); err != nil {
+			res.Err = fmt.Errorf("setup: %w", err)
+			return false
+		}
+		for _, line := range bytes.Split(tc.Input, []byte("\n")) {
+			if res.Commands >= maxCmds {
+				break
+			}
+			res.Commands++
+			if err := prog.Exec(env, line); err != nil {
+				if errors.Is(err, workloads.ErrStop) {
+					break
+				}
+				res.Err = err
+				return false
+			}
+		}
+		res.Image = prog.Close(env)
+		if opts.Clock != nil {
+			opts.Clock.ChargeClose()
+		}
+		return true
+	}()
+	finish()
+	_ = done
+	return res
+}
+
+// NormalImage runs the test case without failures and returns the final
+// image — step ③'s "no failure" leg in the paper's Figure 11.
+func NormalImage(tc TestCase, opts Options) (*pmem.Image, error) {
+	tc.Injector = nil
+	res := Run(tc, opts)
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	if res.Panicked {
+		return nil, fmt.Errorf("executor: program faulted: %v", res.PanicVal)
+	}
+	return res.Image, nil
+}
+
+// CrashImages sweeps failure injection across the execution's ordering
+// points (every barrier) and, at probRate > 0, adds probabilistically
+// placed failures at arbitrary PM operations — the two-fold crash-image
+// generation strategy of §3.2. maxBarriers caps the sweep; the returned
+// results include crash images and taint sets.
+func CrashImages(tc TestCase, opts Options, maxBarriers int, probRate float64, probSeeds int) []*Result {
+	var out []*Result
+	// First, a clean run to learn how many barriers the execution has.
+	clean := Run(tc, opts)
+	if clean.Faulted() {
+		// A faulting test case still yields its fault result; crash-image
+		// generation on top is meaningless.
+		return []*Result{clean}
+	}
+	barriers := clean.Barriers
+	if maxBarriers > 0 && barriers > maxBarriers {
+		barriers = maxBarriers
+	}
+	for b := 1; b <= barriers; b++ {
+		tcb := tc
+		tcb.Injector = pmem.BarrierFailure{N: b}
+		res := Run(tcb, opts)
+		if res.Crashed {
+			out = append(out, res)
+		}
+	}
+	if probRate > 0 {
+		for s := 0; s < probSeeds; s++ {
+			tcp := tc
+			tcp.Injector = pmem.NewProbabilisticFailure(tc.Seed+int64(s)*7919, probRate)
+			res := Run(tcp, opts)
+			if res.Crashed {
+				out = append(out, res)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"pmfuzz/internal/core"
+	"pmfuzz/internal/executor"
+	"pmfuzz/internal/fuzz"
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// MinimizeCorpus selects a small subset of the session's queue whose
+// executions jointly cover the session's PM-path states — §4.6's "the
+// testing tool only needs to execute a minimum set of test cases that
+// cover new PM paths". It replays candidate entries (bounded by maxReplay)
+// and greedily keeps those contributing unseen PM counter-map states.
+func MinimizeCorpus(res *core.Result, bg *bugs.Set, maxReplay int) []*fuzz.Entry {
+	candidates := replayEntries(res, maxReplay)
+	virgin := instr.NewVirgin()
+	var kept []*fuzz.Entry
+	for _, e := range candidates {
+		tc, err := entryTestCase(res, e, bg, res.Config.Seed)
+		if err != nil {
+			continue
+		}
+		run := executor.Run(tc, executor.Options{})
+		newSlot, newBucket := virgin.Merge(run.Tracer.PMMap())
+		if newSlot || newBucket {
+			kept = append(kept, e)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,34 @@
+package fuzz
+
+import "testing"
+
+func BenchmarkHavoc(b *testing.B) {
+	m := NewMutator(1, DictFor([][]byte{[]byte("i 1 100\nr 2\ng 3\nc\nq\n")}))
+	in := []byte("i 1 100\ni 2 200\nr 1\ng 2\nc\n")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Havoc(in)
+	}
+}
+
+func BenchmarkSplice(b *testing.B) {
+	m := NewMutator(1, nil)
+	x := []byte("i 1 100\ni 2 200\n")
+	y := []byte("r 5\nr 6\ng 7\n")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Splice(x, y)
+	}
+}
+
+func BenchmarkQueueNext(b *testing.B) {
+	q := NewQueue(1)
+	for i := 0; i < 500; i++ {
+		q.Add(&Entry{Favored: i % 3})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.Next()
+	}
+}

@@ -1,0 +1,185 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictFor(t *testing.T) {
+	dict := DictFor([][]byte{[]byte("i 1 100\ng 1\n"), []byte("c\n")})
+	want := []string{"i 1 100\n", "i", "1", "100", "g 1\n", "g", "c\n", "c"}
+	have := map[string]bool{}
+	for _, d := range dict {
+		have[string(d)] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("dictionary missing %q", w)
+		}
+	}
+	// No duplicates.
+	if len(have) != len(dict) {
+		t.Errorf("dictionary has duplicates: %d tokens, %d unique", len(dict), len(have))
+	}
+}
+
+func TestHavocDeterministic(t *testing.T) {
+	seeds := [][]byte{[]byte("i 1 1\n")}
+	a := NewMutator(5, DictFor(seeds))
+	b := NewMutator(5, DictFor(seeds))
+	in := []byte("i 1 100\nr 2\n")
+	for i := 0; i < 100; i++ {
+		if !bytes.Equal(a.Havoc(in), b.Havoc(in)) {
+			t.Fatalf("mutation diverged at round %d", i)
+		}
+	}
+}
+
+func TestHavocBoundsLength(t *testing.T) {
+	m := NewMutator(1, nil)
+	in := bytes.Repeat([]byte("i 1 1\n"), 1000)
+	for i := 0; i < 50; i++ {
+		out := m.Havoc(in)
+		if len(out) > MaxInputLen {
+			t.Fatalf("havoc output %d > max %d", len(out), MaxInputLen)
+		}
+	}
+}
+
+func TestHavocDoesNotMutateInput(t *testing.T) {
+	m := NewMutator(2, nil)
+	in := []byte("i 1 100\n")
+	orig := append([]byte(nil), in...)
+	for i := 0; i < 50; i++ {
+		m.Havoc(in)
+	}
+	if !bytes.Equal(in, orig) {
+		t.Fatalf("Havoc mutated its input in place")
+	}
+}
+
+func TestHavocOnEmptyInput(t *testing.T) {
+	m := NewMutator(3, DictFor([][]byte{[]byte("i 1 1\n")}))
+	out := m.Havoc(nil)
+	if len(out) == 0 {
+		t.Fatalf("havoc on empty input produced nothing")
+	}
+}
+
+func TestHavocProducesVariety(t *testing.T) {
+	m := NewMutator(4, DictFor([][]byte{[]byte("i 1 1\n")}))
+	in := []byte("i 1 100\nr 2\ng 3\n")
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		seen[string(m.Havoc(in))] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("only %d distinct mutants out of 200", len(seen))
+	}
+}
+
+func TestSplice(t *testing.T) {
+	m := NewMutator(6, nil)
+	a := []byte("i 1 1\ni 2 2\n")
+	b := []byte("r 9\nr 8\n")
+	out := m.Splice(a, b)
+	if len(out) == 0 {
+		t.Fatalf("splice produced nothing")
+	}
+	if got := m.Splice(nil, b); len(got) == 0 {
+		t.Fatalf("splice with empty head produced nothing")
+	}
+	if got := m.Splice(a, nil); len(got) == 0 {
+		t.Fatalf("splice with empty tail produced nothing")
+	}
+}
+
+func TestMutateImage(t *testing.T) {
+	m := NewMutator(7, nil)
+	img := make([]byte, 4096)
+	out := m.MutateImage(img)
+	if bytes.Equal(out, img) {
+		t.Fatalf("image unchanged")
+	}
+	if len(out) != len(img) {
+		t.Fatalf("image length changed")
+	}
+	if !bytes.Equal(img, make([]byte, 4096)) {
+		t.Fatalf("MutateImage altered its input")
+	}
+	if got := m.MutateImage(nil); len(got) != 0 {
+		t.Fatalf("empty image grew")
+	}
+}
+
+func TestHavocPropertyNeverPanicsAndBounded(t *testing.T) {
+	m := NewMutator(8, DictFor([][]byte{[]byte("i 1 1\nq\n")}))
+	f := func(in []byte) bool {
+		if len(in) > MaxInputLen {
+			in = in[:MaxInputLen]
+		}
+		out := m.Havoc(in)
+		return len(out) <= MaxInputLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueAddAndGet(t *testing.T) {
+	q := NewQueue(1)
+	e := q.Add(&Entry{Input: []byte("x")})
+	if e.ID != 0 || q.Len() != 1 {
+		t.Fatalf("add bookkeeping wrong")
+	}
+	if q.Get(0) != e || q.Get(1) != nil || q.Get(-1) != nil {
+		t.Fatalf("Get wrong")
+	}
+}
+
+func TestQueueNextEmpty(t *testing.T) {
+	q := NewQueue(1)
+	if q.Next() != nil {
+		t.Fatalf("Next on empty queue returned an entry")
+	}
+	if q.Random() != nil {
+		t.Fatalf("Random on empty queue returned an entry")
+	}
+}
+
+func TestQueueFavoredScheduling(t *testing.T) {
+	q := NewQueue(1)
+	high := q.Add(&Entry{Favored: FavoredHigh})
+	med := q.Add(&Entry{Favored: FavoredMedium})
+	low := q.Add(&Entry{Favored: FavoredLow})
+	lowBranch := q.Add(&Entry{Favored: FavoredLow, NewBranch: true})
+	for i := 0; i < 4000; i++ {
+		if q.Next() == nil {
+			t.Fatalf("Next returned nil on non-empty queue")
+		}
+	}
+	if high.Selections <= med.Selections {
+		t.Errorf("high (%d) not preferred over medium (%d)", high.Selections, med.Selections)
+	}
+	if med.Selections <= lowBranch.Selections {
+		t.Errorf("medium (%d) not preferred over low+branch (%d)", med.Selections, lowBranch.Selections)
+	}
+	// Plain low-priority entries are discarded unless branch coverage
+	// favors them (the paper's rule); the fallback path may still pick
+	// them rarely.
+	if low.Selections > lowBranch.Selections {
+		t.Errorf("low (%d) selected more than low+branch (%d)", low.Selections, lowBranch.Selections)
+	}
+}
+
+func TestQueueAllLowStillTerminates(t *testing.T) {
+	q := NewQueue(2)
+	q.Add(&Entry{Favored: FavoredLow})
+	q.Add(&Entry{Favored: FavoredLow})
+	for i := 0; i < 100; i++ {
+		if q.Next() == nil {
+			t.Fatalf("scheduler starved")
+		}
+	}
+}

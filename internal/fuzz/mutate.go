@@ -1,0 +1,222 @@
+// Package fuzz provides the greybox-fuzzing building blocks PMFuzz is
+// assembled from: AFL-style input mutation (havoc and splice stages with
+// a token dictionary), the test-case queue with favored-entry
+// scheduling, and direct image mutation for the AFL++ w/ ImgFuzz
+// comparison point of Table 2.
+package fuzz
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// MaxInputLen bounds mutated command streams.
+const MaxInputLen = 4096
+
+// interestingBytes are the boundary values AFL substitutes, extended
+// with the bytes that matter for line-oriented command grammars.
+var interestingBytes = []byte{0, 1, 0xff, 0x7f, 0x80, '\n', ' ', '0', '9', 'i', 'r', 'g'}
+
+// Mutator generates mutated inputs from existing ones. All randomness
+// comes from the seeded source, so a fuzzing session replays exactly.
+type Mutator struct {
+	rng  *rand.Rand
+	dict [][]byte
+}
+
+// NewMutator builds a mutator with a token dictionary (may be empty).
+func NewMutator(seed int64, dict [][]byte) *Mutator {
+	return &Mutator{rng: rand.New(rand.NewSource(seed)), dict: dict}
+}
+
+// DictFor derives a token dictionary from seed inputs: whole lines and
+// individual fields, the way AFL users feed grammar tokens via -x.
+func DictFor(seeds [][]byte) [][]byte {
+	seen := map[string]bool{}
+	var dict [][]byte
+	add := func(tok []byte) {
+		if len(tok) == 0 || len(tok) > 32 || seen[string(tok)] {
+			return
+		}
+		seen[string(tok)] = true
+		dict = append(dict, append([]byte(nil), tok...))
+	}
+	for _, s := range seeds {
+		for _, line := range bytes.Split(s, []byte("\n")) {
+			add(append(append([]byte(nil), line...), '\n'))
+			for _, f := range bytes.Fields(line) {
+				add(f)
+			}
+		}
+	}
+	return dict
+}
+
+// Havoc applies a stack of random mutations, AFL's workhorse stage.
+func (m *Mutator) Havoc(in []byte) []byte {
+	out := append([]byte(nil), in...)
+	rounds := 1 << (1 + m.rng.Intn(4)) // 2..16 stacked ops
+	for i := 0; i < rounds; i++ {
+		out = m.mutateOnce(out)
+	}
+	if len(out) > MaxInputLen {
+		out = out[:MaxInputLen]
+	}
+	return out
+}
+
+func (m *Mutator) mutateOnce(out []byte) []byte {
+	if len(out) == 0 {
+		return m.insertToken(out)
+	}
+	switch m.rng.Intn(10) {
+	case 0: // flip a bit
+		i := m.rng.Intn(len(out))
+		out[i] ^= 1 << uint(m.rng.Intn(8))
+	case 1: // set an interesting byte
+		i := m.rng.Intn(len(out))
+		out[i] = interestingBytes[m.rng.Intn(len(interestingBytes))]
+	case 2: // byte arithmetic
+		i := m.rng.Intn(len(out))
+		out[i] += byte(m.rng.Intn(7) - 3)
+	case 3: // random byte
+		i := m.rng.Intn(len(out))
+		out[i] = byte(m.rng.Intn(256))
+	case 4: // delete a range
+		if len(out) > 1 {
+			i := m.rng.Intn(len(out))
+			n := 1 + m.rng.Intn(min(16, len(out)-i))
+			out = append(out[:i], out[i+n:]...)
+		}
+	case 5: // duplicate a range
+		i := m.rng.Intn(len(out))
+		n := 1 + m.rng.Intn(min(32, len(out)-i))
+		chunk := append([]byte(nil), out[i:i+n]...)
+		out = insertAt(out, i, chunk)
+	case 6: // insert a dictionary token (grammar-aware progress)
+		out = m.insertToken(out)
+	case 7: // synthesize a whole command with a fresh numeric argument —
+		// key-space exploration that byte-level ops rarely achieve
+		out = m.insertSynthCommand(out)
+	case 8: // overwrite a digit with another digit (key exploration)
+		digits := []int{}
+		for i, c := range out {
+			if c >= '0' && c <= '9' {
+				digits = append(digits, i)
+			}
+		}
+		if len(digits) > 0 {
+			out[digits[m.rng.Intn(len(digits))]] = byte('0' + m.rng.Intn(10))
+		} else {
+			out = m.insertToken(out)
+		}
+	case 9: // truncate
+		if len(out) > 2 {
+			out = out[:1+m.rng.Intn(len(out)-1)]
+		}
+	}
+	return out
+}
+
+// insertSynthCommand splices in a new command line built from a
+// dictionary opcode and fresh random numbers, so mutation explores the
+// key space instead of only recombining seed keys.
+func (m *Mutator) insertSynthCommand(out []byte) []byte {
+	if len(m.dict) == 0 {
+		return m.insertToken(out)
+	}
+	// Find a single-token opcode in the dictionary ("i", "r", "set", ...).
+	var op []byte
+	for tries := 0; tries < 8; tries++ {
+		tok := m.dict[m.rng.Intn(len(m.dict))]
+		if len(tok) > 0 && tok[len(tok)-1] != '\n' && (tok[0] < '0' || tok[0] > '9') {
+			op = tok
+			break
+		}
+	}
+	if op == nil {
+		return m.insertToken(out)
+	}
+	line := append([]byte(nil), op...)
+	nargs := 1 + m.rng.Intn(2)
+	for i := 0; i < nargs; i++ {
+		line = append(line, ' ')
+		digits := 1 + m.rng.Intn(4)
+		for d := 0; d < digits; d++ {
+			line = append(line, byte('0'+m.rng.Intn(10)))
+		}
+	}
+	line = append(line, '\n')
+	// Insert at a line boundary so neighbouring commands stay parseable.
+	pos := 0
+	if len(out) > 0 {
+		pos = m.rng.Intn(len(out) + 1)
+		for pos > 0 && pos < len(out) && out[pos-1] != '\n' {
+			pos++
+		}
+		if pos > len(out) {
+			pos = len(out)
+		}
+	}
+	return insertAt(out, pos, line)
+}
+
+func (m *Mutator) insertToken(out []byte) []byte {
+	if len(m.dict) == 0 {
+		return append(out, byte(m.rng.Intn(256)))
+	}
+	tok := m.dict[m.rng.Intn(len(m.dict))]
+	pos := 0
+	if len(out) > 0 {
+		pos = m.rng.Intn(len(out) + 1)
+	}
+	return insertAt(out, pos, tok)
+}
+
+// Splice combines the head of a with the tail of b, AFL's splice stage,
+// then runs a short havoc pass.
+func (m *Mutator) Splice(a, b []byte) []byte {
+	if len(a) == 0 {
+		return m.Havoc(b)
+	}
+	if len(b) == 0 {
+		return m.Havoc(a)
+	}
+	cutA := m.rng.Intn(len(a))
+	cutB := m.rng.Intn(len(b))
+	out := append(append([]byte(nil), a[:cutA]...), b[cutB:]...)
+	return m.Havoc(out)
+}
+
+// MutateImage flips random bytes of a PM image payload in place —
+// the direct image mutation of the AFL++ w/ ImgFuzz comparison point.
+// As §2.3 predicts, this mostly produces invalid pool states.
+func (m *Mutator) MutateImage(data []byte) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 {
+		return out
+	}
+	n := 1 + m.rng.Intn(32)
+	for i := 0; i < n; i++ {
+		out[m.rng.Intn(len(out))] = byte(m.rng.Intn(256))
+	}
+	return out
+}
+
+func insertAt(s []byte, pos int, chunk []byte) []byte {
+	if len(s)+len(chunk) > MaxInputLen {
+		return s
+	}
+	out := make([]byte, 0, len(s)+len(chunk))
+	out = append(out, s[:pos]...)
+	out = append(out, chunk...)
+	out = append(out, s[pos:]...)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,144 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"pmfuzz/internal/imgstore"
+)
+
+// Favored levels per Algorithm 2 of the paper.
+const (
+	// FavoredLow: no new PM counter-map content; kept only when branch
+	// coverage wants it.
+	FavoredLow = 0
+	// FavoredMedium: significantly different counter values (diffCounter).
+	FavoredMedium = 1
+	// FavoredHigh: unseen PM counter-map locations.
+	FavoredHigh = 2
+)
+
+// Entry is one queued test case: input commands plus the PM image they
+// execute on (the paper's two-part test cases).
+type Entry struct {
+	// ID is the entry's queue index.
+	ID int
+	// Input is the command stream.
+	Input []byte
+	// ImageID names the starting PM image in the store; HasImage is
+	// false for the empty root image of Figure 12.
+	ImageID  imgstore.ID
+	HasImage bool
+	// IsCrashImage marks entries whose image resulted from an injected
+	// failure.
+	IsCrashImage bool
+	// ParentID is the entry this one was derived from (-1 for seeds),
+	// forming the test-case tree of §4.6.
+	ParentID int
+	// Depth is the distance from the root image.
+	Depth int
+	// Favored is the Algorithm 2 priority.
+	Favored int
+	// NewBranch marks entries kept because they exposed new branch
+	// coverage (AFL++'s own criterion).
+	NewBranch bool
+	// NewPM marks entries that exposed new PM-path coverage.
+	NewPM bool
+	// Selections counts how many times the scheduler picked the entry.
+	Selections int
+	// FoundSimNS is the simulated time the entry was added, used for
+	// the paper's time-to-detection measurements (§5.4.1).
+	FoundSimNS int64
+}
+
+// Queue holds the corpus and implements favored-first scheduling: high
+// priority entries are always fuzzed when their turn comes, medium ones
+// usually, and low ones only when branch coverage favors them — the
+// paper's "discards low-priority cases unless AFL++'s branch coverage
+// logic favors them".
+type Queue struct {
+	entries []*Entry
+	cursor  int
+	rng     *rand.Rand
+}
+
+// NewQueue creates an empty queue with a seeded scheduler.
+func NewQueue(seed int64) *Queue {
+	return &Queue{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add appends an entry and assigns its ID.
+func (q *Queue) Add(e *Entry) *Entry {
+	e.ID = len(q.entries)
+	q.entries = append(q.entries, e)
+	return e
+}
+
+// Len returns the corpus size.
+func (q *Queue) Len() int { return len(q.entries) }
+
+// Entries exposes the corpus (read-only use).
+func (q *Queue) Entries() []*Entry { return q.entries }
+
+// Get returns entry by ID.
+func (q *Queue) Get(id int) *Entry {
+	if id < 0 || id >= len(q.entries) {
+		return nil
+	}
+	return q.entries[id]
+}
+
+// Next returns the next entry to fuzz, cycling through the corpus with
+// favored-weighted skipping. Half the time it instead exploits the
+// newest never-selected high-priority entry — freshly generated images
+// carry the deepest persistent states, and descending into them is what
+// makes incremental image generation accumulate (§4.5 step ⑤: generated
+// images are reused as inputs in the next iteration). It always
+// terminates as long as the queue is non-empty.
+func (q *Queue) Next() *Entry {
+	if len(q.entries) == 0 {
+		return nil
+	}
+	if q.rng.Intn(2) == 0 {
+		for i := len(q.entries) - 1; i >= 0; i-- {
+			e := q.entries[i]
+			if e.Favored >= FavoredHigh && e.Selections == 0 {
+				e.Selections++
+				return e
+			}
+		}
+	}
+	for tries := 0; tries < 4*len(q.entries); tries++ {
+		e := q.entries[q.cursor%len(q.entries)]
+		q.cursor++
+		switch {
+		case e.Favored >= FavoredHigh:
+			e.Selections++
+			return e
+		case e.Favored == FavoredMedium:
+			if q.rng.Intn(2) == 0 {
+				e.Selections++
+				return e
+			}
+		default:
+			// Low priority survives only on branch-coverage merit, and
+			// even then rarely.
+			if e.NewBranch && q.rng.Intn(4) == 0 {
+				e.Selections++
+				return e
+			}
+		}
+	}
+	// Everything was skipped this pass; fall back to round-robin.
+	e := q.entries[q.cursor%len(q.entries)]
+	q.cursor++
+	e.Selections++
+	return e
+}
+
+// Random returns a uniformly random entry (for splicing).
+func (q *Queue) Random() *Entry {
+	if len(q.entries) == 0 {
+		return nil
+	}
+	return q.entries[q.rng.Intn(len(q.entries))]
+}

@@ -1,0 +1,73 @@
+package fuzz
+
+// Test-case tree utilities (§4.6, Figure 12): every queue entry links to
+// the entry it was derived from, forming a tree whose nodes are PM
+// images and whose edges are the inputs (plus failure points) that
+// produced them. The tree makes the fuzzing procedure reproducible — a
+// test case is reproduced by replaying its lineage of inputs from the
+// empty root image — and lets the attached testing tool skip redundant
+// prefixes.
+
+// Lineage returns the chain of entries from the root seed to the entry,
+// inclusive. A nil return means the ID is unknown.
+func (q *Queue) Lineage(id int) []*Entry {
+	e := q.Get(id)
+	if e == nil {
+		return nil
+	}
+	var chain []*Entry
+	for e != nil {
+		chain = append(chain, e)
+		if e.ParentID < 0 {
+			break
+		}
+		parent := q.Get(e.ParentID)
+		if parent == e { // defensive: self-loop
+			break
+		}
+		e = parent
+	}
+	// Reverse to root-first order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// ReproductionInputs returns the input command streams that rebuild the
+// entry's image from the empty root image, in execution order — the
+// §4.6 recipe "execute the input commands on top of its parent image".
+func (q *Queue) ReproductionInputs(id int) [][]byte {
+	chain := q.Lineage(id)
+	if chain == nil {
+		return nil
+	}
+	inputs := make([][]byte, 0, len(chain))
+	for _, e := range chain {
+		inputs = append(inputs, e.Input)
+	}
+	return inputs
+}
+
+// Children returns the IDs of entries directly derived from id.
+func (q *Queue) Children(id int) []int {
+	var out []int
+	for _, e := range q.entries {
+		if e.ParentID == id {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// MaxDepth returns the deepest tree depth in the corpus — how far
+// incremental image generation has accumulated state.
+func (q *Queue) MaxDepth() int {
+	d := 0
+	for _, e := range q.entries {
+		if e.Depth > d {
+			d = e.Depth
+		}
+	}
+	return d
+}

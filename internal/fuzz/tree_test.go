@@ -1,0 +1,59 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+)
+
+func buildTree(t *testing.T) *Queue {
+	t.Helper()
+	q := NewQueue(1)
+	root := q.Add(&Entry{Input: []byte("a"), ParentID: -1})               // 0
+	mid := q.Add(&Entry{Input: []byte("b"), ParentID: root.ID, Depth: 1}) // 1
+	q.Add(&Entry{Input: []byte("c"), ParentID: root.ID, Depth: 1})        // 2
+	q.Add(&Entry{Input: []byte("d"), ParentID: mid.ID, Depth: 2})         // 3
+	return q
+}
+
+func TestLineage(t *testing.T) {
+	q := buildTree(t)
+	chain := q.Lineage(3)
+	if len(chain) != 3 {
+		t.Fatalf("lineage length = %d, want 3", len(chain))
+	}
+	want := []string{"a", "b", "d"}
+	for i, e := range chain {
+		if string(e.Input) != want[i] {
+			t.Fatalf("lineage[%d] = %q, want %q", i, e.Input, want[i])
+		}
+	}
+	if q.Lineage(99) != nil {
+		t.Fatalf("unknown ID returned a lineage")
+	}
+}
+
+func TestReproductionInputs(t *testing.T) {
+	q := buildTree(t)
+	inputs := q.ReproductionInputs(3)
+	if len(inputs) != 3 || !bytes.Equal(inputs[0], []byte("a")) || !bytes.Equal(inputs[2], []byte("d")) {
+		t.Fatalf("reproduction inputs = %q", inputs)
+	}
+}
+
+func TestChildren(t *testing.T) {
+	q := buildTree(t)
+	kids := q.Children(0)
+	if len(kids) != 2 || kids[0] != 1 || kids[1] != 2 {
+		t.Fatalf("children = %v", kids)
+	}
+	if len(q.Children(3)) != 0 {
+		t.Fatalf("leaf has children")
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	q := buildTree(t)
+	if q.MaxDepth() != 2 {
+		t.Fatalf("MaxDepth = %d, want 2", q.MaxDepth())
+	}
+}

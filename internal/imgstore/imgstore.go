@@ -1,0 +1,185 @@
+// Package imgstore implements PMFuzz's test-case image storage (§4.7):
+// generated PM images are deduplicated by content hash (the image
+// reduction of §4.5 step ④), compressed with an LZ77-family coder
+// (compress/flate here, LZ77+Huffman, standing in for the paper's LZ77
+// pipeline to the SSD), and pulled back through a bounded decompressed
+// cache when selected as fuzzing inputs — the "move back to PM"
+// direction, whose cost the simulated clock charges.
+package imgstore
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+
+	"pmfuzz/internal/pmem"
+)
+
+// ID identifies a stored image by content hash.
+type ID [32]byte
+
+// String renders a short hex prefix.
+func (id ID) String() string { return fmt.Sprintf("%x", id[:8]) }
+
+// Stats reports store behaviour.
+type Stats struct {
+	// Puts counts Put calls; Dedups counts Puts that hit an existing
+	// image.
+	Puts   int
+	Dedups int
+	// CacheHits/CacheMisses count Get lookups against the decompressed
+	// cache; a miss charges the simulated decompress cost.
+	CacheHits   int
+	CacheMisses int
+	// RawBytes and CompressedBytes measure storage consumption.
+	RawBytes        int64
+	CompressedBytes int64
+}
+
+// Store is the content-addressed image store.
+type Store struct {
+	mu       sync.Mutex
+	blobs    map[ID][]byte // compressed serialized images
+	cache    map[ID]*pmem.Image
+	cacheLRU []ID
+	cacheCap int
+	stats    Stats
+}
+
+// New creates a store with the given decompressed-cache capacity
+// (entries). A capacity of 0 disables caching, modeling a fuzzer that
+// reloads and decompresses every input image.
+func New(cacheCap int) *Store {
+	return &Store{
+		blobs:    map[ID][]byte{},
+		cache:    map[ID]*pmem.Image{},
+		cacheCap: cacheCap,
+	}
+}
+
+// Put stores an image, deduplicating by content hash, and returns its ID
+// and whether it was new.
+func (s *Store) Put(img *pmem.Image) (ID, bool, error) {
+	id := ID(img.Hash())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Puts++
+	if _, dup := s.blobs[id]; dup {
+		s.stats.Dedups++
+		return id, false, nil
+	}
+	raw := img.Marshal()
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return ID{}, false, fmt.Errorf("imgstore: %w", err)
+	}
+	if _, err := w.Write(raw); err != nil {
+		return ID{}, false, fmt.Errorf("imgstore: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return ID{}, false, fmt.Errorf("imgstore: %w", err)
+	}
+	s.blobs[id] = buf.Bytes()
+	s.stats.RawBytes += int64(len(raw))
+	s.stats.CompressedBytes += int64(len(buf.Bytes()))
+	return id, true, nil
+}
+
+// Has reports whether the image is stored.
+func (s *Store) Has(id ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.blobs[id]
+	return ok
+}
+
+// Get returns the image, decompressing on a cache miss. When clock is
+// non-nil a miss charges the simulated decompress-and-copy-to-PM cost.
+func (s *Store) Get(id ID, clock *pmem.Clock) (*pmem.Image, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if img, ok := s.cache[id]; ok {
+		s.stats.CacheHits++
+		s.touch(id)
+		return img, nil
+	}
+	s.stats.CacheMisses++
+	blob, ok := s.blobs[id]
+	if !ok {
+		return nil, fmt.Errorf("imgstore: unknown image %s", id)
+	}
+	if clock != nil {
+		clock.ChargeDecompress()
+	}
+	r := flate.NewReader(bytes.NewReader(blob))
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("imgstore: decompress: %w", err)
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("imgstore: decompress close: %w", err)
+	}
+	img, err := pmem.UnmarshalImage(raw)
+	if err != nil {
+		return nil, fmt.Errorf("imgstore: %w", err)
+	}
+	s.insertCache(id, img)
+	return img, nil
+}
+
+// Cached reports whether the image is resident in the decompressed
+// cache (used to decide the simulated open cost).
+func (s *Store) Cached(id ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.cache[id]
+	return ok
+}
+
+func (s *Store) insertCache(id ID, img *pmem.Image) {
+	if s.cacheCap <= 0 {
+		return
+	}
+	if len(s.cacheLRU) >= s.cacheCap {
+		old := s.cacheLRU[0]
+		s.cacheLRU = s.cacheLRU[1:]
+		delete(s.cache, old)
+	}
+	s.cache[id] = img
+	s.cacheLRU = append(s.cacheLRU, id)
+}
+
+func (s *Store) touch(id ID) {
+	for i, e := range s.cacheLRU {
+		if e == id {
+			s.cacheLRU = append(append(append([]ID{}, s.cacheLRU[:i]...), s.cacheLRU[i+1:]...), id)
+			return
+		}
+	}
+}
+
+// Len returns the number of distinct stored images.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blobs)
+}
+
+// Stats returns a snapshot of the store statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// CompressionRatio reports raw/compressed bytes (0 when empty).
+func (s *Store) CompressionRatio() float64 {
+	st := s.Stats()
+	if st.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(st.RawBytes) / float64(st.CompressedBytes)
+}

@@ -1,0 +1,132 @@
+package imgstore
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"pmfuzz/internal/pmem"
+)
+
+func mkImage(fill byte, n int) *pmem.Image {
+	return &pmem.Image{Layout: "t", Data: bytes.Repeat([]byte{fill}, n)}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New(4)
+	img := mkImage(7, 4096)
+	id, fresh, err := s.Put(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh {
+		t.Fatalf("first Put reported duplicate")
+	}
+	got, err := s.Get(id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, img.Data) || got.Layout != img.Layout {
+		t.Fatalf("round trip mismatch")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	s := New(4)
+	a, _, _ := s.Put(mkImage(1, 100))
+	b, fresh, _ := s.Put(mkImage(1, 100))
+	if a != b || fresh {
+		t.Fatalf("identical images not deduplicated")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if s.Stats().Dedups != 1 {
+		t.Fatalf("Dedups = %d, want 1", s.Stats().Dedups)
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	s := New(1)
+	clock := pmem.NewClock()
+	idA, _, _ := s.Put(mkImage(1, 1000))
+	idB, _, _ := s.Put(mkImage(2, 1000))
+
+	before := clock.Now()
+	if _, err := s.Get(idA, clock); err != nil {
+		t.Fatal(err)
+	}
+	missCost := clock.Now() - before
+	if missCost == 0 {
+		t.Fatalf("cache miss charged nothing")
+	}
+	before = clock.Now()
+	if _, err := s.Get(idA, clock); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() != before {
+		t.Fatalf("cache hit charged time")
+	}
+	// Capacity 1: loading B evicts A.
+	if _, err := s.Get(idB, clock); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cached(idA) {
+		t.Fatalf("LRU did not evict")
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	s := New(1)
+	if _, err := s.Get(ID{1, 2, 3}, nil); err == nil {
+		t.Fatalf("unknown image returned no error")
+	}
+}
+
+func TestCompressionHelps(t *testing.T) {
+	s := New(0)
+	// Pool images are mostly zeros: compression should shrink them a lot.
+	img := mkImage(0, 1<<20)
+	if _, _, err := s.Put(img); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.CompressionRatio(); r < 10 {
+		t.Fatalf("compression ratio = %.1f, want > 10 for a zero image", r)
+	}
+}
+
+func TestZeroCacheCapacity(t *testing.T) {
+	s := New(0)
+	id, _, _ := s.Put(mkImage(3, 100))
+	for i := 0; i < 3; i++ {
+		if _, err := s.Get(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().CacheHits != 0 {
+		t.Fatalf("cache disabled but hits recorded")
+	}
+}
+
+func TestPutGetPropertyRoundTrip(t *testing.T) {
+	s := New(8)
+	f := func(data []byte) bool {
+		img := &pmem.Image{Layout: "p", Data: data}
+		id, _, err := s.Put(img)
+		if err != nil {
+			return false
+		}
+		got, err := s.Get(id, nil)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package instr
+
+import "testing"
+
+func BenchmarkPMOp(b *testing.B) {
+	tr := NewTracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.PMOp(SiteID(i))
+	}
+}
+
+func BenchmarkCallerSite(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = CallerSite(0)
+	}
+}
+
+func BenchmarkVirginMerge(b *testing.B) {
+	v := NewVirgin()
+	tr := NewTracer()
+	for i := 0; i < 500; i++ {
+		tr.PMOp(SiteID(i * 977))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Merge(tr.PMMap())
+	}
+}
+
+func BenchmarkSignature(b *testing.B) {
+	tr := NewTracer()
+	for i := 0; i < 500; i++ {
+		tr.PMOp(SiteID(i * 977))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Signature(tr.PMMap())
+	}
+}

@@ -1,0 +1,272 @@
+// Package instr provides the instrumentation primitives PMFuzz relies on:
+// stable per-call-site identifiers, an AFL-style edge-counter map for
+// branch coverage, and the PM counter-map of the paper's Algorithm 1 that
+// encodes transitions between PM operations.
+//
+// In the original system a compiler pass (LLVM) inserts a tracking call
+// with a unique static ID before every PM-library call site, and AFL++
+// instruments basic-block edges. Here the IDs come from two sources:
+// explicit string labels registered by workload code (branch sites), and
+// caller program counters captured by the pmemobj layer (PM-operation
+// sites). Both are stable for a given binary, which is all the feedback
+// algorithms require.
+package instr
+
+import (
+	"hash/fnv"
+	"runtime"
+)
+
+// MapSize is the number of slots in a coverage map. It matches AFL's
+// default of 64 KiB: transitions are folded into the map by XOR, and rare
+// collisions are an accepted property of the scheme.
+const MapSize = 1 << 16
+
+// SiteID identifies a static program location (a branch site or a PM
+// operation call site).
+type SiteID uint32
+
+// ID derives a stable SiteID from a label. Workloads use it to annotate
+// branch sites; the IDs are FNV-1a hashes folded into the map range so the
+// same label always maps to the same slot.
+func ID(label string) SiteID {
+	h := fnv.New32a()
+	// fnv never returns an error from Write.
+	_, _ = h.Write([]byte(label))
+	return SiteID(h.Sum32())
+}
+
+// CallerSite returns a SiteID for the program counter of the function
+// `skip` frames above the caller. It is the analog of the paper's static
+// instrumentation: every distinct call site of a PM-library function gets
+// a distinct, stable ID.
+func CallerSite(skip int) SiteID {
+	pc, _, _, ok := runtime.Caller(skip + 1)
+	if !ok {
+		return 0
+	}
+	// Mix the PC so nearby call sites do not collide after folding.
+	x := uint64(pc)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return SiteID(x)
+}
+
+// Map is a fixed-size counter map in the style of AFL's shared-memory
+// bitmap. Counters saturate at 255.
+type Map [MapSize]uint8
+
+// Hit increments the counter at loc, saturating at 255.
+func (m *Map) Hit(loc uint32) {
+	i := loc & (MapSize - 1)
+	if m[i] != 0xff {
+		m[i]++
+	}
+}
+
+// Reset zeroes the map in place.
+func (m *Map) Reset() {
+	for i := range m {
+		m[i] = 0
+	}
+}
+
+// CountNonZero returns the number of populated slots.
+func (m *Map) CountNonZero() int {
+	n := 0
+	for _, v := range m {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Classify buckets a raw counter the way AFL does, so that "significantly
+// different counter values" (Algorithm 2's diffCounter) can be detected by
+// comparing bucket bytes rather than exact counts.
+func Classify(v uint8) uint8 {
+	switch {
+	case v == 0:
+		return 0
+	case v == 1:
+		return 1
+	case v == 2:
+		return 2
+	case v == 3:
+		return 4
+	case v <= 7:
+		return 8
+	case v <= 15:
+		return 16
+	case v <= 31:
+		return 32
+	case v <= 127:
+		return 64
+	default:
+		return 128
+	}
+}
+
+// Tracer accumulates both coverage signals for one program execution: the
+// branch edge map (AFL-style) and the PM counter-map (Algorithm 1).
+type Tracer struct {
+	branch Map
+	pm     Map
+
+	prevBranch uint32
+	prevPM     uint32
+
+	branchOps int
+	pmOps     int
+}
+
+// NewTracer returns a Tracer ready for one execution.
+func NewTracer() *Tracer {
+	return &Tracer{}
+}
+
+// Branch records that execution reached branch site id. Transitions
+// between consecutive branch sites are encoded AFL-style:
+// loc = cur ^ prev; prev = cur >> 1.
+func (t *Tracer) Branch(id SiteID) {
+	cur := uint32(id)
+	t.branch.Hit(cur ^ t.prevBranch)
+	t.prevBranch = cur >> 1
+	t.branchOps++
+}
+
+// PMOp records a PM operation at site id, implementing Algorithm 1 of the
+// paper: the transition between the previous and current PM operation is
+// XOR-encoded into the PM counter-map, and the previous ID is right-shifted
+// one bit to preserve transition direction.
+func (t *Tracer) PMOp(id SiteID) {
+	cur := uint32(id)
+	loc := cur ^ t.prevPM
+	t.pm.Hit(loc)
+	t.prevPM = cur >> 1
+	t.pmOps++
+}
+
+// BranchMap returns the branch edge map.
+func (t *Tracer) BranchMap() *Map { return &t.branch }
+
+// PMMap returns the PM counter-map.
+func (t *Tracer) PMMap() *Map { return &t.pm }
+
+// BranchOps reports how many branch sites were recorded.
+func (t *Tracer) BranchOps() int { return t.branchOps }
+
+// PMOps reports how many PM operations were recorded.
+func (t *Tracer) PMOps() int { return t.pmOps }
+
+// Reset clears the tracer for reuse across executions.
+func (t *Tracer) Reset() {
+	t.branch.Reset()
+	t.pm.Reset()
+	t.prevBranch = 0
+	t.prevPM = 0
+	t.branchOps = 0
+	t.pmOps = 0
+}
+
+// Virgin tracks which map slots (and counter buckets) have been seen
+// across a whole fuzzing session. It mirrors AFL's virgin_bits array: each
+// slot holds the OR of classified counters observed so far.
+type Virgin struct {
+	seen [MapSize]uint8
+}
+
+// NewVirgin returns an empty Virgin map.
+func NewVirgin() *Virgin { return &Virgin{} }
+
+// Merge folds an execution's map into the virgin state and reports what
+// was new: hasNewSlot is true if some slot was hit for the first time,
+// hasNewBucket is true if a previously seen slot reached a new counter
+// bucket.
+func (v *Virgin) Merge(m *Map) (hasNewSlot, hasNewBucket bool) {
+	for i, raw := range m {
+		if raw == 0 {
+			continue
+		}
+		c := Classify(raw)
+		old := v.seen[i]
+		if old == 0 {
+			hasNewSlot = true
+		} else if old&c == 0 {
+			hasNewBucket = true
+		}
+		v.seen[i] = old | c
+	}
+	return hasNewSlot, hasNewBucket
+}
+
+// Peek reports what Merge would return without mutating the virgin state.
+func (v *Virgin) Peek(m *Map) (hasNewSlot, hasNewBucket bool) {
+	for i, raw := range m {
+		if raw == 0 {
+			continue
+		}
+		c := Classify(raw)
+		old := v.seen[i]
+		if old == 0 {
+			hasNewSlot = true
+			if hasNewBucket {
+				break
+			}
+		} else if old&c == 0 {
+			hasNewBucket = true
+			if hasNewSlot {
+				break
+			}
+		}
+	}
+	return hasNewSlot, hasNewBucket
+}
+
+// CoveredSlots returns the number of distinct slots ever observed.
+func (v *Virgin) CoveredSlots() int {
+	n := 0
+	for _, b := range v.seen {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Signature summarizes a map's classified contents into one hash. Two
+// executions share a signature exactly when they hit the same slots with
+// the same counter buckets — the practical identity test for the paper's
+// PM path π_PM (a sequence of PM nodes): counting distinct signatures
+// counts distinct covered PM paths.
+func Signature(m *Map) uint64 {
+	h := fnv.New64a()
+	var buf [6]byte
+	for i, v := range m {
+		if v == 0 {
+			continue
+		}
+		buf[0] = byte(i)
+		buf[1] = byte(i >> 8)
+		buf[2] = Classify(v)
+		_, _ = h.Write(buf[:3])
+	}
+	return h.Sum64()
+}
+
+// CoveredStates counts distinct (slot, counter-bucket) pairs observed —
+// the path metric Algorithm 2 induces: the same transition sequence with
+// a significantly different visit count is a different path, exactly as
+// AFL's bucketed hit counts distinguish paths through loops.
+func (v *Virgin) CoveredStates() int {
+	n := 0
+	for _, b := range v.seen {
+		for b != 0 {
+			n += int(b & 1)
+			b >>= 1
+		}
+	}
+	return n
+}

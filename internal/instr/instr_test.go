@@ -1,0 +1,276 @@
+package instr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIDStable(t *testing.T) {
+	a := ID("btree.insert")
+	b := ID("btree.insert")
+	if a != b {
+		t.Fatalf("ID not stable: %v != %v", a, b)
+	}
+	if ID("btree.insert") == ID("btree.remove") {
+		t.Fatalf("distinct labels collided")
+	}
+}
+
+func TestCallerSiteDistinct(t *testing.T) {
+	a := CallerSite(0)
+	b := CallerSite(0)
+	if a == b {
+		t.Fatalf("distinct call sites returned the same ID")
+	}
+}
+
+func TestCallerSiteStableAtSameSite(t *testing.T) {
+	var ids [2]SiteID
+	for i := 0; i < 2; i++ {
+		ids[i] = CallerSite(0) // one static call site, executed twice
+	}
+	if ids[0] != ids[1] {
+		t.Fatalf("same call site returned different IDs")
+	}
+}
+
+func TestMapHitSaturates(t *testing.T) {
+	var m Map
+	for i := 0; i < 300; i++ {
+		m.Hit(42)
+	}
+	if m[42] != 255 {
+		t.Fatalf("counter = %d, want saturation at 255", m[42])
+	}
+}
+
+func TestMapHitFolds(t *testing.T) {
+	var m Map
+	m.Hit(MapSize + 7)
+	if m[7] != 1 {
+		t.Fatalf("out-of-range loc not folded into map")
+	}
+}
+
+func TestMapCountNonZeroAndReset(t *testing.T) {
+	var m Map
+	m.Hit(1)
+	m.Hit(2)
+	m.Hit(2)
+	if got := m.CountNonZero(); got != 2 {
+		t.Fatalf("CountNonZero = %d, want 2", got)
+	}
+	m.Reset()
+	if got := m.CountNonZero(); got != 0 {
+		t.Fatalf("after Reset CountNonZero = %d, want 0", got)
+	}
+}
+
+func TestClassifyBuckets(t *testing.T) {
+	cases := []struct {
+		in, want uint8
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 4}, {4, 8}, {7, 8},
+		{8, 16}, {15, 16}, {16, 32}, {31, 32}, {32, 64},
+		{127, 64}, {128, 128}, {255, 128},
+	}
+	for _, c := range cases {
+		if got := Classify(c.in); got != c.want {
+			t.Errorf("Classify(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTracerAlgorithm1Encoding(t *testing.T) {
+	// Algorithm 1: loc = cur ^ prev; counter++; prev = cur >> 1.
+	tr := NewTracer()
+	tr.PMOp(SiteID(0x10))
+	tr.PMOp(SiteID(0x20))
+	m := tr.PMMap()
+	// First op: loc = 0x10 ^ 0 = 0x10. Second: loc = 0x20 ^ (0x10>>1) = 0x28.
+	if m[0x10] != 1 {
+		t.Fatalf("first transition slot = %d, want 1", m[0x10])
+	}
+	if m[0x28] != 1 {
+		t.Fatalf("second transition slot = %d, want 1", m[0x28])
+	}
+	if tr.PMOps() != 2 {
+		t.Fatalf("PMOps = %d, want 2", tr.PMOps())
+	}
+}
+
+func TestTracerDirectionality(t *testing.T) {
+	// A->B must hit a different slot than B->A (the >>1 preserves
+	// direction, per Algorithm 1 line 6).
+	ab := NewTracer()
+	ab.PMOp(SiteID(0x100))
+	ab.PMOp(SiteID(0x200))
+	ba := NewTracer()
+	ba.PMOp(SiteID(0x200))
+	ba.PMOp(SiteID(0x100))
+
+	diff := false
+	for i := range ab.PMMap() {
+		if ab.PMMap()[i] != ba.PMMap()[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatalf("A->B and B->A produced identical PM maps")
+	}
+}
+
+func TestTracerDeterministic(t *testing.T) {
+	run := func() *Tracer {
+		tr := NewTracer()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 1000; i++ {
+			tr.PMOp(SiteID(rng.Uint32()))
+			tr.Branch(SiteID(rng.Uint32()))
+		}
+		return tr
+	}
+	a, b := run(), run()
+	if *a.PMMap() != *b.PMMap() || *a.BranchMap() != *b.BranchMap() {
+		t.Fatalf("identical op sequences produced different maps")
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer()
+	tr.PMOp(1)
+	tr.Branch(2)
+	tr.Reset()
+	if tr.PMOps() != 0 || tr.BranchOps() != 0 {
+		t.Fatalf("Reset did not clear op counts")
+	}
+	if tr.PMMap().CountNonZero() != 0 || tr.BranchMap().CountNonZero() != 0 {
+		t.Fatalf("Reset did not clear maps")
+	}
+	// prev state must also reset: a single op should land at slot == id.
+	tr.PMOp(SiteID(0x33))
+	if tr.PMMap()[0x33] != 1 {
+		t.Fatalf("prev PM id not reset")
+	}
+}
+
+func TestVirginMergeNewSlotThenBucket(t *testing.T) {
+	v := NewVirgin()
+	var m Map
+	m.Hit(5)
+	newSlot, newBucket := v.Merge(&m)
+	if !newSlot || newBucket {
+		t.Fatalf("first merge: newSlot=%v newBucket=%v, want true,false", newSlot, newBucket)
+	}
+	newSlot, newBucket = v.Merge(&m)
+	if newSlot || newBucket {
+		t.Fatalf("repeat merge: newSlot=%v newBucket=%v, want false,false", newSlot, newBucket)
+	}
+	// Same slot, higher bucket.
+	var m2 Map
+	for i := 0; i < 10; i++ {
+		m2.Hit(5)
+	}
+	newSlot, newBucket = v.Merge(&m2)
+	if newSlot || !newBucket {
+		t.Fatalf("bucket merge: newSlot=%v newBucket=%v, want false,true", newSlot, newBucket)
+	}
+	if v.CoveredSlots() != 1 {
+		t.Fatalf("CoveredSlots = %d, want 1", v.CoveredSlots())
+	}
+}
+
+func TestVirginPeekDoesNotMutate(t *testing.T) {
+	v := NewVirgin()
+	var m Map
+	m.Hit(9)
+	ns, _ := v.Peek(&m)
+	if !ns {
+		t.Fatalf("Peek missed new slot")
+	}
+	ns, _ = v.Peek(&m)
+	if !ns {
+		t.Fatalf("Peek mutated virgin state")
+	}
+}
+
+func TestVirginPeekMatchesMergeProperty(t *testing.T) {
+	// Property: for random maps, Peek's answer always equals what Merge
+	// then reports, when asked before the merge.
+	f := func(locs []uint16) bool {
+		v := NewVirgin()
+		seedLocs := []uint32{1, 100, 60000}
+		var seed Map
+		for _, l := range seedLocs {
+			seed.Hit(l)
+		}
+		v.Merge(&seed)
+		var m Map
+		for _, l := range locs {
+			m.Hit(uint32(l))
+		}
+		pSlot, pBucket := v.Peek(&m)
+		mSlot, mBucket := v.Merge(&m)
+		return pSlot == mSlot && pBucket == mBucket
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignatureIdentity(t *testing.T) {
+	// Same classified contents -> same signature; different slots or
+	// different buckets -> different signatures.
+	mk := func(hits map[uint32]int) *Map {
+		var m Map
+		for loc, n := range hits {
+			for i := 0; i < n; i++ {
+				m.Hit(loc)
+			}
+		}
+		return &m
+	}
+	a := Signature(mk(map[uint32]int{1: 1, 2: 3}))
+	b := Signature(mk(map[uint32]int{1: 1, 2: 3}))
+	if a != b {
+		t.Fatalf("identical maps signed differently")
+	}
+	// 3 and 4 hits fall into different buckets (4 vs 8).
+	if c := Signature(mk(map[uint32]int{1: 1, 2: 4})); c == a {
+		t.Fatalf("different bucket signed identically")
+	}
+	if d := Signature(mk(map[uint32]int{1: 1, 3: 3})); d == a {
+		t.Fatalf("different slot signed identically")
+	}
+	// Hits within the same bucket share a signature (paths are bucketed).
+	if e := Signature(mk(map[uint32]int{1: 1, 2: 2})); e == a {
+		t.Fatalf("bucket 2 vs bucket 4 signed identically")
+	}
+	if f := Signature(mk(map[uint32]int{1: 1, 2: 5})); f != Signature(mk(map[uint32]int{1: 1, 2: 7})) {
+		t.Fatalf("same-bucket counts signed differently")
+	}
+}
+
+func TestCoveredStates(t *testing.T) {
+	v := NewVirgin()
+	var m Map
+	m.Hit(1) // bucket 1
+	v.Merge(&m)
+	if got := v.CoveredStates(); got != 1 {
+		t.Fatalf("CoveredStates = %d, want 1", got)
+	}
+	var m2 Map
+	for i := 0; i < 5; i++ {
+		m2.Hit(1) // bucket 8: second state for slot 1
+	}
+	m2.Hit(2) // new slot
+	v.Merge(&m2)
+	if got := v.CoveredStates(); got != 3 {
+		t.Fatalf("CoveredStates = %d, want 3", got)
+	}
+	if got := v.CoveredSlots(); got != 2 {
+		t.Fatalf("CoveredSlots = %d, want 2", got)
+	}
+}

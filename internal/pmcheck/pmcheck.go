@@ -1,0 +1,266 @@
+// Package pmcheck is the Pmemcheck / Persistence Inspector analog: a
+// rule-based checker over a PM-operation trace. It detects the
+// crash-consistency patterns Pmemcheck reports (stores that never become
+// persistent, stores inside a transaction to un-snapshotted ranges) and
+// the performance patterns the paper's Bugs 7–12 exhibit (redundant
+// flushes and redundant undo-log snapshots).
+//
+// Like the original tool, it is attached to the test cases a fuzzer
+// generates (step ⑤ of the paper's Figure 9): execution produces a trace,
+// the checker replays the trace against its rules.
+package pmcheck
+
+import (
+	"fmt"
+
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/trace"
+)
+
+// Class separates correctness findings from performance findings.
+type Class int
+
+// Report classes.
+const (
+	// CrashConsistency marks a bug that can corrupt durable state.
+	CrashConsistency Class = iota
+	// Performance marks redundant persistence work.
+	Performance
+)
+
+// String names the class.
+func (c Class) String() string {
+	if c == CrashConsistency {
+		return "crash-consistency"
+	}
+	return "performance"
+}
+
+// Rule identifies which checker rule fired.
+type Rule int
+
+// Checker rules.
+const (
+	// RuleUnflushedStore: a store's data was never covered by a flush, so
+	// it may never persist ("store not made persistent").
+	RuleUnflushedStore Rule = iota
+	// RuleUnfencedFlush: data was flushed but no ordering point followed
+	// before the end of execution.
+	RuleUnfencedFlush
+	// RuleStoreInTxNotLogged: a store inside a transaction modified a
+	// range that was never snapshotted (TX_ADD) nor allocated in the
+	// transaction — a failure rolls back everything except this write.
+	RuleStoreInTxNotLogged
+	// RuleRedundantTxAdd: a snapshot of an already-snapshotted (or
+	// transactionally allocated) range — wasted range-tree work.
+	RuleRedundantTxAdd
+	// RuleRedundantFlush: a flush covering no dirty data.
+	RuleRedundantFlush
+)
+
+var ruleNames = map[Rule]string{
+	RuleUnflushedStore:     "store-not-persisted",
+	RuleUnfencedFlush:      "flush-not-fenced",
+	RuleStoreInTxNotLogged: "store-in-tx-not-logged",
+	RuleRedundantTxAdd:     "redundant-tx-add",
+	RuleRedundantFlush:     "redundant-flush",
+}
+
+// String names the rule.
+func (r Rule) String() string {
+	if s, ok := ruleNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("rule(%d)", int(r))
+}
+
+// Class returns the rule's report class.
+func (r Rule) Class() Class {
+	if r == RuleRedundantTxAdd || r == RuleRedundantFlush {
+		return Performance
+	}
+	return CrashConsistency
+}
+
+// Report is one checker finding.
+type Report struct {
+	Rule  Rule
+	Event trace.Event
+	Desc  string
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("[%s/%s] %s (%s)", r.Rule.Class(), r.Rule, r.Desc, r.Event)
+}
+
+// lineState tracks one cache line's persistence status.
+type lineState struct {
+	dirtySince int // Seq of the oldest un-flushed store, 0 = clean
+	queued     int // Seq of the flush that queued it, 0 = not queued
+	storeEvt   trace.Event
+	flushEvt   trace.Event
+}
+
+// Check runs all rules over a trace and returns the findings.
+func Check(events []trace.Event) []Report {
+	var reports []Report
+	lines := map[int]*lineState{}
+	line := func(i int) *lineState {
+		if s, ok := lines[i]; ok {
+			return s
+		}
+		s := &lineState{}
+		lines[i] = s
+		return s
+	}
+	lineRange := func(off, n int) (int, int) {
+		if n <= 0 {
+			n = 1
+		}
+		return off / pmem.LineSize, (off + n - 1) / pmem.LineSize
+	}
+
+	// Transaction tracking for RuleStoreInTxNotLogged / RuleRedundantTxAdd.
+	inTx := false
+	var logged []pmem.Range
+
+	covered := func(r pmem.Range) bool {
+		for _, lr := range logged {
+			if lr.Contains(r) {
+				return true
+			}
+			// Handle coverage split across several logged ranges.
+			if lr.Overlaps(r) && lr.Off <= r.Off {
+				cut := lr.End() - r.Off
+				r.Off += cut
+				r.Len -= cut
+				if r.Len <= 0 {
+					return true
+				}
+			}
+		}
+		return r.Len <= 0
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case trace.Store, trace.NTStore:
+			if inTx && !e.Internal {
+				r := pmem.Range{Off: e.Off, Len: e.Len}
+				if !covered(r) {
+					reports = append(reports, Report{
+						Rule:  RuleStoreInTxNotLogged,
+						Event: e,
+						Desc: fmt.Sprintf("store to [%d,+%d) inside a transaction without a backup",
+							e.Off, e.Len),
+					})
+				}
+			}
+			first, last := lineRange(e.Off, e.Len)
+			for l := first; l <= last; l++ {
+				s := line(l)
+				if e.Kind == trace.NTStore {
+					// Non-temporal stores self-queue.
+					s.dirtySince = 0
+					s.queued = e.Seq
+					s.flushEvt = e
+				} else {
+					if s.dirtySince == 0 {
+						s.dirtySince = e.Seq
+						s.storeEvt = e
+					}
+					s.queued = 0
+				}
+			}
+
+		case trace.Flush:
+			first, last := lineRange(e.Off, e.Len)
+			anyDirty := false
+			for l := first; l <= last; l++ {
+				s := line(l)
+				if s.dirtySince != 0 {
+					anyDirty = true
+					s.dirtySince = 0
+					s.queued = e.Seq
+					s.flushEvt = e
+				}
+			}
+			if !anyDirty && !e.Internal {
+				reports = append(reports, Report{
+					Rule:  RuleRedundantFlush,
+					Event: e,
+					Desc:  fmt.Sprintf("flush of [%d,+%d) covers no dirty data", e.Off, e.Len),
+				})
+			}
+
+		case trace.Fence:
+			for _, s := range lines {
+				if s.queued != 0 {
+					s.queued = 0
+				}
+			}
+
+		case trace.TxBegin:
+			inTx = true
+			logged = logged[:0]
+
+		case trace.TxEnd, trace.TxAbort:
+			inTx = false
+			logged = logged[:0]
+
+		case trace.TxAdd, trace.TxAlloc:
+			logged = pmem.NormalizeRanges(append(logged, pmem.Range{Off: e.Off, Len: e.Len}))
+
+		case trace.TxAddDup:
+			reports = append(reports, Report{
+				Rule:  RuleRedundantTxAdd,
+				Event: e,
+				Desc: fmt.Sprintf("TX_ADD of already-snapshotted range [%d,+%d)",
+					e.Off, e.Len),
+			})
+			logged = pmem.NormalizeRanges(append(logged, pmem.Range{Off: e.Off, Len: e.Len}))
+		}
+	}
+
+	// End of execution: anything still dirty was never flushed; anything
+	// queued was never fenced. (A clean program persists everything it
+	// wrote before exiting.)
+	for _, s := range lines {
+		if s.dirtySince != 0 && !s.storeEvt.Internal {
+			reports = append(reports, Report{
+				Rule:  RuleUnflushedStore,
+				Event: s.storeEvt,
+				Desc: fmt.Sprintf("store at [%d,+%d) never flushed before exit",
+					s.storeEvt.Off, s.storeEvt.Len),
+			})
+		} else if s.queued != 0 && !s.flushEvt.Internal {
+			reports = append(reports, Report{
+				Rule:  RuleUnfencedFlush,
+				Event: s.flushEvt,
+				Desc: fmt.Sprintf("flush at [%d,+%d) never followed by a fence",
+					s.flushEvt.Off, s.flushEvt.Len),
+			})
+		}
+	}
+	return reports
+}
+
+// Summary buckets reports by rule.
+func Summary(reports []Report) map[Rule]int {
+	out := map[Rule]int{}
+	for _, r := range reports {
+		out[r.Rule]++
+	}
+	return out
+}
+
+// HasClass reports whether any finding belongs to the class.
+func HasClass(reports []Report, c Class) bool {
+	for _, r := range reports {
+		if r.Rule.Class() == c {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,322 @@
+package pmcheck
+
+import (
+	"fmt"
+	"testing"
+
+	"pmfuzz/internal/executor"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/trace"
+	"pmfuzz/internal/workloads"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+func run(t *testing.T, workload string, input []byte, bg *bugs.Set) *executor.Result {
+	t.Helper()
+	res := executor.Run(executor.TestCase{
+		Workload: workload,
+		Input:    input,
+		Bugs:     bg,
+		Seed:     1,
+	}, executor.Options{RecordTrace: true})
+	if res.Panicked {
+		t.Fatalf("%s panicked: %v", workload, res.PanicVal)
+	}
+	return res
+}
+
+func heavyInput(workload string) []byte {
+	switch workload {
+	case "redis":
+		return []byte("SET 1 1\nSET 9 2\nSET 17 3\nSET 2 4\nDEL 9\nSET 25 5\nDEL 1\nGET 17\nCHECK\n")
+	case "memcached":
+		return []byte("set 1 1\nset 2 2\nset 3 3\ndel 2\nset 4 4\ndel 1\nget 3\nc\n")
+	default:
+		// Enough inserts/removes to trigger splits, rotations, rebuilds.
+		var in []byte
+		for i := 1; i <= 24; i++ {
+			in = append(in, []byte(fmt.Sprintf("i %d %d\n", i*3%29, i))...)
+		}
+		for i := 1; i <= 10; i++ {
+			in = append(in, []byte(fmt.Sprintf("r %d\n", i*9%29))...)
+		}
+		in = append(in, []byte("c\n")...)
+		return in
+	}
+}
+
+// TestNoFindingsOnFixedWorkloads is the checker's false-positive gate:
+// every workload, run correctly, must produce a clean bill of health.
+func TestNoFindingsOnFixedWorkloads(t *testing.T) {
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res := run(t, name, heavyInput(name), nil)
+			if res.Err != nil {
+				t.Fatalf("workload error: %v", res.Err)
+			}
+			reports := Check(res.Trace.Events())
+			for _, r := range reports {
+				t.Errorf("false positive: %s", r)
+			}
+		})
+	}
+}
+
+// TestDetectsSkippedBackup checks the RuleStoreInTxNotLogged rule against
+// a representative SkipTxAdd injection in each transactional workload.
+func TestDetectsSkippedBackup(t *testing.T) {
+	cases := []struct {
+		workload string
+		synID    int
+	}{
+		{"btree", 3},      // insert leaf node
+		{"rbtree", 2},     // insert_bst parent link
+		{"rtree", 3},      // insert child link on existing node
+		{"skiplist", 2},   // insert link level 0
+		{"hashmap-tx", 4}, // insert bucket head
+		{"redis", 5},      // tail append (Example 2)
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%s/syn%d", c.workload, c.synID), func(t *testing.T) {
+			res := run(t, c.workload, heavyInput(c.workload), bugs.NewSet().EnableSyn(c.synID))
+			reports := Check(res.Trace.Events())
+			found := false
+			for _, r := range reports {
+				if r.Rule == RuleStoreInTxNotLogged {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("skipped backup not detected; reports: %v", reports)
+			}
+		})
+	}
+}
+
+// TestDetectsWrongLogRange: logging the wrong field leaves the actual
+// store unlogged.
+func TestDetectsWrongLogRange(t *testing.T) {
+	cases := []struct {
+		workload string
+		synID    int
+	}{
+		{"btree", 4},
+		{"skiplist", 4},
+		{"hashmap-tx", 5},
+		{"rtree", 4},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%s/syn%d", c.workload, c.synID), func(t *testing.T) {
+			res := run(t, c.workload, heavyInput(c.workload), bugs.NewSet().EnableSyn(c.synID))
+			reports := Check(res.Trace.Events())
+			if !HasClass(reports, CrashConsistency) {
+				t.Fatalf("wrong-range logging not detected")
+			}
+		})
+	}
+}
+
+// TestDetectsSkippedFlush: the non-transactional stamp persist, when
+// skipped, leaves a store unflushed at exit.
+func TestDetectsSkippedFlush(t *testing.T) {
+	cases := []struct {
+		workload string
+		synID    int
+	}{
+		{"btree", 16},
+		{"hashmap-atomic", 8},
+		{"memcached", 16},
+		{"redis", 11},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%s/syn%d", c.workload, c.synID), func(t *testing.T) {
+			res := run(t, c.workload, heavyInput(c.workload), bugs.NewSet().EnableSyn(c.synID))
+			reports := Check(res.Trace.Events())
+			found := false
+			for _, r := range reports {
+				if r.Rule == RuleUnflushedStore {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("skipped flush not detected; reports: %v", reports)
+			}
+		})
+	}
+}
+
+// TestDetectsSkippedFence: flush-without-fence at exit.
+func TestDetectsSkippedFence(t *testing.T) {
+	res := run(t, "redis", []byte("SET 1 1\n"), bugs.NewSet().EnableSyn(12))
+	reports := Check(res.Trace.Events())
+	found := false
+	for _, r := range reports {
+		if r.Rule == RuleUnfencedFlush || r.Rule == RuleUnflushedStore {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("skipped fence not detected; reports: %v", reports)
+	}
+}
+
+// TestDetectsRedundantTxAdd covers the paper's performance-bug signature
+// for both the synthetic points and real Bugs 8–12.
+func TestDetectsRedundantTxAdd(t *testing.T) {
+	type tc struct {
+		name  string
+		wl    string
+		input []byte
+		bg    *bugs.Set
+	}
+	cases := []tc{
+		{"syn-btree-split", "btree", heavyInput("btree"), bugs.NewSet().EnableSyn(7)},
+		{"bug8", "hashmap-tx", []byte("i 1 1\n"), bugs.NewSet().EnableReal(bugs.Bug8HashmapTXRedundantAdd)},
+		{"bug9", "rbtree", []byte("i 1 1\ni 2 2\n"), bugs.NewSet().EnableReal(bugs.Bug9RBTreeRedundantSetNew)},
+		{"bug10", "rbtree", []byte("i 1 1\n"), bugs.NewSet().EnableReal(bugs.Bug10RBTreeRedundantAddFirst)},
+		{"bug11", "rbtree", heavyInput("rbtree"), bugs.NewSet().EnableReal(bugs.Bug11RBTreeRedundantSetParent)},
+		{"bug12", "btree", heavyInput("btree"), bugs.NewSet().EnableReal(bugs.Bug12BTreeRedundantAddInsert)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := run(t, c.wl, c.input, c.bg)
+			reports := Check(res.Trace.Events())
+			found := false
+			for _, r := range reports {
+				if r.Rule == RuleRedundantTxAdd {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("redundant TX_ADD not detected; reports: %v", reports)
+			}
+		})
+	}
+}
+
+// TestDetectsRedundantFlush covers Bug 7 (memcached pslab creation) and
+// the synthetic redundant-flush points.
+func TestDetectsRedundantFlush(t *testing.T) {
+	type tc struct {
+		name string
+		wl   string
+		in   []byte
+		bg   *bugs.Set
+	}
+	cases := []tc{
+		{"bug7", "memcached", []byte("set 1 1\n"), bugs.NewSet().EnableReal(bugs.Bug7MemcachedRedundantFlush)},
+		{"syn-memcached", "memcached", []byte("set 1 1\n"), bugs.NewSet().EnableSyn(15)},
+		{"syn-redis", "redis", []byte("SET 1 1\n"), bugs.NewSet().EnableSyn(13)},
+		{"syn-atomic", "hashmap-atomic", []byte("i 1 1\n"), bugs.NewSet().EnableSyn(13)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := run(t, c.wl, c.in, c.bg)
+			reports := Check(res.Trace.Events())
+			found := false
+			for _, r := range reports {
+				if r.Rule == RuleRedundantFlush {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("redundant flush not detected; reports: %v", reports)
+			}
+		})
+	}
+}
+
+func TestSummaryAndClass(t *testing.T) {
+	reports := []Report{
+		{Rule: RuleRedundantFlush},
+		{Rule: RuleRedundantFlush},
+		{Rule: RuleUnflushedStore},
+	}
+	s := Summary(reports)
+	if s[RuleRedundantFlush] != 2 || s[RuleUnflushedStore] != 1 {
+		t.Fatalf("Summary = %v", s)
+	}
+	if !HasClass(reports, Performance) || !HasClass(reports, CrashConsistency) {
+		t.Fatalf("HasClass wrong")
+	}
+	if RuleRedundantTxAdd.Class() != Performance || RuleStoreInTxNotLogged.Class() != CrashConsistency {
+		t.Fatalf("rule class mapping wrong")
+	}
+}
+
+func TestCheckSyntheticTrace(t *testing.T) {
+	// Hand-built trace: store inside tx without backup.
+	events := []trace.Event{
+		{Kind: trace.TxBegin, Seq: 1},
+		{Kind: trace.TxAdd, Off: 0, Len: 8, Seq: 2},
+		{Kind: trace.Store, Off: 0, Len: 8, Seq: 3},   // logged: fine
+		{Kind: trace.Store, Off: 100, Len: 8, Seq: 4}, // not logged: bug
+		{Kind: trace.Flush, Off: 0, Len: 8, Seq: 5},
+		{Kind: trace.Flush, Off: 100, Len: 8, Seq: 6},
+		{Kind: trace.Fence, Seq: 7},
+		{Kind: trace.TxEnd, Seq: 8},
+	}
+	reports := Check(events)
+	if len(reports) != 1 || reports[0].Rule != RuleStoreInTxNotLogged {
+		t.Fatalf("reports = %v", reports)
+	}
+}
+
+func TestCheckLineGranularity(t *testing.T) {
+	// A flush of one byte persists its whole line: a second store to the
+	// same line before the flush is covered by it.
+	events := []trace.Event{
+		{Kind: trace.Store, Off: 0, Len: 8, Seq: 1},
+		{Kind: trace.Store, Off: 32, Len: 8, Seq: 2},
+		{Kind: trace.Flush, Off: 0, Len: 1, Seq: 3}, // flushes the whole line
+		{Kind: trace.Fence, Seq: 4},
+	}
+	if reports := Check(events); len(reports) != 0 {
+		t.Fatalf("reports = %v", reports)
+	}
+	_ = pmem.LineSize
+}
+
+func TestCheckNTStoreSelfQueues(t *testing.T) {
+	// A non-temporal store needs only a fence, no flush.
+	events := []trace.Event{
+		{Kind: trace.NTStore, Off: 0, Len: 8, Seq: 1},
+		{Kind: trace.Fence, Seq: 2},
+	}
+	if reports := Check(events); len(reports) != 0 {
+		t.Fatalf("reports = %v", reports)
+	}
+	// Without the fence it is flushed-but-unfenced at exit.
+	events = events[:1]
+	reports := Check(events)
+	if len(reports) != 1 || reports[0].Rule != RuleUnfencedFlush {
+		t.Fatalf("reports = %v, want one flush-not-fenced", reports)
+	}
+}
+
+func TestCheckInternalExemptions(t *testing.T) {
+	// Internal (library metadata) stores are exempt from the user rules.
+	events := []trace.Event{
+		{Kind: trace.TxBegin, Seq: 1},
+		{Kind: trace.Store, Off: 0, Len: 8, Seq: 2, Internal: true},
+		{Kind: trace.TxEnd, Seq: 3},
+	}
+	if reports := Check(events); len(reports) != 0 {
+		t.Fatalf("internal store flagged: %v", reports)
+	}
+}
+
+func TestCheckAbortResetsTxState(t *testing.T) {
+	// Stores after an abort are outside any transaction.
+	events := []trace.Event{
+		{Kind: trace.TxBegin, Seq: 1},
+		{Kind: trace.TxAbort, Seq: 2},
+		{Kind: trace.Store, Off: 0, Len: 8, Seq: 3},
+		{Kind: trace.Flush, Off: 0, Len: 8, Seq: 4},
+		{Kind: trace.Fence, Seq: 5},
+	}
+	if reports := Check(events); len(reports) != 0 {
+		t.Fatalf("post-abort store flagged: %v", reports)
+	}
+}

@@ -1,0 +1,49 @@
+package pmem
+
+import "testing"
+
+func BenchmarkStore(b *testing.B) {
+	d := NewDevice(1 << 20)
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Store((i*8)%(1<<19), buf, site)
+	}
+}
+
+func BenchmarkStoreFlushFence(b *testing.B) {
+	d := NewDevice(1 << 20)
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off := (i * 8) % (1 << 19)
+		d.Store(off, buf, site)
+		d.Flush(off, 8, site)
+		d.Fence(site)
+	}
+}
+
+func BenchmarkPersistedSnapshot(b *testing.B) {
+	d := NewDevice(1 << 20)
+	d.Store(0, make([]byte, 4096), site)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = d.PersistedSnapshot()
+	}
+}
+
+func BenchmarkImageMarshal(b *testing.B) {
+	img := &Image{Layout: "bench", Data: make([]byte, 1<<20)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = img.Marshal()
+	}
+}
+
+func BenchmarkImageHash(b *testing.B) {
+	img := &Image{Layout: "bench", Data: make([]byte, 1<<20)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = img.Hash()
+	}
+}

@@ -1,0 +1,117 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEvictionDeterministic: the same crash point must always persist
+// the same subset of queued lines (§4.4 reproducibility).
+func TestEvictionDeterministic(t *testing.T) {
+	run := func() []byte {
+		d := NewDevice(4096)
+		d.SetInjector(OpFailure{N: 40})
+		func() {
+			defer func() { _ = recover() }()
+			for i := 0; i < 30; i++ {
+				d.Store(i*128, []byte{byte(i + 1)}, site)
+				d.Flush(i*128, 1, site) // queued, never fenced
+			}
+		}()
+		return d.PersistedSnapshot()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("crash eviction not deterministic")
+	}
+}
+
+// TestEvictionPersistsSubset: at a crash, some queued lines persist and
+// some do not — the any-order write-pending-queue drain of real hardware.
+func TestEvictionPersistsSubset(t *testing.T) {
+	d := NewDevice(1 << 15)
+	d.SetInjector(OpFailure{N: 128})
+	func() {
+		defer func() { _ = recover() }()
+		for i := 0; i < 64; i++ {
+			d.Store(i*128, []byte{0xee}, site)
+			d.Flush(i*128, 1, site)
+		}
+	}()
+	img := d.PersistedSnapshot()
+	persisted, lost := 0, 0
+	for i := 0; i < 64; i++ {
+		if img[i*128] == 0xee {
+			persisted++
+		} else {
+			lost++
+		}
+	}
+	if persisted == 0 || lost == 0 {
+		t.Fatalf("eviction persisted %d, lost %d; want a proper subset", persisted, lost)
+	}
+}
+
+// TestDirtyNeverPersistsAtCrash: lines stored but never flushed must not
+// survive a crash (the worst-case assumption the checkers rely on).
+func TestDirtyNeverPersistsAtCrash(t *testing.T) {
+	d := NewDevice(1 << 14)
+	d.SetInjector(OpFailure{N: 70})
+	func() {
+		defer func() { _ = recover() }()
+		for i := 0; i < 64; i++ {
+			d.Store(i*128, []byte{0xdd}, site) // never flushed
+		}
+	}()
+	for i, b := range d.PersistedSnapshot() {
+		if b != 0 {
+			t.Fatalf("unflushed byte %d persisted at crash", i)
+		}
+	}
+}
+
+func TestBarrierOps(t *testing.T) {
+	d := NewDevice(256)
+	d.Store(0, []byte{1}, site) // op 1
+	d.Flush(0, 1, site)         // op 2
+	d.Fence(site)               // op 3, barrier 1
+	d.Store(64, []byte{2}, site)
+	d.Flush(64, 1, site)
+	d.Fence(site) // op 6, barrier 2
+	ops := d.BarrierOps()
+	if len(ops) != 2 || ops[0] != 3 || ops[1] != 6 {
+		t.Fatalf("BarrierOps = %v, want [3 6]", ops)
+	}
+}
+
+func TestCommitVarRegistry(t *testing.T) {
+	d := NewDevice(256)
+	d.MarkCommitVar(10, 5)
+	d.MarkCommitVar(12, 10) // overlaps: must merge
+	d.MarkCommitVar(100, 8)
+	cvs := d.CommitVars()
+	if len(cvs) != 2 || cvs[0] != (Range{Off: 10, Len: 12}) || cvs[1] != (Range{Off: 100, Len: 8}) {
+		t.Fatalf("CommitVars = %+v", cvs)
+	}
+}
+
+func TestOpLimitHang(t *testing.T) {
+	d := NewDevice(256)
+	d.SetOpLimit(10)
+	defer func() {
+		r := recover()
+		h, ok := r.(Hang)
+		if !ok {
+			t.Fatalf("recover = %v, want Hang", r)
+		}
+		if h.Ops != 10 {
+			t.Fatalf("Hang.Ops = %d", h.Ops)
+		}
+		if h.Error() == "" {
+			t.Fatalf("empty hang message")
+		}
+	}()
+	for i := 0; ; i++ {
+		d.Load(0, make([]byte, 1), site)
+	}
+}

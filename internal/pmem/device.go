@@ -1,0 +1,481 @@
+// Package pmem simulates a byte-addressable persistent memory device with
+// an x86-like durability model. It is the substrate substituting for the
+// Intel Optane DC persistent memory modules and DAX-mapped files used by
+// the paper.
+//
+// The model mirrors the volatile cache hierarchy over PM:
+//
+//   - Store writes bytes into a volatile view and marks the touched cache
+//     lines dirty. A dirty line is NOT durable: it is lost if a failure
+//     occurs before it is flushed and fenced.
+//   - Flush (the CLWB analog) moves a line from dirty to the write-pending
+//     queue. A queued line is still not guaranteed durable.
+//   - Fence (the SFENCE analog, the paper's persist_barrier) drains the
+//     write-pending queue into the persisted backing array. Only then are
+//     the lines durable.
+//
+// A simulated failure yields a crash image containing exactly the
+// persisted state; the volatile view (with its dirty and queued lines) is
+// discarded, exactly like a power outage. Failure injection hooks fire at
+// ordering points (fences) and, optionally and probabilistically, at any
+// PM operation — the two crash-image generation modes of §3.2 of the
+// paper.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/trace"
+)
+
+// LineSize is the simulated cache-line size in bytes, matching x86.
+const LineSize = 64
+
+// Common device errors.
+var (
+	ErrOutOfRange = errors.New("pmem: access out of device range")
+	ErrClosed     = errors.New("pmem: device is closed")
+)
+
+// Hang is the panic value raised when an execution exceeds its PM
+// operation limit — the analog of a fuzzing timeout: corrupted inputs
+// (e.g. a crash image with a cyclic structure) can make the target loop
+// forever, and the harness must bound every run.
+type Hang struct {
+	// Ops is the limit that was exceeded.
+	Ops int
+}
+
+func (h Hang) Error() string {
+	return fmt.Sprintf("pmem: execution exceeded %d PM operations (hang)", h.Ops)
+}
+
+// Crash is the panic value used to unwind execution when an injected
+// failure fires. Executors recover it and harvest the crash image.
+type Crash struct {
+	// Barrier is the ordering-point count at which the failure fired, or
+	// -1 if the failure fired at a non-barrier PM operation.
+	Barrier int
+	// Op is the PM-operation count at which the failure fired.
+	Op int
+}
+
+func (c Crash) Error() string {
+	return fmt.Sprintf("pmem: injected failure (barrier=%d op=%d)", c.Barrier, c.Op)
+}
+
+// FailureInjector decides where simulated failures occur during an
+// execution. Implementations must be deterministic for a given seed so
+// that the same test case always produces the same crash image (§4.4).
+type FailureInjector interface {
+	// AtBarrier is consulted after the n-th ordering point (fence) takes
+	// effect. Returning true crashes the program at that point.
+	AtBarrier(n int) bool
+	// AtOp is consulted at every PM operation, identified by its running
+	// index. Returning true crashes the program at that point. This is the
+	// probabilistic injection mode that covers programs with misplaced
+	// ordering points.
+	AtOp(n int) bool
+}
+
+// Device is one simulated PM module holding a single mapped image.
+type Device struct {
+	persisted []byte
+	volatile  []byte
+	dirty     map[int]struct{} // line index -> written, not flushed
+	queued    map[int]struct{} // line index -> flushed, not fenced
+
+	tracer   *instr.Tracer
+	sink     trace.Sink
+	injector FailureInjector
+	clock    *Clock
+
+	opCount      int
+	opLimit      int // 0 = unlimited
+	barrierCount int
+	barrierOps   []int // PM-op index of each fence, in order
+	internal     int   // >0 while the PM library performs metadata accesses
+	closed       bool
+	commitVars   []Range
+
+	stats Stats
+}
+
+// Stats aggregates operation counts for one device lifetime.
+type Stats struct {
+	Stores   int
+	Loads    int
+	Flushes  int
+	Fences   int
+	NTStores int
+}
+
+// NewDevice creates a device of the given size initialized to zero bytes.
+func NewDevice(size int) *Device {
+	return &Device{
+		persisted: make([]byte, size),
+		volatile:  make([]byte, size),
+		dirty:     make(map[int]struct{}),
+		queued:    make(map[int]struct{}),
+		clock:     NewClock(),
+	}
+}
+
+// NewDeviceFromImage creates a device whose persisted and volatile state
+// are both initialized from the image contents, as if the image file were
+// DAX-mapped at program start.
+func NewDeviceFromImage(img *Image) *Device {
+	d := NewDevice(len(img.Data))
+	copy(d.persisted, img.Data)
+	copy(d.volatile, img.Data)
+	return d
+}
+
+// SetTracer attaches a coverage tracer; PM operations are reported to it
+// with their call-site IDs.
+func (d *Device) SetTracer(t *instr.Tracer) { d.tracer = t }
+
+// SetSink attaches a trace sink receiving one event per PM operation.
+func (d *Device) SetSink(s trace.Sink) { d.sink = s }
+
+// SetInjector installs a failure injector. A nil injector disables
+// failure injection.
+func (d *Device) SetInjector(fi FailureInjector) { d.injector = fi }
+
+// SetOpLimit bounds the number of PM operations this device will
+// execute; exceeding it panics with Hang. Zero disables the limit.
+func (d *Device) SetOpLimit(n int) { d.opLimit = n }
+
+// MarkCommitVar annotates [off, off+n) as a commit variable: an
+// atomically updated flag/pointer whose recovery-time read of the old
+// durable value is the crash-consistency mechanism itself, not a bug.
+// This is the analog of XFDetector's commit-variable annotations; the
+// cross-failure checker exempts these ranges from its taint analysis.
+func (d *Device) MarkCommitVar(off, n int) {
+	d.commitVars = append(d.commitVars, Range{Off: off, Len: n})
+}
+
+// CommitVars returns the annotated commit-variable ranges, merged.
+func (d *Device) CommitVars() []Range {
+	return NormalizeRanges(append([]Range(nil), d.commitVars...))
+}
+
+// SetClock replaces the simulated-time clock (shared clocks let an
+// executor charge multiple devices against one budget).
+func (d *Device) SetClock(c *Clock) { d.clock = c }
+
+// Clock returns the device's simulated-time clock.
+func (d *Device) Clock() *Clock { return d.clock }
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int { return len(d.volatile) }
+
+// Stats returns a copy of the device's operation statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Barriers returns how many ordering points have executed.
+func (d *Device) Barriers() int { return d.barrierCount }
+
+// BarrierOps returns the PM-op index of each executed fence, in order.
+func (d *Device) BarrierOps() []int {
+	return append([]int(nil), d.barrierOps...)
+}
+
+// Ops returns how many PM operations have executed.
+func (d *Device) Ops() int { return d.opCount }
+
+func (d *Device) lineRange(off, n int) (first, last int) {
+	return off / LineSize, (off + n - 1) / LineSize
+}
+
+func (d *Device) check(off, n int) {
+	if d.closed {
+		panic(ErrClosed)
+	}
+	if off < 0 || n < 0 || off+n > len(d.volatile) {
+		panic(fmt.Errorf("%w: off=%d len=%d size=%d", ErrOutOfRange, off, n, len(d.volatile)))
+	}
+}
+
+// pmop performs the common bookkeeping for any PM operation: coverage
+// tracking via the caller's call site, trace emission, simulated-time
+// accounting, and probabilistic failure injection.
+func (d *Device) pmop(kind trace.Kind, off, n int, site instr.SiteID, cost int64) {
+	d.opCount++
+	if d.opLimit > 0 && d.opCount > d.opLimit {
+		panic(Hang{Ops: d.opLimit})
+	}
+	if d.tracer != nil {
+		d.tracer.PMOp(site)
+	}
+	if d.sink != nil {
+		d.sink.Emit(trace.Event{
+			Kind: kind, Off: off, Len: n, Site: uint32(site), Seq: d.opCount,
+			Internal: d.internal > 0,
+		})
+	}
+	if d.clock != nil {
+		d.clock.Charge(cost)
+	}
+	if d.injector != nil && d.injector.AtOp(d.opCount) {
+		d.evictQueuedAtCrash()
+		panic(Crash{Barrier: -1, Op: d.opCount})
+	}
+}
+
+// evictQueuedAtCrash models what real hardware does at a power failure:
+// cache lines that were flushed but not yet fenced (sitting in the write
+// pending queue) MAY have reached the medium — any subset can persist,
+// in any order. A deterministic pseudo-random subset (keyed by line and
+// crash point) is persisted, so the same crash point always yields the
+// same crash image (§4.4 determinism) while missing-fence bugs become
+// observable: two unfenced lines can persist independently, exactly the
+// reordering a correct persist_barrier() would have prevented. Dirty
+// (unflushed) lines never persist — the standard worst-case assumption
+// PM testing tools make.
+func (d *Device) evictQueuedAtCrash() {
+	for l := range d.queued {
+		x := uint64(l)*0x9e3779b97f4a7c15 ^ uint64(d.opCount)*0xff51afd7ed558ccd
+		x ^= x >> 29
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 32
+		if x&1 == 0 {
+			continue // this line did not make it out of the queue
+		}
+		start := l * LineSize
+		end := start + LineSize
+		if end > len(d.volatile) {
+			end = len(d.volatile)
+		}
+		copy(d.persisted[start:end], d.volatile[start:end])
+	}
+}
+
+// Store writes p at off. The touched cache lines become dirty (volatile).
+// site identifies the calling PM-library call site.
+func (d *Device) Store(off int, p []byte, site instr.SiteID) {
+	d.check(off, len(p))
+	copy(d.volatile[off:], p)
+	first, last := d.lineRange(off, len(p))
+	for l := first; l <= last; l++ {
+		d.dirty[l] = struct{}{}
+		delete(d.queued, l)
+	}
+	d.stats.Stores++
+	d.pmop(trace.Store, off, len(p), site, costStore)
+}
+
+// NTStore performs a non-temporal store: the data is written and the lines
+// are immediately queued for writeback (still requiring a fence to become
+// durable), matching MOVNT semantics.
+func (d *Device) NTStore(off int, p []byte, site instr.SiteID) {
+	d.check(off, len(p))
+	copy(d.volatile[off:], p)
+	first, last := d.lineRange(off, len(p))
+	for l := first; l <= last; l++ {
+		delete(d.dirty, l)
+		d.queued[l] = struct{}{}
+	}
+	d.stats.NTStores++
+	d.pmop(trace.NTStore, off, len(p), site, costStore)
+}
+
+// Load reads len(p) bytes at off from the volatile view into p.
+func (d *Device) Load(off int, p []byte, site instr.SiteID) {
+	d.check(off, len(p))
+	copy(p, d.volatile[off:])
+	d.stats.Loads++
+	d.pmop(trace.Load, off, len(p), site, costLoad)
+}
+
+// Flush queues the cache lines covering [off, off+n) for writeback
+// (CLWB analog). Flushing a clean line is legal and recorded in the trace
+// so checkers can flag redundant flushes.
+func (d *Device) Flush(off, n int, site instr.SiteID) {
+	d.check(off, n)
+	first, last := d.lineRange(off, n)
+	for l := first; l <= last; l++ {
+		if _, ok := d.dirty[l]; ok {
+			delete(d.dirty, l)
+			d.queued[l] = struct{}{}
+		}
+	}
+	d.stats.Flushes++
+	d.pmop(trace.Flush, off, n, site, costFlush)
+}
+
+// Fence drains all queued lines to the persisted state (SFENCE analog).
+// This is an ordering point: barrier-targeted failure injection fires
+// here, after the fence's effect is applied, so the crash image reflects
+// the state the paper's §3.2 places failures at.
+func (d *Device) Fence(site instr.SiteID) {
+	if d.closed {
+		panic(ErrClosed)
+	}
+	for l := range d.queued {
+		start := l * LineSize
+		end := start + LineSize
+		if end > len(d.volatile) {
+			end = len(d.volatile)
+		}
+		copy(d.persisted[start:end], d.volatile[start:end])
+	}
+	d.queued = make(map[int]struct{})
+	d.barrierCount++
+	d.stats.Fences++
+	d.pmop(trace.Fence, 0, 0, site, costFence)
+	d.barrierOps = append(d.barrierOps, d.opCount)
+	if d.injector != nil && d.injector.AtBarrier(d.barrierCount) {
+		// The fence's own drain already happened; anything queued by the
+		// fence's instrumentation op itself is handled like any crash.
+		d.evictQueuedAtCrash()
+		panic(Crash{Barrier: d.barrierCount, Op: d.opCount})
+	}
+}
+
+// PushInternal marks the start of a PM-library metadata section: events
+// emitted until the matching PopInternal carry the Internal flag.
+func (d *Device) PushInternal() { d.internal++ }
+
+// PopInternal ends a metadata section started by PushInternal.
+func (d *Device) PopInternal() {
+	if d.internal > 0 {
+		d.internal--
+	}
+}
+
+// LibOp records a library-level PM operation (transaction begin, undo-log
+// snapshot, allocation, ...) against the device's coverage, trace, and
+// failure-injection machinery without moving any data. The paper tracks PM
+// operations at PM-library function granularity (§3.3), so these count as
+// PM-path nodes exactly like loads and stores.
+func (d *Device) LibOp(kind trace.Kind, off, n int, site instr.SiteID) {
+	if d.closed {
+		panic(ErrClosed)
+	}
+	d.pmop(kind, off, n, site, costLoad)
+}
+
+// DirtyLines returns the number of lines written but not yet flushed.
+func (d *Device) DirtyLines() int { return len(d.dirty) }
+
+// QueuedLines returns the number of lines flushed but not yet fenced.
+func (d *Device) QueuedLines() int { return len(d.queued) }
+
+// UnpersistedRanges returns the byte ranges whose volatile content differs
+// from the persisted content — the data that would be lost by a failure
+// right now. The cross-failure checker uses this as its taint set.
+func (d *Device) UnpersistedRanges() []Range {
+	var rs []Range
+	lines := make(map[int]struct{}, len(d.dirty)+len(d.queued))
+	for l := range d.dirty {
+		lines[l] = struct{}{}
+	}
+	for l := range d.queued {
+		lines[l] = struct{}{}
+	}
+	for l := range lines {
+		start := l * LineSize
+		end := start + LineSize
+		if end > len(d.volatile) {
+			end = len(d.volatile)
+		}
+		for i := start; i < end; i++ {
+			if d.volatile[i] != d.persisted[i] {
+				j := i
+				for j < end && d.volatile[j] != d.persisted[j] {
+					j++
+				}
+				rs = append(rs, Range{Off: i, Len: j - i})
+				i = j
+			}
+		}
+	}
+	return NormalizeRanges(rs)
+}
+
+// PersistedSnapshot returns a copy of the durable state — the crash image
+// a failure at this instant would leave behind.
+func (d *Device) PersistedSnapshot() []byte {
+	out := make([]byte, len(d.persisted))
+	copy(out, d.persisted)
+	return out
+}
+
+// VolatileSnapshot returns a copy of the program-visible state.
+func (d *Device) VolatileSnapshot() []byte {
+	out := make([]byte, len(d.volatile))
+	copy(out, d.volatile)
+	return out
+}
+
+// Close persists all outstanding writes (as an orderly munmap/close would)
+// and marks the device closed. It returns the final durable contents.
+func (d *Device) Close() []byte {
+	if !d.closed {
+		for l := range d.dirty {
+			d.queued[l] = struct{}{}
+		}
+		d.dirty = map[int]struct{}{}
+		for l := range d.queued {
+			start := l * LineSize
+			end := start + LineSize
+			if end > len(d.volatile) {
+				end = len(d.volatile)
+			}
+			copy(d.persisted[start:end], d.volatile[start:end])
+		}
+		d.queued = map[int]struct{}{}
+		if d.clock != nil {
+			d.clock.Charge(costClose)
+		}
+		d.closed = true
+	}
+	return d.PersistedSnapshot()
+}
+
+// Range is a byte range on the device.
+type Range struct {
+	Off int
+	Len int
+}
+
+// End returns the exclusive end offset.
+func (r Range) End() int { return r.Off + r.Len }
+
+// Overlaps reports whether two ranges share any byte.
+func (r Range) Overlaps(o Range) bool {
+	return r.Off < o.End() && o.Off < r.End()
+}
+
+// Contains reports whether r fully covers o.
+func (r Range) Contains(o Range) bool {
+	return r.Off <= o.Off && o.End() <= r.End()
+}
+
+// NormalizeRanges sorts and merges overlapping or adjacent ranges.
+func NormalizeRanges(rs []Range) []Range {
+	if len(rs) <= 1 {
+		return rs
+	}
+	// Insertion sort: range lists here are short.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Off < rs[j-1].Off; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Off <= last.End() {
+			if r.End() > last.End() {
+				last.Len = r.End() - last.Off
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package pmem
+
+import "math/rand"
+
+// NoFailure is an injector that never fires.
+type NoFailure struct{}
+
+// AtBarrier always returns false.
+func (NoFailure) AtBarrier(int) bool { return false }
+
+// AtOp always returns false.
+func (NoFailure) AtOp(int) bool { return false }
+
+// BarrierFailure crashes the program at exactly the N-th ordering point.
+// This is the primary crash-image generation mode of §3.2: ordering points
+// bracket the key-variable updates (commit bits, valid flags) that
+// determine the recovery procedure's control flow, so one crash image per
+// barrier covers every recovery path.
+type BarrierFailure struct {
+	// N is the 1-based barrier index at which to fail.
+	N int
+}
+
+// AtBarrier fires when the running barrier count reaches N.
+func (f BarrierFailure) AtBarrier(n int) bool { return n == f.N }
+
+// AtOp never fires for barrier-targeted injection.
+func (f BarrierFailure) AtOp(int) bool { return false }
+
+// OpFailure crashes the program at exactly the N-th PM operation,
+// regardless of whether it is an ordering point. Deterministic single-op
+// crashes are how the probabilistic samples get replayed reproducibly.
+type OpFailure struct {
+	// N is the 1-based PM-operation index at which to fail.
+	N int
+}
+
+// AtBarrier never fires for op-targeted injection.
+func (f OpFailure) AtBarrier(int) bool { return false }
+
+// AtOp fires when the running op count reaches N.
+func (f OpFailure) AtOp(n int) bool { return n == f.N }
+
+// ProbabilisticFailure fires at each PM operation with probability Rate,
+// using a deterministic seeded source so a given (seed, rate) pair always
+// crashes at the same operation. It implements the paper's configurable
+// probabilistic failure placement, which generates crash images even for
+// programs whose ordering points are completely misplaced.
+type ProbabilisticFailure struct {
+	rng  *rand.Rand
+	rate float64
+}
+
+// NewProbabilisticFailure returns an injector firing at each PM op with
+// the given probability, driven by the seed.
+func NewProbabilisticFailure(seed int64, rate float64) *ProbabilisticFailure {
+	return &ProbabilisticFailure{rng: rand.New(rand.NewSource(seed)), rate: rate}
+}
+
+// AtBarrier never fires; barriers are covered by BarrierFailure sweeps.
+func (f *ProbabilisticFailure) AtBarrier(int) bool { return false }
+
+// AtOp fires with the configured probability.
+func (f *ProbabilisticFailure) AtOp(int) bool {
+	return f.rng.Float64() < f.rate
+}

@@ -1,0 +1,111 @@
+package pmem
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Image is a serialized PM pool file — the unit PMFuzz generates, mutates
+// (indirectly), deduplicates, and hands to the testing tools as part of a
+// test case.
+type Image struct {
+	// UUID identifies the pool. Under derandomization (§4.4(1)) pool
+	// creation writes a constant UUID so identical inputs yield
+	// byte-identical images.
+	UUID [16]byte
+	// Layout names the pool layout (e.g. "btree"), mirroring
+	// pmemobj_create's layout string.
+	Layout string
+	// Data is the raw pool contents.
+	Data []byte
+}
+
+const imageMagic = "PMFZIMG1"
+
+// ErrBadImage reports a malformed or corrupted serialized image.
+var ErrBadImage = errors.New("pmem: bad image")
+
+// Hash returns the SHA-256 of the image contents (UUID + layout + data).
+// PMFuzz's image-reduction step (§4.5 step ④) deduplicates on this value.
+func (img *Image) Hash() [32]byte {
+	h := sha256.New()
+	h.Write(img.UUID[:])
+	h.Write([]byte(img.Layout))
+	h.Write(img.Data)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Clone returns a deep copy of the image.
+func (img *Image) Clone() *Image {
+	data := make([]byte, len(img.Data))
+	copy(data, img.Data)
+	out := &Image{Layout: img.Layout, Data: data}
+	out.UUID = img.UUID
+	return out
+}
+
+// Marshal serializes the image with a checksummed header:
+// magic | uuid | layout len | layout | data len | data | sha256.
+func (img *Image) Marshal() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(imageMagic)
+	buf.Write(img.UUID[:])
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(img.Layout)))
+	buf.Write(n[:])
+	buf.WriteString(img.Layout)
+	binary.LittleEndian.PutUint64(n[:], uint64(len(img.Data)))
+	buf.Write(n[:])
+	buf.Write(img.Data)
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	return buf.Bytes()
+}
+
+// UnmarshalImage parses a serialized image, verifying magic and checksum.
+func UnmarshalImage(b []byte) (*Image, error) {
+	if len(b) < len(imageMagic)+16+8 {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadImage)
+	}
+	if string(b[:len(imageMagic)]) != imageMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	if len(b) < 32 {
+		return nil, fmt.Errorf("%w: truncated checksum", ErrBadImage)
+	}
+	body, sum := b[:len(b)-32], b[len(b)-32:]
+	want := sha256.Sum256(body)
+	if !bytes.Equal(want[:], sum) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadImage)
+	}
+	img := &Image{}
+	p := len(imageMagic)
+	copy(img.UUID[:], body[p:p+16])
+	p += 16
+	if p+8 > len(body) {
+		return nil, fmt.Errorf("%w: truncated layout length", ErrBadImage)
+	}
+	ll := int(binary.LittleEndian.Uint64(body[p : p+8]))
+	p += 8
+	if ll < 0 || p+ll > len(body) {
+		return nil, fmt.Errorf("%w: bad layout length %d", ErrBadImage, ll)
+	}
+	img.Layout = string(body[p : p+ll])
+	p += ll
+	if p+8 > len(body) {
+		return nil, fmt.Errorf("%w: truncated data length", ErrBadImage)
+	}
+	dl := int(binary.LittleEndian.Uint64(body[p : p+8]))
+	p += 8
+	if dl < 0 || p+dl != len(body) {
+		return nil, fmt.Errorf("%w: bad data length %d", ErrBadImage, dl)
+	}
+	img.Data = make([]byte, dl)
+	copy(img.Data, body[p:])
+	return img, nil
+}

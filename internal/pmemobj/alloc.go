@@ -1,0 +1,199 @@
+package pmemobj
+
+import (
+	"fmt"
+
+	"pmfuzz/internal/instr"
+)
+
+// The persistent heap uses 16-byte block headers laid out contiguously
+// from heapOff to the end of the pool:
+//
+//	[size u64 | status u64] [user data ...] [next header ...]
+//
+// size is the total block size including the header; status is one of
+// blockFree or blockAlloc. The free list is volatile and rebuilt by
+// scanning the headers at open, so a crash can never corrupt it; header
+// updates are ordered (remainder header persisted before the allocated
+// header) so a scan sees a consistent heap at every failure point.
+const (
+	blockHeaderSize = 16
+	blockAlign      = 16
+	minBlockSize    = blockHeaderSize + 48
+
+	blockFree  = 0
+	blockAlloc = 1
+)
+
+type freeBlock struct {
+	off  uint64
+	size uint64
+}
+
+type allocator struct {
+	p        *Pool
+	heapOff  uint64
+	heapEnd  uint64
+	freeList []freeBlock // sorted by offset
+}
+
+func newAllocator(p *Pool) *allocator {
+	return &allocator{p: p, heapOff: p.heapOff, heapEnd: uint64(p.dev.Size())}
+}
+
+// format writes a single free block covering the whole heap.
+func (a *allocator) format(site instr.SiteID) error {
+	a.p.dev.PushInternal()
+	defer a.p.dev.PopInternal()
+	total := a.heapEnd - a.heapOff
+	if total < minBlockSize {
+		return ErrTooSmall
+	}
+	a.writeHeader(a.heapOff, total, blockFree, site)
+	a.p.dev.Flush(int(a.heapOff), blockHeaderSize, site)
+	a.p.dev.Fence(site)
+	a.freeList = []freeBlock{{off: a.heapOff, size: total}}
+	return nil
+}
+
+// rebuild scans the heap headers and reconstructs the volatile free list.
+func (a *allocator) rebuild(site instr.SiteID) error {
+	a.p.dev.PushInternal()
+	defer a.p.dev.PopInternal()
+	a.freeList = nil
+	off := a.heapOff
+	for off < a.heapEnd {
+		size, status := a.readHeader(off, site)
+		if size < minBlockSize || off+size > a.heapEnd || size%blockAlign != 0 {
+			return fmt.Errorf("%w: corrupt heap block at %d (size=%d)", ErrBadPool, off, size)
+		}
+		if status == blockFree {
+			// Free blocks are kept separate rather than coalesced: reusing
+			// the exact persistent headers is crash-safe with no repair
+			// writes on open, and fragmentation is acceptable for
+			// fuzzing-scale heaps.
+			a.freeList = append(a.freeList, freeBlock{off: off, size: size})
+		} else if status != blockAlloc {
+			return fmt.Errorf("%w: bad block status %d at %d", ErrBadPool, status, off)
+		}
+		off += size
+	}
+	return nil
+}
+
+func (a *allocator) readHeader(off uint64, site instr.SiteID) (size, status uint64) {
+	size = a.p.loadU64Raw(int(off), site)
+	status = a.p.loadU64Raw(int(off+8), site)
+	return size, status
+}
+
+func (a *allocator) writeHeader(off, size, status uint64, site instr.SiteID) {
+	// Block headers are atomically published commit metadata: a crash
+	// mid-update leaves the old durable header, which the scan reads by
+	// design.
+	a.p.dev.MarkCommitVar(int(off), blockHeaderSize)
+	a.p.storeU64Raw(int(off), size, site)
+	a.p.storeU64Raw(int(off+8), status, site)
+}
+
+func align(n, a uint64) uint64 { return (n + a - 1) / a * a }
+
+// allocate reserves size user bytes. When tx is non-nil the affected
+// headers are undo-logged first so an abort (or crash before commit)
+// rolls the heap back — the TX_ALLOC protocol.
+func (a *allocator) allocate(size uint64, site instr.SiteID, tx *txState) (Oid, error) {
+	a.p.dev.PushInternal()
+	defer a.p.dev.PopInternal()
+	need := align(size+blockHeaderSize, blockAlign)
+	if need < minBlockSize {
+		need = minBlockSize
+	}
+	for i, fb := range a.freeList {
+		if fb.size < need {
+			continue
+		}
+		if tx != nil {
+			// Snapshot the free block's header before mutating it.
+			if err := tx.logRange(fb.off, blockHeaderSize, site); err != nil {
+				return OidNull, err
+			}
+		}
+		rem := fb.size - need
+		if rem >= minBlockSize {
+			// Split: persist the remainder's free header first so a crash
+			// between the two header writes leaves a consistent heap.
+			a.writeHeader(fb.off+need, rem, blockFree, site)
+			a.p.dev.Flush(int(fb.off+need), blockHeaderSize, site)
+			a.p.dev.Fence(site)
+			a.writeHeader(fb.off, need, blockAlloc, site)
+			a.p.dev.Flush(int(fb.off), blockHeaderSize, site)
+			a.p.dev.Fence(site)
+			a.freeList[i] = freeBlock{off: fb.off + need, size: rem}
+		} else {
+			need = fb.size
+			a.writeHeader(fb.off, need, blockAlloc, site)
+			a.p.dev.Flush(int(fb.off), blockHeaderSize, site)
+			a.p.dev.Fence(site)
+			a.freeList = append(a.freeList[:i], a.freeList[i+1:]...)
+		}
+		return Oid(fb.off + blockHeaderSize), nil
+	}
+	return OidNull, ErrNoSpace
+}
+
+// release returns a block to the free list. When tx is non-nil the header
+// is undo-logged so an abort restores the allocation.
+func (a *allocator) release(oid Oid, site instr.SiteID, tx *txState) error {
+	a.p.dev.PushInternal()
+	defer a.p.dev.PopInternal()
+	hdr := uint64(oid) - blockHeaderSize
+	if hdr < a.heapOff || uint64(oid) >= a.heapEnd {
+		return fmt.Errorf("%w: free of non-heap oid %d", ErrBadPool, oid)
+	}
+	size, status := a.readHeader(hdr, site)
+	if status != blockAlloc {
+		return fmt.Errorf("%w: double free at %d", ErrBadPool, oid)
+	}
+	if tx != nil {
+		if err := tx.logRange(hdr, blockHeaderSize, site); err != nil {
+			return err
+		}
+	}
+	a.writeHeader(hdr, size, blockFree, site)
+	a.p.dev.Flush(int(hdr), blockHeaderSize, site)
+	a.p.dev.Fence(site)
+	a.insertFree(freeBlock{off: hdr, size: size})
+	return nil
+}
+
+func (a *allocator) insertFree(fb freeBlock) {
+	i := 0
+	for i < len(a.freeList) && a.freeList[i].off < fb.off {
+		i++
+	}
+	a.freeList = append(a.freeList, freeBlock{})
+	copy(a.freeList[i+1:], a.freeList[i:])
+	a.freeList[i] = fb
+}
+
+// objectSize reports the usable byte count of an allocated object.
+func (a *allocator) objectSize(oid Oid) (uint64, error) {
+	hdr := uint64(oid) - blockHeaderSize
+	if hdr < a.heapOff || uint64(oid) >= a.heapEnd {
+		return 0, fmt.Errorf("%w: non-heap oid %d", ErrBadPool, oid)
+	}
+	size, status := a.readHeader(hdr, 0)
+	if status != blockAlloc {
+		return 0, fmt.Errorf("%w: oid %d not allocated", ErrBadPool, oid)
+	}
+	return size - blockHeaderSize, nil
+}
+
+// freeBytes reports the total free capacity (for tests and stats).
+func (a *allocator) freeBytes() uint64 {
+	var n uint64
+	for _, fb := range a.freeList {
+		n += fb.size
+	}
+	return n
+}

@@ -1,0 +1,190 @@
+package pmemobj
+
+import (
+	"fmt"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/trace"
+)
+
+// List is the POBJ_LIST analog: an intrusive, transactional, persistent
+// doubly linked list. The list head is an ordinary 16-byte persistent
+// field pair (first, last) inside any object; elements reserve a
+// 16-byte link area (next, prev) at a fixed offset chosen by the caller,
+// exactly like PMDK's POBJ_LIST_ENTRY macro.
+//
+// All mutations run inside the pool's current transaction and snapshot
+// the fields they modify, so a failure anywhere rolls the whole splice
+// back.
+type List struct {
+	p *Pool
+	// head is the object holding the head fields; headOff is the offset
+	// of the (first, last) pair within it.
+	head    Oid
+	headOff uint64
+	// linkOff is the offset of the (next, prev) pair within each element.
+	linkOff uint64
+}
+
+// NewList attaches to (does not allocate) a list head at head+headOff,
+// whose elements link through linkOff. A zeroed head is a valid empty
+// list, following the zero-value convention.
+func (p *Pool) NewList(head Oid, headOff, linkOff uint64) (*List, error) {
+	if head.IsNull() {
+		return nil, ErrNullOid
+	}
+	p.checkOid(head, headOff+16)
+	return &List{p: p, head: head, headOff: headOff, linkOff: linkOff}, nil
+}
+
+func (l *List) first() Oid { return Oid(l.p.U64(l.head, l.headOff)) }
+func (l *List) last() Oid  { return Oid(l.p.U64(l.head, l.headOff+8)) }
+func (l *List) next(e Oid) Oid {
+	return Oid(l.p.U64(e, l.linkOff))
+}
+func (l *List) prev(e Oid) Oid {
+	return Oid(l.p.U64(e, l.linkOff+8))
+}
+
+// First returns the first element (null when empty).
+func (l *List) First() Oid { return l.first() }
+
+// Last returns the last element (null when empty).
+func (l *List) Last() Oid { return l.last() }
+
+// Next returns the element after e (null at the end).
+func (l *List) Next(e Oid) Oid { return l.next(e) }
+
+// Prev returns the element before e (null at the start).
+func (l *List) Prev(e Oid) Oid { return l.prev(e) }
+
+// Empty reports whether the list has no elements.
+func (l *List) Empty() bool { return l.first().IsNull() }
+
+// logHead snapshots the head pair; logLinks snapshots an element's pair.
+func (l *List) logHead() error { return l.p.TxAdd(l.head, l.headOff, 16) }
+func (l *List) logLinks(e Oid) error {
+	return l.p.TxAdd(e, l.linkOff, 16)
+}
+
+// PushFront inserts e at the head of the list (POBJ_LIST_INSERT_HEAD).
+// Must run inside a transaction.
+func (l *List) PushFront(e Oid) error {
+	site := instr.CallerSite(1)
+	if l.p.tx.depth == 0 {
+		return ErrNoTx
+	}
+	if e.IsNull() {
+		return ErrNullOid
+	}
+	l.p.dev.LibOp(trace.Store, int(e), 0, site)
+	old := l.first()
+	if err := l.logLinks(e); err != nil {
+		return err
+	}
+	l.p.SetU64(e, l.linkOff, uint64(old))
+	l.p.SetU64(e, l.linkOff+8, 0)
+	if err := l.logHead(); err != nil {
+		return err
+	}
+	l.p.SetU64(l.head, l.headOff, uint64(e))
+	if old.IsNull() {
+		l.p.SetU64(l.head, l.headOff+8, uint64(e))
+	} else {
+		if err := l.logLinks(old); err != nil {
+			return err
+		}
+		l.p.SetU64(old, l.linkOff+8, uint64(e))
+	}
+	return nil
+}
+
+// PushBack appends e at the tail (POBJ_LIST_INSERT_TAIL).
+func (l *List) PushBack(e Oid) error {
+	site := instr.CallerSite(1)
+	if l.p.tx.depth == 0 {
+		return ErrNoTx
+	}
+	if e.IsNull() {
+		return ErrNullOid
+	}
+	l.p.dev.LibOp(trace.Store, int(e), 0, site)
+	old := l.last()
+	if err := l.logLinks(e); err != nil {
+		return err
+	}
+	l.p.SetU64(e, l.linkOff, 0)
+	l.p.SetU64(e, l.linkOff+8, uint64(old))
+	if err := l.logHead(); err != nil {
+		return err
+	}
+	l.p.SetU64(l.head, l.headOff+8, uint64(e))
+	if old.IsNull() {
+		l.p.SetU64(l.head, l.headOff, uint64(e))
+	} else {
+		if err := l.logLinks(old); err != nil {
+			return err
+		}
+		l.p.SetU64(old, l.linkOff, uint64(e))
+	}
+	return nil
+}
+
+// Remove unlinks e (POBJ_LIST_REMOVE). Must run inside a transaction.
+func (l *List) Remove(e Oid) error {
+	site := instr.CallerSite(1)
+	if l.p.tx.depth == 0 {
+		return ErrNoTx
+	}
+	if e.IsNull() {
+		return ErrNullOid
+	}
+	l.p.dev.LibOp(trace.Store, int(e), 0, site)
+	nx, pv := l.next(e), l.prev(e)
+	if err := l.logHead(); err != nil {
+		return err
+	}
+	if pv.IsNull() {
+		l.p.SetU64(l.head, l.headOff, uint64(nx))
+	} else {
+		if err := l.logLinks(pv); err != nil {
+			return err
+		}
+		l.p.SetU64(pv, l.linkOff, uint64(nx))
+	}
+	if nx.IsNull() {
+		l.p.SetU64(l.head, l.headOff+8, uint64(pv))
+	} else {
+		if err := l.logLinks(nx); err != nil {
+			return err
+		}
+		l.p.SetU64(nx, l.linkOff+8, uint64(pv))
+	}
+	if err := l.logLinks(e); err != nil {
+		return err
+	}
+	l.p.SetU64(e, l.linkOff, 0)
+	l.p.SetU64(e, l.linkOff+8, 0)
+	return nil
+}
+
+// Len walks the list and returns its length, verifying link symmetry;
+// it returns an error on a corrupt list (cycle or broken back-link).
+func (l *List) Len() (int, error) {
+	n := 0
+	var prev Oid
+	for e := l.first(); !e.IsNull(); e = l.next(e) {
+		if l.prev(e) != prev {
+			return 0, fmt.Errorf("pmemobj: list back-link broken at %d", e)
+		}
+		prev = e
+		n++
+		if n > 1<<20 {
+			return 0, fmt.Errorf("pmemobj: list cycle detected")
+		}
+	}
+	if l.last() != prev {
+		return 0, fmt.Errorf("pmemobj: list tail pointer wrong")
+	}
+	return n, nil
+}

@@ -1,0 +1,79 @@
+package pmemobj
+
+import "pmfuzz/internal/pmem"
+
+// rangeSet is the logged-range tree of PMDK's transaction runtime (§6 of
+// the paper, "Performance Bug Trade-offs"): before creating an undo-log
+// entry the library looks the range up, so re-adding an already-logged
+// range is *safe* but wastes a lookup — the signature of the paper's
+// performance bugs 8–12. Add returns the sub-ranges that were not yet
+// covered; an empty result means the TX_ADD was fully redundant.
+type rangeSet struct {
+	rs []pmem.Range // sorted by Off, non-overlapping
+}
+
+func newRangeSet() *rangeSet { return &rangeSet{} }
+
+// Covered reports whether r is fully contained in the set.
+func (s *rangeSet) Covered(r pmem.Range) bool {
+	if r.Len <= 0 {
+		return true
+	}
+	for _, e := range s.rs {
+		if e.Off > r.Off {
+			return false
+		}
+		if e.Contains(r) {
+			return true
+		}
+		// Partial cover from the left: advance r past e.
+		if e.Overlaps(r) && e.Off <= r.Off {
+			cut := e.End() - r.Off
+			r.Off += cut
+			r.Len -= cut
+			if r.Len <= 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Add inserts r and returns the newly covered (previously absent)
+// sub-ranges in ascending order.
+func (s *rangeSet) Add(r pmem.Range) []pmem.Range {
+	if r.Len <= 0 {
+		return nil
+	}
+	var fresh []pmem.Range
+	cur := r.Off
+	end := r.End()
+	for _, e := range s.rs {
+		if e.End() <= cur {
+			continue
+		}
+		if e.Off >= end {
+			break
+		}
+		if e.Off > cur {
+			fresh = append(fresh, pmem.Range{Off: cur, Len: e.Off - cur})
+		}
+		if e.End() > cur {
+			cur = e.End()
+		}
+		if cur >= end {
+			break
+		}
+	}
+	if cur < end {
+		fresh = append(fresh, pmem.Range{Off: cur, Len: end - cur})
+	}
+	s.rs = pmem.NormalizeRanges(append(s.rs, r))
+	return fresh
+}
+
+// Reset empties the set for the next transaction.
+func (s *rangeSet) Reset() { s.rs = s.rs[:0] }
+
+// Ranges returns the covered ranges (sorted, merged).
+func (s *rangeSet) Ranges() []pmem.Range { return s.rs }

@@ -1,0 +1,188 @@
+package pmemobj
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/trace"
+)
+
+// RedoLog is the write-ahead (redo) counterpart of the pool's undo-log
+// transactions — the other classic crash-consistency mechanism §2.1
+// lists. Updates are first staged into a persistent log; Commit persists
+// the log, sets a valid flag (the Figure 7 commit variable), applies the
+// updates in place, and clears the flag. Recovery re-applies a valid log
+// (redo), making Commit atomic: a crash before the valid flag loses the
+// whole batch, a crash after it replays the batch.
+//
+// On-pool layout of a redo arena (allocated like any object):
+//
+//	valid u64 | count u64 | entries: [off u64 | len u64 | data ...]*
+type RedoLog struct {
+	p    *Pool
+	oid  Oid
+	cap  uint64
+	tail uint64 // volatile append cursor past the 16-byte header
+
+	// staged mirrors the pending updates so Apply can run from memory;
+	// recovery reads them back from the arena instead.
+	staged []redoEntry
+}
+
+type redoEntry struct {
+	off  uint64
+	data []byte
+}
+
+const redoHeader = 16
+
+// ErrRedoFull reports an exhausted redo arena.
+var ErrRedoFull = fmt.Errorf("pmemobj: redo log arena full")
+
+// NewRedoLog allocates a redo arena of the given capacity in the pool.
+func (p *Pool) NewRedoLog(capacity uint64) (*RedoLog, error) {
+	site := instr.CallerSite(1)
+	oid, err := p.alloc.allocate(capacity+redoHeader, site, nil)
+	if err != nil {
+		return nil, err
+	}
+	p.dev.PushInternal()
+	p.storeU64Raw(int(oid), 0, site)   // valid = 0
+	p.storeU64Raw(int(oid)+8, 0, site) // count = 0
+	p.dev.Flush(int(oid), redoHeader, site)
+	p.dev.Fence(site)
+	p.dev.PopInternal()
+	p.dev.MarkCommitVar(int(oid), redoHeader) // valid + count commit words
+	return &RedoLog{p: p, oid: oid, cap: capacity, tail: redoHeader}, nil
+}
+
+// OpenRedoLog attaches to an existing redo arena (after reopening a
+// pool) and re-applies it if a crash left it valid.
+func OpenRedoLog(p *Pool, oid Oid, capacity uint64) (*RedoLog, error) {
+	site := instr.CallerSite(1)
+	r := &RedoLog{p: p, oid: oid, cap: capacity, tail: redoHeader}
+	p.dev.MarkCommitVar(int(oid), redoHeader)
+	if p.loadU64Raw(int(oid), site) == 1 {
+		// Valid log: the batch committed but may not have been applied.
+		r.recover(site)
+		p.dev.LibOp(trace.Recovery, int(oid), int(capacity), site)
+	}
+	return r, nil
+}
+
+// Oid returns the arena handle (store it somewhere persistent to find
+// the log again after a reopen).
+func (r *RedoLog) Oid() Oid { return r.oid }
+
+// Record stages an update of data at absolute object offset oid+off. The
+// target bytes are NOT modified until Commit.
+func (r *RedoLog) Record(oid Oid, off uint64, data []byte) error {
+	site := instr.CallerSite(1)
+	r.p.checkOid(oid, off+uint64(len(data)))
+	need := uint64(16 + len(data))
+	if r.tail+need > r.cap+redoHeader {
+		return fmt.Errorf("%w: need %d bytes", ErrRedoFull, need)
+	}
+	base := uint64(r.oid) + r.tail
+	r.p.dev.PushInternal()
+	r.p.storeU64Raw(int(base), uint64(oid)+off, site)
+	r.p.storeU64Raw(int(base)+8, uint64(len(data)), site)
+	r.p.dev.Store(int(base)+16, data, site)
+	r.p.dev.Flush(int(base), int(need), site)
+	r.p.dev.PopInternal()
+	r.tail += need
+	r.staged = append(r.staged, redoEntry{
+		off:  uint64(oid) + off,
+		data: append([]byte(nil), data...),
+	})
+	count := uint64(len(r.staged))
+	r.p.dev.PushInternal()
+	r.p.storeU64Raw(int(r.oid)+8, count, site)
+	r.p.dev.Flush(int(r.oid)+8, 8, site)
+	r.p.dev.PopInternal()
+	return nil
+}
+
+// Commit makes the staged batch durable and applies it:
+// persist entries+count, fence, valid=1, fence, apply in place, flush,
+// fence, valid=0, fence. Either every update survives a crash or none.
+func (r *RedoLog) Commit() {
+	site := instr.CallerSite(1)
+	p := r.p
+	if len(r.staged) == 0 {
+		return
+	}
+	p.dev.PushInternal()
+	p.dev.Fence(site) // entries + count queued above become durable
+	p.storeU64Raw(int(r.oid), 1, site)
+	p.dev.Flush(int(r.oid), 8, site)
+	p.dev.Fence(site) // commit point
+	p.dev.PopInternal()
+	for _, e := range r.staged {
+		p.dev.Store(int(e.off), e.data, site)
+		p.dev.Flush(int(e.off), len(e.data), site)
+	}
+	p.dev.Fence(site)
+	p.dev.PushInternal()
+	p.storeU64Raw(int(r.oid), 0, site)
+	p.storeU64Raw(int(r.oid)+8, 0, site)
+	p.dev.Flush(int(r.oid), redoHeader, site)
+	p.dev.Fence(site)
+	p.dev.PopInternal()
+	r.reset()
+}
+
+// Abort discards the staged batch (nothing was applied).
+func (r *RedoLog) Abort() {
+	site := instr.CallerSite(1)
+	p := r.p
+	p.dev.PushInternal()
+	p.storeU64Raw(int(r.oid)+8, 0, site)
+	p.dev.Flush(int(r.oid)+8, 8, site)
+	p.dev.Fence(site)
+	p.dev.PopInternal()
+	r.reset()
+}
+
+func (r *RedoLog) reset() {
+	r.tail = redoHeader
+	r.staged = r.staged[:0]
+}
+
+// recover re-applies a valid log from its persistent entries.
+func (r *RedoLog) recover(site instr.SiteID) {
+	p := r.p
+	p.dev.PushInternal()
+	defer p.dev.PopInternal()
+	count := p.loadU64Raw(int(r.oid)+8, site)
+	cur := uint64(r.oid) + redoHeader
+	end := uint64(r.oid) + redoHeader + r.cap
+	for i := uint64(0); i < count; i++ {
+		if cur+16 > end {
+			break
+		}
+		off := p.loadU64Raw(int(cur), site)
+		n := p.loadU64Raw(int(cur)+8, site)
+		if cur+16+n > end || off+n > uint64(p.dev.Size()) {
+			break
+		}
+		data := make([]byte, n)
+		p.dev.Load(int(cur)+16, data, site)
+		p.dev.Store(int(off), data, site)
+		p.dev.Flush(int(off), int(n), site)
+		cur += 16 + n
+	}
+	p.dev.Fence(site)
+	p.storeU64Raw(int(r.oid), 0, site)
+	p.storeU64Raw(int(r.oid)+8, 0, site)
+	p.dev.Flush(int(r.oid), redoHeader, site)
+	p.dev.Fence(site)
+}
+
+// RecordU64 stages a single 8-byte update.
+func (r *RedoLog) RecordU64(oid Oid, off uint64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return r.Record(oid, off, b[:])
+}

@@ -1,0 +1,386 @@
+package pmemobj
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/trace"
+)
+
+// The undo log lives in a fixed arena inside the pool:
+//
+//	[count u64] [entry]* ...
+//	entry: [target off u64] [len u64] [old data ...]
+//
+// TX_ADD appends an entry (persisted with a barrier) and then increments
+// the count (persisted with a second barrier) so a half-written entry is
+// never applied. Recovery on open applies valid entries in reverse and
+// clears the count — the canonical undo protocol the paper's Figure 7
+// sketches with its backup.valid commit variable.
+const logEntryHeader = 16
+
+// txState is the per-pool transaction runtime.
+type txState struct {
+	p       *Pool
+	depth   int
+	ranges  *rangeSet
+	allocs  []Oid
+	frees   []Oid
+	logTail uint64 // volatile append cursor within the arena
+	err     error  // sticky error forcing abort at outermost end
+}
+
+func newTxState(p *Pool) *txState {
+	return &txState{p: p, ranges: newRangeSet()}
+}
+
+// InTx reports whether a transaction is open.
+func (p *Pool) InTx() bool { return p.tx.depth > 0 }
+
+// Begin opens a (possibly nested) transaction — the TX_BEGIN analog.
+func (p *Pool) Begin() {
+	site := instr.CallerSite(1)
+	t := p.tx
+	t.depth++
+	if t.depth == 1 {
+		t.ranges.Reset()
+		t.allocs = t.allocs[:0]
+		t.frees = t.frees[:0]
+		t.logTail = 8 // past the count word
+		t.err = nil
+		p.dev.LibOp(trace.TxBegin, 0, 0, site)
+	}
+}
+
+// Commit closes the current transaction level; the outermost Commit
+// flushes every logged range, fences, applies deferred frees, and
+// invalidates the undo log — the TX_END analog.
+func (p *Pool) Commit() error {
+	site := instr.CallerSite(1)
+	t := p.tx
+	if t.depth == 0 {
+		return ErrNoTx
+	}
+	t.depth--
+	if t.depth > 0 {
+		return nil
+	}
+	if t.err != nil {
+		err := t.err
+		t.abort(site)
+		return err
+	}
+	t.commit(site)
+	return nil
+}
+
+// Abort rolls back the whole transaction (all nesting levels) — the
+// pmemobj_tx_abort analog.
+func (p *Pool) Abort() {
+	site := instr.CallerSite(1)
+	t := p.tx
+	if t.depth == 0 {
+		return
+	}
+	t.depth = 0
+	t.abort(site)
+}
+
+// Tx runs fn inside a transaction: it commits when fn returns nil and
+// aborts when fn returns an error or panics with a program error.
+// Injected pmem.Crash panics propagate unmodified — a power failure does
+// not execute abort code.
+func (p *Pool) Tx(fn func() error) (err error) {
+	p.Begin()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(pmem.Crash); ok {
+				panic(r)
+			}
+			p.Abort()
+			panic(r)
+		}
+	}()
+	if err := fn(); err != nil {
+		p.Abort()
+		return err
+	}
+	return p.Commit()
+}
+
+// TxAdd snapshots [oid+off, oid+off+n) into the undo log so that an abort
+// or crash restores it — the TX_ADD / TX_ADD_FIELD analog. Redundant adds
+// (range already covered, including ranges covered by in-transaction
+// allocation) are detected through the logged-range tree and recorded as
+// TxAddDup trace events: safe, but the performance-bug signal of §5.4.
+func (p *Pool) TxAdd(oid Oid, off, n uint64) error {
+	site := instr.CallerSite(1)
+	p.checkOid(oid, off+n)
+	return p.tx.add(uint64(oid)+off, n, site)
+}
+
+// TxSetU64 is the TX_SET analog: snapshot the field, then store.
+func (p *Pool) TxSetU64(oid Oid, off uint64, v uint64) error {
+	site := instr.CallerSite(1)
+	p.checkOid(oid, off+8)
+	if err := p.tx.add(uint64(oid)+off, 8, site); err != nil {
+		return err
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	p.dev.Store(int(uint64(oid)+off), b[:], site)
+	return nil
+}
+
+// TxSetBytes snapshots and stores a byte range.
+func (p *Pool) TxSetBytes(oid Oid, off uint64, b []byte) error {
+	site := instr.CallerSite(1)
+	p.checkOid(oid, off+uint64(len(b)))
+	if err := p.tx.add(uint64(oid)+off, uint64(len(b)), site); err != nil {
+		return err
+	}
+	p.dev.Store(int(uint64(oid)+off), b, site)
+	return nil
+}
+
+// TxAlloc allocates inside the transaction — the TX_ALLOC analog. The new
+// object's whole range becomes covered in the logged-range tree (its
+// contents need no undo: an abort frees the object), so a later TX_ADD of
+// it is redundant.
+func (p *Pool) TxAlloc(size uint64) (Oid, error) {
+	site := instr.CallerSite(1)
+	t := p.tx
+	if t.depth == 0 {
+		return OidNull, ErrNoTx
+	}
+	oid, err := p.alloc.allocate(size, site, t)
+	if err != nil {
+		t.err = err
+		return OidNull, err
+	}
+	t.allocs = append(t.allocs, oid)
+	t.ranges.Add(pmem.Range{Off: int(oid), Len: int(size)})
+	p.dev.LibOp(trace.TxAlloc, int(oid), int(size), site)
+	return oid, nil
+}
+
+// TxZNew allocates zero-initialized inside the transaction (TX_ZNEW
+// analog). The zero fill is flushed so the commit fence persists it.
+func (p *Pool) TxZNew(size uint64) (Oid, error) {
+	site := instr.CallerSite(1)
+	oid, err := p.TxAlloc(size)
+	if err != nil {
+		return OidNull, err
+	}
+	zero := make([]byte, size)
+	p.dev.Store(int(oid), zero, site)
+	p.dev.Flush(int(oid), int(size), site)
+	return oid, nil
+}
+
+// TxFree frees an object inside the transaction (TX_FREE analog); the
+// release is deferred to commit so an abort keeps the object.
+func (p *Pool) TxFree(oid Oid) error {
+	site := instr.CallerSite(1)
+	t := p.tx
+	if t.depth == 0 {
+		return ErrNoTx
+	}
+	if oid.IsNull() {
+		return nil
+	}
+	t.frees = append(t.frees, oid)
+	p.dev.LibOp(trace.TxFree, int(oid), 0, site)
+	return nil
+}
+
+// add implements TX_ADD against absolute device offsets.
+func (t *txState) add(off, n uint64, site instr.SiteID) error {
+	if t.depth == 0 {
+		return ErrNoTx
+	}
+	r := pmem.Range{Off: int(off), Len: int(n)}
+	fresh := t.ranges.Add(r)
+	if len(fresh) == 0 {
+		// Fully redundant: PMDK performs the range-tree lookup and skips
+		// logging; the wasted work is the performance-bug signal.
+		t.p.dev.LibOp(trace.TxAddDup, r.Off, r.Len, site)
+		return nil
+	}
+	t.p.dev.LibOp(trace.TxAdd, r.Off, r.Len, site)
+	for _, fr := range fresh {
+		if err := t.appendEntry(uint64(fr.Off), uint64(fr.Len), site); err != nil {
+			t.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// logRange is TxAdd for internal callers (the allocator) that already
+// hold absolute offsets and must not emit user-facing TxAdd events.
+func (t *txState) logRange(off, n uint64, site instr.SiteID) error {
+	if t.depth == 0 {
+		return nil // non-transactional caller
+	}
+	fresh := t.ranges.Add(pmem.Range{Off: int(off), Len: int(n)})
+	for _, fr := range fresh {
+		if err := t.appendEntry(uint64(fr.Off), uint64(fr.Len), site); err != nil {
+			t.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// appendEntry persists one undo-log entry: write entry, barrier, bump
+// count, barrier.
+func (t *txState) appendEntry(off, n uint64, site instr.SiteID) error {
+	p := t.p
+	p.dev.PushInternal()
+	defer p.dev.PopInternal()
+	need := logEntryHeader + n
+	if t.logTail+need > p.logCap {
+		return fmt.Errorf("%w: need %d bytes, %d free", ErrLogFull, need, p.logCap-t.logTail)
+	}
+	base := p.logOff + t.logTail
+	p.storeU64Raw(int(base), off, site)
+	p.storeU64Raw(int(base+8), n, site)
+	old := make([]byte, n)
+	p.dev.Load(int(off), old, site)
+	p.dev.Store(int(base+logEntryHeader), old, site)
+	p.dev.Flush(int(base), int(need), site)
+	p.dev.Fence(site)
+
+	count := p.loadU64Raw(int(p.logOff), site)
+	p.storeU64Raw(int(p.logOff), count+1, site)
+	p.dev.Flush(int(p.logOff), 8, site)
+	p.dev.Fence(site)
+
+	t.logTail += need
+	return nil
+}
+
+// commit makes the transaction durable: flush every covered range, fence,
+// apply deferred frees, then invalidate the log.
+func (t *txState) commit(site instr.SiteID) {
+	p := t.p
+	// Flush the union of covered ranges at cache-line granularity so
+	// adjacent ranges sharing a line are written back exactly once —
+	// what a real CLWB loop over the range tree does.
+	var lineRs []pmem.Range
+	for _, r := range t.ranges.Ranges() {
+		start := r.Off / pmem.LineSize * pmem.LineSize
+		end := (r.End() + pmem.LineSize - 1) / pmem.LineSize * pmem.LineSize
+		lineRs = append(lineRs, pmem.Range{Off: start, Len: end - start})
+	}
+	for _, r := range pmem.NormalizeRanges(lineRs) {
+		p.dev.Flush(r.Off, r.Len, site)
+	}
+	p.dev.Fence(site)
+	// Apply deferred frees. Each freed block's header is undo-logged
+	// first: a crash between a free and the log invalidation below must
+	// roll the whole transaction back, including re-allocating the block
+	// the still-linked data points at. (Without this, replaying the
+	// input after such a crash double-frees the block — a bug this
+	// repository's own cross-failure checker found.)
+	for _, oid := range t.frees {
+		hdr := uint64(oid) - blockHeaderSize
+		if err := t.appendEntry(hdr, blockHeaderSize, site); err != nil {
+			panic(err)
+		}
+		// Free failures inside commit indicate heap corruption; surface
+		// them loudly rather than silently committing.
+		if err := p.alloc.release(oid, site, nil); err != nil {
+			panic(err)
+		}
+	}
+	t.invalidateLog(site)
+	p.dev.LibOp(trace.TxEnd, 0, 0, site)
+	t.resetVolatile()
+}
+
+// abort rolls every logged range back and invalidates the log. Allocator
+// header mutations made inside the transaction (TX_ALLOC splits, in-tx
+// frees) were snapshotted before modification, so applying the log already
+// reverts the persistent heap; the volatile free list is rebuilt from the
+// restored headers afterwards.
+func (t *txState) abort(site instr.SiteID) {
+	p := t.p
+	t.applyLog(site)
+	t.invalidateLog(site)
+	if len(t.allocs) > 0 || len(t.frees) > 0 || len(t.ranges.Ranges()) > 0 {
+		if err := p.alloc.rebuild(site); err != nil {
+			// The log restored headers to a pre-transaction state that was
+			// valid by construction; a scan failure means the simulation
+			// itself is broken.
+			panic(err)
+		}
+	}
+	p.dev.LibOp(trace.TxAbort, 0, 0, site)
+	t.resetVolatile()
+}
+
+// applyLog restores logged old data in reverse order and persists it.
+func (t *txState) applyLog(site instr.SiteID) {
+	p := t.p
+	p.dev.PushInternal()
+	defer p.dev.PopInternal()
+	count := p.loadU64Raw(int(p.logOff), site)
+	type entry struct{ base, off, n uint64 }
+	entries := make([]entry, 0, count)
+	cur := p.logOff + 8
+	for i := uint64(0); i < count; i++ {
+		off := p.loadU64Raw(int(cur), site)
+		n := p.loadU64Raw(int(cur+8), site)
+		if cur+logEntryHeader+n > p.logOff+p.logCap {
+			break // truncated garbage; count said otherwise, stop safely
+		}
+		entries = append(entries, entry{base: cur, off: off, n: n})
+		cur += logEntryHeader + n
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		old := make([]byte, e.n)
+		p.dev.Load(int(e.base+logEntryHeader), old, site)
+		p.dev.Store(int(e.off), old, site)
+		p.dev.Flush(int(e.off), int(e.n), site)
+	}
+	if len(entries) > 0 {
+		p.dev.Fence(site)
+	}
+}
+
+// invalidateLog clears the entry count with a barrier — the commit-style
+// valid-bit unset of Figure 7.
+func (t *txState) invalidateLog(site instr.SiteID) {
+	p := t.p
+	p.dev.PushInternal()
+	defer p.dev.PopInternal()
+	p.storeU64Raw(int(p.logOff), 0, site)
+	p.dev.Flush(int(p.logOff), 8, site)
+	p.dev.Fence(site)
+}
+
+func (t *txState) resetVolatile() {
+	t.ranges.Reset()
+	t.allocs = t.allocs[:0]
+	t.frees = t.frees[:0]
+	t.logTail = 8
+	t.err = nil
+}
+
+// recoverLog applies a leftover undo log during Open. It returns true if
+// recovery work was performed.
+func (t *txState) recoverLog(site instr.SiteID) bool {
+	p := t.p
+	count := p.loadU64Raw(int(p.logOff), site)
+	if count == 0 {
+		return false
+	}
+	t.applyLog(site)
+	t.invalidateLog(site)
+	return true
+}

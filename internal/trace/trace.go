@@ -1,0 +1,135 @@
+// Package trace defines the PM-operation event stream shared by the
+// simulated device, the PMDK-analog library, and the bug-detection tools.
+// It plays the role of the operation traces that Pmemcheck and XFDetector
+// collect through dynamic binary instrumentation in the original system.
+package trace
+
+import "fmt"
+
+// Kind enumerates PM-operation event types.
+type Kind uint8
+
+// Event kinds. Low-level device events come first, followed by the
+// library-level (libpmemobj-analog) events the checkers reason about.
+const (
+	Invalid Kind = iota
+
+	// Device-level operations.
+	Store   // store to PM (dirty line, not durable)
+	NTStore // non-temporal store (queued for writeback)
+	Load    // load from PM
+	Flush   // cache-line writeback (CLWB analog)
+	Fence   // ordering point (SFENCE / persist_barrier analog)
+
+	// Library-level operations.
+	TxBegin     // outermost transaction begin
+	TxEnd       // transaction commit completed
+	TxAbort     // transaction aborted (rolled back)
+	TxAdd       // undo-log snapshot of a range (TX_ADD analog)
+	TxAddDup    // TX_ADD of an already-logged range (performance bug signal)
+	TxAlloc     // transactional allocation
+	TxFree      // transactional free
+	Alloc       // non-transactional allocation
+	Free        // non-transactional free
+	PersistCall // pmem_persist analog (flush+fence of a range)
+	PoolOpen    // pool opened
+	PoolCreate  // pool created
+	PoolClose   // pool closed
+	Recovery    // recovery procedure ran on open
+)
+
+var kindNames = map[Kind]string{
+	Invalid:     "invalid",
+	Store:       "store",
+	NTStore:     "ntstore",
+	Load:        "load",
+	Flush:       "flush",
+	Fence:       "fence",
+	TxBegin:     "tx_begin",
+	TxEnd:       "tx_end",
+	TxAbort:     "tx_abort",
+	TxAdd:       "tx_add",
+	TxAddDup:    "tx_add_dup",
+	TxAlloc:     "tx_alloc",
+	TxFree:      "tx_free",
+	Alloc:       "alloc",
+	Free:        "free",
+	PersistCall: "persist",
+	PoolOpen:    "pool_open",
+	PoolCreate:  "pool_create",
+	PoolClose:   "pool_close",
+	Recovery:    "recovery",
+}
+
+// String returns the human-readable kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one PM operation.
+type Event struct {
+	Kind Kind
+	Off  int    // device offset the operation touches (if any)
+	Len  int    // length in bytes (if any)
+	Site uint32 // static call-site ID
+	Seq  int    // running PM-operation index within the execution
+	// Internal marks PM-library metadata accesses (undo-log arena writes,
+	// allocator headers, pool header). Checkers exempt these from
+	// user-facing rules the way Pmemcheck exempts libpmemobj's own
+	// bookkeeping.
+	Internal bool
+}
+
+// String renders the event for reports.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s off=%d len=%d site=%#x", e.Seq, e.Kind, e.Off, e.Len, e.Site)
+}
+
+// Sink receives events as they happen.
+type Sink interface {
+	Emit(Event)
+}
+
+// Recorder is a Sink that retains all events in order.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit appends the event.
+func (r *Recorder) Emit(e Event) { r.events = append(r.events, e) }
+
+// Events returns the recorded events in emission order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Reset clears the recorder for reuse.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// CountKind returns how many events of kind k were recorded.
+func (r *Recorder) CountKind(k Kind) int {
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// MultiSink fans events out to several sinks.
+type MultiSink []Sink
+
+// Emit sends e to every sink.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{
+		Invalid, Store, NTStore, Load, Flush, Fence,
+		TxBegin, TxEnd, TxAbort, TxAdd, TxAddDup, TxAlloc, TxFree,
+		Alloc, Free, PersistCall, PoolOpen, PoolCreate, PoolClose, Recovery,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Errorf("unknown kind rendering wrong")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: Store, Off: 64, Len: 8, Site: 0xabc, Seq: 3}
+	s := e.String()
+	for _, want := range []string{"store", "off=64", "len=8", "#3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: Store})
+	r.Emit(Event{Kind: Flush})
+	r.Emit(Event{Kind: Store})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.CountKind(Store) != 2 || r.CountKind(Fence) != 0 {
+		t.Fatalf("CountKind wrong")
+	}
+	if r.Events()[1].Kind != Flush {
+		t.Fatalf("order lost")
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Reset failed")
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	m := MultiSink{a, b}
+	m.Emit(Event{Kind: Fence})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out failed: %d %d", a.Len(), b.Len())
+	}
+}

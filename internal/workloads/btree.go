@@ -1,0 +1,791 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/pmemobj"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// BTree is the port of PMDK's btree_map example: an order-4 B-Tree whose
+// mutations run inside libpmemobj-analog transactions. Deletion uses the
+// rotate/merge rebalancing of the paper's Example 1, which is exactly the
+// code region nontrivial test cases must reach.
+//
+// On-pool layout:
+//
+//	pool root (16B): map Oid @0
+//	map struct (16B): root node Oid @0, size @8
+//	node (88B): n @0, items[3]{key,val} @8, slots[4] @56
+const (
+	btOrder    = 4 // max children; max items = 3, min items = 1
+	btMaxItems = btOrder - 1
+	btMinDeg   = btOrder / 2 // CLRS t = 2
+
+	btNodeN     = 0
+	btNodeItems = 8
+	btNodeSlots = 8 + 16*btMaxItems
+	btNodeSize  = btNodeSlots + 8*btOrder
+
+	btMapRoot  = 0
+	btMapSize  = 8
+	btMapStamp = 16
+	btMapLen   = 24
+)
+
+// Branch-site annotations (the AFL-instrumentation substitute).
+var (
+	btSiteInsert      = instr.ID("btree.insert")
+	btSiteInsertLeaf  = instr.ID("btree.insert.leaf")
+	btSiteSplit       = instr.ID("btree.split")
+	btSiteNewRoot     = instr.ID("btree.newroot")
+	btSiteRemove      = instr.ID("btree.remove")
+	btSiteRemoveLeaf  = instr.ID("btree.remove.leaf")
+	btSiteRemoveInner = instr.ID("btree.remove.inner")
+	btSiteRotateLeft  = instr.ID("btree.rotate_left")
+	btSiteRotateRight = instr.ID("btree.rotate_right")
+	btSiteMerge       = instr.ID("btree.merge")
+	btSiteGetHit      = instr.ID("btree.get.hit")
+	btSiteGetMiss     = instr.ID("btree.get.miss")
+	btSiteCheck       = instr.ID("btree.check")
+	btSiteUpdate      = instr.ID("btree.update")
+)
+
+func init() { Register("btree", func() Program { return &BTree{} }) }
+
+// BTree is the workload instance; fields hold per-execution state.
+type BTree struct {
+	pool *pmemobj.Pool
+	root pmemobj.Oid // pool root object
+	// addedInTx tracks nodes already snapshotted in the current
+	// transaction. The fixed program consults it to avoid redundant
+	// TX_ADDs; Bug 12 ignores it on the insert-item path.
+	addedInTx map[pmemobj.Oid]bool
+	// stamp is the volatile operation counter behind the persistent
+	// operation stamp.
+	stamp uint64
+}
+
+// Name implements Program.
+func (b *BTree) Name() string { return "btree" }
+
+// PoolSize implements Program.
+func (b *BTree) PoolSize() int { return 1 << 20 }
+
+// SeedInputs implements Program.
+func (b *BTree) SeedInputs() [][]byte { return mapcliSeeds() }
+
+// SynPoints implements Program: 17 synthetic injection points (Table 3).
+func (b *BTree) SynPoints() []bugs.Point {
+	return []bugs.Point{
+		{ID: 1, Kind: bugs.SkipTxAdd, Site: "btree.go:create map pointer"},
+		{ID: 2, Kind: bugs.SkipTxAdd, Site: "btree.go:insert new root pointer"},
+		{ID: 3, Kind: bugs.SkipTxAdd, Site: "btree.go:insert leaf node"},
+		{ID: 4, Kind: bugs.WrongLogRange, Site: "btree.go:insert leaf wrong item"},
+		{ID: 5, Kind: bugs.SkipTxAdd, Site: "btree.go:split child truncation"},
+		{ID: 6, Kind: bugs.SkipTxAdd, Site: "btree.go:split parent median"},
+		{ID: 7, Kind: bugs.RedundantTxAdd, Site: "btree.go:split right after TxZNew"},
+		{ID: 8, Kind: bugs.SkipTxAdd, Site: "btree.go:remove leaf"},
+		{ID: 9, Kind: bugs.WrongLogRange, Site: "btree.go:remove leaf wrong item"},
+		{ID: 10, Kind: bugs.SkipTxAdd, Site: "btree.go:remove inner predecessor swap"},
+		{ID: 11, Kind: bugs.SkipTxAdd, Site: "btree.go:rotate_left node"},
+		{ID: 12, Kind: bugs.SkipTxAdd, Site: "btree.go:rotate_left parent item"},
+		{ID: 13, Kind: bugs.RedundantTxAdd, Site: "btree.go:rotate_left double log"},
+		{ID: 14, Kind: bugs.SkipTxAdd, Site: "btree.go:rotate_right node"},
+		{ID: 15, Kind: bugs.SkipTxAdd, Site: "btree.go:merge siblings"},
+		{ID: 16, Kind: bugs.SkipFlush, Site: "btree.go:operation stamp persist"},
+		{ID: 17, Kind: bugs.WrongCommitValue, Site: "btree.go:size counter value"},
+	}
+}
+
+// Setup implements Program: open-or-create, with the Bug 2 pattern — the
+// fixed driver re-runs creation when a rolled-back create left a NULL map
+// pointer; the buggy driver assumes the map exists.
+func (b *BTree) Setup(env *Env) error {
+	pool, err := pmemobj.Open(env.Dev, "btree")
+	if errors.Is(err, pmemobj.ErrBadPool) {
+		if pool, err = pmemobj.Create(env.Dev, "btree", pmemobj.Options{Derandomize: true}); err != nil {
+			return err
+		}
+		b.pool = pool
+		if b.root, err = pool.Root(16); err != nil {
+			return err
+		}
+		return b.createMap(env)
+	}
+	if err != nil {
+		return err
+	}
+	b.pool = pool
+	b.root = pool.RootOid()
+	if b.root.IsNull() {
+		if b.root, err = pool.Root(16); err != nil {
+			return err
+		}
+		return b.createMap(env)
+	}
+	if !env.Bugs.Real(bugs.Bug2BTreeCreateNotRetried) && pool.U64(b.root, 0) == 0 {
+		// Fixed behaviour: a crashed creation was rolled back; run it again.
+		return b.createMap(env)
+	}
+	return nil
+}
+
+// createMap allocates the map struct inside a transaction, the
+// tree_map_create pattern whose rollback Bug 2 mishandles.
+func (b *BTree) createMap(env *Env) error {
+	p := b.pool
+	return p.Tx(func() error {
+		if err := txAddP(env, p, 1, b.root, 0, 8); err != nil {
+			return err
+		}
+		m, err := p.TxZNew(btMapLen)
+		if err != nil {
+			return err
+		}
+		p.SetU64(b.root, 0, uint64(m))
+		return nil
+	})
+}
+
+func (b *BTree) mapOid() pmemobj.Oid {
+	return pmemobj.Oid(b.pool.U64(b.root, 0))
+}
+
+// Exec implements Program.
+func (b *BTree) Exec(env *Env, line []byte) error {
+	op, err := ParseOp(line)
+	if err != nil {
+		return nil // skip noise
+	}
+	switch op.Code {
+	case 'i':
+		return b.insert(env, op.Key, op.Val)
+	case 'r':
+		return b.remove(env, op.Key)
+	case 'g':
+		b.get(env, op.Key)
+		return nil
+	case 'c':
+		return b.check(env)
+	case 'q':
+		return ErrStop
+	}
+	return nil
+}
+
+// Close implements Program.
+func (b *BTree) Close(env *Env) *pmem.Image {
+	return b.pool.Close()
+}
+
+// --- node accessors ---
+
+func (b *BTree) nN(nd pmemobj.Oid) int { return int(b.pool.U64(nd, btNodeN)) }
+func (b *BTree) setN(nd pmemobj.Oid, n int) {
+	b.pool.SetU64(nd, btNodeN, uint64(n))
+}
+func (b *BTree) key(nd pmemobj.Oid, i int) uint64 {
+	return b.pool.U64(nd, btNodeItems+uint64(i)*16)
+}
+func (b *BTree) val(nd pmemobj.Oid, i int) uint64 {
+	return b.pool.U64(nd, btNodeItems+uint64(i)*16+8)
+}
+func (b *BTree) setItem(nd pmemobj.Oid, i int, k, v uint64) {
+	b.pool.SetU64(nd, btNodeItems+uint64(i)*16, k)
+	b.pool.SetU64(nd, btNodeItems+uint64(i)*16+8, v)
+}
+func (b *BTree) slot(nd pmemobj.Oid, i int) pmemobj.Oid {
+	return pmemobj.Oid(b.pool.U64(nd, btNodeSlots+uint64(i)*8))
+}
+func (b *BTree) setSlot(nd pmemobj.Oid, i int, c pmemobj.Oid) {
+	b.pool.SetU64(nd, btNodeSlots+uint64(i)*8, uint64(c))
+}
+func (b *BTree) isLeaf(nd pmemobj.Oid) bool { return b.slot(nd, 0).IsNull() }
+
+// addNode snapshots a whole node once per transaction (the fixed
+// program's discipline). Injection point skipID omits the snapshot when
+// active; bug12 forces a redundant snapshot.
+func (b *BTree) addNode(env *Env, nd pmemobj.Oid, skipID int, allowDup bool) error {
+	if skipID != 0 && env.Bugs.Syn(skipID) {
+		return nil
+	}
+	if b.addedInTx[nd] && !allowDup {
+		return nil
+	}
+	b.addedInTx[nd] = true
+	return b.pool.TxAdd(nd, 0, btNodeSize)
+}
+
+// --- operations ---
+
+func (b *BTree) insert(env *Env, key, val uint64) error {
+	env.Branch(btSiteInsert)
+	p := b.pool
+	b.addedInTx = map[pmemobj.Oid]bool{}
+	err := p.Tx(func() error {
+		m := b.mapOid()
+		root := pmemobj.Oid(p.U64(m, btMapRoot))
+		if root.IsNull() {
+			env.Branch(btSiteNewRoot)
+			nd, err := p.TxZNew(btNodeSize)
+			if err != nil {
+				return err
+			}
+			b.addedInTx[nd] = true
+			if err := txAddP(env, p, 2, m, btMapRoot, 8); err != nil {
+				return err
+			}
+			p.SetU64(m, btMapRoot, uint64(nd))
+			root = nd
+		}
+		// Update in place if the key exists.
+		if nd, i := b.find(env, root, key); !nd.IsNull() {
+			env.Branch(btSiteUpdate)
+			if err := b.addNode(env, nd, 3, false); err != nil {
+				return err
+			}
+			b.setItem(nd, i, key, val)
+			return nil
+		}
+		if b.nN(root) == btMaxItems {
+			env.Branch(btSiteNewRoot)
+			// Grow the tree: new root with the old root as child 0.
+			newRoot, err := p.TxZNew(btNodeSize)
+			if err != nil {
+				return err
+			}
+			b.addedInTx[newRoot] = true
+			b.setSlot(newRoot, 0, root)
+			if err := txAddP(env, p, 2, m, btMapRoot, 8); err != nil {
+				return err
+			}
+			p.SetU64(m, btMapRoot, uint64(newRoot))
+			if err := b.splitChild(env, newRoot, 0); err != nil {
+				return err
+			}
+			root = newRoot
+		}
+		if err := b.insertNonFull(env, root, key, val); err != nil {
+			return err
+		}
+		return b.bumpSizeLocked(env, 1)
+	})
+	if err != nil {
+		return err
+	}
+	b.stampOp(env)
+	return nil
+}
+
+// insertNonFull inserts into a node known to have room, splitting full
+// children on the way down.
+func (b *BTree) insertNonFull(env *Env, nd pmemobj.Oid, key, val uint64) error {
+	n := b.nN(nd)
+	if b.isLeaf(nd) {
+		env.Branch(btSiteInsertLeaf)
+		// Shift greater items right; insert.
+		if env.Bugs.Syn(4) {
+			// WrongLogRange: snapshot only the first item, then modify the
+			// whole item area — Example 1's wrong-index pattern.
+			if err := b.pool.TxAdd(nd, btNodeItems, 16); err != nil {
+				return err
+			}
+		} else if err := b.addNode(env, nd, 3, false); err != nil {
+			return err
+		}
+		if env.Bugs.Real(bugs.Bug12BTreeRedundantAddInsert) {
+			// Bug 12: TX_ADD again even though the node was added while
+			// finding the destination (or just above).
+			if err := b.pool.TxAdd(nd, 0, btNodeSize); err != nil {
+				return err
+			}
+		}
+		i := n - 1
+		for i >= 0 && b.key(nd, i) > key {
+			b.setItem(nd, i+1, b.key(nd, i), b.val(nd, i))
+			i--
+		}
+		b.setItem(nd, i+1, key, val)
+		b.setN(nd, n+1)
+		return nil
+	}
+	i := n - 1
+	for i >= 0 && b.key(nd, i) > key {
+		i--
+	}
+	i++
+	child := b.slot(nd, i)
+	if b.nN(child) == btMaxItems {
+		if err := b.splitChild(env, nd, i); err != nil {
+			return err
+		}
+		if key > b.key(nd, i) {
+			i++
+		}
+	}
+	return b.insertNonFull(env, b.slot(nd, i), key, val)
+}
+
+// splitChild splits the full i-th child of nd, hoisting the median.
+func (b *BTree) splitChild(env *Env, nd pmemobj.Oid, i int) error {
+	env.Branch(btSiteSplit)
+	p := b.pool
+	child := b.slot(nd, i)
+	right, err := p.TxZNew(btNodeSize)
+	if err != nil {
+		return err
+	}
+	b.addedInTx[right] = true
+	if err := redundantAddP(env, p, 7, right, 0, btNodeSize); err != nil {
+		return err
+	}
+	// Move items after the median to the right node.
+	medK, medV := b.key(child, btMinDeg-1), b.val(child, btMinDeg-1)
+	for j := btMinDeg; j < btMaxItems; j++ {
+		b.setItem(right, j-btMinDeg, b.key(child, j), b.val(child, j))
+	}
+	if !b.isLeaf(child) {
+		for j := btMinDeg; j < btOrder; j++ {
+			b.setSlot(right, j-btMinDeg, b.slot(child, j))
+		}
+	}
+	b.setN(right, btMaxItems-btMinDeg)
+	// Truncate the child.
+	if err := b.addNode(env, child, 5, false); err != nil {
+		return err
+	}
+	for j := btMinDeg - 1; j < btMaxItems; j++ {
+		b.setItem(child, j, 0, 0)
+	}
+	if !b.isLeaf(child) {
+		for j := btMinDeg; j < btOrder; j++ {
+			b.setSlot(child, j, pmemobj.OidNull)
+		}
+	}
+	b.setN(child, btMinDeg-1)
+	// Insert median + right pointer into the parent.
+	if err := b.addNode(env, nd, 6, false); err != nil {
+		return err
+	}
+	n := b.nN(nd)
+	for j := n - 1; j >= i; j-- {
+		b.setItem(nd, j+1, b.key(nd, j), b.val(nd, j))
+	}
+	for j := n; j >= i+1; j-- {
+		b.setSlot(nd, j+1, b.slot(nd, j))
+	}
+	b.setItem(nd, i, medK, medV)
+	b.setSlot(nd, i+1, right)
+	b.setN(nd, n+1)
+	return nil
+}
+
+// find returns the node and index holding key, or a null oid.
+func (b *BTree) find(env *Env, nd pmemobj.Oid, key uint64) (pmemobj.Oid, int) {
+	for !nd.IsNull() {
+		n := b.nN(nd)
+		i := 0
+		for i < n && b.key(nd, i) < key {
+			i++
+		}
+		if i < n && b.key(nd, i) == key {
+			return nd, i
+		}
+		if b.isLeaf(nd) {
+			return pmemobj.OidNull, 0
+		}
+		nd = b.slot(nd, i)
+	}
+	return pmemobj.OidNull, 0
+}
+
+// Lookup exposes the read path for verification harnesses.
+func (b *BTree) Lookup(env *Env, key uint64) (uint64, bool) {
+	return b.get(env, key)
+}
+
+func (b *BTree) get(env *Env, key uint64) (uint64, bool) {
+	m := b.mapOid()
+	root := pmemobj.Oid(b.pool.U64(m, btMapRoot))
+	if root.IsNull() {
+		env.Branch(btSiteGetMiss)
+		return 0, false
+	}
+	nd, i := b.find(env, root, key)
+	if nd.IsNull() {
+		env.Branch(btSiteGetMiss)
+		return 0, false
+	}
+	env.Branch(btSiteGetHit)
+	return b.val(nd, i), true
+}
+
+func (b *BTree) remove(env *Env, key uint64) error {
+	env.Branch(btSiteRemove)
+	p := b.pool
+	b.addedInTx = map[pmemobj.Oid]bool{}
+	removed := false
+	err := p.Tx(func() error {
+		m := b.mapOid()
+		root := pmemobj.Oid(p.U64(m, btMapRoot))
+		if root.IsNull() {
+			return nil
+		}
+		if nd, _ := b.find(env, root, key); nd.IsNull() {
+			return nil
+		}
+		removed = true
+		if err := b.removeFrom(env, root, key); err != nil {
+			return err
+		}
+		// Shrink the tree if the root emptied.
+		if b.nN(root) == 0 && !b.isLeaf(root) {
+			if err := txAddP(env, p, 2, m, btMapRoot, 8); err != nil {
+				return err
+			}
+			p.SetU64(m, btMapRoot, uint64(b.slot(root, 0)))
+			if err := p.TxFree(root); err != nil {
+				return err
+			}
+		}
+		return b.bumpSizeLocked(env, ^uint64(0)) // size += -1
+	})
+	if err != nil {
+		return err
+	}
+	if removed {
+		b.stampOp(env)
+	}
+	return nil
+}
+
+// removeFrom implements CLRS B-Tree deletion with the guarantee that nd
+// has at least btMinDeg items whenever we descend (except the root).
+func (b *BTree) removeFrom(env *Env, nd pmemobj.Oid, key uint64) error {
+	n := b.nN(nd)
+	i := 0
+	for i < n && b.key(nd, i) < key {
+		i++
+	}
+	if i < n && b.key(nd, i) == key {
+		if b.isLeaf(nd) {
+			env.Branch(btSiteRemoveLeaf)
+			if env.Bugs.Syn(9) {
+				// WrongLogRange: snapshot a single neighbouring item only.
+				wrong := i + 1
+				if wrong >= btMaxItems {
+					wrong = 0
+				}
+				if err := b.pool.TxAdd(nd, btNodeItems+uint64(wrong)*16, 16); err != nil {
+					return err
+				}
+			} else if err := b.addNode(env, nd, 8, false); err != nil {
+				return err
+			}
+			for j := i; j < n-1; j++ {
+				b.setItem(nd, j, b.key(nd, j+1), b.val(nd, j+1))
+			}
+			b.setItem(nd, n-1, 0, 0)
+			b.setN(nd, n-1)
+			return nil
+		}
+		env.Branch(btSiteRemoveInner)
+		return b.removeInternal(env, nd, i, key)
+	}
+	if b.isLeaf(nd) {
+		return nil // not present (raced with rebalance bookkeeping)
+	}
+	child := b.slot(nd, i)
+	if b.nN(child) < btMinDeg {
+		var err error
+		if child, i, err = b.fixChild(env, nd, i); err != nil {
+			return err
+		}
+	}
+	return b.removeFrom(env, child, key)
+}
+
+// removeInternal deletes key at index i of internal node nd.
+func (b *BTree) removeInternal(env *Env, nd pmemobj.Oid, i int, key uint64) error {
+	left, right := b.slot(nd, i), b.slot(nd, i+1)
+	switch {
+	case b.nN(left) >= btMinDeg:
+		pk, pv := b.maxOf(left)
+		if err := b.addNode(env, nd, 10, false); err != nil {
+			return err
+		}
+		b.setItem(nd, i, pk, pv)
+		return b.removeFrom(env, left, pk)
+	case b.nN(right) >= btMinDeg:
+		sk, sv := b.minOf(right)
+		if err := b.addNode(env, nd, 10, false); err != nil {
+			return err
+		}
+		b.setItem(nd, i, sk, sv)
+		return b.removeFrom(env, right, sk)
+	default:
+		if err := b.mergeChildren(env, nd, i); err != nil {
+			return err
+		}
+		return b.removeFrom(env, b.slot(nd, i), key)
+	}
+}
+
+func (b *BTree) maxOf(nd pmemobj.Oid) (uint64, uint64) {
+	for !b.isLeaf(nd) {
+		nd = b.slot(nd, b.nN(nd))
+	}
+	n := b.nN(nd)
+	return b.key(nd, n-1), b.val(nd, n-1)
+}
+
+func (b *BTree) minOf(nd pmemobj.Oid) (uint64, uint64) {
+	for !b.isLeaf(nd) {
+		nd = b.slot(nd, 0)
+	}
+	return b.key(nd, 0), b.val(nd, 0)
+}
+
+// fixChild ensures child i of nd has at least btMinDeg items, borrowing
+// from a sibling (rotate) or merging. It returns the (possibly moved)
+// child and its index.
+func (b *BTree) fixChild(env *Env, nd pmemobj.Oid, i int) (pmemobj.Oid, int, error) {
+	n := b.nN(nd)
+	if i > 0 && b.nN(b.slot(nd, i-1)) >= btMinDeg {
+		if err := b.rotateRight(env, nd, i); err != nil {
+			return pmemobj.OidNull, 0, err
+		}
+		return b.slot(nd, i), i, nil
+	}
+	if i < n && b.nN(b.slot(nd, i+1)) >= btMinDeg {
+		if err := b.rotateLeft(env, nd, i); err != nil {
+			return pmemobj.OidNull, 0, err
+		}
+		return b.slot(nd, i), i, nil
+	}
+	// Merge with a sibling.
+	if i == n {
+		i--
+	}
+	if err := b.mergeChildren(env, nd, i); err != nil {
+		return pmemobj.OidNull, 0, err
+	}
+	return b.slot(nd, i), i, nil
+}
+
+// rotateLeft moves the separator down into child i and the right
+// sibling's first item up — the paper's rotate_left (Example 1).
+func (b *BTree) rotateLeft(env *Env, nd pmemobj.Oid, i int) error {
+	env.Branch(btSiteRotateLeft)
+	child, sib := b.slot(nd, i), b.slot(nd, i+1)
+	if err := b.addNode(env, child, 11, false); err != nil {
+		return err
+	}
+	if err := redundantAddP(env, b.pool, 13, child, 0, btNodeSize); err != nil {
+		return err
+	}
+	cn := b.nN(child)
+	b.setItem(child, cn, b.key(nd, i), b.val(nd, i))
+	if !b.isLeaf(child) {
+		b.setSlot(child, cn+1, b.slot(sib, 0))
+	}
+	b.setN(child, cn+1)
+	if err := b.addNode(env, nd, 12, false); err != nil {
+		return err
+	}
+	b.setItem(nd, i, b.key(sib, 0), b.val(sib, 0))
+	if err := b.addNode(env, sib, 0, false); err != nil {
+		return err
+	}
+	sn := b.nN(sib)
+	for j := 0; j < sn-1; j++ {
+		b.setItem(sib, j, b.key(sib, j+1), b.val(sib, j+1))
+	}
+	if !b.isLeaf(sib) {
+		for j := 0; j < sn; j++ {
+			b.setSlot(sib, j, b.slot(sib, j+1))
+		}
+		b.setSlot(sib, sn, pmemobj.OidNull)
+	}
+	b.setItem(sib, sn-1, 0, 0)
+	b.setN(sib, sn-1)
+	return nil
+}
+
+// rotateRight is the mirror image.
+func (b *BTree) rotateRight(env *Env, nd pmemobj.Oid, i int) error {
+	env.Branch(btSiteRotateRight)
+	child, sib := b.slot(nd, i), b.slot(nd, i-1)
+	if err := b.addNode(env, child, 14, false); err != nil {
+		return err
+	}
+	cn := b.nN(child)
+	for j := cn - 1; j >= 0; j-- {
+		b.setItem(child, j+1, b.key(child, j), b.val(child, j))
+	}
+	if !b.isLeaf(child) {
+		for j := cn; j >= 0; j-- {
+			b.setSlot(child, j+1, b.slot(child, j))
+		}
+	}
+	b.setItem(child, 0, b.key(nd, i-1), b.val(nd, i-1))
+	if !b.isLeaf(child) {
+		b.setSlot(child, 0, b.slot(sib, b.nN(sib)))
+	}
+	b.setN(child, cn+1)
+	if err := b.addNode(env, nd, 0, false); err != nil {
+		return err
+	}
+	sn := b.nN(sib)
+	b.setItem(nd, i-1, b.key(sib, sn-1), b.val(sib, sn-1))
+	if err := b.addNode(env, sib, 0, false); err != nil {
+		return err
+	}
+	b.setItem(sib, sn-1, 0, 0)
+	if !b.isLeaf(sib) {
+		b.setSlot(sib, sn, pmemobj.OidNull)
+	}
+	b.setN(sib, sn-1)
+	return nil
+}
+
+// mergeChildren folds the separator and child i+1 into child i.
+func (b *BTree) mergeChildren(env *Env, nd pmemobj.Oid, i int) error {
+	env.Branch(btSiteMerge)
+	p := b.pool
+	left, right := b.slot(nd, i), b.slot(nd, i+1)
+	if err := b.addNode(env, left, 15, false); err != nil {
+		return err
+	}
+	ln, rn := b.nN(left), b.nN(right)
+	b.setItem(left, ln, b.key(nd, i), b.val(nd, i))
+	for j := 0; j < rn; j++ {
+		b.setItem(left, ln+1+j, b.key(right, j), b.val(right, j))
+	}
+	if !b.isLeaf(left) {
+		for j := 0; j <= rn; j++ {
+			b.setSlot(left, ln+1+j, b.slot(right, j))
+		}
+	}
+	b.setN(left, ln+1+rn)
+	if err := b.addNode(env, nd, 0, false); err != nil {
+		return err
+	}
+	n := b.nN(nd)
+	for j := i; j < n-1; j++ {
+		b.setItem(nd, j, b.key(nd, j+1), b.val(nd, j+1))
+	}
+	for j := i + 1; j < n; j++ {
+		b.setSlot(nd, j, b.slot(nd, j+1))
+	}
+	b.setItem(nd, n-1, 0, 0)
+	b.setSlot(nd, n, pmemobj.OidNull)
+	b.setN(nd, n-1)
+	return p.TxFree(right)
+}
+
+// bumpSizeLocked adjusts the size counter inside the current transaction.
+func (b *BTree) bumpSizeLocked(env *Env, delta uint64) error {
+	p := b.pool
+	m := b.mapOid()
+	if err := p.TxAdd(m, btMapSize, 8); err != nil {
+		return err
+	}
+	v := p.U64(m, btMapSize) + delta
+	if env.Bugs.Syn(17) {
+		v++ // WrongCommitValue: corrupt the committed size
+	}
+	p.SetU64(m, btMapSize, v)
+	return nil
+}
+
+// stampOp advances a non-transactional operation stamp after each
+// mutation (a stats-style update carrying the SkipFlush injection
+// point). The stamp value comes from a volatile counter so nothing ever
+// reads it back from PM.
+func (b *BTree) stampOp(env *Env) {
+	b.stamp++
+	m := b.mapOid()
+	b.pool.SetU64(m, btMapStamp, b.stamp)
+	persistP(env, b.pool, 16, m, btMapStamp, 8)
+}
+
+// check walks the whole tree validating B-Tree invariants and the size
+// counter; a failure is the semantic-corruption signal the executor
+// reports as a bug.
+func (b *BTree) check(env *Env) error {
+	env.Branch(btSiteCheck)
+	m := b.mapOid()
+	root := pmemobj.Oid(b.pool.U64(m, btMapRoot))
+	count := 0
+	var walk func(nd pmemobj.Oid, lo, hi uint64, depth int) (int, error)
+	walk = func(nd pmemobj.Oid, lo, hi uint64, depth int) (int, error) {
+		if nd.IsNull() {
+			return 0, nil
+		}
+		if depth > 64 {
+			return 0, fmt.Errorf("%w: btree too deep (cycle?)", ErrInconsistent)
+		}
+		n := b.nN(nd)
+		if n < 0 || n > btMaxItems {
+			return 0, fmt.Errorf("%w: node %d has n=%d", ErrInconsistent, nd, n)
+		}
+		prev := lo
+		leafDepth := -1
+		for i := 0; i < n; i++ {
+			k := b.key(nd, i)
+			if k < prev || k > hi {
+				return 0, fmt.Errorf("%w: key %d out of order in node %d", ErrInconsistent, k, nd)
+			}
+			prev = k
+		}
+		if b.isLeaf(nd) {
+			return 1, nil
+		}
+		for i := 0; i <= n; i++ {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = b.key(nd, i-1)
+			}
+			if i < n {
+				chi = b.key(nd, i)
+			}
+			d, err := walk(b.slot(nd, i), clo, chi, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if leafDepth == -1 {
+				leafDepth = d
+			} else if d != leafDepth {
+				return 0, fmt.Errorf("%w: uneven leaf depth under node %d", ErrInconsistent, nd)
+			}
+		}
+		return leafDepth + 1, nil
+	}
+	if _, err := walk(root, 0, ^uint64(0), 0); err != nil {
+		return err
+	}
+	var countWalk func(nd pmemobj.Oid) int
+	countWalk = func(nd pmemobj.Oid) int {
+		if nd.IsNull() {
+			return 0
+		}
+		n := b.nN(nd)
+		total := n
+		if !b.isLeaf(nd) {
+			for i := 0; i <= n; i++ {
+				total += countWalk(b.slot(nd, i))
+			}
+		}
+		return total
+	}
+	count = countWalk(root)
+	if size := b.pool.U64(m, btMapSize); uint64(count) != size {
+		return fmt.Errorf("%w: size counter %d != actual %d", ErrInconsistent, size, count)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// seqInput renders "i k v" lines for keys 1..n.
+func seqInput(n int) []byte {
+	var b bytes.Buffer
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "i %d %d\n", i, i*10)
+	}
+	return b.Bytes()
+}
+
+func TestBTreeSplitGrowsTree(t *testing.T) {
+	// Order 4: the 4th insert forces a root split; 20 sequential inserts
+	// force repeated splits along the right spine.
+	img := runProgram(t, "btree", nil, append(seqInput(20), []byte("c\n")...), nil)
+	verifyContents(t, "btree", img, refModel(seqInput(20)))
+}
+
+func TestBTreeRemoveTriggersRebalance(t *testing.T) {
+	// Build then drain in an order that forces rotations and merges.
+	var in bytes.Buffer
+	in.Write(seqInput(20))
+	for i := 1; i <= 20; i += 2 {
+		fmt.Fprintf(&in, "r %d\nc\n", i)
+	}
+	for i := 2; i <= 20; i += 2 {
+		fmt.Fprintf(&in, "r %d\nc\n", i)
+	}
+	img := runProgram(t, "btree", nil, in.Bytes(), nil)
+	verifyContents(t, "btree", img, map[uint64]uint64{})
+}
+
+func TestBTreeDescendingInsert(t *testing.T) {
+	var in bytes.Buffer
+	for i := 30; i >= 1; i-- {
+		fmt.Fprintf(&in, "i %d %d\n", i, i)
+	}
+	in.WriteString("c\n")
+	img := runProgram(t, "btree", nil, in.Bytes(), nil)
+	ref := map[uint64]uint64{}
+	for i := 1; i <= 30; i++ {
+		ref[uint64(i)] = uint64(i)
+	}
+	verifyContents(t, "btree", img, ref)
+}
+
+func TestBTreeUpdateInPlace(t *testing.T) {
+	img := runProgram(t, "btree", nil, []byte("i 5 1\ni 5 2\ni 5 3\nc\n"), nil)
+	verifyContents(t, "btree", img, map[uint64]uint64{5: 3})
+}
+
+func TestBTreeRemoveMissingKeyIsNoop(t *testing.T) {
+	img := runProgram(t, "btree", nil, []byte("i 1 1\nr 99\nc\n"), nil)
+	verifyContents(t, "btree", img, map[uint64]uint64{1: 1})
+}
+
+func TestBTreeWrongSizeCommitCaughtByCheck(t *testing.T) {
+	_, err := tryRunProgram("btree", nil, []byte("i 1 1\nc\n"),
+		bugs.NewSet().EnableSyn(17), nil)
+	if err == nil {
+		t.Fatalf("corrupted size counter passed the consistency check")
+	}
+}
+
+func TestBTreeBug2FaultsAfterCreateCrash(t *testing.T) {
+	bg := bugs.NewSet().EnableReal(bugs.Bug2BTreeCreateNotRetried)
+	// Find a barrier inside the creation transaction.
+	for barrier := 1; barrier <= 40; barrier++ {
+		img, err := tryRunProgram("btree", nil, []byte("i 1 1\n"), bg, pmem.BarrierFailure{N: barrier})
+		if err == nil {
+			break
+		}
+		if _, ok := err.(pmem.Crash); !ok {
+			t.Fatalf("barrier %d: unexpected error %v", barrier, err)
+		}
+		_, err = tryRunProgram("btree", img, []byte("i 2 2\n"), bg, nil)
+		if err != nil && !isCrash(err) {
+			return // the buggy program faulted, as §5.4 describes
+		}
+		// The fixed program must always survive the same crash image.
+		if _, err := tryRunProgram("btree", img, []byte("i 2 2\nc\n"), nil, nil); err != nil {
+			t.Fatalf("barrier %d: fixed program failed on crash image: %v", barrier, err)
+		}
+	}
+	t.Fatalf("Bug 2 never manifested across the creation window")
+}
+
+func isCrash(err error) bool {
+	_, ok := err.(pmem.Crash)
+	return ok
+}
+
+func TestBTreeDeepIncrementalAccumulation(t *testing.T) {
+	// Accumulate state across many short runs — PMFuzz's incremental
+	// image pipeline. The final tree must hold everything.
+	var img *pmem.Image
+	ref := map[uint64]uint64{}
+	for round := 0; round < 8; round++ {
+		var in bytes.Buffer
+		for k := round * 10; k < round*10+10; k++ {
+			fmt.Fprintf(&in, "i %d %d\n", k, k+100)
+			ref[uint64(k)] = uint64(k + 100)
+		}
+		in.WriteString("c\n")
+		img = runProgram(t, "btree", img, in.Bytes(), nil)
+	}
+	verifyContents(t, "btree", img, ref)
+}

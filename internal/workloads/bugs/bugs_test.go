@@ -1,0 +1,76 @@
+package bugs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStringsAndClass(t *testing.T) {
+	perf := map[Kind]bool{
+		SkipTxAdd: false, WrongLogRange: false, SkipFlush: false,
+		SkipFence: false, ReorderWrites: false, WrongCommitValue: false,
+		RedundantTxAdd: true, RedundantFlush: true,
+	}
+	for k, want := range perf {
+		if k.IsPerformance() != want {
+			t.Errorf("%s IsPerformance = %v, want %v", k, k.IsPerformance(), want)
+		}
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Errorf("unknown kind rendering wrong")
+	}
+}
+
+func TestRealBugNamesAndClass(t *testing.T) {
+	for b := RealBug(1); b <= NumRealBugs; b++ {
+		s := b.String()
+		if !strings.Contains(s, "Bug") || strings.HasSuffix(s, ":") {
+			t.Errorf("bug %d badly named: %q", b, s)
+		}
+		wantPerf := b >= Bug7MemcachedRedundantFlush
+		if b.IsPerformance() != wantPerf {
+			t.Errorf("bug %d IsPerformance = %v", b, b.IsPerformance())
+		}
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	var nilSet *Set
+	if nilSet.Syn(1) || nilSet.Real(Bug1HashmapTXCreateNotRetried) {
+		t.Fatalf("nil set has active bugs")
+	}
+	if !nilSet.Empty() {
+		t.Fatalf("nil set not empty")
+	}
+	s := NewSet()
+	if !s.Empty() {
+		t.Fatalf("new set not empty")
+	}
+	s.EnableSyn(3).EnableReal(Bug6AtomicRecoveryNotCalled)
+	if !s.Syn(3) || s.Syn(4) {
+		t.Fatalf("syn flags wrong")
+	}
+	if !s.Real(Bug6AtomicRecoveryNotCalled) || s.Real(Bug7MemcachedRedundantFlush) {
+		t.Fatalf("real flags wrong")
+	}
+	if s.Empty() {
+		t.Fatalf("non-empty set reported empty")
+	}
+}
+
+func TestSynCountsSumTo125(t *testing.T) {
+	// The paper's Table 3 injects 125 synthetic bugs in total.
+	total := 0
+	for _, n := range SynCounts {
+		total += n
+	}
+	if total != 125 {
+		t.Fatalf("total synthetic bugs = %d, want 125", total)
+	}
+	if len(SynCounts) != 8 {
+		t.Fatalf("workload count = %d, want 8", len(SynCounts))
+	}
+}

@@ -1,0 +1,434 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/pmemobj"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// HashmapAtomic ports PMDK's hashmap_atomic example: chained buckets
+// maintained with low-level persist primitives instead of transactions.
+// Consistency of the count field is protected by a count_dirty commit
+// flag (the Figure 7 pattern); a failure with the flag set requires the
+// program's own recovery function, hashmap_atomic_init, to recount. The
+// paper's Bug 6 is the mapcli driver assuming transactions recover
+// everything and never calling that function (mapcli:205,
+// hashmap_atomic.c:452).
+//
+// On-pool layout:
+//
+//	pool root (16B): map Oid @0
+//	hashmap struct (192B): seed @0, fun @8, buckets Oid @16,
+//	                       nbuckets @24, count @64, countDirty @128
+//	entry (24B): key @0, val @8, next @16
+const (
+	hmaSeed     = 0
+	hmaFun      = 8
+	hmaBuckets  = 16
+	hmaNBuckets = 24
+	// count and countDirty each live on their own cache line (like the
+	// cacheline-aligned fields of real PM structures), so persisting one
+	// never implicitly writes back the other.
+	hmaCount = 64
+	hmaDirty = 128
+	hmaLen   = 192
+
+	hmaEKey  = 0
+	hmaEVal  = 8
+	hmaENext = 16
+	hmaELen  = 24
+
+	hmaNumBuckets = 8
+)
+
+var (
+	hmaSiteInsert  = instr.ID("hashmap_atomic.insert")
+	hmaSiteUpdate  = instr.ID("hashmap_atomic.update")
+	hmaSiteRemove  = instr.ID("hashmap_atomic.remove")
+	hmaSiteGetHit  = instr.ID("hashmap_atomic.get.hit")
+	hmaSiteGetMiss = instr.ID("hashmap_atomic.get.miss")
+	hmaSiteRecover = instr.ID("hashmap_atomic.recover")
+	hmaSiteCheck   = instr.ID("hashmap_atomic.check")
+	hmaSiteCreate  = instr.ID("hashmap_atomic.create")
+)
+
+func init() { Register("hashmap-atomic", func() Program { return &HashmapAtomic{} }) }
+
+// HashmapAtomic is the workload instance.
+type HashmapAtomic struct {
+	pool *pmemobj.Pool
+	root pmemobj.Oid
+}
+
+// Name implements Program.
+func (h *HashmapAtomic) Name() string { return "hashmap-atomic" }
+
+// PoolSize implements Program.
+func (h *HashmapAtomic) PoolSize() int { return 1 << 20 }
+
+// SeedInputs implements Program.
+func (h *HashmapAtomic) SeedInputs() [][]byte { return mapcliSeeds() }
+
+// SynPoints implements Program: 14 points (Table 3).
+func (h *HashmapAtomic) SynPoints() []bugs.Point {
+	return []bugs.Point{
+		{ID: 1, Kind: bugs.SkipFlush, Site: "hashmap_atomic.go:insert entry persist"},
+		{ID: 2, Kind: bugs.SkipFence, Site: "hashmap_atomic.go:insert path fences removed"},
+		{ID: 3, Kind: bugs.WrongCommitValue, Site: "hashmap_atomic.go:dirty set value"},
+		{ID: 4, Kind: bugs.SkipFlush, Site: "hashmap_atomic.go:insert link persist"},
+		{ID: 5, Kind: bugs.ReorderWrites, Site: "hashmap_atomic.go:link before entry persisted"},
+		{ID: 6, Kind: bugs.SkipFlush, Site: "hashmap_atomic.go:count persist"},
+		{ID: 7, Kind: bugs.WrongCommitValue, Site: "hashmap_atomic.go:count value"},
+		{ID: 8, Kind: bugs.SkipFlush, Site: "hashmap_atomic.go:dirty clear persist"},
+		{ID: 9, Kind: bugs.SkipFlush, Site: "hashmap_atomic.go:remove unlink persist"},
+		{ID: 10, Kind: bugs.ReorderWrites, Site: "hashmap_atomic.go:remove dirty cleared early"},
+		{ID: 11, Kind: bugs.SkipFlush, Site: "hashmap_atomic.go:create buckets persist"},
+		{ID: 12, Kind: bugs.SkipFence, Site: "hashmap_atomic.go:create root pointer fence"},
+		{ID: 13, Kind: bugs.RedundantFlush, Site: "hashmap_atomic.go:insert entry double persist"},
+		{ID: 14, Kind: bugs.RedundantFlush, Site: "hashmap_atomic.go:create double persist"},
+	}
+}
+
+// Setup implements Program. The fixed driver calls the manual recovery
+// function hashmap_atomic_init; the Bug 6 driver does not.
+func (h *HashmapAtomic) Setup(env *Env) error {
+	pool, err := pmemobj.Open(env.Dev, "hashmap-atomic")
+	if errors.Is(err, pmemobj.ErrBadPool) {
+		if pool, err = pmemobj.Create(env.Dev, "hashmap-atomic", pmemobj.Options{Derandomize: true}); err != nil {
+			return err
+		}
+		h.pool = pool
+		if h.root, err = pool.Root(16); err != nil {
+			return err
+		}
+		return h.create(env)
+	}
+	if err != nil {
+		return err
+	}
+	h.pool = pool
+	h.root = pool.RootOid()
+	if h.root.IsNull() {
+		if h.root, err = pool.Root(16); err != nil {
+			return err
+		}
+		return h.create(env)
+	}
+	if pool.U64(h.root, 0) == 0 {
+		return h.create(env)
+	}
+	h.annotateCommitVars()
+	if !env.Bugs.Real(bugs.Bug6AtomicRecoveryNotCalled) {
+		// Hashmap-Atomic is built with low-level primitives; the driver
+		// must call its recovery function (the Bug 6 fix).
+		h.recoverCount(env)
+	}
+	return nil
+}
+
+// annotateCommitVars registers the atomically published words — the
+// dirty flag, root pointer, and bucket head pointers — as commit
+// variables (the XFDetector source-annotation analog). Entry next
+// pointers are annotated as entries are created.
+func (h *HashmapAtomic) annotateCommitVars() {
+	dev := h.pool.Device()
+	dev.MarkCommitVar(int(uint64(h.root)), 8)
+	m := h.mapOid()
+	if m.IsNull() {
+		return
+	}
+	dev.MarkCommitVar(int(uint64(m)+hmaDirty), 8)
+	buckets := pmemobj.Oid(h.pool.U64(m, hmaBuckets))
+	if !buckets.IsNull() {
+		dev.MarkCommitVar(int(uint64(buckets)), hmaNumBuckets*8)
+	}
+	n := h.pool.U64(m, hmaNBuckets)
+	for b := uint64(0); b < n; b++ {
+		for e := h.bucketHead(m, b); !e.IsNull(); e = pmemobj.Oid(h.pool.U64(e, hmaENext)) {
+			dev.MarkCommitVar(int(uint64(e)+hmaENext), 8)
+		}
+	}
+}
+
+// create builds the hashmap with low-level primitives; the root pointer
+// is the commit point.
+func (h *HashmapAtomic) create(env *Env) error {
+	env.Branch(hmaSiteCreate)
+	p := h.pool
+	// Annotate before any store: the root pointer is this structure's
+	// commit record, validated by the next Setup.
+	h.annotateCommitVars()
+	m, err := p.Alloc(hmaLen)
+	if err != nil {
+		return err
+	}
+	buckets, err := p.AllocZeroed(hmaNumBuckets * 8)
+	if err != nil {
+		return err
+	}
+	p.SetU64(m, hmaSeed, uint64(env.RNG.Uint32()))
+	p.SetU64(m, hmaFun, env.RNG.Uint64()|1)
+	p.SetU64(m, hmaCount, 0)
+	p.SetU64(m, hmaDirty, 0)
+	p.SetU64(m, hmaBuckets, uint64(buckets))
+	p.SetU64(m, hmaNBuckets, hmaNumBuckets)
+	if !env.Bugs.Syn(11) {
+		p.Persist(m, 0, hmaLen)
+	}
+	if env.Bugs.Syn(14) {
+		p.Persist(m, 0, hmaLen) // redundant second persist
+	}
+	// Commit: publish the map through the root pointer.
+	p.SetU64(h.root, 0, uint64(m))
+	if env.Bugs.Syn(12) {
+		p.FlushRange(h.root, 0, 8) // flush without the ordering fence
+	} else {
+		p.Persist(h.root, 0, 8)
+	}
+	h.annotateCommitVars()
+	return nil
+}
+
+// recoverCount is hashmap_atomic_init: if a failure interrupted a count
+// update (count_dirty set), recount the buckets.
+func (h *HashmapAtomic) recoverCount(env *Env) {
+	env.Branch(hmaSiteRecover)
+	p := h.pool
+	m := h.mapOid()
+	if p.U64(m, hmaDirty) == 0 {
+		return
+	}
+	var count uint64
+	n := p.U64(m, hmaNBuckets)
+	for b := uint64(0); b < n; b++ {
+		for e := h.bucketHead(m, b); !e.IsNull(); e = pmemobj.Oid(p.U64(e, hmaENext)) {
+			count++
+		}
+	}
+	p.SetU64(m, hmaCount, count)
+	p.Persist(m, hmaCount, 8)
+	p.SetU64(m, hmaDirty, 0)
+	p.Persist(m, hmaDirty, 8)
+}
+
+func (h *HashmapAtomic) mapOid() pmemobj.Oid { return pmemobj.Oid(h.pool.U64(h.root, 0)) }
+
+// Exec implements Program.
+func (h *HashmapAtomic) Exec(env *Env, line []byte) error {
+	op, err := ParseOp(line)
+	if err != nil {
+		return nil
+	}
+	switch op.Code {
+	case 'i':
+		return h.insert(env, op.Key, op.Val)
+	case 'r':
+		return h.remove(env, op.Key)
+	case 'g':
+		h.Lookup(env, op.Key)
+		return nil
+	case 'c':
+		return h.check(env)
+	case 'q':
+		return ErrStop
+	}
+	return nil
+}
+
+// Close implements Program.
+func (h *HashmapAtomic) Close(env *Env) *pmem.Image { return h.pool.Close() }
+
+func (h *HashmapAtomic) hash(m pmemobj.Oid, key uint64) uint64 {
+	return (key*h.pool.U64(m, hmaFun) + h.pool.U64(m, hmaSeed)) % h.pool.U64(m, hmaNBuckets)
+}
+
+func (h *HashmapAtomic) bucketHead(m pmemobj.Oid, b uint64) pmemobj.Oid {
+	buckets := pmemobj.Oid(h.pool.U64(m, hmaBuckets))
+	return pmemobj.Oid(h.pool.U64(buckets, b*8))
+}
+
+// setDirty writes and persists the count_dirty commit flag.
+func (h *HashmapAtomic) setDirty(env *Env, m pmemobj.Oid, v uint64, skipPersistID int) {
+	p := h.pool
+	if v == 1 && env.Bugs.Syn(3) {
+		v = 0 // WrongCommitValue: the flag never marks the window
+	}
+	p.SetU64(m, hmaDirty, v)
+	if skipPersistID != 0 && env.Bugs.Syn(skipPersistID) {
+		return
+	}
+	p.Persist(m, hmaDirty, 8)
+}
+
+func (h *HashmapAtomic) insert(env *Env, key, val uint64) error {
+	env.Branch(hmaSiteInsert)
+	p := h.pool
+	m := h.mapOid()
+	b := h.hash(m, key)
+	buckets := pmemobj.Oid(p.U64(m, hmaBuckets))
+	// Update in place on duplicate.
+	for e := h.bucketHead(m, b); !e.IsNull(); e = pmemobj.Oid(p.U64(e, hmaENext)) {
+		if p.U64(e, hmaEKey) == key {
+			env.Branch(hmaSiteUpdate)
+			p.SetU64(e, hmaEVal, val)
+			p.Persist(e, hmaEVal, 8)
+			return nil
+		}
+	}
+	e, err := p.Alloc(hmaELen)
+	if err != nil {
+		return err
+	}
+	p.Device().MarkCommitVar(int(uint64(e)+hmaENext), 8)
+	// Syn 2 removes the ordering fences from the whole insert path: every
+	// persist degrades to a bare flush, so at a failure any subset of the
+	// in-flight lines may persist — e.g. the published link without the
+	// entry's fields. Only the final dirty clear keeps its fence.
+	weak := env.Bugs.Syn(2)
+	persistMaybe := func(oid pmemobj.Oid, off, n uint64) {
+		if weak {
+			p.FlushRange(oid, off, n)
+		} else {
+			p.Persist(oid, off, n)
+		}
+	}
+	writeEntry := func() {
+		p.SetU64(e, hmaEKey, key)
+		p.SetU64(e, hmaEVal, val)
+		p.SetU64(e, hmaENext, uint64(h.bucketHead(m, b)))
+		if !env.Bugs.Syn(1) {
+			persistMaybe(e, 0, hmaELen)
+		}
+		if env.Bugs.Syn(13) {
+			p.Persist(e, 0, hmaELen) // redundant
+		}
+	}
+	link := func() {
+		p.SetU64(buckets, b*8, uint64(e))
+		if !env.Bugs.Syn(4) {
+			persistMaybe(buckets, b*8, 8)
+		}
+	}
+	setDirtyWeak := func(v uint64) {
+		if env.Bugs.Syn(3) && v == 1 {
+			v = 0
+		}
+		p.SetU64(m, hmaDirty, v)
+		persistMaybe(m, hmaDirty, 8)
+	}
+	if env.Bugs.Syn(5) {
+		// ReorderWrites: publish the entry before its fields are durable.
+		link()
+		writeEntry()
+	} else {
+		writeEntry()
+		setDirtyWeak(1)
+		link()
+	}
+	count := p.U64(m, hmaCount) + 1
+	if env.Bugs.Syn(7) {
+		count++
+	}
+	p.SetU64(m, hmaCount, count)
+	if !env.Bugs.Syn(6) {
+		persistMaybe(m, hmaCount, 8)
+	}
+	h.setDirty(env, m, 0, 8)
+	return nil
+}
+
+func (h *HashmapAtomic) remove(env *Env, key uint64) error {
+	env.Branch(hmaSiteRemove)
+	p := h.pool
+	m := h.mapOid()
+	b := h.hash(m, key)
+	buckets := pmemobj.Oid(p.U64(m, hmaBuckets))
+	prev := pmemobj.OidNull
+	e := h.bucketHead(m, b)
+	for !e.IsNull() && p.U64(e, hmaEKey) != key {
+		prev = e
+		e = pmemobj.Oid(p.U64(e, hmaENext))
+	}
+	if e.IsNull() {
+		return nil
+	}
+	next := p.U64(e, hmaENext)
+	if env.Bugs.Syn(10) {
+		// ReorderWrites: the dirty window closes before the count settles.
+		h.setDirty(env, m, 1, 0)
+		h.setDirty(env, m, 0, 0)
+		h.unlink(env, m, buckets, b, prev, next)
+		p.SetU64(m, hmaCount, p.U64(m, hmaCount)-1)
+		p.Persist(m, hmaCount, 8)
+	} else {
+		h.setDirty(env, m, 1, 0)
+		h.unlink(env, m, buckets, b, prev, next)
+		p.SetU64(m, hmaCount, p.U64(m, hmaCount)-1)
+		p.Persist(m, hmaCount, 8)
+		h.setDirty(env, m, 0, 8)
+	}
+	return p.Free(e)
+}
+
+func (h *HashmapAtomic) unlink(env *Env, m, buckets pmemobj.Oid, b uint64, prev pmemobj.Oid, next uint64) {
+	p := h.pool
+	if prev.IsNull() {
+		p.SetU64(buckets, b*8, next)
+		if !env.Bugs.Syn(9) {
+			p.Persist(buckets, b*8, 8)
+		}
+	} else {
+		p.SetU64(prev, hmaENext, next)
+		if !env.Bugs.Syn(9) {
+			p.Persist(prev, hmaENext, 8)
+		}
+	}
+}
+
+// Lookup exposes the read path for verification harnesses.
+func (h *HashmapAtomic) Lookup(env *Env, key uint64) (uint64, bool) {
+	m := h.mapOid()
+	b := h.hash(m, key)
+	for e := h.bucketHead(m, b); !e.IsNull(); e = pmemobj.Oid(h.pool.U64(e, hmaENext)) {
+		if h.pool.U64(e, hmaEKey) == key {
+			env.Branch(hmaSiteGetHit)
+			return h.pool.U64(e, hmaEVal), true
+		}
+	}
+	env.Branch(hmaSiteGetMiss)
+	return 0, false
+}
+
+// check verifies chain placement, the absence of cycles, the count, and
+// that no dirty window is open during normal operation.
+func (h *HashmapAtomic) check(env *Env) error {
+	env.Branch(hmaSiteCheck)
+	p := h.pool
+	m := h.mapOid()
+	if p.U64(m, hmaDirty) != 0 {
+		return fmt.Errorf("%w: hashmap-atomic count_dirty set outside an update", ErrInconsistent)
+	}
+	n := p.U64(m, hmaNBuckets)
+	count := uint64(0)
+	for b := uint64(0); b < n; b++ {
+		steps := 0
+		for e := h.bucketHead(m, b); !e.IsNull(); e = pmemobj.Oid(p.U64(e, hmaENext)) {
+			if got := h.hash(m, p.U64(e, hmaEKey)); got != b {
+				return fmt.Errorf("%w: hashmap-atomic entry in bucket %d hashes to %d", ErrInconsistent, b, got)
+			}
+			count++
+			steps++
+			if steps > 1<<20 {
+				return fmt.Errorf("%w: hashmap-atomic chain cycle in bucket %d", ErrInconsistent, b)
+			}
+		}
+	}
+	if size := p.U64(m, hmaCount); count != size {
+		return fmt.Errorf("%w: hashmap-atomic count %d != actual %d", ErrInconsistent, size, count)
+	}
+	return nil
+}

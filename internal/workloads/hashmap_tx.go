@@ -1,0 +1,439 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/pmemobj"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// HashmapTX ports PMDK's hashmap_tx example: chained buckets, all
+// mutations transactional, with a load-factor-triggered rebuild that
+// reallocates the bucket array — the deep path conventional fuzzers
+// rarely reach. It hosts the paper's Bug 1 (creation transaction undone
+// by a failure but never re-run) and Bug 8 (TX_ADD of a TX_ZNEW object).
+//
+// On-pool layout:
+//
+//	pool root (16B): map Oid @0
+//	hashmap struct (40B): seed @0, count @8, buckets Oid @16, nbuckets @24, fun @32
+//	entry (24B): key @0, val @8, next @16
+//	buckets array: nbuckets * 8 bytes of entry Oids
+const (
+	hmtSeed     = 0
+	hmtCount    = 8
+	hmtBuckets  = 16
+	hmtNBuckets = 24
+	hmtFun      = 32
+	hmtStamp    = 40
+	hmtLen      = 48
+
+	hmtEKey  = 0
+	hmtEVal  = 8
+	hmtENext = 16
+	hmtELen  = 24
+
+	hmtInitBuckets = 4
+	hmtMaxLoad     = 2 // rebuild when count > nbuckets * hmtMaxLoad
+)
+
+var (
+	hmtSiteInsert  = instr.ID("hashmap_tx.insert")
+	hmtSiteUpdate  = instr.ID("hashmap_tx.update")
+	hmtSiteRemove  = instr.ID("hashmap_tx.remove")
+	hmtSiteGetHit  = instr.ID("hashmap_tx.get.hit")
+	hmtSiteGetMiss = instr.ID("hashmap_tx.get.miss")
+	hmtSiteRebuild = instr.ID("hashmap_tx.rebuild")
+	hmtSiteCheck   = instr.ID("hashmap_tx.check")
+	hmtSiteCreate  = instr.ID("hashmap_tx.create")
+)
+
+func init() { Register("hashmap-tx", func() Program { return &HashmapTX{} }) }
+
+// HashmapTX is the workload instance.
+type HashmapTX struct {
+	pool  *pmemobj.Pool
+	root  pmemobj.Oid
+	stamp uint64
+	// freshEntry is the entry allocated by the in-flight insert; a
+	// rebuild in the same transaction must not re-log it.
+	freshEntry pmemobj.Oid
+}
+
+// Name implements Program.
+func (h *HashmapTX) Name() string { return "hashmap-tx" }
+
+// PoolSize implements Program.
+func (h *HashmapTX) PoolSize() int { return 1 << 20 }
+
+// SeedInputs implements Program.
+func (h *HashmapTX) SeedInputs() [][]byte { return mapcliSeeds() }
+
+// SynPoints implements Program: 21 points (Table 3).
+func (h *HashmapTX) SynPoints() []bugs.Point {
+	return []bugs.Point{
+		{ID: 1, Kind: bugs.SkipTxAdd, Site: "hashmap_tx.go:create map pointer"},
+		{ID: 2, Kind: bugs.RedundantTxAdd, Site: "hashmap_tx.go:create bucket fields re-add"},
+		{ID: 3, Kind: bugs.RedundantTxAdd, Site: "hashmap_tx.go:create double add (Bug 8 shape)"},
+		{ID: 4, Kind: bugs.SkipTxAdd, Site: "hashmap_tx.go:insert bucket head"},
+		{ID: 5, Kind: bugs.WrongLogRange, Site: "hashmap_tx.go:insert logs wrong bucket"},
+		{ID: 6, Kind: bugs.SkipTxAdd, Site: "hashmap_tx.go:insert count"},
+		{ID: 7, Kind: bugs.RedundantTxAdd, Site: "hashmap_tx.go:insert double add entry"},
+		{ID: 8, Kind: bugs.SkipTxAdd, Site: "hashmap_tx.go:update value in place"},
+		{ID: 9, Kind: bugs.SkipTxAdd, Site: "hashmap_tx.go:remove head unlink"},
+		{ID: 10, Kind: bugs.SkipTxAdd, Site: "hashmap_tx.go:remove middle unlink"},
+		{ID: 11, Kind: bugs.WrongLogRange, Site: "hashmap_tx.go:remove logs wrong field"},
+		{ID: 12, Kind: bugs.SkipTxAdd, Site: "hashmap_tx.go:remove count"},
+		{ID: 13, Kind: bugs.RedundantTxAdd, Site: "hashmap_tx.go:remove double add pred"},
+		{ID: 14, Kind: bugs.SkipTxAdd, Site: "hashmap_tx.go:rebuild buckets pointer"},
+		{ID: 15, Kind: bugs.SkipTxAdd, Site: "hashmap_tx.go:rebuild nbuckets"},
+		{ID: 16, Kind: bugs.SkipTxAdd, Site: "hashmap_tx.go:rebuild relink entry"},
+		{ID: 17, Kind: bugs.WrongLogRange, Site: "hashmap_tx.go:rebuild logs old array"},
+		{ID: 18, Kind: bugs.RedundantTxAdd, Site: "hashmap_tx.go:rebuild double add new array"},
+		{ID: 19, Kind: bugs.WrongCommitValue, Site: "hashmap_tx.go:rebuild frees the live array"},
+		{ID: 20, Kind: bugs.WrongCommitValue, Site: "hashmap_tx.go:count value"},
+		{ID: 21, Kind: bugs.SkipFlush, Site: "hashmap_tx.go:operation stamp persist"},
+	}
+}
+
+// Setup implements Program with the Bug 1 create-retry pattern
+// (hashmap_tx.c:402).
+func (h *HashmapTX) Setup(env *Env) error {
+	pool, err := pmemobj.Open(env.Dev, "hashmap-tx")
+	if errors.Is(err, pmemobj.ErrBadPool) {
+		if pool, err = pmemobj.Create(env.Dev, "hashmap-tx", pmemobj.Options{Derandomize: true}); err != nil {
+			return err
+		}
+		h.pool = pool
+		if h.root, err = pool.Root(16); err != nil {
+			return err
+		}
+		return h.createHashmap(env)
+	}
+	if err != nil {
+		return err
+	}
+	h.pool = pool
+	h.root = pool.RootOid()
+	if h.root.IsNull() {
+		if h.root, err = pool.Root(16); err != nil {
+			return err
+		}
+		return h.createHashmap(env)
+	}
+	if !env.Bugs.Real(bugs.Bug1HashmapTXCreateNotRetried) && pool.U64(h.root, 0) == 0 {
+		// Fixed behaviour: the creation transaction was undone by a
+		// failure; check for completion and redo (the fix for Bug 1).
+		return h.createHashmap(env)
+	}
+	return nil
+}
+
+// createHashmap is the create_hashmap transaction of Figure 14a.
+func (h *HashmapTX) createHashmap(env *Env) error {
+	env.Branch(hmtSiteCreate)
+	p := h.pool
+	err := p.Tx(func() error {
+		if err := txAddP(env, p, 1, h.root, 0, 8); err != nil {
+			return err
+		}
+		m, err := p.TxZNew(hmtLen)
+		if err != nil {
+			return err
+		}
+		if env.Bugs.Real(bugs.Bug8HashmapTXRedundantAdd) {
+			// Bug 8 (hashmap_tx.c:90): TX_ADD of the object TX_ZNEW just
+			// allocated and logged.
+			if err := p.TxAdd(m, 0, hmtLen); err != nil {
+				return err
+			}
+		}
+		if err := redundantAddP(env, p, 3, m, 0, hmtLen); err != nil {
+			return err
+		}
+		buckets, err := p.TxZNew(hmtInitBuckets * 8)
+		if err != nil {
+			return err
+		}
+		if env.Bugs.Syn(2) {
+			// RedundantTxAdd: the map was TX_ZNEWed above; logging its
+			// bucket fields again is wasted work.
+			if err := p.TxAdd(m, hmtBuckets, 16); err != nil {
+				return err
+			}
+		}
+		p.SetU64(m, hmtSeed, uint64(env.RNG.Uint32()))
+		p.SetU64(m, hmtFun, env.RNG.Uint64()|1)
+		p.SetU64(m, hmtBuckets, uint64(buckets))
+		p.SetU64(m, hmtNBuckets, hmtInitBuckets)
+		p.SetU64(h.root, 0, uint64(m))
+		return nil
+	})
+	return err
+}
+
+// stampOp advances the non-transactional operation stamp (volatile
+// counter; never read back from PM).
+func (h *HashmapTX) stampOp(env *Env) {
+	h.stamp++
+	m := h.mapOid()
+	h.pool.SetU64(m, hmtStamp, h.stamp)
+	persistP(env, h.pool, 21, m, hmtStamp, 8)
+}
+
+func (h *HashmapTX) mapOid() pmemobj.Oid { return pmemobj.Oid(h.pool.U64(h.root, 0)) }
+
+// Exec implements Program.
+func (h *HashmapTX) Exec(env *Env, line []byte) error {
+	op, err := ParseOp(line)
+	if err != nil {
+		return nil
+	}
+	switch op.Code {
+	case 'i':
+		return h.insert(env, op.Key, op.Val)
+	case 'r':
+		return h.remove(env, op.Key)
+	case 'g':
+		h.Lookup(env, op.Key)
+		return nil
+	case 'c':
+		return h.check(env)
+	case 'q':
+		return ErrStop
+	}
+	return nil
+}
+
+// Close implements Program.
+func (h *HashmapTX) Close(env *Env) *pmem.Image { return h.pool.Close() }
+
+func (h *HashmapTX) hash(m pmemobj.Oid, key uint64) uint64 {
+	fun := h.pool.U64(m, hmtFun)
+	seed := h.pool.U64(m, hmtSeed)
+	n := h.pool.U64(m, hmtNBuckets)
+	return (key*fun + seed) % n
+}
+
+func (h *HashmapTX) bucketHead(m pmemobj.Oid, b uint64) pmemobj.Oid {
+	buckets := pmemobj.Oid(h.pool.U64(m, hmtBuckets))
+	return pmemobj.Oid(h.pool.U64(buckets, b*8))
+}
+
+func (h *HashmapTX) insert(env *Env, key, val uint64) error {
+	env.Branch(hmtSiteInsert)
+	p := h.pool
+	h.freshEntry = pmemobj.OidNull
+	err := p.Tx(func() error {
+		m := h.mapOid()
+		b := h.hash(m, key)
+		// Update in place on duplicate.
+		for e := h.bucketHead(m, b); !e.IsNull(); e = pmemobj.Oid(p.U64(e, hmtENext)) {
+			if p.U64(e, hmtEKey) == key {
+				env.Branch(hmtSiteUpdate)
+				if err := txAddP(env, p, 8, e, hmtEVal, 8); err != nil {
+					return err
+				}
+				p.SetU64(e, hmtEVal, val)
+				return nil
+			}
+		}
+		e, err := p.TxZNew(hmtELen)
+		if err != nil {
+			return err
+		}
+		h.freshEntry = e
+		if err := redundantAddP(env, p, 7, e, 0, hmtELen); err != nil {
+			return err
+		}
+		p.SetU64(e, hmtEKey, key)
+		p.SetU64(e, hmtEVal, val)
+		p.SetU64(e, hmtENext, uint64(h.bucketHead(m, b)))
+		buckets := pmemobj.Oid(p.U64(m, hmtBuckets))
+		if env.Bugs.Syn(5) {
+			wrong := (b + 1) % p.U64(m, hmtNBuckets)
+			if err := p.TxAdd(buckets, wrong*8, 8); err != nil {
+				return err
+			}
+		} else if err := txAddP(env, p, 4, buckets, b*8, 8); err != nil {
+			return err
+		}
+		p.SetU64(buckets, b*8, uint64(e))
+		if err := h.bumpCount(env, m, 1, 6); err != nil {
+			return err
+		}
+		if p.U64(m, hmtCount) > p.U64(m, hmtNBuckets)*hmtMaxLoad {
+			return h.rebuild(env, m)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	h.stampOp(env)
+	return nil
+}
+
+// rebuild doubles the bucket array and relinks every entry — the
+// hashmap_rebuild path.
+func (h *HashmapTX) rebuild(env *Env, m pmemobj.Oid) error {
+	env.Branch(hmtSiteRebuild)
+	p := h.pool
+	oldBuckets := pmemobj.Oid(p.U64(m, hmtBuckets))
+	oldN := p.U64(m, hmtNBuckets)
+	newN := oldN * 2
+	newBuckets, err := p.TxZNew(newN * 8)
+	if err != nil {
+		if errors.Is(err, pmemobj.ErrNoSpace) {
+			return nil // skip rebuild when full, like the original's ENOMEM path
+		}
+		return err
+	}
+	if err := redundantAddP(env, p, 18, newBuckets, 0, newN*8); err != nil {
+		return err
+	}
+	if err := txAddP(env, p, 15, m, hmtNBuckets, 8); err != nil {
+		return err
+	}
+	p.SetU64(m, hmtNBuckets, newN)
+	// Relink every entry into its new bucket.
+	for b := uint64(0); b < oldN; b++ {
+		e := pmemobj.Oid(p.U64(oldBuckets, b*8))
+		for !e.IsNull() {
+			next := pmemobj.Oid(p.U64(e, hmtENext))
+			nb := h.hash(m, p.U64(e, hmtEKey))
+			if env.Bugs.Syn(17) {
+				if err := p.TxAdd(oldBuckets, b*8, 8); err != nil {
+					return err
+				}
+			} else if e != h.freshEntry {
+				// The entry this transaction just allocated is covered.
+				if err := txAddP(env, p, 16, e, hmtENext, 8); err != nil {
+					return err
+				}
+			}
+			p.SetU64(e, hmtENext, p.U64(newBuckets, nb*8))
+			p.SetU64(newBuckets, nb*8, uint64(e))
+			e = next
+		}
+	}
+	if err := txAddP(env, p, 14, m, hmtBuckets, 8); err != nil {
+		return err
+	}
+	p.SetU64(m, hmtBuckets, uint64(newBuckets))
+	if env.Bugs.Syn(19) {
+		// Semantically incorrect code (§5.1's fourth injection class):
+		// free the live array instead of the old one. The next
+		// allocation reuses the block under the table's feet.
+		return p.TxFree(newBuckets)
+	}
+	return p.TxFree(oldBuckets)
+}
+
+func (h *HashmapTX) remove(env *Env, key uint64) error {
+	env.Branch(hmtSiteRemove)
+	p := h.pool
+	removed := false
+	err := p.Tx(func() error {
+		m := h.mapOid()
+		b := h.hash(m, key)
+		buckets := pmemobj.Oid(p.U64(m, hmtBuckets))
+		prev := pmemobj.OidNull
+		e := h.bucketHead(m, b)
+		for !e.IsNull() && p.U64(e, hmtEKey) != key {
+			prev = e
+			e = pmemobj.Oid(p.U64(e, hmtENext))
+		}
+		if e.IsNull() {
+			return nil
+		}
+		next := p.U64(e, hmtENext)
+		if prev.IsNull() {
+			if err := txAddP(env, p, 9, buckets, b*8, 8); err != nil {
+				return err
+			}
+			p.SetU64(buckets, b*8, next)
+		} else {
+			if env.Bugs.Syn(11) {
+				if err := p.TxAdd(prev, hmtEKey, 8); err != nil {
+					return err
+				}
+			} else if err := txAddP(env, p, 10, prev, hmtENext, 8); err != nil {
+				return err
+			}
+			if err := redundantAddP(env, p, 13, prev, hmtENext, 8); err != nil {
+				return err
+			}
+			p.SetU64(prev, hmtENext, next)
+		}
+		removed = true
+		if err := p.TxFree(e); err != nil {
+			return err
+		}
+		return h.bumpCount(env, m, ^uint64(0), 12)
+	})
+	if err != nil {
+		return err
+	}
+	if removed {
+		h.stampOp(env)
+	}
+	return nil
+}
+
+func (h *HashmapTX) bumpCount(env *Env, m pmemobj.Oid, delta uint64, skipID int) error {
+	p := h.pool
+	if err := txAddP(env, p, skipID, m, hmtCount, 8); err != nil {
+		return err
+	}
+	v := p.U64(m, hmtCount) + delta
+	if env.Bugs.Syn(20) {
+		v++
+	}
+	p.SetU64(m, hmtCount, v)
+	return nil
+}
+
+// Lookup exposes the read path for verification harnesses.
+func (h *HashmapTX) Lookup(env *Env, key uint64) (uint64, bool) {
+	m := h.mapOid()
+	b := h.hash(m, key)
+	for e := h.bucketHead(m, b); !e.IsNull(); e = pmemobj.Oid(h.pool.U64(e, hmtENext)) {
+		if h.pool.U64(e, hmtEKey) == key {
+			env.Branch(hmtSiteGetHit)
+			return h.pool.U64(e, hmtEVal), true
+		}
+	}
+	env.Branch(hmtSiteGetMiss)
+	return 0, false
+}
+
+// check verifies chain integrity (entries hash to their bucket, no
+// cycles) and the count.
+func (h *HashmapTX) check(env *Env) error {
+	env.Branch(hmtSiteCheck)
+	p := h.pool
+	m := h.mapOid()
+	n := p.U64(m, hmtNBuckets)
+	count := uint64(0)
+	for b := uint64(0); b < n; b++ {
+		steps := 0
+		for e := h.bucketHead(m, b); !e.IsNull(); e = pmemobj.Oid(p.U64(e, hmtENext)) {
+			if got := h.hash(m, p.U64(e, hmtEKey)); got != b {
+				return fmt.Errorf("%w: hashmap-tx entry in bucket %d hashes to %d", ErrInconsistent, b, got)
+			}
+			count++
+			steps++
+			if steps > 1<<20 {
+				return fmt.Errorf("%w: hashmap-tx chain cycle in bucket %d", ErrInconsistent, b)
+			}
+		}
+	}
+	if size := p.U64(m, hmtCount); count != size {
+		return fmt.Errorf("%w: hashmap-tx count %d != actual %d", ErrInconsistent, size, count)
+	}
+	return nil
+}

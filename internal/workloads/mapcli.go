@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// The six key-value structures share PMDK mapcli's command style: one
+// operation per line, single-letter opcode, decimal arguments.
+//
+//	i <key> <value>   insert (or update)
+//	r <key>           remove
+//	g <key>           lookup
+//	c                 run the structure's consistency check
+//	q                 quit
+//
+// Unparseable lines are skipped: fuzzed inputs are mostly noise and the
+// driver must keep extracting the valid commands in between.
+
+// Op is a parsed mapcli operation.
+type Op struct {
+	Code byte
+	Key  uint64
+	Val  uint64
+}
+
+// ErrSkip marks an unparseable command line.
+var ErrSkip = errors.New("workloads: unparseable command")
+
+// ErrInconsistent is returned by a failing consistency check ('c'); the
+// executor reports it the way a testing tool reports corrupted state.
+var ErrInconsistent = errors.New("workloads: consistency check failed")
+
+// maxKeyDigits bounds parsed numbers so fuzzed digit strings cannot
+// overflow or degenerate.
+const maxKeyDigits = 12
+
+// ParseOp parses one mapcli line.
+func ParseOp(line []byte) (Op, error) {
+	fields := bytes.Fields(line)
+	if len(fields) == 0 {
+		return Op{}, ErrSkip
+	}
+	if len(fields[0]) != 1 {
+		return Op{}, ErrSkip
+	}
+	op := Op{Code: fields[0][0]}
+	switch op.Code {
+	case 'i':
+		if len(fields) < 3 {
+			return Op{}, ErrSkip
+		}
+		var err error
+		if op.Key, err = parseU64(fields[1]); err != nil {
+			return Op{}, ErrSkip
+		}
+		if op.Val, err = parseU64(fields[2]); err != nil {
+			return Op{}, ErrSkip
+		}
+	case 'r', 'g':
+		if len(fields) < 2 {
+			return Op{}, ErrSkip
+		}
+		var err error
+		if op.Key, err = parseU64(fields[1]); err != nil {
+			return Op{}, ErrSkip
+		}
+	case 'c', 'q':
+	default:
+		return Op{}, ErrSkip
+	}
+	return op, nil
+}
+
+func parseU64(b []byte) (uint64, error) {
+	if len(b) == 0 || len(b) > maxKeyDigits {
+		return 0, fmt.Errorf("bad number length %d", len(b))
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad digit %q", c)
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v, nil
+}
+
+// mapcliSeeds is the shared seed corpus for the key-value structures:
+// enough inserts to build structure, removals that trigger rebalancing,
+// lookups, and a consistency check.
+func mapcliSeeds() [][]byte {
+	return [][]byte{
+		[]byte("i 1 100\ni 2 200\ni 3 300\ng 2\nc\n"),
+		[]byte("i 5 50\ni 6 60\ni 7 70\ni 8 80\ni 9 90\nr 6\nr 7\nc\n"),
+		[]byte("i 10 1\ni 20 2\ni 30 3\ni 40 4\ni 50 5\ni 60 6\ni 70 7\ni 80 8\nr 10\nr 30\nr 50\ng 20\nc\n"),
+		[]byte("r 1\ng 1\ni 1 2\ng 1\nc\nq\n"),
+	}
+}

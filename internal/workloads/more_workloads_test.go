@@ -1,0 +1,212 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/trace"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+// --- R-Tree (radix) ---
+
+func TestRTreePrefixSharingKeys(t *testing.T) {
+	// Keys sharing long nibble prefixes stress chain creation/pruning.
+	keys := []uint64{0x1000, 0x1001, 0x1002, 0x100F, 0x2000, 0x0}
+	var in bytes.Buffer
+	for i, k := range keys {
+		fmt.Fprintf(&in, "i %d %d\n", k, i+1)
+	}
+	in.WriteString("c\n")
+	img := runProgram(t, "rtree", nil, in.Bytes(), nil)
+	ref := map[uint64]uint64{}
+	for i, k := range keys {
+		ref[k] = uint64(i + 1)
+	}
+	verifyContents(t, "rtree", img, ref)
+}
+
+func TestRTreePruneReleasesChains(t *testing.T) {
+	// Insert and remove the same key repeatedly: pruning must free the
+	// chain each time or the pool runs out of space.
+	var in bytes.Buffer
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&in, "i 12345 %d\nr 12345\n", i)
+	}
+	in.WriteString("c\n")
+	img := runProgram(t, "rtree", nil, in.Bytes(), nil)
+	verifyContents(t, "rtree", img, map[uint64]uint64{})
+}
+
+func TestRTreeZeroKey(t *testing.T) {
+	img := runProgram(t, "rtree", nil, []byte("i 0 7\ng 0\nc\n"), nil)
+	verifyContents(t, "rtree", img, map[uint64]uint64{0: 7})
+}
+
+// --- Skip-List ---
+
+func TestSkipListLevelsFormAndSurviveReopen(t *testing.T) {
+	var in bytes.Buffer
+	for i := 1; i <= 64; i++ {
+		fmt.Fprintf(&in, "i %d %d\n", i*3, i)
+	}
+	in.WriteString("c\n")
+	img := runProgram(t, "skiplist", nil, in.Bytes(), nil)
+	// Reopen and remove half; upper-level links must stay consistent.
+	var rm bytes.Buffer
+	ref := map[uint64]uint64{}
+	for i := 1; i <= 64; i++ {
+		if i%2 == 0 {
+			fmt.Fprintf(&rm, "r %d\n", i*3)
+		} else {
+			ref[uint64(i*3)] = uint64(i)
+		}
+	}
+	rm.WriteString("c\n")
+	img2 := runProgram(t, "skiplist", img, rm.Bytes(), nil)
+	verifyContents(t, "skiplist", img2, ref)
+}
+
+func TestSkipListRandLevelSeeded(t *testing.T) {
+	// The same seed must build the same image (level choices included).
+	in := seqInput(30)
+	a := runProgram(t, "skiplist", nil, in, nil)
+	b := runProgram(t, "skiplist", nil, in, nil)
+	if a.Hash() != b.Hash() {
+		t.Fatalf("seeded level choice diverged")
+	}
+}
+
+// --- Hashmap-TX ---
+
+func TestHashmapTXRebuildHappens(t *testing.T) {
+	// 4 initial buckets, rebuild at count > 16: 40 inserts force two
+	// rebuilds. Verify everything survives.
+	in := append(seqInput(40), []byte("c\n")...)
+	img := runProgram(t, "hashmap-tx", nil, in, nil)
+	verifyContents(t, "hashmap-tx", img, refModel(seqInput(40)))
+}
+
+func TestHashmapTXBug8DupOnlyAtCreate(t *testing.T) {
+	rec := traceProgram(t, "hashmap-tx", []byte("i 1 1\n"),
+		bugs.NewSet().EnableReal(bugs.Bug8HashmapTXRedundantAdd))
+	if rec.CountKind(trace.TxAddDup) == 0 {
+		t.Fatalf("Bug 8 produced no dup at creation")
+	}
+	clean := traceProgram(t, "hashmap-tx", []byte("i 1 1\n"), nil)
+	if clean.CountKind(trace.TxAddDup) != 0 {
+		t.Fatalf("fixed hashmap-tx emitted dups")
+	}
+}
+
+// --- Hashmap-Atomic ---
+
+func TestHashmapAtomicRecoveryRepairsCount(t *testing.T) {
+	// Crash inside the dirty window, then reopen with the fixed driver:
+	// the count must be recounted. With Bug 6 the stale count persists
+	// until the check command trips.
+	var crashImg *pmem.Image
+	for barrier := 1; barrier <= 200; barrier++ {
+		img, err := tryRunProgram("hashmap-atomic", nil, []byte("i 1 1\ni 2 2\ni 3 3\n"),
+			nil, pmem.BarrierFailure{N: barrier})
+		if err == nil {
+			break
+		}
+		// Find a crash image whose dirty flag is set (mid-update).
+		res, err2 := tryRunProgram("hashmap-atomic", img, []byte("c\n"),
+			bugs.NewSet().EnableReal(bugs.Bug6AtomicRecoveryNotCalled), nil)
+		_ = res
+		if err2 != nil && !isCrash(err2) {
+			crashImg = img
+			break
+		}
+	}
+	if crashImg == nil {
+		t.Skip("no barrier left an open dirty window on this input")
+	}
+	// Fixed driver recovers the same image cleanly.
+	if _, err := tryRunProgram("hashmap-atomic", crashImg, []byte("c\n"), nil, nil); err != nil {
+		t.Fatalf("fixed driver failed on dirty-window crash image: %v", err)
+	}
+}
+
+// --- Memcached ---
+
+func TestMemcachedFillsAndEvictsNothing(t *testing.T) {
+	// Fill the slab pool completely; further sets are dropped (no
+	// eviction in the analog), and the check must stay consistent.
+	var in bytes.Buffer
+	for i := 0; i < 1100; i++ { // 1024 slots
+		fmt.Fprintf(&in, "set %d %d\n", i, i)
+	}
+	in.WriteString("c\n")
+	prog, _ := New("memcached")
+	dev := pmem.NewDevice(prog.PoolSize())
+	env := &Env{Dev: dev, T: instr.NewTracer(), RNG: newTestRNG()}
+	if err := prog.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range bytes.Split(in.Bytes(), []byte("\n")) {
+		if err := prog.Exec(env, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := prog.(*Memcached)
+	if len(m.index) != 1024 {
+		t.Fatalf("index size = %d, want 1024 (pool capacity)", len(m.index))
+	}
+	if err := m.check(env); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemcachedBug7OnlyAtCreate(t *testing.T) {
+	rec := traceProgram(t, "memcached", []byte("set 1 1\n"),
+		bugs.NewSet().EnableReal(bugs.Bug7MemcachedRedundantFlush))
+	clean := traceProgram(t, "memcached", []byte("set 1 1\n"), nil)
+	if rec.CountKind(trace.Flush) <= clean.CountKind(trace.Flush) {
+		t.Fatalf("Bug 7 added no flushes (%d vs %d)",
+			rec.CountKind(trace.Flush), clean.CountKind(trace.Flush))
+	}
+}
+
+func TestMemcachedDeleteFreesSlot(t *testing.T) {
+	img := runProgram(t, "memcached", nil, []byte("set 1 10\ndel 1\nset 2 20\nc\n"), nil)
+	verifyContents(t, "memcached", img, map[uint64]uint64{2: 20})
+}
+
+// --- Redis ---
+
+func TestRedisChainAppendsAndTail(t *testing.T) {
+	// Colliding keys build a chain with head/tail maintenance.
+	in := []byte("SET 1 1\nSET 9 2\nSET 17 3\nSET 25 4\nDEL 9\nDEL 25\nCHECK\n")
+	img := runProgram(t, "redis", nil, in, nil)
+	verifyContents(t, "redis", img, map[uint64]uint64{1: 1, 17: 3})
+}
+
+func TestRedisVolatileTableRebuiltOnOpen(t *testing.T) {
+	img := runProgram(t, "redis", nil, []byte("SET 5 50\nSET 6 60\n"), nil)
+	// A fresh process must serve GETs purely from the reconstructed
+	// volatile table.
+	img2 := runProgram(t, "redis", img, []byte("GET 5\nGET 6\nCHECK\n"), nil)
+	verifyContents(t, "redis", img2, map[uint64]uint64{5: 50, 6: 60})
+}
+
+func TestRedisChecksumCatchesCorruption(t *testing.T) {
+	_, err := tryRunProgram("redis", nil, []byte("SET 1 1\nCHECK\n"),
+		bugs.NewSet().EnableSyn(10), nil)
+	if err == nil {
+		t.Fatalf("corrupted checksum passed CHECK")
+	}
+}
+
+func TestRedisCaseInsensitiveCommands(t *testing.T) {
+	img := runProgram(t, "redis", nil, []byte("set 3 30\nGet 3\ncheck\n"), nil)
+	verifyContents(t, "redis", img, map[uint64]uint64{3: 30})
+}

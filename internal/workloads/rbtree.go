@@ -1,0 +1,831 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/pmemobj"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// RBTree ports PMDK's rbtree_map example: a red-black tree with a
+// persistent sentinel (NIL) node, transactional mutations, and the
+// recolor/rotate insert fix-up that hosts the paper's performance Bugs
+// 9–11.
+//
+// On-pool layout:
+//
+//	pool root (16B): map Oid @0
+//	map struct (24B): sentinel Oid @0, root Oid @8, size @16
+//	node (48B): key @0, val @8, color @16, parent @24, left @32, right @40
+const (
+	rbKey    = 0
+	rbVal    = 8
+	rbColor  = 16
+	rbParent = 24
+	rbLeft   = 32
+	rbRight  = 40
+	rbNode   = 48
+
+	rbMapSentinel = 0
+	rbMapRoot     = 8
+	rbMapSize     = 16
+	rbMapStamp    = 24
+	rbMapLen      = 32
+
+	rbBlack = 0
+	rbRed   = 1
+)
+
+var (
+	rbSiteInsert    = instr.ID("rbtree.insert")
+	rbSiteInsertBST = instr.ID("rbtree.insert.bst")
+	rbSiteRecolor   = instr.ID("rbtree.recolor")
+	rbSiteRotate    = instr.ID("rbtree.rotate")
+	rbSiteRemove    = instr.ID("rbtree.remove")
+	rbSiteFixup     = instr.ID("rbtree.fixup")
+	rbSiteGetHit    = instr.ID("rbtree.get.hit")
+	rbSiteGetMiss   = instr.ID("rbtree.get.miss")
+	rbSiteCheck     = instr.ID("rbtree.check")
+)
+
+func init() { Register("rbtree", func() Program { return &RBTree{} }) }
+
+// RBTree is the workload instance.
+type RBTree struct {
+	pool      *pmemobj.Pool
+	root      pmemobj.Oid
+	addedInTx map[pmemobj.Oid]bool
+	stamp     uint64
+}
+
+// Name implements Program.
+func (r *RBTree) Name() string { return "rbtree" }
+
+// PoolSize implements Program.
+func (r *RBTree) PoolSize() int { return 1 << 20 }
+
+// SeedInputs implements Program.
+func (r *RBTree) SeedInputs() [][]byte { return mapcliSeeds() }
+
+// SynPoints implements Program: 14 points (Table 3).
+func (r *RBTree) SynPoints() []bugs.Point {
+	return []bugs.Point{
+		{ID: 1, Kind: bugs.SkipTxAdd, Site: "rbtree.go:create map pointer"},
+		{ID: 2, Kind: bugs.SkipTxAdd, Site: "rbtree.go:insert_bst parent link"},
+		{ID: 3, Kind: bugs.SkipTxAdd, Site: "rbtree.go:recolor uncle"},
+		{ID: 4, Kind: bugs.SkipTxAdd, Site: "rbtree.go:recolor grandparent"},
+		{ID: 5, Kind: bugs.WrongCommitValue, Site: "rbtree.go:rotate_left drops inner child parent"},
+		{ID: 6, Kind: bugs.WrongCommitValue, Site: "rbtree.go:rotate_right drops inner child parent"},
+		{ID: 7, Kind: bugs.SkipTxAdd, Site: "rbtree.go:rotate parent link"},
+		{ID: 8, Kind: bugs.WrongLogRange, Site: "rbtree.go:insert color logs key"},
+		{ID: 9, Kind: bugs.RedundantTxAdd, Site: "rbtree.go:rotate double log"},
+		{ID: 10, Kind: bugs.SkipTxAdd, Site: "rbtree.go:remove transplant"},
+		{ID: 11, Kind: bugs.SkipTxAdd, Site: "rbtree.go:remove fixup sibling"},
+		{ID: 12, Kind: bugs.SkipTxAdd, Site: "rbtree.go:size counter add"},
+		{ID: 13, Kind: bugs.SkipFlush, Site: "rbtree.go:operation stamp persist"},
+		{ID: 14, Kind: bugs.WrongCommitValue, Site: "rbtree.go:size counter value"},
+	}
+}
+
+// Setup implements Program with the Bug 3 create-retry pattern.
+func (r *RBTree) Setup(env *Env) error {
+	pool, err := pmemobj.Open(env.Dev, "rbtree")
+	if errors.Is(err, pmemobj.ErrBadPool) {
+		if pool, err = pmemobj.Create(env.Dev, "rbtree", pmemobj.Options{Derandomize: true}); err != nil {
+			return err
+		}
+		r.pool = pool
+		if r.root, err = pool.Root(16); err != nil {
+			return err
+		}
+		return r.createMap(env)
+	}
+	if err != nil {
+		return err
+	}
+	r.pool = pool
+	r.root = pool.RootOid()
+	if r.root.IsNull() {
+		if r.root, err = pool.Root(16); err != nil {
+			return err
+		}
+		return r.createMap(env)
+	}
+	if !env.Bugs.Real(bugs.Bug3RBTreeCreateNotRetried) && pool.U64(r.root, 0) == 0 {
+		return r.createMap(env)
+	}
+	return nil
+}
+
+func (r *RBTree) createMap(env *Env) error {
+	p := r.pool
+	return p.Tx(func() error {
+		if err := txAddP(env, p, 1, r.root, 0, 8); err != nil {
+			return err
+		}
+		m, err := p.TxZNew(rbMapLen)
+		if err != nil {
+			return err
+		}
+		sent, err := p.TxZNew(rbNode)
+		if err != nil {
+			return err
+		}
+		// Sentinel is black; its links point to itself.
+		p.SetU64(sent, rbColor, rbBlack)
+		p.SetU64(sent, rbParent, uint64(sent))
+		p.SetU64(sent, rbLeft, uint64(sent))
+		p.SetU64(sent, rbRight, uint64(sent))
+		p.SetU64(m, rbMapSentinel, uint64(sent))
+		p.SetU64(m, rbMapRoot, uint64(sent))
+		p.SetU64(r.root, 0, uint64(m))
+		return nil
+	})
+}
+
+func (r *RBTree) mapOid() pmemobj.Oid { return pmemobj.Oid(r.pool.U64(r.root, 0)) }
+
+// Exec implements Program.
+func (r *RBTree) Exec(env *Env, line []byte) error {
+	op, err := ParseOp(line)
+	if err != nil {
+		return nil
+	}
+	switch op.Code {
+	case 'i':
+		return r.insert(env, op.Key, op.Val)
+	case 'r':
+		return r.remove(env, op.Key)
+	case 'g':
+		r.Lookup(env, op.Key)
+		return nil
+	case 'c':
+		return r.check(env)
+	case 'q':
+		return ErrStop
+	}
+	return nil
+}
+
+// Close implements Program.
+func (r *RBTree) Close(env *Env) *pmem.Image { return r.pool.Close() }
+
+// --- accessors ---
+
+func (r *RBTree) fld(nd pmemobj.Oid, off uint64) uint64 { return r.pool.U64(nd, off) }
+func (r *RBTree) set(nd pmemobj.Oid, off uint64, v uint64) {
+	r.pool.SetU64(nd, off, v)
+}
+func (r *RBTree) oidFld(nd pmemobj.Oid, off uint64) pmemobj.Oid {
+	return pmemobj.Oid(r.pool.U64(nd, off))
+}
+
+func (r *RBTree) addNode(env *Env, nd pmemobj.Oid, skipID int) error {
+	if skipID != 0 && env.Bugs.Syn(skipID) {
+		return nil
+	}
+	if r.addedInTx[nd] {
+		return nil
+	}
+	r.addedInTx[nd] = true
+	return r.pool.TxAdd(nd, 0, rbNode)
+}
+
+// --- operations ---
+
+func (r *RBTree) insert(env *Env, key, val uint64) error {
+	env.Branch(rbSiteInsert)
+	p := r.pool
+	r.addedInTx = map[pmemobj.Oid]bool{}
+	err := p.Tx(func() error {
+		m := r.mapOid()
+		sent := r.oidFld(m, rbMapSentinel)
+		// Update in place on duplicate key.
+		if nd := r.findNode(env, key); nd != sent && !nd.IsNull() {
+			if err := r.addNode(env, nd, 0); err != nil {
+				return err
+			}
+			r.set(nd, rbVal, val)
+			return nil
+		}
+		n, err := p.TxZNew(rbNode)
+		if err != nil {
+			return err
+		}
+		r.addedInTx[n] = true
+		r.set(n, rbKey, key)
+		r.set(n, rbVal, val)
+		r.set(n, rbColor, rbRed)
+		r.set(n, rbLeft, uint64(sent))
+		r.set(n, rbRight, uint64(sent))
+		if env.Bugs.Real(bugs.Bug9RBTreeRedundantSetNew) {
+			// Bug 9: TX_SET of the transaction-allocated node n.
+			if err := p.TxAdd(n, rbKey, 24); err != nil {
+				return err
+			}
+		}
+		if err := r.insertBST(env, m, sent, n, key); err != nil {
+			return err
+		}
+		if err := r.recolor(env, m, sent, n); err != nil {
+			return err
+		}
+		// Root must end black. The fixed code skips re-logging when the
+		// root node was already snapshotted (or tx-allocated) this
+		// transaction; Bug 10 always logs it.
+		first := r.oidFld(m, rbMapRoot)
+		if env.Bugs.Real(bugs.Bug10RBTreeRedundantAddFirst) {
+			if err := p.TxAdd(first, 0, rbNode); err != nil {
+				return err
+			}
+		} else if err := r.addNode(env, first, 0); err != nil {
+			return err
+		}
+		r.set(first, rbColor, rbBlack)
+		return r.bumpSize(env, m, 1)
+	})
+	if err != nil {
+		return err
+	}
+	r.stampOp(env)
+	return nil
+}
+
+// insertBST hangs n off the correct leaf position.
+func (r *RBTree) insertBST(env *Env, m, sent, n pmemobj.Oid, key uint64) error {
+	env.Branch(rbSiteInsertBST)
+	p := r.pool
+	cur := r.oidFld(m, rbMapRoot)
+	if cur == sent {
+		if err := p.TxAdd(m, rbMapRoot, 8); err != nil {
+			return err
+		}
+		p.SetU64(m, rbMapRoot, uint64(n))
+		r.set(n, rbParent, uint64(sent))
+		return nil
+	}
+	for {
+		next := rbLeft
+		if key >= r.fld(cur, rbKey) {
+			next = rbRight
+		}
+		child := r.oidFld(cur, uint64(next))
+		if child == sent {
+			if err := r.addNode(env, cur, 2); err != nil {
+				return err
+			}
+			r.set(cur, uint64(next), uint64(n))
+			r.set(n, rbParent, uint64(cur))
+			return nil
+		}
+		cur = child
+	}
+}
+
+// recolor restores red-black properties after insertion.
+func (r *RBTree) recolor(env *Env, m, sent, n pmemobj.Oid) error {
+	env.Branch(rbSiteRecolor)
+	for {
+		parent := r.oidFld(n, rbParent)
+		if parent == sent || r.fld(parent, rbColor) != rbRed {
+			return nil
+		}
+		grand := r.oidFld(parent, rbParent)
+		if grand == sent {
+			return nil
+		}
+		var uncle pmemobj.Oid
+		parentIsLeft := r.oidFld(grand, rbLeft) == parent
+		if parentIsLeft {
+			uncle = r.oidFld(grand, rbRight)
+		} else {
+			uncle = r.oidFld(grand, rbLeft)
+		}
+		if uncle != sent && r.fld(uncle, rbColor) == rbRed {
+			if err := r.addNode(env, uncle, 3); err != nil {
+				return err
+			}
+			r.set(uncle, rbColor, rbBlack)
+			if err := r.addNode(env, parent, 0); err != nil {
+				return err
+			}
+			r.set(parent, rbColor, rbBlack)
+			if err := r.addNode(env, grand, 4); err != nil {
+				return err
+			}
+			r.set(grand, rbColor, rbRed)
+			n = grand
+			continue
+		}
+		// Rotation cases.
+		if parentIsLeft {
+			if r.oidFld(parent, rbRight) == n {
+				if err := r.rotateLeft(env, m, sent, parent); err != nil {
+					return err
+				}
+				n = parent
+				parent = r.oidFld(n, rbParent)
+			}
+			if err := r.setParentBlackGrandRed(env, parent, grand); err != nil {
+				return err
+			}
+			if err := r.rotateRight(env, m, sent, grand); err != nil {
+				return err
+			}
+		} else {
+			if r.oidFld(parent, rbLeft) == n {
+				if err := r.rotateRight(env, m, sent, parent); err != nil {
+					return err
+				}
+				n = parent
+				parent = r.oidFld(n, rbParent)
+			}
+			if err := r.setParentBlackGrandRed(env, parent, grand); err != nil {
+				return err
+			}
+			if err := r.rotateLeft(env, m, sent, grand); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// setParentBlackGrandRed recolors around a rotation. Bug 11 logs the
+// parent again even when the preceding rotation already snapshotted it.
+func (r *RBTree) setParentBlackGrandRed(env *Env, parent, grand pmemobj.Oid) error {
+	p := r.pool
+	if env.Bugs.Real(bugs.Bug11RBTreeRedundantSetParent) {
+		if err := p.TxAdd(parent, 0, rbNode); err != nil {
+			return err
+		}
+	} else if err := r.addNode(env, parent, 0); err != nil {
+		return err
+	}
+	if env.Bugs.Syn(8) {
+		// WrongLogRange: log the key field, then modify the color field.
+		if err := p.TxAdd(grand, rbKey, 8); err != nil {
+			return err
+		}
+	} else if err := r.addNode(env, grand, 0); err != nil {
+		return err
+	}
+	r.set(parent, rbColor, rbBlack)
+	r.set(grand, rbColor, rbRed)
+	return nil
+}
+
+// rotateLeft rotates the subtree at pivot left; both swapped nodes are
+// logged up front, the approach §6's trade-off discussion endorses.
+func (r *RBTree) rotateLeft(env *Env, m, sent, pivot pmemobj.Oid) error {
+	env.Branch(rbSiteRotate)
+	child := r.oidFld(pivot, rbRight)
+	if err := r.addNode(env, pivot, 0); err != nil {
+		return err
+	}
+	if err := r.addNode(env, child, 0); err != nil {
+		return err
+	}
+	if err := redundantAddP(env, r.pool, 9, pivot, 0, rbNode); err != nil {
+		return err
+	}
+	r.set(pivot, rbRight, uint64(r.oidFld(child, rbLeft)))
+	if cl := r.oidFld(child, rbLeft); cl != sent && !env.Bugs.Syn(5) {
+		// Syn 5 (semantically incorrect code): the transferred inner
+		// subtree keeps its stale parent pointer.
+		if err := r.addNode(env, cl, 0); err != nil {
+			return err
+		}
+		r.set(cl, rbParent, uint64(pivot))
+	}
+	parent := r.oidFld(pivot, rbParent)
+	r.set(child, rbParent, uint64(parent))
+	if parent == sent {
+		if err := r.pool.TxAdd(m, rbMapRoot, 8); err != nil {
+			return err
+		}
+		r.pool.SetU64(m, rbMapRoot, uint64(child))
+	} else {
+		if err := r.addNode(env, parent, 7); err != nil {
+			return err
+		}
+		if r.oidFld(parent, rbLeft) == pivot {
+			r.set(parent, rbLeft, uint64(child))
+		} else {
+			r.set(parent, rbRight, uint64(child))
+		}
+	}
+	r.set(child, rbLeft, uint64(pivot))
+	r.set(pivot, rbParent, uint64(child))
+	return nil
+}
+
+func (r *RBTree) rotateRight(env *Env, m, sent, pivot pmemobj.Oid) error {
+	env.Branch(rbSiteRotate)
+	child := r.oidFld(pivot, rbLeft)
+	if err := r.addNode(env, pivot, 0); err != nil {
+		return err
+	}
+	if err := r.addNode(env, child, 0); err != nil {
+		return err
+	}
+	r.set(pivot, rbLeft, uint64(r.oidFld(child, rbRight)))
+	if cr := r.oidFld(child, rbRight); cr != sent && !env.Bugs.Syn(6) {
+		// Syn 6: mirror of syn 5 for right rotations.
+		if err := r.addNode(env, cr, 0); err != nil {
+			return err
+		}
+		r.set(cr, rbParent, uint64(pivot))
+	}
+	parent := r.oidFld(pivot, rbParent)
+	r.set(child, rbParent, uint64(parent))
+	if parent == sent {
+		if err := r.pool.TxAdd(m, rbMapRoot, 8); err != nil {
+			return err
+		}
+		r.pool.SetU64(m, rbMapRoot, uint64(child))
+	} else {
+		if err := r.addNode(env, parent, 7); err != nil {
+			return err
+		}
+		if r.oidFld(parent, rbLeft) == pivot {
+			r.set(parent, rbLeft, uint64(child))
+		} else {
+			r.set(parent, rbRight, uint64(child))
+		}
+	}
+	r.set(child, rbRight, uint64(pivot))
+	r.set(pivot, rbParent, uint64(child))
+	return nil
+}
+
+func (r *RBTree) findNode(env *Env, key uint64) pmemobj.Oid {
+	m := r.mapOid()
+	sent := r.oidFld(m, rbMapSentinel)
+	cur := r.oidFld(m, rbMapRoot)
+	for cur != sent && !cur.IsNull() {
+		k := r.fld(cur, rbKey)
+		if k == key {
+			return cur
+		}
+		if key < k {
+			cur = r.oidFld(cur, rbLeft)
+		} else {
+			cur = r.oidFld(cur, rbRight)
+		}
+	}
+	return sent
+}
+
+// Lookup exposes the read path for verification harnesses.
+func (r *RBTree) Lookup(env *Env, key uint64) (uint64, bool) {
+	m := r.mapOid()
+	sent := r.oidFld(m, rbMapSentinel)
+	nd := r.findNode(env, key)
+	if nd == sent || nd.IsNull() {
+		env.Branch(rbSiteGetMiss)
+		return 0, false
+	}
+	env.Branch(rbSiteGetHit)
+	return r.fld(nd, rbVal), true
+}
+
+func (r *RBTree) remove(env *Env, key uint64) error {
+	env.Branch(rbSiteRemove)
+	p := r.pool
+	r.addedInTx = map[pmemobj.Oid]bool{}
+	removed := false
+	err := p.Tx(func() error {
+		m := r.mapOid()
+		sent := r.oidFld(m, rbMapSentinel)
+		z := r.findNode(env, key)
+		if z == sent {
+			return nil
+		}
+		removed = true
+
+		// CLRS RB-DELETE with sentinel.
+		y := z
+		yColor := r.fld(y, rbColor)
+		var x pmemobj.Oid
+		switch {
+		case r.oidFld(z, rbLeft) == sent:
+			x = r.oidFld(z, rbRight)
+			if err := r.transplant(env, m, sent, z, x); err != nil {
+				return err
+			}
+		case r.oidFld(z, rbRight) == sent:
+			x = r.oidFld(z, rbLeft)
+			if err := r.transplant(env, m, sent, z, x); err != nil {
+				return err
+			}
+		default:
+			// y = minimum of right subtree.
+			y = r.oidFld(z, rbRight)
+			for r.oidFld(y, rbLeft) != sent {
+				y = r.oidFld(y, rbLeft)
+			}
+			yColor = r.fld(y, rbColor)
+			x = r.oidFld(y, rbRight)
+			if r.oidFld(y, rbParent) == z {
+				// x may be the sentinel: CLRS uses its parent field as
+				// scratch, and that write needs a backup like any other.
+				if err := r.addNode(env, x, 0); err != nil {
+					return err
+				}
+				r.set(x, rbParent, uint64(y))
+			} else {
+				if err := r.transplant(env, m, sent, y, x); err != nil {
+					return err
+				}
+				if err := r.addNode(env, y, 0); err != nil {
+					return err
+				}
+				zr := r.oidFld(z, rbRight)
+				r.set(y, rbRight, uint64(zr))
+				if err := r.addNode(env, zr, 0); err != nil {
+					return err
+				}
+				r.set(zr, rbParent, uint64(y))
+			}
+			if err := r.transplant(env, m, sent, z, y); err != nil {
+				return err
+			}
+			if err := r.addNode(env, y, 0); err != nil {
+				return err
+			}
+			zl := r.oidFld(z, rbLeft)
+			r.set(y, rbLeft, uint64(zl))
+			if err := r.addNode(env, zl, 0); err != nil {
+				return err
+			}
+			r.set(zl, rbParent, uint64(y))
+			r.set(y, rbColor, r.fld(z, rbColor))
+		}
+		if yColor == rbBlack {
+			if err := r.deleteFixup(env, m, sent, x); err != nil {
+				return err
+			}
+		}
+		if err := p.TxFree(z); err != nil {
+			return err
+		}
+		return r.bumpSize(env, m, ^uint64(0))
+	})
+	if err != nil {
+		return err
+	}
+	if removed {
+		r.stampOp(env)
+	}
+	return nil
+}
+
+// transplant replaces subtree u with subtree v. The sentinel's parent
+// field is used as scratch, as in CLRS.
+func (r *RBTree) transplant(env *Env, m, sent, u, v pmemobj.Oid) error {
+	p := r.pool
+	up := r.oidFld(u, rbParent)
+	if up == sent {
+		if err := p.TxAdd(m, rbMapRoot, 8); err != nil {
+			return err
+		}
+		p.SetU64(m, rbMapRoot, uint64(v))
+	} else {
+		if err := r.addNode(env, up, 10); err != nil {
+			return err
+		}
+		if r.oidFld(up, rbLeft) == u {
+			r.set(up, rbLeft, uint64(v))
+		} else {
+			r.set(up, rbRight, uint64(v))
+		}
+	}
+	if err := r.addNode(env, v, 0); err != nil {
+		return err
+	}
+	r.set(v, rbParent, uint64(up))
+	return nil
+}
+
+// deleteFixup restores RB properties after removing a black node.
+func (r *RBTree) deleteFixup(env *Env, m, sent, x pmemobj.Oid) error {
+	env.Branch(rbSiteFixup)
+	for x != r.oidFld(m, rbMapRoot) && r.fld(x, rbColor) == rbBlack {
+		xp := r.oidFld(x, rbParent)
+		if r.oidFld(xp, rbLeft) == x {
+			w := r.oidFld(xp, rbRight)
+			if r.fld(w, rbColor) == rbRed {
+				if err := r.addNode(env, w, 11); err != nil {
+					return err
+				}
+				r.set(w, rbColor, rbBlack)
+				if err := r.addNode(env, xp, 0); err != nil {
+					return err
+				}
+				r.set(xp, rbColor, rbRed)
+				if err := r.rotateLeft(env, m, sent, xp); err != nil {
+					return err
+				}
+				w = r.oidFld(xp, rbRight)
+			}
+			if r.fld(r.oidFld(w, rbLeft), rbColor) == rbBlack &&
+				r.fld(r.oidFld(w, rbRight), rbColor) == rbBlack {
+				if err := r.addNode(env, w, 11); err != nil {
+					return err
+				}
+				r.set(w, rbColor, rbRed)
+				x = xp
+			} else {
+				if r.fld(r.oidFld(w, rbRight), rbColor) == rbBlack {
+					wl := r.oidFld(w, rbLeft)
+					if err := r.addNode(env, wl, 0); err != nil {
+						return err
+					}
+					r.set(wl, rbColor, rbBlack)
+					if err := r.addNode(env, w, 0); err != nil {
+						return err
+					}
+					r.set(w, rbColor, rbRed)
+					if err := r.rotateRight(env, m, sent, w); err != nil {
+						return err
+					}
+					w = r.oidFld(xp, rbRight)
+				}
+				if err := r.addNode(env, w, 0); err != nil {
+					return err
+				}
+				r.set(w, rbColor, r.fld(xp, rbColor))
+				if err := r.addNode(env, xp, 0); err != nil {
+					return err
+				}
+				r.set(xp, rbColor, rbBlack)
+				wr := r.oidFld(w, rbRight)
+				if err := r.addNode(env, wr, 0); err != nil {
+					return err
+				}
+				r.set(wr, rbColor, rbBlack)
+				if err := r.rotateLeft(env, m, sent, xp); err != nil {
+					return err
+				}
+				x = r.oidFld(m, rbMapRoot)
+			}
+		} else {
+			w := r.oidFld(xp, rbLeft)
+			if r.fld(w, rbColor) == rbRed {
+				if err := r.addNode(env, w, 11); err != nil {
+					return err
+				}
+				r.set(w, rbColor, rbBlack)
+				if err := r.addNode(env, xp, 0); err != nil {
+					return err
+				}
+				r.set(xp, rbColor, rbRed)
+				if err := r.rotateRight(env, m, sent, xp); err != nil {
+					return err
+				}
+				w = r.oidFld(xp, rbLeft)
+			}
+			if r.fld(r.oidFld(w, rbLeft), rbColor) == rbBlack &&
+				r.fld(r.oidFld(w, rbRight), rbColor) == rbBlack {
+				if err := r.addNode(env, w, 11); err != nil {
+					return err
+				}
+				r.set(w, rbColor, rbRed)
+				x = xp
+			} else {
+				if r.fld(r.oidFld(w, rbLeft), rbColor) == rbBlack {
+					wr := r.oidFld(w, rbRight)
+					if err := r.addNode(env, wr, 0); err != nil {
+						return err
+					}
+					r.set(wr, rbColor, rbBlack)
+					if err := r.addNode(env, w, 0); err != nil {
+						return err
+					}
+					r.set(w, rbColor, rbRed)
+					if err := r.rotateLeft(env, m, sent, w); err != nil {
+						return err
+					}
+					w = r.oidFld(xp, rbLeft)
+				}
+				if err := r.addNode(env, w, 0); err != nil {
+					return err
+				}
+				r.set(w, rbColor, r.fld(xp, rbColor))
+				if err := r.addNode(env, xp, 0); err != nil {
+					return err
+				}
+				r.set(xp, rbColor, rbBlack)
+				wl := r.oidFld(w, rbLeft)
+				if err := r.addNode(env, wl, 0); err != nil {
+					return err
+				}
+				r.set(wl, rbColor, rbBlack)
+				if err := r.rotateRight(env, m, sent, xp); err != nil {
+					return err
+				}
+				x = r.oidFld(m, rbMapRoot)
+			}
+		}
+	}
+	if err := r.addNode(env, x, 0); err != nil {
+		return err
+	}
+	r.set(x, rbColor, rbBlack)
+	return nil
+}
+
+func (r *RBTree) bumpSize(env *Env, m pmemobj.Oid, delta uint64) error {
+	p := r.pool
+	if err := txAddP(env, p, 12, m, rbMapSize, 8); err != nil {
+		return err
+	}
+	v := p.U64(m, rbMapSize) + delta
+	if env.Bugs.Syn(14) {
+		v++
+	}
+	p.SetU64(m, rbMapSize, v)
+	return nil
+}
+
+// stampOp advances the non-transactional operation stamp (volatile
+// counter; never read back from PM).
+func (r *RBTree) stampOp(env *Env) {
+	r.stamp++
+	m := r.mapOid()
+	r.pool.SetU64(m, rbMapStamp, r.stamp)
+	persistP(env, r.pool, 13, m, rbMapStamp, 8)
+}
+
+// check validates BST order, red-black coloring, black-height balance,
+// and the size counter.
+func (r *RBTree) check(env *Env) error {
+	env.Branch(rbSiteCheck)
+	m := r.mapOid()
+	sent := r.oidFld(m, rbMapSentinel)
+	root := r.oidFld(m, rbMapRoot)
+	if root != sent && r.fld(root, rbColor) != rbBlack {
+		return fmt.Errorf("%w: rbtree root is red", ErrInconsistent)
+	}
+	count := 0
+	var walk func(nd pmemobj.Oid, lo, hi uint64, depth int) (int, error)
+	walk = func(nd pmemobj.Oid, lo, hi uint64, depth int) (int, error) {
+		if nd == sent {
+			return 1, nil
+		}
+		if nd.IsNull() || depth > 128 {
+			return 0, fmt.Errorf("%w: rbtree corrupted link", ErrInconsistent)
+		}
+		k := r.fld(nd, rbKey)
+		if k < lo || k > hi {
+			return 0, fmt.Errorf("%w: rbtree key %d out of order", ErrInconsistent, k)
+		}
+		color := r.fld(nd, rbColor)
+		if color == rbRed {
+			if r.fld(r.oidFld(nd, rbLeft), rbColor) == rbRed ||
+				r.fld(r.oidFld(nd, rbRight), rbColor) == rbRed {
+				return 0, fmt.Errorf("%w: rbtree red node %d has red child", ErrInconsistent, nd)
+			}
+		}
+		count++
+		// Children must point back at their parent (rotations maintain
+		// this; syn 5/6 break it).
+		for _, coff := range []uint64{rbLeft, rbRight} {
+			if c := r.oidFld(nd, uint64(coff)); c != sent {
+				if r.oidFld(c, rbParent) != nd {
+					return 0, fmt.Errorf("%w: rbtree parent pointer of %d broken", ErrInconsistent, c)
+				}
+			}
+		}
+		hiLeft := k
+		if hiLeft > 0 {
+			hiLeft = k - 1
+		}
+		lb, err := walk(r.oidFld(nd, rbLeft), lo, hiLeft, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		rb, err := walk(r.oidFld(nd, rbRight), k, hi, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		if lb != rb {
+			return 0, fmt.Errorf("%w: rbtree black-height mismatch at %d", ErrInconsistent, nd)
+		}
+		if color == rbBlack {
+			lb++
+		}
+		return lb, nil
+	}
+	if _, err := walk(root, 0, ^uint64(0), 0); err != nil {
+		return err
+	}
+	if size := r.fld(m, rbMapSize); uint64(count) != size {
+		return fmt.Errorf("%w: rbtree size counter %d != actual %d", ErrInconsistent, size, count)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/trace"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+func TestRBTreeSequentialInsertStaysBalanced(t *testing.T) {
+	// Ascending inserts into an unbalanced BST would degenerate; the
+	// check command verifies red-black height balance after every batch.
+	var in bytes.Buffer
+	for i := 1; i <= 60; i++ {
+		fmt.Fprintf(&in, "i %d %d\n", i, i)
+		if i%10 == 0 {
+			in.WriteString("c\n")
+		}
+	}
+	img := runProgram(t, "rbtree", nil, in.Bytes(), nil)
+	ref := map[uint64]uint64{}
+	for i := 1; i <= 60; i++ {
+		ref[uint64(i)] = uint64(i)
+	}
+	verifyContents(t, "rbtree", img, ref)
+}
+
+func TestRBTreeDeleteAllOrders(t *testing.T) {
+	// Delete ascending, descending, and inside-out; fix-up paths differ.
+	build := seqInput(15)
+	orders := [][]int{
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		{15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1},
+		{8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15},
+	}
+	for oi, order := range orders {
+		var in bytes.Buffer
+		in.Write(build)
+		for _, k := range order {
+			fmt.Fprintf(&in, "r %d\nc\n", k)
+		}
+		img := runProgram(t, "rbtree", nil, in.Bytes(), nil)
+		if err := checkAfter("rbtree", img); err != nil {
+			t.Fatalf("order %d: %v", oi, err)
+		}
+		verifyContents(t, "rbtree", img, map[uint64]uint64{})
+	}
+}
+
+func TestRBTreeBug9EmitsDupOnEveryInsert(t *testing.T) {
+	rec := traceProgram(t, "rbtree", []byte("i 1 1\ni 2 2\ni 3 3\n"),
+		bugs.NewSet().EnableReal(bugs.Bug9RBTreeRedundantSetNew))
+	if got := rec.CountKind(trace.TxAddDup); got < 3 {
+		t.Fatalf("Bug 9 dup events = %d, want >= 3 (one per insert)", got)
+	}
+	clean := traceProgram(t, "rbtree", []byte("i 1 1\ni 2 2\ni 3 3\n"), nil)
+	if got := clean.CountKind(trace.TxAddDup); got != 0 {
+		t.Fatalf("fixed rbtree emitted %d dup events", got)
+	}
+}
+
+func TestRBTreeBug11RequiresRotation(t *testing.T) {
+	bg := bugs.NewSet().EnableReal(bugs.Bug11RBTreeRedundantSetParent)
+	// One insert: no recolor-rotate, no dup from Bug 11's site.
+	one := traceProgram(t, "rbtree", []byte("i 1 1\n"), bg)
+	base := one.CountKind(trace.TxAddDup)
+	// Ascending inserts force rotations: the dup must appear.
+	many := traceProgram(t, "rbtree", seqInput(10), bg)
+	if got := many.CountKind(trace.TxAddDup); got <= base {
+		t.Fatalf("Bug 11 dup not triggered by rotations (%d <= %d)", got, base)
+	}
+}
+
+// traceProgram runs a program with a trace recorder attached and returns
+// the recorder.
+func traceProgram(t *testing.T, name string, input []byte, bg *bugs.Set) *trace.Recorder {
+	t.Helper()
+	prog, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := pmem.NewDevice(prog.PoolSize())
+	rec := trace.NewRecorder()
+	dev.SetSink(rec)
+	env := &Env{Dev: dev, T: instr.NewTracer(), RNG: newTestRNG(), Bugs: bg}
+	if err := prog.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range bytes.Split(input, []byte("\n")) {
+		if err := prog.Exec(env, line); err != nil {
+			break
+		}
+	}
+	prog.Close(env)
+	return rec
+}

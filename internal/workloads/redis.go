@@ -1,0 +1,482 @@
+package workloads
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/pmemobj"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// Redis is the PM-Redis analog of the paper's Example 2 (Figure 3): a
+// key-value database that keeps its durable state in a persistent table
+// of bucket lists (each with head and tail pointers) and buffers a
+// volatile lookup table in DRAM for fast GETs. main() loads the PM image,
+// runs recovery (checksum verification; the undo log is applied by
+// pmemobj_open), reconstructs the volatile table, and then serves
+// commands. Only PUT/DEL touch PM — the "PM code regions" of Figure 3.
+//
+// Commands (socket protocol converted to a CLI, as the paper does with
+// Preeny):
+//
+//	SET <key> <value> | GET <key> | DEL <key> | CHECK | QUIT
+//
+// On-pool layout:
+//
+//	pool root (16B): db Oid @0
+//	db struct (48B): count @0, checksum @8, opstamp @16, buckets Oid @24,
+//	                 nbuckets @32
+//	bucket (16B): head Oid @0, tail Oid @8
+//	entry (24B): key @0, val @8, next @16
+const (
+	rdCount    = 0
+	rdChecksum = 8
+	rdOpstamp  = 16
+	rdBuckets  = 24
+	rdNBuckets = 32
+	rdLen      = 48
+
+	rdBHead = 0
+	rdBTail = 8
+	rdBLen  = 16
+
+	rdEKey  = 0
+	rdEVal  = 8
+	rdENext = 16
+	rdELen  = 24
+
+	rdNumBuckets = 8
+
+	// checksumSalt makes the checksum a function of count rather than a
+	// constant, mirroring the verifyCheckSum() of Figure 3.
+	rdChecksumSalt = 0x9e3779b97f4a7c15
+)
+
+var (
+	rdSitePut     = instr.ID("redis.put")
+	rdSitePutTail = instr.ID("redis.put.tail")
+	rdSiteUpdate  = instr.ID("redis.update")
+	rdSiteDel     = instr.ID("redis.del")
+	rdSiteGetHit  = instr.ID("redis.get.hit")
+	rdSiteGetMiss = instr.ID("redis.get.miss")
+	rdSiteRecover = instr.ID("redis.recover")
+	rdSiteRebuild = instr.ID("redis.reconstruct")
+	rdSiteCheck   = instr.ID("redis.check")
+)
+
+func init() { Register("redis", func() Program { return &Redis{} }) }
+
+// Redis is the workload instance.
+type Redis struct {
+	pool *pmemobj.Pool
+	root pmemobj.Oid
+	// table is the volatile DRAM lookup table of Figure 3, rebuilt from
+	// PM at startup (PMReconstruct) and kept in sync by mutations.
+	table map[uint64]uint64
+	// stamp is the volatile counter behind the persistent op stamp.
+	stamp uint64
+}
+
+// Name implements Program.
+func (r *Redis) Name() string { return "redis" }
+
+// PoolSize implements Program.
+func (r *Redis) PoolSize() int { return 1 << 20 }
+
+// SeedInputs implements Program.
+func (r *Redis) SeedInputs() [][]byte {
+	return [][]byte{
+		[]byte("SET 1 100\nSET 2 200\nGET 1\nCHECK\n"),
+		[]byte("SET 3 30\nSET 3 31\nDEL 3\nGET 3\nCHECK\n"),
+		[]byte("SET 10 1\nSET 18 2\nSET 26 3\nDEL 18\nGET 26\nCHECK\nQUIT\n"),
+	}
+}
+
+// SynPoints implements Program: 14 points (Table 3).
+func (r *Redis) SynPoints() []bugs.Point {
+	return []bugs.Point{
+		{ID: 1, Kind: bugs.SkipTxAdd, Site: "redis.go:put bucket head"},
+		{ID: 2, Kind: bugs.WrongLogRange, Site: "redis.go:put logs head, updates tail"},
+		{ID: 3, Kind: bugs.SkipTxAdd, Site: "redis.go:put count"},
+		{ID: 4, Kind: bugs.RedundantTxAdd, Site: "redis.go:put double add entry"},
+		{ID: 5, Kind: bugs.SkipTxAdd, Site: "redis.go:put tail append (Example 2 bug)"},
+		{ID: 6, Kind: bugs.SkipTxAdd, Site: "redis.go:del unlink"},
+		{ID: 7, Kind: bugs.WrongLogRange, Site: "redis.go:del logs wrong field"},
+		{ID: 8, Kind: bugs.RedundantTxAdd, Site: "redis.go:del double add pred"},
+		{ID: 9, Kind: bugs.SkipTxAdd, Site: "redis.go:checksum update"},
+		{ID: 10, Kind: bugs.WrongCommitValue, Site: "redis.go:checksum value"},
+		{ID: 11, Kind: bugs.SkipFlush, Site: "redis.go:opstamp persist"},
+		{ID: 12, Kind: bugs.SkipFence, Site: "redis.go:opstamp fence"},
+		{ID: 13, Kind: bugs.RedundantFlush, Site: "redis.go:opstamp double persist"},
+		{ID: 14, Kind: bugs.WrongCommitValue, Site: "redis.go:count value"},
+	}
+}
+
+// Setup implements Program: open-or-create, recover, reconstruct.
+func (r *Redis) Setup(env *Env) error {
+	pool, err := pmemobj.Open(env.Dev, "redis")
+	if errors.Is(err, pmemobj.ErrBadPool) {
+		if pool, err = pmemobj.Create(env.Dev, "redis", pmemobj.Options{Derandomize: true}); err != nil {
+			return err
+		}
+		r.pool = pool
+		if r.root, err = pool.Root(16); err != nil {
+			return err
+		}
+		if err := r.createDB(env); err != nil {
+			return err
+		}
+	} else if err != nil {
+		return err
+	} else {
+		r.pool = pool
+		r.root = pool.RootOid()
+		if r.root.IsNull() || pool.U64(r.root, 0) == 0 {
+			if r.root, err = pool.Root(16); err != nil {
+				return err
+			}
+			if err := r.createDB(env); err != nil {
+				return err
+			}
+		}
+		if err := r.recover(env); err != nil {
+			return err
+		}
+	}
+	r.reconstruct(env)
+	return nil
+}
+
+func (r *Redis) createDB(env *Env) error {
+	p := r.pool
+	return p.Tx(func() error {
+		if err := p.TxAdd(r.root, 0, 8); err != nil {
+			return err
+		}
+		db, err := p.TxZNew(rdLen)
+		if err != nil {
+			return err
+		}
+		buckets, err := p.TxZNew(rdNumBuckets * rdBLen)
+		if err != nil {
+			return err
+		}
+		p.SetU64(db, rdBuckets, uint64(buckets))
+		p.SetU64(db, rdNBuckets, rdNumBuckets)
+		p.SetU64(db, rdChecksum, rdChecksumSalt) // checksum of count 0
+		p.SetU64(r.root, 0, uint64(db))
+		return nil
+	})
+}
+
+func (r *Redis) dbOid() pmemobj.Oid { return pmemobj.Oid(r.pool.U64(r.root, 0)) }
+
+// recover is Figure 3's recover(): verify the checksum (the undo log was
+// already applied by pmemobj.Open).
+func (r *Redis) recover(env *Env) error {
+	env.Branch(rdSiteRecover)
+	db := r.dbOid()
+	count := r.pool.U64(db, rdCount)
+	if got, want := r.pool.U64(db, rdChecksum), count^rdChecksumSalt; got != want {
+		return fmt.Errorf("%w: redis checksum %#x != %#x for count %d", ErrInconsistent, got, want, count)
+	}
+	return nil
+}
+
+// reconstruct rebuilds the volatile lookup table from PM (PMReconstruct
+// in Figure 3).
+func (r *Redis) reconstruct(env *Env) {
+	env.Branch(rdSiteRebuild)
+	p := r.pool
+	db := r.dbOid()
+	r.table = map[uint64]uint64{}
+	buckets := pmemobj.Oid(p.U64(db, rdBuckets))
+	n := p.U64(db, rdNBuckets)
+	for b := uint64(0); b < n; b++ {
+		for e := pmemobj.Oid(p.U64(buckets, b*rdBLen+rdBHead)); !e.IsNull(); e = pmemobj.Oid(p.U64(e, rdENext)) {
+			r.table[p.U64(e, rdEKey)] = p.U64(e, rdEVal)
+		}
+	}
+}
+
+// Exec implements Program.
+func (r *Redis) Exec(env *Env, line []byte) error {
+	fields := bytes.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	cmd := string(bytes.ToUpper(fields[0]))
+	switch cmd {
+	case "SET":
+		if len(fields) < 3 {
+			return nil
+		}
+		k, err1 := parseU64(fields[1])
+		v, err2 := parseU64(fields[2])
+		if err1 != nil || err2 != nil {
+			return nil
+		}
+		return r.put(env, k, v)
+	case "GET":
+		if len(fields) < 2 {
+			return nil
+		}
+		if k, err := parseU64(fields[1]); err == nil {
+			r.Lookup(env, k)
+		}
+		return nil
+	case "DEL":
+		if len(fields) < 2 {
+			return nil
+		}
+		k, err := parseU64(fields[1])
+		if err != nil {
+			return nil
+		}
+		return r.del(env, k)
+	case "CHECK":
+		return r.check(env)
+	case "QUIT":
+		return ErrStop
+	}
+	return nil
+}
+
+// Close implements Program.
+func (r *Redis) Close(env *Env) *pmem.Image { return r.pool.Close() }
+
+func (r *Redis) bucketOff(db pmemobj.Oid, key uint64) uint64 {
+	n := r.pool.U64(db, rdNBuckets)
+	return (key % n) * rdBLen
+}
+
+// put is PutEntry of Figure 3: append at the tail of the indexed list.
+// Injection point 5 reproduces the paper's Example 2 crash-consistency
+// bug: the tail entry's next pointer is modified without a backup.
+func (r *Redis) put(env *Env, key, val uint64) error {
+	env.Branch(rdSitePut)
+	p := r.pool
+	err := p.Tx(func() error {
+		db := r.dbOid()
+		buckets := pmemobj.Oid(p.U64(db, rdBuckets))
+		boff := r.bucketOff(db, key)
+		// Update in place on duplicate.
+		for e := pmemobj.Oid(p.U64(buckets, boff+rdBHead)); !e.IsNull(); e = pmemobj.Oid(p.U64(e, rdENext)) {
+			if p.U64(e, rdEKey) == key {
+				env.Branch(rdSiteUpdate)
+				if err := p.TxAdd(e, rdEVal, 8); err != nil {
+					return err
+				}
+				p.SetU64(e, rdEVal, val)
+				return nil
+			}
+		}
+		e, err := p.TxZNew(rdELen)
+		if err != nil {
+			return err
+		}
+		if err := redundantAddP(env, p, 4, e, 0, rdELen); err != nil {
+			return err
+		}
+		p.SetU64(e, rdEKey, key)
+		p.SetU64(e, rdEVal, val)
+		tail := pmemobj.Oid(p.U64(buckets, boff+rdBTail))
+		if tail.IsNull() {
+			// Empty list: set head and tail.
+			if env.Bugs.Syn(2) {
+				if err := p.TxAdd(buckets, boff+rdBHead, 8); err != nil {
+					return err
+				}
+			} else if err := txAddP(env, p, 1, buckets, boff, rdBLen); err != nil {
+				return err
+			}
+			p.SetU64(buckets, boff+rdBHead, uint64(e))
+			p.SetU64(buckets, boff+rdBTail, uint64(e))
+		} else {
+			env.Branch(rdSitePutTail)
+			// Append after the tail. The fixed code logs the tail entry's
+			// next field; Example 2's bug (point 5) skips that backup.
+			if err := txAddP(env, p, 5, tail, rdENext, 8); err != nil {
+				return err
+			}
+			p.SetU64(tail, rdENext, uint64(e))
+			if err := p.TxAdd(buckets, boff+rdBTail, 8); err != nil {
+				return err
+			}
+			p.SetU64(buckets, boff+rdBTail, uint64(e))
+		}
+		if err := r.bumpCount(env, db, 1); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	r.table[key] = val
+	r.stampOp(env)
+	return nil
+}
+
+func (r *Redis) del(env *Env, key uint64) error {
+	env.Branch(rdSiteDel)
+	p := r.pool
+	removed := false
+	err := p.Tx(func() error {
+		db := r.dbOid()
+		buckets := pmemobj.Oid(p.U64(db, rdBuckets))
+		boff := r.bucketOff(db, key)
+		prev := pmemobj.OidNull
+		e := pmemobj.Oid(p.U64(buckets, boff+rdBHead))
+		for !e.IsNull() && p.U64(e, rdEKey) != key {
+			prev = e
+			e = pmemobj.Oid(p.U64(e, rdENext))
+		}
+		if e.IsNull() {
+			return nil
+		}
+		removed = true
+		next := p.U64(e, rdENext)
+		if prev.IsNull() {
+			if err := txAddP(env, p, 6, buckets, boff, rdBLen); err != nil {
+				return err
+			}
+			p.SetU64(buckets, boff+rdBHead, next)
+		} else {
+			if env.Bugs.Syn(7) {
+				if err := p.TxAdd(prev, rdEKey, 8); err != nil {
+					return err
+				}
+			} else if err := txAddP(env, p, 6, prev, rdENext, 8); err != nil {
+				return err
+			}
+			if err := redundantAddP(env, p, 8, prev, rdENext, 8); err != nil {
+				return err
+			}
+			p.SetU64(prev, rdENext, next)
+			if err := p.TxAdd(buckets, boff+rdBTail, 8); err != nil {
+				return err
+			}
+		}
+		// Fix the tail pointer if the tail was removed.
+		if pmemobj.Oid(p.U64(buckets, boff+rdBTail)) == e {
+			if prev.IsNull() {
+				p.SetU64(buckets, boff+rdBTail, 0)
+			} else {
+				p.SetU64(buckets, boff+rdBTail, uint64(prev))
+			}
+		}
+		if err := p.TxFree(e); err != nil {
+			return err
+		}
+		return r.bumpCount(env, db, ^uint64(0))
+	})
+	if err != nil {
+		return err
+	}
+	if removed {
+		delete(r.table, key)
+		r.stampOp(env)
+	}
+	return nil
+}
+
+// bumpCount maintains count and its checksum inside the transaction.
+func (r *Redis) bumpCount(env *Env, db pmemobj.Oid, delta uint64) error {
+	p := r.pool
+	if err := txAddP(env, p, 3, db, rdCount, 8); err != nil {
+		return err
+	}
+	v := p.U64(db, rdCount) + delta
+	if env.Bugs.Syn(14) {
+		v++
+	}
+	p.SetU64(db, rdCount, v)
+	if err := txAddP(env, p, 9, db, rdChecksum, 8); err != nil {
+		return err
+	}
+	sum := v ^ rdChecksumSalt
+	if env.Bugs.Syn(10) {
+		sum ^= 1
+	}
+	p.SetU64(db, rdChecksum, sum)
+	return nil
+}
+
+// stampOp writes a non-transactional operation stamp after each mutation
+// (an AOF-offset analog) carrying the low-level injection points.
+func (r *Redis) stampOp(env *Env) {
+	p := r.pool
+	db := r.dbOid()
+	r.stamp++
+	p.SetU64(db, rdOpstamp, r.stamp)
+	if env.Bugs.Syn(11) {
+		return
+	}
+	if env.Bugs.Syn(12) {
+		p.FlushRange(db, rdOpstamp, 8)
+		return
+	}
+	p.Persist(db, rdOpstamp, 8)
+	if env.Bugs.Syn(13) {
+		p.Persist(db, rdOpstamp, 8) // redundant
+	}
+}
+
+// Lookup is GetEntry of Figure 3: volatile-table lookup only.
+func (r *Redis) Lookup(env *Env, key uint64) (uint64, bool) {
+	v, ok := r.table[key]
+	if ok {
+		env.Branch(rdSiteGetHit)
+	} else {
+		env.Branch(rdSiteGetMiss)
+	}
+	return v, ok
+}
+
+// check validates the persistent table against the volatile one, chain
+// tail pointers, the count, and the checksum.
+func (r *Redis) check(env *Env) error {
+	env.Branch(rdSiteCheck)
+	p := r.pool
+	db := r.dbOid()
+	buckets := pmemobj.Oid(p.U64(db, rdBuckets))
+	n := p.U64(db, rdNBuckets)
+	count := uint64(0)
+	for b := uint64(0); b < n; b++ {
+		boff := b * rdBLen
+		var last pmemobj.Oid
+		steps := 0
+		for e := pmemobj.Oid(p.U64(buckets, boff+rdBHead)); !e.IsNull(); e = pmemobj.Oid(p.U64(e, rdENext)) {
+			k := p.U64(e, rdEKey)
+			if k%n != b {
+				return fmt.Errorf("%w: redis key %d in bucket %d", ErrInconsistent, k, b)
+			}
+			if v, ok := r.table[k]; !ok || v != p.U64(e, rdEVal) {
+				return fmt.Errorf("%w: redis PM/DRAM divergence for key %d", ErrInconsistent, k)
+			}
+			last = e
+			count++
+			steps++
+			if steps > 1<<20 {
+				return fmt.Errorf("%w: redis chain cycle in bucket %d", ErrInconsistent, b)
+			}
+		}
+		if tail := pmemobj.Oid(p.U64(buckets, boff+rdBTail)); tail != last {
+			return fmt.Errorf("%w: redis tail pointer wrong in bucket %d", ErrInconsistent, b)
+		}
+	}
+	if got := p.U64(db, rdCount); got != count {
+		return fmt.Errorf("%w: redis count %d != actual %d", ErrInconsistent, got, count)
+	}
+	if got, want := p.U64(db, rdChecksum), count^rdChecksumSalt; got != want {
+		return fmt.Errorf("%w: redis checksum mismatch", ErrInconsistent)
+	}
+	if uint64(len(r.table)) != count {
+		return fmt.Errorf("%w: redis volatile table size %d != %d", ErrInconsistent, len(r.table), count)
+	}
+	return nil
+}

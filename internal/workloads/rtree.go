@@ -1,0 +1,431 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/pmemobj"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// RTree ports PMDK's rtree_map example — despite the name, a radix tree.
+// Keys are decomposed into 4-bit nibbles (16-way branching); removal
+// prunes empty chains back up the tree, the deep path that needs
+// generated test cases to reach.
+//
+// On-pool layout:
+//
+//	pool root (16B): map Oid @0
+//	map struct (16B): root node Oid @0, size @8
+//	node (152B): hasValue @0, value @8, children[16] @24
+const (
+	rtFanout = 16
+
+	rtHasVal   = 0
+	rtValue    = 8
+	rtChildren = 24
+	rtNode     = rtChildren + 8*rtFanout
+
+	rtMapRoot  = 0
+	rtMapSize  = 8
+	rtMapStamp = 16
+	rtMapLen   = 24
+
+	rtKeyNibbles = 16 // uint64 keys: 16 nibbles, most significant first
+)
+
+var (
+	rtSiteInsert  = instr.ID("rtree.insert")
+	rtSiteExtend  = instr.ID("rtree.extend")
+	rtSiteRemove  = instr.ID("rtree.remove")
+	rtSitePrune   = instr.ID("rtree.prune")
+	rtSiteGetHit  = instr.ID("rtree.get.hit")
+	rtSiteGetMiss = instr.ID("rtree.get.miss")
+	rtSiteUpdate  = instr.ID("rtree.update")
+	rtSiteCheck   = instr.ID("rtree.check")
+)
+
+func init() { Register("rtree", func() Program { return &RTree{} }) }
+
+// RTree is the workload instance.
+type RTree struct {
+	pool  *pmemobj.Pool
+	root  pmemobj.Oid
+	stamp uint64
+	// newInTx tracks nodes allocated in the current transaction: their
+	// ranges are already covered, so the fixed program skips TX_ADDs.
+	newInTx map[pmemobj.Oid]bool
+}
+
+// Name implements Program.
+func (r *RTree) Name() string { return "rtree" }
+
+// PoolSize implements Program: radix nodes are large, allow more space.
+func (r *RTree) PoolSize() int { return 2 << 20 }
+
+// SeedInputs implements Program.
+func (r *RTree) SeedInputs() [][]byte { return mapcliSeeds() }
+
+// SynPoints implements Program: 16 points (Table 3).
+func (r *RTree) SynPoints() []bugs.Point {
+	return []bugs.Point{
+		{ID: 1, Kind: bugs.SkipTxAdd, Site: "rtree.go:create map pointer"},
+		{ID: 2, Kind: bugs.SkipTxAdd, Site: "rtree.go:insert root pointer"},
+		{ID: 3, Kind: bugs.SkipTxAdd, Site: "rtree.go:insert child link"},
+		{ID: 4, Kind: bugs.WrongLogRange, Site: "rtree.go:remove logs half of value"},
+		{ID: 5, Kind: bugs.WrongLogRange, Site: "rtree.go:insert logs child 0"},
+		{ID: 6, Kind: bugs.RedundantTxAdd, Site: "rtree.go:insert double add new node"},
+		{ID: 7, Kind: bugs.SkipTxAdd, Site: "rtree.go:update value in place"},
+		{ID: 8, Kind: bugs.SkipTxAdd, Site: "rtree.go:remove clear value"},
+		{ID: 9, Kind: bugs.SkipTxAdd, Site: "rtree.go:prune child unlink"},
+		{ID: 10, Kind: bugs.WrongLogRange, Site: "rtree.go:prune logs wrong slot"},
+		{ID: 11, Kind: bugs.RedundantTxAdd, Site: "rtree.go:prune double add parent"},
+		{ID: 12, Kind: bugs.SkipTxAdd, Site: "rtree.go:size counter add"},
+		{ID: 13, Kind: bugs.SkipFlush, Site: "rtree.go:operation stamp persist"},
+		{ID: 14, Kind: bugs.WrongCommitValue, Site: "rtree.go:size counter value"},
+		{ID: 15, Kind: bugs.SkipTxAdd, Site: "rtree.go:remove root shrink"},
+		{ID: 16, Kind: bugs.RedundantTxAdd, Site: "rtree.go:insert double add map"},
+	}
+}
+
+// Setup implements Program with the Bug 4 create-retry pattern.
+func (r *RTree) Setup(env *Env) error {
+	pool, err := pmemobj.Open(env.Dev, "rtree")
+	if errors.Is(err, pmemobj.ErrBadPool) {
+		if pool, err = pmemobj.Create(env.Dev, "rtree", pmemobj.Options{Derandomize: true}); err != nil {
+			return err
+		}
+		r.pool = pool
+		if r.root, err = pool.Root(16); err != nil {
+			return err
+		}
+		return r.createMap(env)
+	}
+	if err != nil {
+		return err
+	}
+	r.pool = pool
+	r.root = pool.RootOid()
+	if r.root.IsNull() {
+		if r.root, err = pool.Root(16); err != nil {
+			return err
+		}
+		return r.createMap(env)
+	}
+	if !env.Bugs.Real(bugs.Bug4RTreeCreateNotRetried) && pool.U64(r.root, 0) == 0 {
+		return r.createMap(env)
+	}
+	return nil
+}
+
+func (r *RTree) createMap(env *Env) error {
+	p := r.pool
+	return p.Tx(func() error {
+		if err := txAddP(env, p, 1, r.root, 0, 8); err != nil {
+			return err
+		}
+		m, err := p.TxZNew(rtMapLen)
+		if err != nil {
+			return err
+		}
+		p.SetU64(r.root, 0, uint64(m))
+		return nil
+	})
+}
+
+func (r *RTree) mapOid() pmemobj.Oid { return pmemobj.Oid(r.pool.U64(r.root, 0)) }
+
+// Exec implements Program.
+func (r *RTree) Exec(env *Env, line []byte) error {
+	op, err := ParseOp(line)
+	if err != nil {
+		return nil
+	}
+	switch op.Code {
+	case 'i':
+		return r.insert(env, op.Key, op.Val)
+	case 'r':
+		return r.remove(env, op.Key)
+	case 'g':
+		r.Lookup(env, op.Key)
+		return nil
+	case 'c':
+		return r.check(env)
+	case 'q':
+		return ErrStop
+	}
+	return nil
+}
+
+// Close implements Program.
+func (r *RTree) Close(env *Env) *pmem.Image { return r.pool.Close() }
+
+func nibble(key uint64, i int) int {
+	return int(key >> uint(4*(rtKeyNibbles-1-i)) & 0xf)
+}
+
+func (r *RTree) child(nd pmemobj.Oid, i int) pmemobj.Oid {
+	return pmemobj.Oid(r.pool.U64(nd, rtChildren+uint64(i)*8))
+}
+func (r *RTree) setChild(nd pmemobj.Oid, i int, c pmemobj.Oid) {
+	r.pool.SetU64(nd, rtChildren+uint64(i)*8, uint64(c))
+}
+
+func (r *RTree) insert(env *Env, key, val uint64) error {
+	env.Branch(rtSiteInsert)
+	p := r.pool
+	r.newInTx = map[pmemobj.Oid]bool{}
+	err := p.Tx(func() error {
+		m := r.mapOid()
+		if err := redundantAddP(env, p, 16, m, 0, rtMapLen); err != nil {
+			return err
+		}
+		cur := pmemobj.Oid(p.U64(m, rtMapRoot))
+		if cur.IsNull() {
+			nd, err := p.TxZNew(rtNode)
+			if err != nil {
+				return err
+			}
+			r.newInTx[nd] = true
+			if err := txAddP(env, p, 2, m, rtMapRoot, 8); err != nil {
+				return err
+			}
+			p.SetU64(m, rtMapRoot, uint64(nd))
+			cur = nd
+		}
+		for i := 0; i < rtKeyNibbles; i++ {
+			nb := nibble(key, i)
+			next := r.child(cur, nb)
+			if next.IsNull() {
+				env.Branch(rtSiteExtend)
+				nd, err := p.TxZNew(rtNode)
+				if err != nil {
+					return err
+				}
+				r.newInTx[nd] = true
+				if err := redundantAddP(env, p, 6, nd, 0, rtNode); err != nil {
+					return err
+				}
+				if env.Bugs.Syn(5) {
+					// WrongLogRange: always log child slot 0 instead of nb.
+					if err := p.TxAdd(cur, rtChildren, 8); err != nil {
+						return err
+					}
+				} else if !r.newInTx[cur] {
+					// A node allocated this transaction is already covered.
+					if err := txAddP(env, p, 3, cur, rtChildren+uint64(nb)*8, 8); err != nil {
+						return err
+					}
+				}
+				r.setChild(cur, nb, nd)
+				next = nd
+			}
+			cur = next
+		}
+		had := p.U64(cur, rtHasVal) != 0
+		if had {
+			env.Branch(rtSiteUpdate)
+			if err := txAddP(env, p, 7, cur, rtValue, 8); err != nil {
+				return err
+			}
+			p.SetU64(cur, rtValue, val)
+			return nil
+		}
+		if !r.newInTx[cur] {
+			if err := txAddP(env, p, 4, cur, rtHasVal, 16); err != nil {
+				return err
+			}
+		}
+		p.SetU64(cur, rtHasVal, 1)
+		p.SetU64(cur, rtValue, val)
+		return r.bumpSize(env, 1)
+	})
+	if err != nil {
+		return err
+	}
+	r.stampOp(env)
+	return nil
+}
+
+func (r *RTree) remove(env *Env, key uint64) error {
+	env.Branch(rtSiteRemove)
+	p := r.pool
+	removed := false
+	err := p.Tx(func() error {
+		m := r.mapOid()
+		root := pmemobj.Oid(p.U64(m, rtMapRoot))
+		if root.IsNull() {
+			return nil
+		}
+		// Record the path for pruning.
+		var path [rtKeyNibbles]pmemobj.Oid
+		cur := root
+		for i := 0; i < rtKeyNibbles; i++ {
+			path[i] = cur
+			cur = r.child(cur, nibble(key, i))
+			if cur.IsNull() {
+				return nil
+			}
+		}
+		if p.U64(cur, rtHasVal) == 0 {
+			return nil
+		}
+		removed = true
+		if env.Bugs.Syn(4) {
+			// WrongLogRange: back up only the hasValue word, then clear
+			// both it and the value.
+			if err := p.TxAdd(cur, rtHasVal, 8); err != nil {
+				return err
+			}
+		} else if err := txAddP(env, p, 8, cur, rtHasVal, 16); err != nil {
+			return err
+		}
+		p.SetU64(cur, rtHasVal, 0)
+		p.SetU64(cur, rtValue, 0)
+		// Prune now-empty nodes bottom-up.
+		for i := rtKeyNibbles - 1; i >= 0; i-- {
+			if !r.isEmptyNode(cur) {
+				break
+			}
+			env.Branch(rtSitePrune)
+			parent := path[i]
+			nb := nibble(key, i)
+			if env.Bugs.Syn(10) {
+				wrong := (nb + 1) % rtFanout
+				if err := p.TxAdd(parent, rtChildren+uint64(wrong)*8, 8); err != nil {
+					return err
+				}
+			} else if err := txAddP(env, p, 9, parent, rtChildren+uint64(nb)*8, 8); err != nil {
+				return err
+			}
+			if err := redundantAddP(env, p, 11, parent, rtChildren+uint64(nb)*8, 8); err != nil {
+				return err
+			}
+			r.setChild(parent, nb, pmemobj.OidNull)
+			if err := p.TxFree(cur); err != nil {
+				return err
+			}
+			cur = parent
+		}
+		// Shrink an empty root away entirely.
+		if cur == root && r.isEmptyNode(root) {
+			if err := txAddP(env, p, 15, m, rtMapRoot, 8); err != nil {
+				return err
+			}
+			p.SetU64(m, rtMapRoot, 0)
+			if err := p.TxFree(root); err != nil {
+				return err
+			}
+		}
+		return r.bumpSize(env, ^uint64(0))
+	})
+	if err != nil {
+		return err
+	}
+	if removed {
+		r.stampOp(env)
+	}
+	return nil
+}
+
+func (r *RTree) isEmptyNode(nd pmemobj.Oid) bool {
+	if r.pool.U64(nd, rtHasVal) != 0 {
+		return false
+	}
+	for i := 0; i < rtFanout; i++ {
+		if !r.child(nd, i).IsNull() {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup exposes the read path for verification harnesses.
+func (r *RTree) Lookup(env *Env, key uint64) (uint64, bool) {
+	m := r.mapOid()
+	cur := pmemobj.Oid(r.pool.U64(m, rtMapRoot))
+	for i := 0; i < rtKeyNibbles && !cur.IsNull(); i++ {
+		cur = r.child(cur, nibble(key, i))
+	}
+	if cur.IsNull() || r.pool.U64(cur, rtHasVal) == 0 {
+		env.Branch(rtSiteGetMiss)
+		return 0, false
+	}
+	env.Branch(rtSiteGetHit)
+	return r.pool.U64(cur, rtValue), true
+}
+
+func (r *RTree) bumpSize(env *Env, delta uint64) error {
+	p := r.pool
+	m := r.mapOid()
+	if err := txAddP(env, p, 12, m, rtMapSize, 8); err != nil {
+		return err
+	}
+	v := p.U64(m, rtMapSize) + delta
+	if env.Bugs.Syn(14) {
+		v++
+	}
+	p.SetU64(m, rtMapSize, v)
+	return nil
+}
+
+// stampOp advances the non-transactional operation stamp (volatile
+// counter; never read back from PM).
+func (r *RTree) stampOp(env *Env) {
+	r.stamp++
+	m := r.mapOid()
+	r.pool.SetU64(m, rtMapStamp, r.stamp)
+	persistP(env, r.pool, 13, m, rtMapStamp, 8)
+}
+
+// check validates that values only exist at full key depth, that no
+// interior chains dangle empty, and that the size counter matches.
+func (r *RTree) check(env *Env) error {
+	env.Branch(rtSiteCheck)
+	p := r.pool
+	m := r.mapOid()
+	root := pmemobj.Oid(p.U64(m, rtMapRoot))
+	count := 0
+	var walk func(nd pmemobj.Oid, depth int) error
+	walk = func(nd pmemobj.Oid, depth int) error {
+		if nd.IsNull() {
+			return nil
+		}
+		if depth > rtKeyNibbles {
+			return fmt.Errorf("%w: rtree deeper than key length", ErrInconsistent)
+		}
+		if p.U64(nd, rtHasVal) != 0 {
+			if depth != rtKeyNibbles {
+				return fmt.Errorf("%w: rtree value at interior depth %d", ErrInconsistent, depth)
+			}
+			count++
+		}
+		hasChild := false
+		for i := 0; i < rtFanout; i++ {
+			c := r.child(nd, i)
+			if c.IsNull() {
+				continue
+			}
+			hasChild = true
+			if depth == rtKeyNibbles {
+				return fmt.Errorf("%w: rtree leaf has children", ErrInconsistent)
+			}
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		if !hasChild && depth < rtKeyNibbles && p.U64(nd, rtHasVal) == 0 && depth > 0 {
+			return fmt.Errorf("%w: rtree dangling empty interior node at depth %d", ErrInconsistent, depth)
+		}
+		return nil
+	}
+	if err := walk(root, 0); err != nil {
+		return err
+	}
+	if size := p.U64(m, rtMapSize); uint64(count) != size {
+		return fmt.Errorf("%w: rtree size counter %d != actual %d", ErrInconsistent, size, count)
+	}
+	return nil
+}

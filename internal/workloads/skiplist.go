@@ -1,0 +1,369 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/pmemobj"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// SkipList ports PMDK's skiplist_map example: a 4-level skip list with a
+// persistent head sentinel. Node levels are drawn from the execution's
+// seeded RNG — the derandomization analog of running the original under
+// Preeny (§4.4(3)).
+//
+// On-pool layout:
+//
+//	pool root (16B): map Oid @0
+//	map struct (16B): head Oid @0, size @8
+//	node (48B): key @0, val @8, next[4] @16
+const (
+	slLevels = 4
+
+	slKey  = 0
+	slVal  = 8
+	slNext = 16
+	slNode = slNext + 8*slLevels
+
+	slMapHead  = 0
+	slMapSize  = 8
+	slMapStamp = 16
+	slMapLen   = 24
+)
+
+var (
+	slSiteInsert  = instr.ID("skiplist.insert")
+	slSiteLink    = instr.ID("skiplist.link")
+	slSiteRemove  = instr.ID("skiplist.remove")
+	slSiteGetHit  = instr.ID("skiplist.get.hit")
+	slSiteGetMiss = instr.ID("skiplist.get.miss")
+	slSiteUpdate  = instr.ID("skiplist.update")
+	slSiteCheck   = instr.ID("skiplist.check")
+	slSiteLevelUp = instr.ID("skiplist.levelup")
+)
+
+func init() { Register("skiplist", func() Program { return &SkipList{} }) }
+
+// SkipList is the workload instance.
+type SkipList struct {
+	pool  *pmemobj.Pool
+	root  pmemobj.Oid
+	stamp uint64
+}
+
+// Name implements Program.
+func (s *SkipList) Name() string { return "skiplist" }
+
+// PoolSize implements Program.
+func (s *SkipList) PoolSize() int { return 1 << 20 }
+
+// SeedInputs implements Program.
+func (s *SkipList) SeedInputs() [][]byte { return mapcliSeeds() }
+
+// SynPoints implements Program: 12 points (Table 3).
+func (s *SkipList) SynPoints() []bugs.Point {
+	return []bugs.Point{
+		{ID: 1, Kind: bugs.SkipTxAdd, Site: "skiplist.go:create map pointer"},
+		{ID: 2, Kind: bugs.SkipTxAdd, Site: "skiplist.go:insert link level 0"},
+		{ID: 3, Kind: bugs.SkipTxAdd, Site: "skiplist.go:insert link upper levels"},
+		{ID: 4, Kind: bugs.WrongLogRange, Site: "skiplist.go:insert logs wrong level"},
+		{ID: 5, Kind: bugs.SkipTxAdd, Site: "skiplist.go:remove unlink"},
+		{ID: 6, Kind: bugs.WrongLogRange, Site: "skiplist.go:remove logs wrong level"},
+		{ID: 7, Kind: bugs.RedundantTxAdd, Site: "skiplist.go:insert double add node"},
+		{ID: 8, Kind: bugs.SkipTxAdd, Site: "skiplist.go:size counter add"},
+		{ID: 9, Kind: bugs.SkipFlush, Site: "skiplist.go:operation stamp persist"},
+		{ID: 10, Kind: bugs.WrongCommitValue, Site: "skiplist.go:size counter value"},
+		{ID: 11, Kind: bugs.SkipTxAdd, Site: "skiplist.go:update value in place"},
+		{ID: 12, Kind: bugs.RedundantTxAdd, Site: "skiplist.go:remove double add pred"},
+	}
+}
+
+// Setup implements Program with the Bug 5 create-retry pattern.
+func (s *SkipList) Setup(env *Env) error {
+	pool, err := pmemobj.Open(env.Dev, "skiplist")
+	if errors.Is(err, pmemobj.ErrBadPool) {
+		if pool, err = pmemobj.Create(env.Dev, "skiplist", pmemobj.Options{Derandomize: true}); err != nil {
+			return err
+		}
+		s.pool = pool
+		if s.root, err = pool.Root(16); err != nil {
+			return err
+		}
+		return s.createMap(env)
+	}
+	if err != nil {
+		return err
+	}
+	s.pool = pool
+	s.root = pool.RootOid()
+	if s.root.IsNull() {
+		if s.root, err = pool.Root(16); err != nil {
+			return err
+		}
+		return s.createMap(env)
+	}
+	if !env.Bugs.Real(bugs.Bug5SkipListCreateNotRetried) && pool.U64(s.root, 0) == 0 {
+		return s.createMap(env)
+	}
+	return nil
+}
+
+func (s *SkipList) createMap(env *Env) error {
+	p := s.pool
+	return p.Tx(func() error {
+		if err := txAddP(env, p, 1, s.root, 0, 8); err != nil {
+			return err
+		}
+		m, err := p.TxZNew(slMapLen)
+		if err != nil {
+			return err
+		}
+		head, err := p.TxZNew(slNode)
+		if err != nil {
+			return err
+		}
+		p.SetU64(m, slMapHead, uint64(head))
+		p.SetU64(s.root, 0, uint64(m))
+		return nil
+	})
+}
+
+func (s *SkipList) mapOid() pmemobj.Oid { return pmemobj.Oid(s.pool.U64(s.root, 0)) }
+
+// Exec implements Program.
+func (s *SkipList) Exec(env *Env, line []byte) error {
+	op, err := ParseOp(line)
+	if err != nil {
+		return nil
+	}
+	switch op.Code {
+	case 'i':
+		return s.insert(env, op.Key, op.Val)
+	case 'r':
+		return s.remove(env, op.Key)
+	case 'g':
+		s.Lookup(env, op.Key)
+		return nil
+	case 'c':
+		return s.check(env)
+	case 'q':
+		return ErrStop
+	}
+	return nil
+}
+
+// Close implements Program.
+func (s *SkipList) Close(env *Env) *pmem.Image { return s.pool.Close() }
+
+func (s *SkipList) next(nd pmemobj.Oid, lvl int) pmemobj.Oid {
+	return pmemobj.Oid(s.pool.U64(nd, slNext+uint64(lvl)*8))
+}
+func (s *SkipList) setNext(nd pmemobj.Oid, lvl int, v pmemobj.Oid) {
+	s.pool.SetU64(nd, slNext+uint64(lvl)*8, uint64(v))
+}
+
+// findPreds fills the predecessor at every level for key.
+func (s *SkipList) findPreds(key uint64) [slLevels]pmemobj.Oid {
+	m := s.mapOid()
+	var preds [slLevels]pmemobj.Oid
+	cur := pmemobj.Oid(s.pool.U64(m, slMapHead))
+	for lvl := slLevels - 1; lvl >= 0; lvl-- {
+		for {
+			nx := s.next(cur, lvl)
+			if nx.IsNull() || s.pool.U64(nx, slKey) >= key {
+				break
+			}
+			cur = nx
+		}
+		preds[lvl] = cur
+	}
+	return preds
+}
+
+// randLevel draws a geometric level from the test case's seeded RNG.
+func (s *SkipList) randLevel(env *Env) int {
+	lvl := 1
+	for lvl < slLevels && env.RNG.Intn(2) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+func (s *SkipList) insert(env *Env, key, val uint64) error {
+	env.Branch(slSiteInsert)
+	p := s.pool
+	err := p.Tx(func() error {
+		preds := s.findPreds(key)
+		if nx := s.next(preds[0], 0); !nx.IsNull() && p.U64(nx, slKey) == key {
+			env.Branch(slSiteUpdate)
+			if err := txAddP(env, p, 11, nx, slVal, 8); err != nil {
+				return err
+			}
+			p.SetU64(nx, slVal, val)
+			return nil
+		}
+		lvl := s.randLevel(env)
+		if lvl > 1 {
+			env.Branch(slSiteLevelUp)
+		}
+		nd, err := p.TxZNew(slNode)
+		if err != nil {
+			return err
+		}
+		if err := redundantAddP(env, p, 7, nd, 0, slNode); err != nil {
+			return err
+		}
+		p.SetU64(nd, slKey, key)
+		p.SetU64(nd, slVal, val)
+		for l := 0; l < lvl; l++ {
+			env.Branch(slSiteLink)
+			s.setNext(nd, l, s.next(preds[l], l))
+			skipID := 3
+			if l == 0 {
+				skipID = 2
+			}
+			if env.Bugs.Syn(4) && l == 0 {
+				// WrongLogRange: log level 1's pointer, then modify level 0.
+				if err := p.TxAdd(preds[l], slNext+8, 8); err != nil {
+					return err
+				}
+			} else if err := txAddP(env, p, skipID, preds[l], slNext+uint64(l)*8, 8); err != nil {
+				return err
+			}
+			s.setNext(preds[l], l, nd)
+		}
+		return s.bumpSize(env, 1)
+	})
+	if err != nil {
+		return err
+	}
+	s.stampOp(env)
+	return nil
+}
+
+func (s *SkipList) remove(env *Env, key uint64) error {
+	env.Branch(slSiteRemove)
+	p := s.pool
+	removed := false
+	err := p.Tx(func() error {
+		preds := s.findPreds(key)
+		nd := s.next(preds[0], 0)
+		if nd.IsNull() || p.U64(nd, slKey) != key {
+			return nil
+		}
+		removed = true
+		for l := 0; l < slLevels; l++ {
+			if s.next(preds[l], l) != nd {
+				continue
+			}
+			if env.Bugs.Syn(6) && l == 0 {
+				if err := p.TxAdd(preds[l], slNext+8, 8); err != nil {
+					return err
+				}
+			} else if err := txAddP(env, p, 5, preds[l], slNext+uint64(l)*8, 8); err != nil {
+				return err
+			}
+			if err := redundantAddP(env, p, 12, preds[l], slNext+uint64(l)*8, 8); err != nil {
+				return err
+			}
+			s.setNext(preds[l], l, s.next(nd, l))
+		}
+		if err := p.TxFree(nd); err != nil {
+			return err
+		}
+		return s.bumpSize(env, ^uint64(0))
+	})
+	if err != nil {
+		return err
+	}
+	if removed {
+		s.stampOp(env)
+	}
+	return nil
+}
+
+// Lookup exposes the read path for verification harnesses.
+func (s *SkipList) Lookup(env *Env, key uint64) (uint64, bool) {
+	preds := s.findPreds(key)
+	nd := s.next(preds[0], 0)
+	if nd.IsNull() || s.pool.U64(nd, slKey) != key {
+		env.Branch(slSiteGetMiss)
+		return 0, false
+	}
+	env.Branch(slSiteGetHit)
+	return s.pool.U64(nd, slVal), true
+}
+
+func (s *SkipList) bumpSize(env *Env, delta uint64) error {
+	p := s.pool
+	m := s.mapOid()
+	if err := txAddP(env, p, 8, m, slMapSize, 8); err != nil {
+		return err
+	}
+	v := p.U64(m, slMapSize) + delta
+	if env.Bugs.Syn(10) {
+		v++
+	}
+	p.SetU64(m, slMapSize, v)
+	return nil
+}
+
+// stampOp advances the non-transactional operation stamp (volatile
+// counter; never read back from PM).
+func (s *SkipList) stampOp(env *Env) {
+	s.stamp++
+	m := s.mapOid()
+	s.pool.SetU64(m, slMapStamp, s.stamp)
+	persistP(env, s.pool, 9, m, slMapStamp, 8)
+}
+
+// check validates level-0 ordering, upper-level consistency (every upper
+// chain is a subsequence of level 0), and the size counter.
+func (s *SkipList) check(env *Env) error {
+	env.Branch(slSiteCheck)
+	p := s.pool
+	m := s.mapOid()
+	head := pmemobj.Oid(p.U64(m, slMapHead))
+	level0 := map[pmemobj.Oid]bool{}
+	count := 0
+	prev := uint64(0)
+	first := true
+	for nd := s.next(head, 0); !nd.IsNull(); nd = s.next(nd, 0) {
+		k := p.U64(nd, slKey)
+		if !first && k <= prev {
+			return fmt.Errorf("%w: skiplist keys out of order (%d after %d)", ErrInconsistent, k, prev)
+		}
+		prev, first = k, false
+		level0[nd] = true
+		count++
+		if count > 1<<20 {
+			return fmt.Errorf("%w: skiplist cycle at level 0", ErrInconsistent)
+		}
+	}
+	for lvl := 1; lvl < slLevels; lvl++ {
+		seen := 0
+		prevKey := uint64(0)
+		firstAt := true
+		for nd := s.next(head, lvl); !nd.IsNull(); nd = s.next(nd, lvl) {
+			if !level0[nd] {
+				return fmt.Errorf("%w: skiplist level %d references unlinked node", ErrInconsistent, lvl)
+			}
+			k := p.U64(nd, slKey)
+			if !firstAt && k <= prevKey {
+				return fmt.Errorf("%w: skiplist level %d out of order", ErrInconsistent, lvl)
+			}
+			prevKey, firstAt = k, false
+			seen++
+			if seen > count {
+				return fmt.Errorf("%w: skiplist cycle at level %d", ErrInconsistent, lvl)
+			}
+		}
+	}
+	if size := p.U64(m, slMapSize); uint64(count) != size {
+		return fmt.Errorf("%w: skiplist size counter %d != actual %d", ErrInconsistent, size, count)
+	}
+	return nil
+}

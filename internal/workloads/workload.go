@@ -1,0 +1,132 @@
+// Package workloads contains the eight PM programs the paper evaluates
+// (Table 3): the six PMDK libpmemobj example structures — B-Tree, RB-Tree,
+// R-Tree, Skip-List, Hashmap-TX, Hashmap-Atomic — driven through a
+// mapcli-style command language, and the two databases — a PM-Redis analog
+// and a PM-Memcached analog. Each program carries the paper's real-world
+// bugs (§5.4) behind flags and a fixed roster of synthetic bug-injection
+// points (§5.1) matching Table 3's counts.
+package workloads
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/pmemobj"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// ErrStop signals that command execution should end (the quit command).
+var ErrStop = errors.New("workloads: stop")
+
+// MaxCommands bounds commands per execution, like the paper's 150 ms
+// execution cap (§4.6) bounds incremental test-case generation.
+const MaxCommands = 256
+
+// Env is the per-execution environment handed to a program: the simulated
+// device, coverage tracer, seeded RNG (the Preeny-derandomization analog:
+// all "randomness" flows from the test case's seed), and the bug set.
+type Env struct {
+	Dev  *pmem.Device
+	T    *instr.Tracer
+	RNG  *rand.Rand
+	Bugs *bugs.Set
+}
+
+// Branch records a branch-site annotation — the substitute for AFL-style
+// basic-block instrumentation.
+func (e *Env) Branch(id instr.SiteID) {
+	if e.T != nil {
+		e.T.Branch(id)
+	}
+}
+
+// Program is one PM workload. A Program instance holds per-execution
+// state; the Registry constructs a fresh instance for every run.
+type Program interface {
+	// Name is the workload's registry key (e.g. "btree").
+	Name() string
+	// PoolSize is the device size the workload needs.
+	PoolSize() int
+	// Setup opens the program's persistent state on env.Dev, creating it
+	// if the device holds no valid pool, and runs recovery exactly the
+	// way the original program's main() does (including its bugs).
+	Setup(env *Env) error
+	// Exec parses and executes one command line. Unparseable lines are
+	// ignored (fuzzers produce many); ErrStop ends the run.
+	Exec(env *Env, line []byte) error
+	// Close cleanly shuts the program down and returns the final image.
+	Close(env *Env) *pmem.Image
+	// SynPoints lists the workload's synthetic injection points.
+	SynPoints() []bugs.Point
+	// SeedInputs returns representative command streams used as the
+	// fuzzer's initial corpus.
+	SeedInputs() [][]byte
+}
+
+// Constructor builds a fresh Program instance.
+type Constructor func() Program
+
+var registry = map[string]Constructor{}
+
+// Register adds a workload constructor under its name. It panics on
+// duplicates; registration happens in package init functions.
+func Register(name string, c Constructor) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workloads: duplicate registration of %q", name))
+	}
+	registry[name] = c
+}
+
+// New returns a fresh instance of the named workload.
+func New(name string) (Program, error) {
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+	return c(), nil
+}
+
+// Names lists registered workloads in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- injection-point helpers shared by the workloads ---
+
+// txAddP performs TxAdd unless synthetic point id (a SkipTxAdd) is
+// active, in which case the backup is silently omitted — the injected
+// crash-consistency bug.
+func txAddP(env *Env, p *pmemobj.Pool, id int, oid pmemobj.Oid, off, n uint64) error {
+	if env.Bugs.Syn(id) {
+		return nil
+	}
+	return p.TxAdd(oid, off, n)
+}
+
+// persistP performs Persist unless synthetic point id (a SkipFlush) is
+// active.
+func persistP(env *Env, p *pmemobj.Pool, id int, oid pmemobj.Oid, off, n uint64) {
+	if env.Bugs.Syn(id) {
+		return
+	}
+	p.Persist(oid, off, n)
+}
+
+// redundantAddP injects an extra TxAdd of already-covered data when
+// synthetic point id (a RedundantTxAdd) is active — the performance-bug
+// injection.
+func redundantAddP(env *Env, p *pmemobj.Pool, id int, oid pmemobj.Oid, off, n uint64) error {
+	if !env.Bugs.Syn(id) {
+		return nil
+	}
+	return p.TxAdd(oid, off, n)
+}
