@@ -102,6 +102,41 @@ func BenchmarkTable2Configs(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelScaling measures fleet throughput at 1/2/4/8 workers
+// on the tree workload. Following the paper's §5.1 fleet setup (N AFL
+// instances, equal wall clock), every worker burns the full simulated
+// budget on its own clock shard and the merged time axis is the max over
+// shards, so the scaling signal is execs per simulated second: an
+// N-worker fleet should sustain close to N× the single-instance rate.
+// Wall-clock execs/sec is reported alongside for the host-side cost.
+func BenchmarkParallelScaling(b *testing.B) {
+	budget := benchBudgetNS(100)
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var execsPerSimSec float64
+			totalExecs := 0
+			for i := 0; i < b.N; i++ {
+				cfg, err := core.DefaultConfig("btree", core.PMFuzzAll, budget, 7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.Workers = workers
+				f, err := core.New(cfg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := f.Run()
+				execsPerSimSec = float64(res.Execs) / (float64(res.SimNS) / 1e9)
+				totalExecs += res.Execs
+			}
+			b.ReportMetric(execsPerSimSec, "execs/sim-sec")
+			b.ReportMetric(float64(totalExecs)/b.Elapsed().Seconds(), "target-execs/sec")
+		})
+	}
+}
+
 // BenchmarkTable3SyntheticBugs regenerates Table 3 one workload at a
 // time: inject every synthetic bug, fuzz under PMFuzz and AFL++ w/
 // SysOpt, hand test cases to the tools, count detections.

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	pmfuzz -workload btree -config pmfuzz -budget-ms 500
+//	pmfuzz -workload btree -workers 4 -budget-ms 500
 //	pmfuzz -experiment fig13 -budget-ms 400
 //	pmfuzz -experiment table3 -workloads skiplist,btree -budget-ms 120
 //	pmfuzz -experiment realbugs -budget-ms 500
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"pmfuzz/internal/core"
@@ -35,6 +37,7 @@ func main() {
 		config     = flag.String("config", "pmfuzz", "comparison point: pmfuzz, pmfuzz-no-sysopt, afl++, afl++-sysopt, afl++-imgfuzz")
 		budgetMS   = flag.Int64("budget-ms", 500, "simulated-time budget in milliseconds")
 		seed       = flag.Int64("seed", 1, "session seed (identical seeds replay identically)")
+		workers    = flag.Int("workers", 1, "parallel fuzzing workers: 1 = the paper's single-instance trajectory, 0 = one per CPU, N = an N-instance fleet (deterministic per seed+workers)")
 		experiment = flag.String("experiment", "", "regenerate a paper artifact: fig13, table3, realbugs")
 		workloadsF = flag.String("workloads", "", "comma-separated workload subset for experiments (default: all eight)")
 		synBug     = flag.Int("syn-bug", 0, "enable a synthetic injection point by ID")
@@ -83,6 +86,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pmfuzz:", err)
 		os.Exit(1)
 	}
+	if *workers <= 0 {
+		// Resolve "one per CPU" here so the session header reports the
+		// actual fleet size rather than the raw flag value.
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	cfg.Workers = *workers
 	fuzzer, err := core.New(cfg, bg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmfuzz:", err)
@@ -202,6 +211,9 @@ func runExperiment(name, workloadList string, budget, seed int64) error {
 func printSession(res *core.Result) {
 	fmt.Printf("workload:       %s\n", res.Config.Workload)
 	fmt.Printf("features:       %+v\n", res.Config.Features)
+	if res.Config.Workers != 1 {
+		fmt.Printf("workers:        %d (merged fleet; time axis is the max over worker clocks)\n", res.Config.Workers)
+	}
 	fmt.Printf("simulated time: %.2f ms (budget %.2f ms)\n",
 		float64(res.SimNS)/1e6, float64(res.Config.BudgetNS)/1e6)
 	fmt.Printf("executions:     %d\n", res.Execs)

@@ -92,6 +92,14 @@ type Config struct {
 	SampleEveryExecs int
 	// MaxCommands caps command lines per execution (0 = default).
 	MaxCommands int
+	// Workers is the number of parallel fuzzing workers — the in-process
+	// analog of the master/slave AFL fleet the paper runs (§5.1). Each
+	// worker owns a private coverage shard, mutator, image cache, and
+	// simulated clock; a coordinator merges their results. 0 selects
+	// runtime.GOMAXPROCS(0). Workers=1 reproduces the single-threaded
+	// trajectory bit-for-bit, and any fixed (Seed, Workers) pair replays
+	// identically.
+	Workers int
 }
 
 // DefaultConfig returns a ready-to-run configuration for the comparison
@@ -116,6 +124,11 @@ func DefaultConfig(workload string, name ConfigName, budgetNS int64, seed int64)
 		// across images, not within one run. This is what makes image
 		// generation matter.
 		MaxCommands: 12,
+		// The paper's artifacts (Figure 13, Table 3, §5.4) are
+		// single-instance trajectories, so experiment configs default to
+		// one worker; callers opt into the fleet with Config.Workers or
+		// the -workers flag.
+		Workers: 1,
 	}
 	if feats.ImgFuzzIndirect {
 		cfg.MaxBarrierImages = 4

@@ -1,0 +1,190 @@
+package core
+
+// The parallel engine's coordinator side: the single goroutine that owns
+// the queue, the image store's growth, the authoritative virgin pair,
+// the PM-path signature set, and the fault buckets. Execution fans out
+// to workers in rounds — every active worker gets one batch lease, the
+// coordinator collects and merges all batches in worker-ID order — so a
+// session is a pure function of (Config.Seed, Config.Workers): the
+// schedule, every mutation, and every merge decision replay identically
+// no matter how the goroutines interleave in real time.
+//
+// Time follows the paper's fleet semantics (§5.1): each worker charges
+// its own simulated clock shard exactly like a single-instance session,
+// and the merged time axis is the maximum over shards — N instances
+// fuzzing for T seconds of wall clock.
+
+import (
+	"pmfuzz/internal/fuzz"
+)
+
+// runParallel executes the fuzzing session as a coordinator plus n
+// worker goroutines.
+func (f *Fuzzer) runParallel(n int) *Result {
+	ws := make([]*worker, n)
+	for i := range ws {
+		ws[i] = newWorker(f, i)
+		go ws[i].run()
+	}
+	defer func() {
+		for _, w := range ws {
+			close(w.leases)
+		}
+	}()
+
+	var maxClock int64
+	sampleBucket := 0
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+
+	// Warm-up: execute every seed once (Figure 11 step ①), distributed
+	// round-robin, one seed per worker per round.
+	seeds := append([]*fuzz.Entry(nil), f.queue.Entries()...)
+	for start := 0; start < len(seeds); start += n {
+		leased := 0
+		for i := 0; i < n && start+i < len(seeds); i++ {
+			ws[i].leases <- workItem{
+				lease:   &fuzz.Lease{Parent: seeds[start+i], Energy: 1, Splices: make([][]byte, 1)},
+				seedRun: true,
+			}
+			leased++
+		}
+		for i := 0; i < leased; i++ {
+			b := <-ws[i].results
+			f.mergeBatch(b, &maxClock, &sampleBucket)
+			if b.done {
+				active[i] = false
+			}
+		}
+	}
+
+	// Main rounds: lease every active worker one batch, then merge all
+	// results in worker-ID order. A worker leaves the fleet when its
+	// clock shard exhausts the budget.
+	for {
+		var ids []int
+		for i, a := range active {
+			if a {
+				ids = append(ids, i)
+			}
+		}
+		if len(ids) == 0 {
+			break
+		}
+		for _, i := range ids {
+			// The worker is parked between its last result hand-off and
+			// this lease, so refreshing its private virgins from the
+			// authoritative pair is exclusive access (see
+			// instr.Virgin.MergeFrom).
+			ws[i].branchVirgin.MergeFrom(f.branchVirgin)
+			ws[i].pmVirgin.MergeFrom(f.pmVirgin)
+			l := f.queue.Lease(energyBase)
+			if l == nil {
+				active[i] = false
+				continue
+			}
+			ws[i].leases <- workItem{lease: l}
+		}
+		for _, i := range ids {
+			if !active[i] {
+				continue
+			}
+			b := <-ws[i].results
+			f.mergeBatch(b, &maxClock, &sampleBucket)
+			if b.done {
+				active[i] = false
+			}
+		}
+	}
+
+	f.sampleAt(maxClock, true)
+	return &Result{
+		Config:  f.cfg,
+		Series:  f.series,
+		Faults:  f.faults,
+		Execs:   f.execs,
+		SimNS:   maxClock,
+		PMPaths: len(f.pmPathSigs),
+		Queue:   f.queue,
+		Store:   f.store,
+	}
+}
+
+// mergeBatch folds one worker batch into the authoritative session
+// state, in outcome order. It is the parallel counterpart of the serial
+// observe(): the worker already pre-filtered against its private
+// virgins, so shipped maps are re-merged here against the fleet-wide
+// pair, which makes the final admission and Favored decisions.
+func (f *Fuzzer) mergeBatch(b *workerBatch, maxClock *int64, sampleBucket *int) {
+	if b.clockNS > *maxClock {
+		*maxClock = b.clockNS
+	}
+	for _, o := range b.outcomes {
+		f.execs += o.execs
+		var newBranchSlot, newBranchBucket, newPMSlot, newPMBucket bool
+		if o.branch != nil {
+			newBranchSlot, newBranchBucket = f.branchVirgin.Merge(o.branch)
+			newPMSlot, newPMBucket = f.pmVirgin.Merge(o.pm)
+		}
+		if o.hasPMSig {
+			f.pmPathSigs[o.pmSig] = struct{}{}
+		}
+		if o.faulted {
+			f.addFault(b.parent, o.input, o.faultMsg, o.simNS)
+		} else {
+			f.admitOutcome(b.parent, o, newBranchSlot || newBranchBucket, newPMSlot, newPMBucket)
+		}
+		// Sample against the merged time axis whenever the fleet-wide
+		// execution count crosses a sampling interval (one outcome can
+		// carry several executions from the crash-image sweep).
+		interval := max(1, f.cfg.SampleEveryExecs)
+		if f.execs/interval != *sampleBucket {
+			*sampleBucket = f.execs / interval
+			f.sampleAt(*maxClock, false)
+		}
+	}
+}
+
+// admitOutcome applies corpus growth (Figure 11 steps ②–⑤) for one
+// non-faulting worker execution.
+func (f *Fuzzer) admitOutcome(parent *fuzz.Entry, o *execOutcome, newBranch, newPMSlot, newPMBucket bool) {
+	favored := f.favoredLevel(newPMSlot, newPMBucket)
+	if !newBranch && favored == fuzz.FavoredLow {
+		return
+	}
+	parentID := -1
+	depth := 0
+	if parent != nil {
+		parentID = parent.ID
+		depth = parent.Depth
+	}
+	e := &fuzz.Entry{
+		Input:      append([]byte(nil), o.input...),
+		ParentID:   parentID,
+		Depth:      depth,
+		Favored:    favored,
+		NewBranch:  newBranch,
+		NewPM:      newPMSlot || newPMBucket,
+		FoundSimNS: o.simNS,
+	}
+	if o.inImage != nil {
+		// Keep fuzzing on the same parent image.
+		id, _, err := f.store.Put(o.inImage)
+		if err == nil {
+			e.ImageID = id
+			e.HasImage = true
+		}
+	}
+	f.queue.Add(e)
+
+	// The worker harvested images for locally new PM paths; keep them
+	// only when the path is new fleet-wide (Figure 11 step ②).
+	if f.cfg.Features.ImgFuzzIndirect && o.outImage != nil && e.NewPM {
+		f.addImageEntry(e, o.input, o.outImage, false, o.simNS)
+		for _, ci := range o.crashImages {
+			f.addImageEntry(e, o.input, ci, true, o.simNS)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"pmfuzz/internal/executor"
 	"pmfuzz/internal/fuzz"
@@ -76,7 +77,8 @@ type Fuzzer struct {
 	// sequence is one path).
 	pmPathSigs map[uint64]struct{}
 
-	seedInput []byte // fixed input for direct image fuzzing
+	seedInput []byte   // fixed input for direct image fuzzing
+	seedDict  [][]byte // mutation token dictionary (shared with workers)
 	execs     int
 	series    []Sample
 	faults    []Fault
@@ -98,16 +100,18 @@ func New(cfg Config, bugSet *bugs.Set) (*Fuzzer, error) {
 	if cfg.Features.SysOpt {
 		cacheCap = cfg.ImageCacheCap
 	}
+	dict := fuzz.DictFor(seeds)
 	f := &Fuzzer{
 		cfg:          cfg,
 		bugs:         bugSet,
 		queue:        fuzz.NewQueue(cfg.Seed + 1),
-		mut:          fuzz.NewMutator(cfg.Seed+2, fuzz.DictFor(seeds)),
+		mut:          fuzz.NewMutator(cfg.Seed+2, dict),
 		store:        imgstore.New(cacheCap),
 		clock:        pmem.NewClock(),
 		branchVirgin: instr.NewVirgin(),
 		pmVirgin:     instr.NewVirgin(),
 		seedInput:    seeds[0],
+		seedDict:     dict,
 		faultMsgs:    map[string]bool{},
 		pmPathSigs:   map[uint64]struct{}{},
 	}
@@ -138,8 +142,28 @@ func (f *Fuzzer) AddSeed(input []byte, img *pmem.Image) error {
 }
 
 // Run executes the fuzzing loop until the simulated budget is exhausted
-// and returns the session result.
+// and returns the session result. With Config.Workers > 1 (or 0, which
+// selects runtime.GOMAXPROCS(0)) the session runs as a parallel fleet:
+// worker goroutines execute batch leases against private coverage
+// shards while a coordinator merges bitmaps, deduplicates PM-path
+// signatures and faults, and grows the corpus. Workers=1 runs the
+// original single-threaded loop and reproduces its trajectory
+// bit-for-bit.
 func (f *Fuzzer) Run() *Result {
+	workers := f.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return f.runSerial()
+	}
+	return f.runParallel(workers)
+}
+
+// runSerial is the single-threaded fuzzing loop. It is kept verbatim as
+// the Workers=1 path so the paper-replay trajectories (and their golden
+// tests) are untouched by the parallel engine.
+func (f *Fuzzer) runSerial() *Result {
 	// Warm-up: execute every seed once to initialize coverage and (for
 	// PMFuzz) generate the first images — Figure 11 step ①.
 	for _, e := range f.queue.Entries() {
@@ -153,7 +177,7 @@ func (f *Fuzzer) Run() *Result {
 		if e == nil {
 			break
 		}
-		energy := 4 << uint(e.Favored) // 4 / 8 / 16 children
+		energy := energyBase << uint(e.Favored) // 4 / 8 / 16 children
 		for i := 0; i < energy && f.clock.Now() < f.cfg.BudgetNS; i++ {
 			input, image := f.deriveChild(e)
 			f.runMutated(e, input, image)
@@ -273,15 +297,7 @@ func (f *Fuzzer) observe(parent *fuzz.Entry, tc executor.TestCase, res *executor
 	}
 
 	// Algorithm 2: Favored from the PM counter-map.
-	favored := fuzz.FavoredLow
-	if f.cfg.Features.PMPathOpt {
-		switch {
-		case newPMSlot:
-			favored = fuzz.FavoredHigh
-		case newPMBucket:
-			favored = fuzz.FavoredMedium
-		}
-	}
+	favored := f.favoredLevel(newPMSlot, newPMBucket)
 	newBranch := newBranchSlot || newBranchBucket
 	interesting := newBranch || favored > fuzz.FavoredLow
 	if !interesting {
@@ -321,12 +337,25 @@ func (f *Fuzzer) observe(parent *fuzz.Entry, tc executor.TestCase, res *executor
 	}
 }
 
+// favoredLevel maps PM counter-map novelty to an Algorithm 2 priority.
+func (f *Fuzzer) favoredLevel(newPMSlot, newPMBucket bool) int {
+	if f.cfg.Features.PMPathOpt {
+		switch {
+		case newPMSlot:
+			return fuzz.FavoredHigh
+		case newPMBucket:
+			return fuzz.FavoredMedium
+		}
+	}
+	return fuzz.FavoredLow
+}
+
 // harvestImages stores the normal output image and sweeps failure
 // injection for crash images (Figure 11 steps ③–④), deduplicating by
 // content hash (§4.5's image reduction) and enqueueing new images as
 // future parents (step ⑤).
 func (f *Fuzzer) harvestImages(parent *fuzz.Entry, tc executor.TestCase, res *executor.Result) {
-	f.addImageEntry(parent, tc.Input, res.Image, false)
+	f.addImageEntry(parent, tc.Input, res.Image, false, f.clock.Now())
 
 	if f.cfg.MaxBarrierImages <= 0 {
 		return
@@ -349,7 +378,7 @@ func (f *Fuzzer) harvestImages(parent *fuzz.Entry, tc executor.TestCase, res *ex
 		crash := executor.Run(tcb, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands})
 		f.execs++
 		if crash.Crashed && crash.Image != nil {
-			f.addImageEntry(parent, tc.Input, crash.Image, true)
+			f.addImageEntry(parent, tc.Input, crash.Image, true, f.clock.Now())
 		}
 	}
 	for s := 0; s < f.cfg.ProbFailSeeds && f.cfg.ProbFailRate > 0 && f.clock.Now() < f.cfg.BudgetNS; s++ {
@@ -358,12 +387,14 @@ func (f *Fuzzer) harvestImages(parent *fuzz.Entry, tc executor.TestCase, res *ex
 		crash := executor.Run(tcp, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands})
 		f.execs++
 		if crash.Crashed && crash.Image != nil {
-			f.addImageEntry(parent, tc.Input, crash.Image, true)
+			f.addImageEntry(parent, tc.Input, crash.Image, true, f.clock.Now())
 		}
 	}
 }
 
-func (f *Fuzzer) addImageEntry(parent *fuzz.Entry, input []byte, img *pmem.Image, isCrash bool) {
+// addImageEntry enqueues a freshly generated image (normal or crash) as
+// a new parent at the given discovery time.
+func (f *Fuzzer) addImageEntry(parent *fuzz.Entry, input []byte, img *pmem.Image, isCrash bool, foundNS int64) {
 	id, fresh, err := f.store.Put(img)
 	if err != nil || !fresh {
 		return // image reduction: identical images are dropped
@@ -386,7 +417,7 @@ func (f *Fuzzer) addImageEntry(parent *fuzz.Entry, input []byte, img *pmem.Image
 		// start high priority and Algorithm 2 demotes their offspring.
 		Favored:    fuzz.FavoredHigh,
 		NewPM:      true,
-		FoundSimNS: f.clock.Now(),
+		FoundSimNS: foundNS,
 	})
 }
 
@@ -397,15 +428,21 @@ func (f *Fuzzer) recordFault(parent *fuzz.Entry, tc executor.TestCase, res *exec
 	} else if res.Err != nil {
 		msg = res.Err.Error()
 	}
+	f.addFault(parent, tc.Input, msg, f.clock.Now())
+}
+
+// addFault records a fault at the given detection time, deduplicating by
+// message (the crash bucket key shared by both engines).
+func (f *Fuzzer) addFault(parent *fuzz.Entry, input []byte, msg string, simNS int64) {
 	if msg == "" || f.faultMsgs[msg] {
 		return
 	}
 	f.faultMsgs[msg] = true
 	fault := Fault{
-		Input: append([]byte(nil), tc.Input...),
+		Input: append([]byte(nil), input...),
 		Msg:   msg,
 		Execs: f.execs,
-		SimNS: f.clock.Now(),
+		SimNS: simNS,
 	}
 	if parent != nil && parent.HasImage {
 		fault.ImageID = parent.ImageID
@@ -415,8 +452,15 @@ func (f *Fuzzer) recordFault(parent *fuzz.Entry, tc executor.TestCase, res *exec
 }
 
 func (f *Fuzzer) sample(force bool) {
+	f.sampleAt(f.clock.Now(), force)
+}
+
+// sampleAt appends a coverage sample at an explicit point on the time
+// axis — the shared clock for the serial engine, the max over worker
+// clock shards for the fleet.
+func (f *Fuzzer) sampleAt(simNS int64, force bool) {
 	s := Sample{
-		SimNS:     f.clock.Now(),
+		SimNS:     simNS,
 		Execs:     f.execs,
 		PMPaths:   len(f.pmPathSigs),
 		BranchCov: f.branchVirgin.CoveredStates(),

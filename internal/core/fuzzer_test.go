@@ -117,6 +117,9 @@ func TestFuzzerSeriesMonotonic(t *testing.T) {
 func TestPMFuzzBeatsAFLOnPMPaths(t *testing.T) {
 	// The paper's headline claim at miniature scale: under the same
 	// simulated budget, PMFuzz covers more PM paths than plain AFL++.
+	if testing.Short() {
+		t.Skip("two long fuzzing sessions are slow")
+	}
 	budget := int64(400_000_000)
 	pm := runSession(t, "hashmap-tx", PMFuzzAll, budget, nil)
 	afl := runSession(t, "hashmap-tx", AFLPlusPlus, budget, nil)
@@ -128,6 +131,9 @@ func TestPMFuzzBeatsAFLOnPMPaths(t *testing.T) {
 func TestImgFuzzDirectMostlyInvalid(t *testing.T) {
 	// Direct image mutation should make little coverage progress (§5.2
 	// point 4): most mutated images fail pool validation.
+	if testing.Short() {
+		t.Skip("two long fuzzing sessions are slow")
+	}
 	budget := int64(300_000_000)
 	direct := runSession(t, "btree", AFLImgFuzz, budget, nil)
 	pmfuzz := runSession(t, "btree", PMFuzzAll, budget, nil)
@@ -141,6 +147,9 @@ func TestFuzzerFindsInitFault(t *testing.T) {
 	// With Bug 1 enabled, PMFuzz's crash images land in the queue; some
 	// reuse then dereferences the rolled-back NULL map. §5.4.1 reports
 	// this class found within seconds of fuzzing.
+	if testing.Short() {
+		t.Skip("600 ms simulated bug hunt is slow")
+	}
 	res := runSession(t, "hashmap-tx", PMFuzzAll, 600_000_000,
 		bugs.NewSet().EnableReal(bugs.Bug1HashmapTXCreateNotRetried))
 	found := false

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// goldenBtreeSeries is the full coverage time series of the reference
+// serial session (btree, PMFuzzAll, 120 simulated ms, seed 42), captured
+// before the parallel engine landed. The Workers=1 path must reproduce
+// it bit-for-bit: the parallel refactor is required to leave the paper's
+// single-instance trajectories untouched, and PM site IDs are derived
+// from source locations precisely so this table survives unrelated code
+// changes elsewhere in the binary.
+var goldenBtreeSeries = []Sample{
+	{SimNS: 12371238, Execs: 80, PMPaths: 14, BranchCov: 39, QueueLen: 60, Images: 43},
+	{SimNS: 18614067, Execs: 120, PMPaths: 23, BranchCov: 48, QueueLen: 81, Images: 57},
+	{SimNS: 24587003, Execs: 160, PMPaths: 33, BranchCov: 55, QueueLen: 95, Images: 64},
+	{SimNS: 34025983, Execs: 220, PMPaths: 46, BranchCov: 65, QueueLen: 133, Images: 94},
+	{SimNS: 40188512, Execs: 260, PMPaths: 58, BranchCov: 67, QueueLen: 161, Images: 116},
+	{SimNS: 46595554, Execs: 300, PMPaths: 68, BranchCov: 70, QueueLen: 183, Images: 133},
+	{SimNS: 55665491, Execs: 360, PMPaths: 85, BranchCov: 75, QueueLen: 208, Images: 151},
+	{SimNS: 58621237, Execs: 380, PMPaths: 91, BranchCov: 75, QueueLen: 213, Images: 155},
+	{SimNS: 61709313, Execs: 400, PMPaths: 100, BranchCov: 76, QueueLen: 214, Images: 155},
+	{SimNS: 64827941, Execs: 420, PMPaths: 109, BranchCov: 79, QueueLen: 221, Images: 160},
+	{SimNS: 71056877, Execs: 460, PMPaths: 123, BranchCov: 79, QueueLen: 228, Images: 165},
+	{SimNS: 74118935, Execs: 480, PMPaths: 132, BranchCov: 80, QueueLen: 229, Images: 165},
+	{SimNS: 77413243, Execs: 500, PMPaths: 143, BranchCov: 81, QueueLen: 230, Images: 165},
+	{SimNS: 80530418, Execs: 520, PMPaths: 156, BranchCov: 81, QueueLen: 230, Images: 165},
+	{SimNS: 83710223, Execs: 540, PMPaths: 163, BranchCov: 81, QueueLen: 239, Images: 172},
+	{SimNS: 86793299, Execs: 560, PMPaths: 178, BranchCov: 82, QueueLen: 240, Images: 172},
+	{SimNS: 89875392, Execs: 580, PMPaths: 188, BranchCov: 82, QueueLen: 240, Images: 172},
+	{SimNS: 92949505, Execs: 600, PMPaths: 197, BranchCov: 82, QueueLen: 240, Images: 172},
+	{SimNS: 99177514, Execs: 640, PMPaths: 212, BranchCov: 82, QueueLen: 242, Images: 172},
+	{SimNS: 102446169, Execs: 660, PMPaths: 215, BranchCov: 82, QueueLen: 242, Images: 172},
+	{SimNS: 111456296, Execs: 720, PMPaths: 230, BranchCov: 83, QueueLen: 255, Images: 182},
+	{SimNS: 114771502, Execs: 740, PMPaths: 241, BranchCov: 83, QueueLen: 255, Images: 182},
+	{SimNS: 117943679, Execs: 760, PMPaths: 251, BranchCov: 84, QueueLen: 261, Images: 187},
+	{SimNS: 120018444, Execs: 774, PMPaths: 256, BranchCov: 84, QueueLen: 270, Images: 194},
+}
+
+// runWorkers runs one session with an explicit worker count.
+func runWorkers(t *testing.T, workload string, budget int64, workers int, bg *bugs.Set) *Result {
+	t.Helper()
+	cfg, err := DefaultConfig(workload, PMFuzzAll, budget, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = workers
+	f, err := New(cfg, bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Run()
+}
+
+func TestWorkersOneMatchesSerialGolden(t *testing.T) {
+	res := runWorkers(t, "btree", 120_000_000, 1, nil)
+	if res.Execs != 774 || res.PMPaths != 256 || res.SimNS != 120018444 {
+		t.Fatalf("summary diverged from golden: execs=%d pmpaths=%d simns=%d, want 774/256/120018444",
+			res.Execs, res.PMPaths, res.SimNS)
+	}
+	if res.Queue.Len() != 270 || res.Store.Len() != 194 {
+		t.Fatalf("corpus diverged from golden: queue=%d images=%d, want 270/194",
+			res.Queue.Len(), res.Store.Len())
+	}
+	if len(res.Faults) != 0 {
+		t.Fatalf("unexpected faults: %d", len(res.Faults))
+	}
+	if len(res.Series) != len(goldenBtreeSeries) {
+		t.Fatalf("series length = %d, want %d", len(res.Series), len(goldenBtreeSeries))
+	}
+	for i, want := range goldenBtreeSeries {
+		if res.Series[i] != want {
+			t.Fatalf("series[%d] = %+v, want %+v", i, res.Series[i], want)
+		}
+	}
+}
+
+func TestWorkersOneMatchesFaultGolden(t *testing.T) {
+	res := runWorkers(t, "hashmap-tx", 300_000_000, 1,
+		bugs.NewSet().EnableReal(bugs.Bug1HashmapTXCreateNotRetried))
+	if res.Execs != 1948 || res.PMPaths != 791 || res.Queue.Len() != 428 {
+		t.Fatalf("summary diverged from golden: execs=%d pmpaths=%d queue=%d, want 1948/791/428",
+			res.Execs, res.PMPaths, res.Queue.Len())
+	}
+	if len(res.Faults) != 1 {
+		t.Fatalf("fault count = %d, want 1", len(res.Faults))
+	}
+	f := res.Faults[0]
+	if f.Msg != "panic: pmemobj: null object dereference" || f.Execs != 520 || f.SimNS != 80827867 {
+		t.Fatalf("fault diverged from golden: msg=%q execs=%d simns=%d", f.Msg, f.Execs, f.SimNS)
+	}
+}
+
+func TestParallelDeterministic(t *testing.T) {
+	// The fleet must replay identically for a fixed (Seed, Workers) pair:
+	// scheduling lives in the coordinator, worker RNGs are derived from
+	// the seed and worker ID, and results merge in worker-round order.
+	a := runWorkers(t, "btree", 60_000_000, 4, nil)
+	b := runWorkers(t, "btree", 60_000_000, 4, nil)
+	if a.Execs != b.Execs || a.PMPaths != b.PMPaths || a.SimNS != b.SimNS ||
+		a.Queue.Len() != b.Queue.Len() || a.Store.Len() != b.Store.Len() {
+		t.Fatalf("parallel sessions diverged: execs %d/%d paths %d/%d simns %d/%d queue %d/%d images %d/%d",
+			a.Execs, b.Execs, a.PMPaths, b.PMPaths, a.SimNS, b.SimNS,
+			a.Queue.Len(), b.Queue.Len(), a.Store.Len(), b.Store.Len())
+	}
+	if len(a.Series) != len(b.Series) {
+		t.Fatalf("series lengths diverged: %d vs %d", len(a.Series), len(b.Series))
+	}
+	for i := range a.Series {
+		if a.Series[i] != b.Series[i] {
+			t.Fatalf("series[%d] diverged: %+v vs %+v", i, a.Series[i], b.Series[i])
+		}
+	}
+}
+
+func TestParallelCoversAtLeastSerialPMPaths(t *testing.T) {
+	// Four workers each burn the full simulated budget on a private clock
+	// shard (the paper's fleet semantics: N machines, equal wall clock),
+	// so within the same merged simulated budget the fleet must cover at
+	// least as many PM paths as one instance.
+	serial := runWorkers(t, "btree", 120_000_000, 1, nil)
+	fleet := runWorkers(t, "btree", 120_000_000, 4, nil)
+	if fleet.PMPaths < serial.PMPaths {
+		t.Fatalf("4-worker fleet covered %d PM paths < serial %d", fleet.PMPaths, serial.PMPaths)
+	}
+	if fleet.Execs < 2*serial.Execs {
+		t.Fatalf("4-worker fleet ran %d execs, want >= 2x serial %d", fleet.Execs, serial.Execs)
+	}
+}
+
+func TestParallelFindsFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker bug-finding session is slow; run without -short")
+	}
+	res := runWorkers(t, "hashmap-tx", 300_000_000, 4,
+		bugs.NewSet().EnableReal(bugs.Bug1HashmapTXCreateNotRetried))
+	found := false
+	for _, f := range res.Faults {
+		if strings.Contains(f.Msg, "null object dereference") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fleet missed the Bug 1 fault; faults: %d", len(res.Faults))
+	}
+}
+
+func TestWorkersZeroSelectsAutomatic(t *testing.T) {
+	// Workers=0 must resolve to GOMAXPROCS and complete normally.
+	res := runWorkers(t, "btree", 20_000_000, 0, nil)
+	if res.Execs == 0 {
+		t.Fatalf("no executions with automatic worker count")
+	}
+	if res.SimNS < 20_000_000 {
+		t.Fatalf("stopped before budget: %d", res.SimNS)
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+// The parallel engine's worker side. Each worker goroutine is the
+// in-process analog of one slave AFL instance in the paper's §5.1
+// fleet: it owns a private virgin pair, mutator, RNG, decompressed-image
+// cache, and simulated clock shard, executes batch leases handed out by
+// the coordinator, and ships per-execution outcomes back for the
+// authoritative merge. Workers pre-filter with their private virgins —
+// full coverage maps are only shipped for executions that look new to
+// this worker — which is lossless: anything new to the fleet is by
+// definition new to the worker that first executes it.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pmfuzz/internal/executor"
+	"pmfuzz/internal/fuzz"
+	"pmfuzz/internal/imgstore"
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// energyBase is the child count for an unfavored entry; Favored levels
+// shift it to 4 / 8 / 16, matching the serial loop.
+const energyBase = 4
+
+// workerSeedPrime spaces the per-worker RNG seeds so workers explore
+// decorrelated mutation streams while staying a pure function of
+// (Config.Seed, workerID).
+const workerSeedPrime = 100003
+
+// workItem is one lease as dispatched to a worker: either a warm-up run
+// of a seed entry as-is, or a fuzz.Lease batch of mutated children.
+type workItem struct {
+	lease *fuzz.Lease
+	// seedRun executes the parent input unmutated (Figure 11 step ①).
+	seedRun bool
+}
+
+// execOutcome is everything the coordinator needs from one worker
+// execution (plus its attached crash-image sweep, when one ran).
+type execOutcome struct {
+	input []byte
+	// branch/pm are the execution's coverage maps, shipped only when the
+	// worker's private virgins saw something new (nil otherwise).
+	branch *instr.Map
+	pm     *instr.Map
+	// pmSig is the PM-path signature (valid when hasPMSig).
+	pmSig    uint64
+	hasPMSig bool
+	// inImage is the image the execution started from (the parent image
+	// an admitted child keeps fuzzing on); outImage is the durable
+	// output image, set only when the worker saw a new PM path and
+	// image generation is enabled.
+	inImage  *pmem.Image
+	outImage *pmem.Image
+	// crashImages are the failure-injection sweep results for outImage.
+	crashImages []*pmem.Image
+	// faulted/faultMsg capture program faults (the crash bucket).
+	faulted  bool
+	faultMsg string
+	// execs counts raw executions consumed (1 + crash-sweep runs).
+	execs int
+	// simNS is the worker's clock after the execution.
+	simNS int64
+}
+
+// workerBatch is the result of one lease.
+type workerBatch struct {
+	parent   *fuzz.Entry
+	outcomes []*execOutcome
+	// clockNS is the worker's clock shard after the batch; the
+	// coordinator's merged time axis is the max over these.
+	clockNS int64
+	// done reports that the worker's simulated budget is exhausted.
+	done bool
+}
+
+// worker is one parallel fuzzing instance.
+type worker struct {
+	id   int
+	cfg  Config
+	bugs *bugs.Set
+
+	rng   *rand.Rand
+	mut   *fuzz.Mutator
+	clock *pmem.Clock
+	cache *imgstore.Cache
+	store *imgstore.Store
+
+	branchVirgin *instr.Virgin
+	pmVirgin     *instr.Virgin
+
+	seedInput []byte
+
+	leases  chan workItem
+	results chan *workerBatch
+}
+
+func newWorker(f *Fuzzer, id int) *worker {
+	cacheCap := 0
+	if f.cfg.Features.SysOpt {
+		cacheCap = f.cfg.ImageCacheCap
+	}
+	return &worker{
+		id:           id,
+		cfg:          f.cfg,
+		bugs:         f.bugs,
+		rng:          rand.New(rand.NewSource(f.cfg.Seed + 3 + int64(id)*workerSeedPrime)),
+		mut:          fuzz.NewMutator(f.cfg.Seed+2+int64(id)*workerSeedPrime, f.seedDict),
+		clock:        pmem.NewClock(),
+		cache:        f.store.NewCache(cacheCap),
+		store:        f.store,
+		branchVirgin: instr.NewVirgin(),
+		pmVirgin:     instr.NewVirgin(),
+		seedInput:    f.seedInput,
+		leases:       make(chan workItem, 1),
+		results:      make(chan *workerBatch, 1),
+	}
+}
+
+// run is the worker goroutine: execute each lease, ship the batch.
+func (w *worker) run() {
+	for item := range w.leases {
+		b := &workerBatch{parent: item.lease.Parent}
+		if item.seedRun {
+			if w.clock.Now() < w.cfg.BudgetNS {
+				e := item.lease.Parent
+				b.outcomes = append(b.outcomes, w.execCase(e.Input, w.resolveImage(e)))
+			}
+		} else {
+			for i := 0; i < item.lease.Energy && w.clock.Now() < w.cfg.BudgetNS; i++ {
+				input, img := w.deriveChild(item.lease, i)
+				b.outcomes = append(b.outcomes, w.execCase(input, img))
+			}
+		}
+		b.clockNS = w.clock.Now()
+		b.done = b.clockNS >= w.cfg.BudgetNS
+		w.results <- b
+	}
+}
+
+// deriveChild mirrors the serial Fuzzer.deriveChild with worker-local
+// randomness: the splice partner comes pre-drawn in the lease (queue
+// access stays with the coordinator) and the splice/havoc coin is the
+// worker RNG's.
+func (w *worker) deriveChild(l *fuzz.Lease, i int) ([]byte, *imageRef) {
+	e := l.Parent
+	input := e.Input
+	if w.cfg.Features.InputFuzz {
+		if sp := l.Splices[i]; sp != nil && w.rng.Intn(4) == 0 {
+			input = w.mut.Splice(e.Input, sp)
+		} else {
+			input = w.mut.Havoc(e.Input)
+		}
+	}
+	img := w.resolveImage(e)
+	if w.cfg.Features.ImgFuzzDirect {
+		input = w.seedInput
+		base := img
+		if base == nil || base.img == nil {
+			res := executor.Run(executor.TestCase{
+				Workload: w.cfg.Workload, Input: w.seedInput, Bugs: w.bugs, Seed: w.cfg.Seed,
+			}, executor.Options{Clock: w.clock})
+			if res.Image == nil {
+				return input, nil
+			}
+			base = &imageRef{img: res.Image}
+		}
+		mutated := base.img.Clone()
+		mutated.Data = w.mut.MutateImage(mutated.Data)
+		return input, &imageRef{img: mutated}
+	}
+	return input, img
+}
+
+// resolveImage loads an entry's image through the worker's private
+// cache, charging decompression to the worker's clock shard.
+func (w *worker) resolveImage(e *fuzz.Entry) *imageRef {
+	if !e.HasImage {
+		return nil
+	}
+	cached := w.cache.Cached(e.ImageID)
+	img, err := w.cache.Get(e.ImageID, w.clock)
+	if err != nil {
+		return nil
+	}
+	return &imageRef{img: img, cached: cached && w.cfg.Features.SysOpt}
+}
+
+// execCase executes one candidate, applies the worker-local coverage
+// pre-filter, and (on a locally new PM path) runs the crash-image sweep
+// so that a lease is one self-contained unit of fleet work.
+func (w *worker) execCase(input []byte, img *imageRef) *execOutcome {
+	tc := executor.TestCase{
+		Workload: w.cfg.Workload,
+		Input:    input,
+		Bugs:     w.bugs,
+		Seed:     w.cfg.Seed,
+	}
+	var cached bool
+	if img != nil && img.img != nil {
+		tc.Image = img.img
+		cached = img.cached
+	}
+	res := executor.Run(tc, executor.Options{
+		Clock:       w.clock,
+		ImageCached: cached || (tc.Image == nil && w.cfg.Features.SysOpt),
+		MaxCommands: w.cfg.MaxCommands,
+	})
+	o := &execOutcome{input: input, inImage: tc.Image, execs: 1}
+	newBSlot, newBBucket := w.branchVirgin.Merge(res.Tracer.BranchMap())
+	newPSlot, newPBucket := w.pmVirgin.Merge(res.Tracer.PMMap())
+	if res.Tracer.PMOps() > 0 {
+		o.pmSig = instr.Signature(res.Tracer.PMMap())
+		o.hasPMSig = true
+	}
+	if newBSlot || newBBucket || newPSlot || newPBucket {
+		// Locally new: ship the maps for the authoritative merge. The
+		// tracer is per-execution, so the maps can be handed off without
+		// copying.
+		o.branch = res.Tracer.BranchMap()
+		o.pm = res.Tracer.PMMap()
+	}
+	if res.Faulted() {
+		o.faulted = true
+		if res.Panicked {
+			o.faultMsg = fmt.Sprintf("panic: %v", res.PanicVal)
+		} else if res.Err != nil {
+			o.faultMsg = res.Err.Error()
+		}
+		o.simNS = w.clock.Now()
+		return o
+	}
+	if w.cfg.Features.ImgFuzzIndirect && res.Image != nil && (newPSlot || newPBucket) {
+		o.outImage = res.Image
+		w.harvestCrashImages(tc, res, o)
+	}
+	o.simNS = w.clock.Now()
+	return o
+}
+
+// harvestCrashImages is the worker-side failure-injection sweep
+// (Figure 11 steps ③–④), charging the worker's clock. The decision to
+// sweep is worker-local — like a real fleet, an instance harvests for
+// anything new to *it*; the coordinator discards harvests whose PM path
+// the fleet had already seen.
+func (w *worker) harvestCrashImages(tc executor.TestCase, res *executor.Result, o *execOutcome) {
+	if w.cfg.MaxBarrierImages <= 0 {
+		return
+	}
+	n := w.cfg.MaxBarrierImages
+	if n > res.Barriers {
+		n = res.Barriers
+	}
+	for i := 1; i <= n && w.clock.Now() < w.cfg.BudgetNS; i++ {
+		b := i * res.Barriers / n
+		if b < 1 {
+			b = 1
+		}
+		tcb := tc
+		tcb.Injector = pmem.BarrierFailure{N: b}
+		crash := executor.Run(tcb, executor.Options{Clock: w.clock, MaxCommands: w.cfg.MaxCommands})
+		o.execs++
+		if crash.Crashed && crash.Image != nil {
+			o.crashImages = append(o.crashImages, crash.Image)
+		}
+	}
+	for s := 0; s < w.cfg.ProbFailSeeds && w.cfg.ProbFailRate > 0 && w.clock.Now() < w.cfg.BudgetNS; s++ {
+		tcp := tc
+		tcp.Injector = pmem.NewProbabilisticFailure(w.cfg.Seed+int64(w.id)*workerSeedPrime+int64(o.execs)*131, w.cfg.ProbFailRate)
+		crash := executor.Run(tcp, executor.Options{Clock: w.clock, MaxCommands: w.cfg.MaxCommands})
+		o.execs++
+		if crash.Crashed && crash.Image != nil {
+			o.crashImages = append(o.crashImages, crash.Image)
+		}
+	}
+}

@@ -11,6 +11,9 @@ import (
 const smallBudget = 120_000_000 // 120 simulated ms
 
 func TestFig13SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ten full fuzzing sessions are slow")
+	}
 	res, err := Fig13([]string{"btree", "hashmap-tx"}, smallBudget, 7)
 	if err != nil {
 		t.Fatal(err)

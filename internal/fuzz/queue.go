@@ -142,3 +142,48 @@ func (q *Queue) Random() *Entry {
 	}
 	return q.entries[q.rng.Intn(len(q.entries))]
 }
+
+// Lease is a batch of fuzzing work granted to one parallel worker: the
+// scheduled parent entry, how many children to derive from it, and one
+// candidate splice partner input per child slot. The queue stays owned
+// by the coordinator goroutine — workers receive leases and never touch
+// queue state — so every scheduling decision (entry selection, energy,
+// splice partners) is drawn from the queue's single RNG in coordinator
+// order and a session replays deterministically for a fixed
+// (Seed, Workers) pair.
+type Lease struct {
+	// Parent is the scheduled entry. Workers treat it as read-only; the
+	// coordinator only mutates scheduling bookkeeping fields that
+	// workers never read.
+	Parent *Entry
+	// Energy is the number of children to derive (already scaled by the
+	// entry's Favored level).
+	Energy int
+	// Splices holds one candidate splice partner input per child slot;
+	// nil slots mean the corpus was too small to splice, so the worker
+	// falls back to havoc.
+	Splices [][]byte
+}
+
+// Lease schedules the next entry and packages it as a batch lease of
+// energyBase << Favored children. It returns nil when the queue is
+// empty.
+func (q *Queue) Lease(energyBase int) *Lease {
+	e := q.Next()
+	if e == nil {
+		return nil
+	}
+	l := &Lease{
+		Parent:  e,
+		Energy:  energyBase << uint(e.Favored),
+		Splices: make([][]byte, energyBase<<uint(e.Favored)),
+	}
+	for i := range l.Splices {
+		if len(q.entries) > 4 {
+			if other := q.Random(); other != nil && other.ID != e.ID {
+				l.Splices[i] = other.Input
+			}
+		}
+	}
+	return l
+}

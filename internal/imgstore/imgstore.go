@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"pmfuzz/internal/pmem"
 )
@@ -23,19 +24,31 @@ type ID [32]byte
 // String renders a short hex prefix.
 func (id ID) String() string { return fmt.Sprintf("%x", id[:8]) }
 
-// Stats reports store behaviour.
+// Stats is a snapshot of store behaviour.
 type Stats struct {
 	// Puts counts Put calls; Dedups counts Puts that hit an existing
 	// image.
 	Puts   int
 	Dedups int
 	// CacheHits/CacheMisses count Get lookups against the decompressed
-	// cache; a miss charges the simulated decompress cost.
+	// caches (shared or per-worker); a miss charges the simulated
+	// decompress cost.
 	CacheHits   int
 	CacheMisses int
 	// RawBytes and CompressedBytes measure storage consumption.
 	RawBytes        int64
 	CompressedBytes int64
+}
+
+// counters holds the live statistics. They are plain atomics rather than
+// mutex-guarded fields so that hit/miss accounting from concurrent
+// fuzzing workers (including the lock-free per-worker Cache hit path)
+// never serializes on the store mutex and stays clean under the race
+// detector.
+type counters struct {
+	puts, dedups           atomic.Int64
+	cacheHits, cacheMisses atomic.Int64
+	rawBytes, compressed   atomic.Int64
 }
 
 // Store is the content-addressed image store.
@@ -45,7 +58,7 @@ type Store struct {
 	cache    map[ID]*pmem.Image
 	cacheLRU []ID
 	cacheCap int
-	stats    Stats
+	stats    counters
 }
 
 // New creates a store with the given decompressed-cache capacity
@@ -65,9 +78,9 @@ func (s *Store) Put(img *pmem.Image) (ID, bool, error) {
 	id := ID(img.Hash())
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.stats.Puts++
+	s.stats.puts.Add(1)
 	if _, dup := s.blobs[id]; dup {
-		s.stats.Dedups++
+		s.stats.dedups.Add(1)
 		return id, false, nil
 	}
 	raw := img.Marshal()
@@ -83,8 +96,8 @@ func (s *Store) Put(img *pmem.Image) (ID, bool, error) {
 		return ID{}, false, fmt.Errorf("imgstore: %w", err)
 	}
 	s.blobs[id] = buf.Bytes()
-	s.stats.RawBytes += int64(len(raw))
-	s.stats.CompressedBytes += int64(len(buf.Bytes()))
+	s.stats.rawBytes.Add(int64(len(raw)))
+	s.stats.compressed.Add(int64(len(buf.Bytes())))
 	return id, true, nil
 }
 
@@ -96,18 +109,39 @@ func (s *Store) Has(id ID) bool {
 	return ok
 }
 
-// Get returns the image, decompressing on a cache miss. When clock is
-// non-nil a miss charges the simulated decompress-and-copy-to-PM cost.
+// Get returns the image, decompressing on a cache miss against the
+// store's shared cache. When clock is non-nil a miss charges the
+// simulated decompress-and-copy-to-PM cost. Parallel fuzzing workers use
+// a private Cache instead so their hit sequences — and the simulated
+// costs they save — stay deterministic per worker.
 func (s *Store) Get(id ID, clock *pmem.Clock) (*pmem.Image, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if img, ok := s.cache[id]; ok {
-		s.stats.CacheHits++
 		s.touch(id)
+		s.mu.Unlock()
+		s.stats.cacheHits.Add(1)
 		return img, nil
 	}
-	s.stats.CacheMisses++
+	s.mu.Unlock()
+	s.stats.cacheMisses.Add(1)
+	img, err := s.decode(id, clock)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.insertCache(id, img)
+	s.mu.Unlock()
+	return img, nil
+}
+
+// decode decompresses and unmarshals a stored image, charging the
+// simulated restore cost when clock is non-nil. It performs the
+// expensive work outside the store mutex so concurrent workers
+// decompress in parallel.
+func (s *Store) decode(id ID, clock *pmem.Clock) (*pmem.Image, error) {
+	s.mu.Lock()
 	blob, ok := s.blobs[id]
+	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("imgstore: unknown image %s", id)
 	}
@@ -126,7 +160,6 @@ func (s *Store) Get(id ID, clock *pmem.Clock) (*pmem.Image, error) {
 	if err != nil {
 		return nil, fmt.Errorf("imgstore: %w", err)
 	}
-	s.insertCache(id, img)
 	return img, nil
 }
 
@@ -168,11 +201,19 @@ func (s *Store) Len() int {
 	return len(s.blobs)
 }
 
-// Stats returns a snapshot of the store statistics.
+// Stats returns a snapshot of the store statistics. The counters are
+// read atomically, so a snapshot taken while workers are running is
+// internally consistent enough for reporting (each counter is exact; the
+// set is not a single instant).
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Puts:            int(s.stats.puts.Load()),
+		Dedups:          int(s.stats.dedups.Load()),
+		CacheHits:       int(s.stats.cacheHits.Load()),
+		CacheMisses:     int(s.stats.cacheMisses.Load()),
+		RawBytes:        s.stats.rawBytes.Load(),
+		CompressedBytes: s.stats.compressed.Load(),
+	}
 }
 
 // CompressionRatio reports raw/compressed bytes (0 when empty).
@@ -182,4 +223,76 @@ func (s *Store) CompressionRatio() float64 {
 		return 0
 	}
 	return float64(st.RawBytes) / float64(st.CompressedBytes)
+}
+
+// Cache is a private decompressed-image cache in front of a shared
+// Store. Each parallel fuzzing worker owns one — the in-process analog
+// of each AFL instance in the paper's §5.1 fleet keeping its own
+// fork-server images resident — so whether a lookup hits, and therefore
+// how much simulated decompress time it is charged, depends only on that
+// worker's own access sequence. That is what keeps sessions
+// deterministic per (Seed, Workers): a shared LRU would make hit/miss
+// patterns depend on cross-worker scheduling order.
+//
+// A Cache is not safe for concurrent use; it belongs to exactly one
+// worker goroutine. The underlying Store remains safe to share.
+type Cache struct {
+	store *Store
+	cap   int
+	m     map[ID]*pmem.Image
+	lru   []ID
+}
+
+// NewCache creates a private cache over the store holding at most cap
+// decompressed images. A capacity of 0 disables caching.
+func (s *Store) NewCache(cap int) *Cache {
+	return &Cache{store: s, cap: cap, m: map[ID]*pmem.Image{}}
+}
+
+// Cached reports whether the image is resident in this private cache
+// (used to decide the simulated open cost, like Store.Cached).
+func (c *Cache) Cached(id ID) bool {
+	_, ok := c.m[id]
+	return ok
+}
+
+// Get returns the image, decompressing from the shared store on a
+// private-cache miss; the miss charges the worker's clock shard. Images
+// are safe to share read-only across caches: executions copy the data
+// into the simulated device before mutating it.
+func (c *Cache) Get(id ID, clock *pmem.Clock) (*pmem.Image, error) {
+	if img, ok := c.m[id]; ok {
+		c.store.stats.cacheHits.Add(1)
+		c.touch(id)
+		return img, nil
+	}
+	c.store.stats.cacheMisses.Add(1)
+	img, err := c.store.decode(id, clock)
+	if err != nil {
+		return nil, err
+	}
+	c.insert(id, img)
+	return img, nil
+}
+
+func (c *Cache) insert(id ID, img *pmem.Image) {
+	if c.cap <= 0 {
+		return
+	}
+	if len(c.lru) >= c.cap {
+		old := c.lru[0]
+		c.lru = c.lru[1:]
+		delete(c.m, old)
+	}
+	c.m[id] = img
+	c.lru = append(c.lru, id)
+}
+
+func (c *Cache) touch(id ID) {
+	for i, e := range c.lru {
+		if e == id {
+			c.lru = append(append(append([]ID{}, c.lru[:i]...), c.lru[i+1:]...), id)
+			return
+		}
+	}
 }

@@ -2,6 +2,7 @@ package imgstore
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -109,6 +110,108 @@ func TestZeroCacheCapacity(t *testing.T) {
 	}
 	if s.Stats().CacheHits != 0 {
 		t.Fatalf("cache disabled but hits recorded")
+	}
+}
+
+func TestPrivateCacheIsolation(t *testing.T) {
+	// Per-worker caches must not observe each other's residency: hit/miss
+	// sequences depend only on the owning worker's accesses, which is what
+	// keeps parallel sessions deterministic.
+	s := New(0) // shared cache disabled; workers bring their own
+	idA, _, _ := s.Put(mkImage(1, 1000))
+	idB, _, _ := s.Put(mkImage(2, 1000))
+
+	c1 := s.NewCache(1)
+	c2 := s.NewCache(1)
+	clock := pmem.NewClock()
+
+	before := clock.Now()
+	if _, err := c1.Get(idA, clock); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() == before {
+		t.Fatalf("private-cache miss charged nothing")
+	}
+	if !c1.Cached(idA) {
+		t.Fatalf("image not resident after Get")
+	}
+	if c2.Cached(idA) {
+		t.Fatalf("c2 sees c1's residency")
+	}
+	before = clock.Now()
+	if _, err := c1.Get(idA, clock); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() != before {
+		t.Fatalf("private-cache hit charged time")
+	}
+	// Capacity 1: loading B evicts A from c1 only.
+	if _, err := c1.Get(idB, clock); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Cached(idA) {
+		t.Fatalf("private LRU did not evict")
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses", st)
+	}
+	if _, err := c1.Get(ID{9, 9}, nil); err == nil {
+		t.Fatalf("unknown image returned no error through Cache")
+	}
+}
+
+func TestPrivateCacheZeroCapacity(t *testing.T) {
+	s := New(0)
+	id, _, _ := s.Put(mkImage(4, 100))
+	c := s.NewCache(0)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().CacheHits != 0 {
+		t.Fatalf("capacity-0 cache recorded hits")
+	}
+	if s.Stats().CacheMisses != 3 {
+		t.Fatalf("misses = %d, want 3", s.Stats().CacheMisses)
+	}
+}
+
+func TestStatsConcurrent(t *testing.T) {
+	// Hit/miss/put accounting is atomic: hammering the store from many
+	// goroutines (each with a private cache, like fuzzing workers) must
+	// neither race nor lose counts.
+	s := New(8)
+	const workers, lookups = 8, 50
+	ids := make([]ID, workers)
+	for i := range ids {
+		ids[i], _, _ = s.Put(mkImage(byte(i), 500))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := s.NewCache(2)
+			for i := 0; i < lookups; i++ {
+				if _, err := c.Get(ids[(w+i)%workers], nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if _, _, err := s.Put(mkImage(byte(w), 500)); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.CacheHits+st.CacheMisses != workers*lookups {
+		t.Fatalf("hits %d + misses %d != %d lookups", st.CacheHits, st.CacheMisses, workers*lookups)
+	}
+	if st.Puts != 2*workers || st.Dedups != workers {
+		t.Fatalf("puts=%d dedups=%d, want %d/%d", st.Puts, st.Dedups, 2*workers, workers)
 	}
 }
 

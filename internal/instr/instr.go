@@ -15,6 +15,9 @@ package instr
 import (
 	"hash/fnv"
 	"runtime"
+	"strconv"
+	"strings"
+	"sync"
 )
 
 // MapSize is the number of slots in a coverage map. It matches AFL's
@@ -36,22 +39,71 @@ func ID(label string) SiteID {
 	return SiteID(h.Sum32())
 }
 
-// CallerSite returns a SiteID for the program counter of the function
-// `skip` frames above the caller. It is the analog of the paper's static
-// instrumentation: every distinct call site of a PM-library function gets
-// a distinct, stable ID.
+// CallerSite returns a SiteID for the call site `skip` frames above the
+// caller, derived from source locations rather than the raw program
+// counter. Raw PCs move whenever any reachable code in the binary
+// changes — even linking in code this call never executes shifts
+// function layout — which would silently re-randomize PM site IDs
+// between builds, perturbing XOR collision patterns and breaking
+// replayable golden trajectories.
+//
+// The ID hashes the call site's full inline expansion chain (the
+// file:line of the logical frame plus every enclosing inlined frame up
+// to the first physically compiled one). That keeps the granularity of
+// PC identity — a helper inlined into N callers contributes N distinct
+// PM sites, like instrumentation inserted after inlining — while
+// depending only on the source tree, which is the paper's
+// static-instrumentation contract: one stable ID per PM-library call
+// site.
+//
+// CallerSite is safe for concurrent use; the site-ID cache is shared by
+// all fuzzing workers.
 func CallerSite(skip int) SiteID {
-	pc, _, _, ok := runtime.Caller(skip + 1)
-	if !ok {
+	var pcs [8]uintptr
+	// Callers skip: 0 is Callers itself, 1 is CallerSite, so the frame
+	// `skip` levels above CallerSite's caller starts at skip+2.
+	n := runtime.Callers(skip+2, pcs[:])
+	if n == 0 {
 		return 0
 	}
-	// Mix the PC so nearby call sites do not collide after folding.
-	x := uint64(pc)
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	return SiteID(x)
+	key := siteKey{pc: pcs[0], skip: skip}
+	if v, ok := siteCache.Load(key); ok {
+		return v.(SiteID)
+	}
+	frames := runtime.CallersFrames(pcs[:n])
+	var label strings.Builder
+	for {
+		fr, more := frames.Next()
+		if label.Len() > 0 {
+			label.WriteByte('|')
+		}
+		file := fr.File
+		if i := strings.LastIndexByte(file, '/'); i >= 0 {
+			file = file[i+1:]
+		}
+		label.WriteString(file)
+		label.WriteByte(':')
+		label.WriteString(strconv.Itoa(fr.Line))
+		// Frame.Func is nil for frames synthesized by inline expansion;
+		// the first physically compiled frame ends the chain.
+		if fr.Func != nil || !more {
+			break
+		}
+	}
+	id := ID(label.String())
+	siteCache.Store(key, id)
+	return id
 }
+
+// siteKey caches site-ID resolution per (physical PC, skip): both are
+// static properties of a call site, so the first resolution can be
+// reused by every later PM operation there.
+type siteKey struct {
+	pc   uintptr
+	skip int
+}
+
+var siteCache sync.Map
 
 // Map is a fixed-size counter map in the style of AFL's shared-memory
 // bitmap. Counters saturate at 255.
@@ -198,6 +250,34 @@ func (v *Virgin) Merge(m *Map) (hasNewSlot, hasNewBucket bool) {
 			hasNewBucket = true
 		}
 		v.seen[i] = old | c
+	}
+	return hasNewSlot, hasNewBucket
+}
+
+// MergeFrom folds another virgin's accumulated state into v and reports
+// whether anything new appeared, with the same meaning as Merge. It is
+// the sharded coverage merge of the parallel fuzzer: workers accumulate
+// into private Virgin pairs, and the coordinator both folds shipped maps
+// into the authoritative pair and refreshes each worker's private pair
+// from it between batch leases, so workers stop re-reporting coverage
+// the fleet as a whole has already seen.
+//
+// Virgin values are not safe for concurrent mutation; the parallel
+// engine guarantees exclusive access by only calling MergeFrom while the
+// owning worker is parked between a result hand-off and its next lease.
+// Classify and Signature are pure functions and safe from any goroutine.
+func (v *Virgin) MergeFrom(o *Virgin) (hasNewSlot, hasNewBucket bool) {
+	for i, b := range o.seen {
+		if b == 0 {
+			continue
+		}
+		old := v.seen[i]
+		if old == 0 {
+			hasNewSlot = true
+		} else if b&^old != 0 {
+			hasNewBucket = true
+		}
+		v.seen[i] = old | b
 	}
 	return hasNewSlot, hasNewBucket
 }

@@ -2,6 +2,8 @@ package instr
 
 import (
 	"math/rand"
+	"runtime"
+	"strconv"
 	"testing"
 	"testing/quick"
 )
@@ -218,6 +220,83 @@ func TestVirginPeekMatchesMergeProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestVirginMergeFromShardedEqualsDirect(t *testing.T) {
+	// The parallel engine's invariant: merging execution maps into worker
+	// shards and folding the shards into a global virgin must leave the
+	// global in exactly the state direct merging would have.
+	f := func(locsA, locsB []uint16) bool {
+		var ma, mb Map
+		for _, l := range locsA {
+			ma.Hit(uint32(l))
+		}
+		for _, l := range locsB {
+			mb.Hit(uint32(l))
+		}
+		shardA, shardB := NewVirgin(), NewVirgin()
+		shardA.Merge(&ma)
+		shardB.Merge(&mb)
+		global := NewVirgin()
+		global.MergeFrom(shardA)
+		global.MergeFrom(shardB)
+
+		direct := NewVirgin()
+		direct.Merge(&ma)
+		direct.Merge(&mb)
+		return *global == *direct
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirginMergeFromReportsNovelty(t *testing.T) {
+	a, b := NewVirgin(), NewVirgin()
+	var m1 Map
+	m1.Hit(5)
+	a.Merge(&m1)
+
+	var m2 Map
+	for i := 0; i < 10; i++ {
+		m2.Hit(5) // same slot, higher bucket than a's
+	}
+	m2.Hit(9) // slot a has never seen
+	b.Merge(&m2)
+
+	newSlot, newBucket := a.MergeFrom(b)
+	if !newSlot || !newBucket {
+		t.Fatalf("MergeFrom: newSlot=%v newBucket=%v, want true,true", newSlot, newBucket)
+	}
+	if a.CoveredSlots() != 2 || a.CoveredStates() != 3 {
+		t.Fatalf("after merge: slots=%d states=%d, want 2/3", a.CoveredSlots(), a.CoveredStates())
+	}
+	// Re-merging the same shard must report nothing new.
+	newSlot, newBucket = a.MergeFrom(b)
+	if newSlot || newBucket {
+		t.Fatalf("repeat MergeFrom: newSlot=%v newBucket=%v, want false,false", newSlot, newBucket)
+	}
+	// An empty shard is a no-op.
+	if ns, nb := a.MergeFrom(NewVirgin()); ns || nb {
+		t.Fatalf("empty MergeFrom reported novelty")
+	}
+}
+
+func TestCallerSiteLocationBased(t *testing.T) {
+	// Site IDs must be derived from source location, not raw PCs: for a
+	// non-inlined call site the ID equals the hash of its file:line
+	// label, so trajectories survive code growth elsewhere in the binary.
+	a := CallerSite(0)
+	want := ID("instr_test.go:" + strconv.Itoa(callerLine()-1))
+	if a != want {
+		t.Fatalf("CallerSite = %v, want location hash %v", a, want)
+	}
+}
+
+// callerLine returns the line number of its call site.
+func callerLine() int {
+	_, _, line, _ := runtime.Caller(1)
+	return line
 }
 
 func TestSignatureIdentity(t *testing.T) {
