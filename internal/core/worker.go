@@ -247,25 +247,31 @@ func (w *worker) execCase(input []byte, img *imageRef) *execOutcome {
 // sweep is worker-local — like a real fleet, an instance harvests for
 // anything new to *it*; the coordinator discards harvests whose PM path
 // the fleet had already seen.
+//
+// Like the serial loop, the barrier leg is single-pass: one journaled
+// re-execution materializes every sampled ordering point from its delta
+// journal. The incremental hasher stamps each image's content hash, so
+// the coordinator's dedup Put does not re-hash shipped images.
 func (w *worker) harvestCrashImages(tc executor.TestCase, res *executor.Result, o *execOutcome) {
 	if w.cfg.MaxBarrierImages <= 0 {
 		return
 	}
-	n := w.cfg.MaxBarrierImages
-	if n > res.Barriers {
-		n = res.Barriers
-	}
-	for i := 1; i <= n && w.clock.Now() < w.cfg.BudgetNS; i++ {
-		b := i * res.Barriers / n
-		if b < 1 {
-			b = 1
-		}
-		tcb := tc
-		tcb.Injector = pmem.BarrierFailure{N: b}
-		crash := executor.Run(tcb, executor.Options{Clock: w.clock, MaxCommands: w.cfg.MaxCommands})
+	if w.clock.Now() < w.cfg.BudgetNS {
+		sw := executor.SweepRun(tc, executor.Options{Clock: w.clock, MaxCommands: w.cfg.MaxCommands})
 		o.execs++
-		if crash.Crashed && crash.Image != nil {
-			o.crashImages = append(o.crashImages, crash.Image)
+		sw.EnableIncrementalHash()
+		n := w.cfg.MaxBarrierImages
+		if n > sw.Barriers() {
+			n = sw.Barriers()
+		}
+		for i := 1; i <= n && w.clock.Now() < w.cfg.BudgetNS; i++ {
+			b := i * sw.Barriers() / n
+			if b < 1 {
+				b = 1
+			}
+			if crash := sw.Crash(b); crash != nil && crash.Image != nil {
+				o.crashImages = append(o.crashImages, crash.Image)
+			}
 		}
 	}
 	for s := 0; s < w.cfg.ProbFailSeeds && w.cfg.ProbFailRate > 0 && w.clock.Now() < w.cfg.BudgetNS; s++ {

@@ -108,11 +108,28 @@ func (r *Result) Faulted() bool {
 // program faults (the segfault analog) are captured in the result the
 // way a fuzzer captures a crashing target.
 func Run(tc TestCase, opts Options) *Result {
+	res, _ := run(tc, opts, nil)
+	return res
+}
+
+// runExtras carries per-execution observations that only the sweep needs.
+type runExtras struct {
+	dev *pmem.Device
+	// cmdStartOps records the device op count just before each executed
+	// command line, so a crash at op X can be attributed to the command
+	// that was running (Commands at X = number of starts < X).
+	cmdStartOps []int
+}
+
+// run is the common execution body behind Run and SweepRun. When sh is
+// non-nil a copy-on-write sweep journal is attached to the device and
+// command-start op indices are recorded into it.
+func run(tc TestCase, opts Options, sh *runExtras) (*Result, *runExtras) {
 	res := &Result{Tracer: instr.NewTracer()}
 	prog, err := workloads.New(tc.Workload)
 	if err != nil {
 		res.Err = err
-		return res
+		return res, sh
 	}
 
 	var dev *pmem.Device
@@ -139,6 +156,10 @@ func Run(tc TestCase, opts Options) *Result {
 		maxOps = DefaultMaxOps
 	}
 	dev.SetOpLimit(maxOps)
+	if sh != nil {
+		sh.dev = dev
+		dev.BeginSweep()
+	}
 
 	env := &workloads.Env{
 		Dev:  dev,
@@ -187,6 +208,9 @@ func Run(tc TestCase, opts Options) *Result {
 				break
 			}
 			res.Commands++
+			if sh != nil {
+				sh.cmdStartOps = append(sh.cmdStartOps, dev.Ops())
+			}
 			if err := prog.Exec(env, line); err != nil {
 				if errors.Is(err, workloads.ErrStop) {
 					break
@@ -203,7 +227,7 @@ func Run(tc TestCase, opts Options) *Result {
 	}()
 	finish()
 	_ = done
-	return res
+	return res, sh
 }
 
 // NormalImage runs the test case without failures and returns the final
@@ -225,13 +249,61 @@ func NormalImage(tc TestCase, opts Options) (*pmem.Image, error) {
 // placed failures at arbitrary PM operations — the two-fold crash-image
 // generation strategy of §3.2. maxBarriers caps the sweep; the returned
 // results include crash images and taint sets.
+//
+// The barrier leg runs single-pass: one journaled execution, with each
+// barrier's result materialized from the copy-on-write delta journal.
+// Output is byte-identical to CrashImagesReexec (pinned by golden tests).
 func CrashImages(tc TestCase, opts Options, maxBarriers int, probRate float64, probSeeds int) []*Result {
+	var out []*Result
+	sw := SweepRun(tc, opts)
+	if sw.Clean.Faulted() {
+		// A faulting test case still yields its fault result; crash-image
+		// generation on top is meaningless.
+		return []*Result{sw.Clean}
+	}
+	barriers := sw.Barriers()
+	if maxBarriers > 0 && barriers > maxBarriers {
+		barriers = maxBarriers
+	}
+	for b := 1; b <= barriers; b++ {
+		if res := sw.Crash(b); res != nil {
+			out = append(out, res)
+		}
+	}
+	out = append(out, probCrashImages(tc, opts, probRate, probSeeds)...)
+	return out
+}
+
+// probCrashImages is the probabilistic leg of §3.2: failures at arbitrary
+// PM operations still require re-execution (the crash point is not an
+// ordering point), and stays identical between CrashImages and
+// CrashImagesReexec.
+func probCrashImages(tc TestCase, opts Options, probRate float64, probSeeds int) []*Result {
+	if probRate <= 0 {
+		return nil
+	}
+	var out []*Result
+	for s := 0; s < probSeeds; s++ {
+		tcp := tc
+		tcp.Injector = pmem.NewProbabilisticFailure(tc.Seed+int64(s)*7919, probRate)
+		res := Run(tcp, opts)
+		if res.Crashed {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// CrashImagesReexec is the original O(barriers × ops) sweep: re-execute
+// the full pre-failure input once per barrier with an injected
+// BarrierFailure and snapshot the whole device each time. It is kept as
+// the reference implementation the single-pass path is golden-tested
+// against, and as the baseline leg of BenchmarkCrashImageSweep.
+func CrashImagesReexec(tc TestCase, opts Options, maxBarriers int, probRate float64, probSeeds int) []*Result {
 	var out []*Result
 	// First, a clean run to learn how many barriers the execution has.
 	clean := Run(tc, opts)
 	if clean.Faulted() {
-		// A faulting test case still yields its fault result; crash-image
-		// generation on top is meaningless.
 		return []*Result{clean}
 	}
 	barriers := clean.Barriers
@@ -246,15 +318,6 @@ func CrashImages(tc TestCase, opts Options, maxBarriers int, probRate float64, p
 			out = append(out, res)
 		}
 	}
-	if probRate > 0 {
-		for s := 0; s < probSeeds; s++ {
-			tcp := tc
-			tcp.Injector = pmem.NewProbabilisticFailure(tc.Seed+int64(s)*7919, probRate)
-			res := Run(tcp, opts)
-			if res.Crashed {
-				out = append(out, res)
-			}
-		}
-	}
+	out = append(out, probCrashImages(tc, opts, probRate, probSeeds)...)
 	return out
 }

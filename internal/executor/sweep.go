@@ -1,0 +1,169 @@
+package executor
+
+import (
+	"sort"
+
+	"pmfuzz/internal/instr"
+	"pmfuzz/internal/pmem"
+)
+
+// SweepResult is one journaled execution plus lazy materialization of
+// every crash image the paper's §3.2 barrier sweep would generate.
+// Instead of re-executing the input once per ordering point, the single
+// run's copy-on-write journal (pmem.Sweep) holds per-barrier deltas;
+// Crash and PreFenceCrash synthesize the exact Result an injected-failure
+// re-execution would have produced — same image bytes, crash metadata,
+// taint set, commit variables, and counters.
+type SweepResult struct {
+	// Clean is the journaled execution's result (no injected failure).
+	Clean *Result
+
+	layout      string
+	opts        Options
+	sweep       *pmem.Sweep
+	cursor      *pmem.SweepCursor
+	cmdStartOps []int
+
+	// Incremental hashing across sibling barrier images (enabled by
+	// EnableIncrementalHash; used by the fuzzer, not the checkers).
+	hasher     *pmem.ImageHasher
+	lastHashed int // barrier index of the previous incremental hash
+}
+
+// SweepRun executes the test case once with a copy-on-write sweep journal
+// attached (any configured injector is ignored: the journaled run is the
+// failure-free leg) and returns the handle crash images are materialized
+// from. One execution, however many barriers the run has.
+func SweepRun(tc TestCase, opts Options) *SweepResult {
+	tc.Injector = nil
+	res, ex := run(tc, opts, &runExtras{})
+	sr := &SweepResult{
+		Clean:       res,
+		layout:      tc.Workload,
+		opts:        opts,
+		cmdStartOps: ex.cmdStartOps,
+	}
+	if ex.dev != nil {
+		if sw := ex.dev.EndSweep(); sw != nil && !res.Faulted() {
+			sr.sweep = sw
+			sr.cursor = sw.Cursor()
+		}
+	}
+	return sr
+}
+
+// Barriers returns the number of ordering points available to Crash
+// (0 when the clean run faulted).
+func (s *SweepResult) Barriers() int {
+	if s.sweep == nil {
+		return 0
+	}
+	return s.sweep.Barriers()
+}
+
+// EnableIncrementalHash makes subsequent ascending Crash(b) calls stamp
+// each materialized image with a hash resumed from the previous sibling's
+// SHA-256 midstate, skipping the unchanged prefix. Only worthwhile for
+// callers that hash every image (the fuzzer's image store); checkers that
+// never hash should leave it off.
+func (s *SweepResult) EnableIncrementalHash() {
+	if s.sweep == nil || s.hasher != nil {
+		return
+	}
+	s.hasher = pmem.NewImageHasher([16]byte{}, s.layout)
+}
+
+// commandsAt reconstructs the Commands counter at a crash at PM-op x: the
+// number of command lines whose execution had started by then.
+func (s *SweepResult) commandsAt(x int) int {
+	return sort.SearchInts(s.cmdStartOps, x)
+}
+
+func (s *SweepResult) charge(before int) {
+	if s.opts.Clock != nil {
+		s.opts.Clock.ChargeSweepMaterialize(s.cursor.AppliedLines() - before)
+	}
+}
+
+// Crash materializes the result of a failure injected at barrier b
+// (1-based), byte-identical to Run with pmem.BarrierFailure{N: b}, except
+// for the per-run Tracer/Trace of the truncated replay, which no
+// crash-image consumer reads and which stay empty. Returns nil when b is
+// out of range.
+func (s *SweepResult) Crash(b int) *Result {
+	if s.sweep == nil || b < 1 || b > s.sweep.Barriers() {
+		return nil
+	}
+	cp := s.sweep.Checkpoint(b)
+	before := s.cursor.AppliedLines()
+	data := s.cursor.ImageData(b)
+	s.charge(before)
+
+	img := &pmem.Image{Layout: s.layout, Data: data}
+	if s.hasher != nil {
+		img.SetPrecomputedHash(s.hasher.Sum(data, s.hashResumeOffset(b, len(data))))
+		s.lastHashed = b
+	}
+	return &Result{
+		Tracer:      instr.NewTracer(),
+		Image:       img,
+		Crashed:     true,
+		Crash:       pmem.Crash{Barrier: cp.Barrier, Op: cp.Op},
+		LostAtCrash: append([]pmem.Range(nil), cp.Lost...),
+		CommitVars:  s.sweep.CommitVarsAt(cp.CommitVarCount),
+		Barriers:    b,
+		Ops:         cp.Op,
+		BarrierOps:  append([]int(nil), s.Clean.BarrierOps[:b]...),
+		Commands:    s.commandsAt(cp.Op),
+	}
+}
+
+// PreFenceCrash materializes the result of a failure injected at the PM
+// operation just before barrier b's fence — Run with
+// pmem.OpFailure{N: BarrierOps[b-1]-1} — covering the paper's "crash with
+// flushed-but-unfenced data" window, subset-eviction rule included.
+// Returns nil when the fence is the execution's first PM operation (no
+// operation to fail at), matching the re-execution path's guard.
+func (s *SweepResult) PreFenceCrash(b int) *Result {
+	if s.sweep == nil || b < 1 || b > s.sweep.Barriers() {
+		return nil
+	}
+	cp := s.sweep.Checkpoint(b)
+	if cp.PreOp < 1 {
+		return nil
+	}
+	before := s.cursor.AppliedLines()
+	data := s.cursor.PreFenceData(b)
+	s.charge(before)
+
+	return &Result{
+		Tracer:      instr.NewTracer(),
+		Image:       &pmem.Image{Layout: s.layout, Data: data},
+		Crashed:     true,
+		Crash:       pmem.Crash{Barrier: -1, Op: cp.PreOp},
+		LostAtCrash: append([]pmem.Range(nil), cp.PreLost...),
+		CommitVars:  s.sweep.CommitVarsAt(cp.PreCommitVarCount),
+		Barriers:    b - 1,
+		Ops:         cp.PreOp,
+		BarrierOps:  append([]int(nil), s.Clean.BarrierOps[:b-1]...),
+		Commands:    s.commandsAt(cp.PreOp),
+	}
+}
+
+// hashResumeOffset returns the smallest byte offset whose content may
+// differ between the previously hashed barrier image and barrier b's —
+// the minimum delta line over the checkpoints in between. Descending or
+// repeated hashing falls back to a full pass (offset 0).
+func (s *SweepResult) hashResumeOffset(b, size int) int {
+	if s.lastHashed == 0 || b <= s.lastHashed {
+		return 0
+	}
+	min := size
+	for j := s.lastHashed + 1; j <= b; j++ {
+		d := s.sweep.Checkpoint(j).Delta
+		if len(d) > 0 && d[0].Line*pmem.LineSize < min {
+			min = d[0].Line * pmem.LineSize
+		}
+	}
+	return min
+}

@@ -5,11 +5,22 @@
 // pipeline to the SSD), and pulled back through a bounded decompressed
 // cache when selected as fuzzing inputs — the "move back to PM"
 // direction, whose cost the simulated clock charges.
+//
+// Two blob encodings coexist, distinguished by a tag byte:
+//
+//   - full: flate-compressed serialized image — the only format seed and
+//     output images use.
+//   - delta: base-image ID plus a flate-compressed list of byte runs that
+//     differ from the base. Sibling crash images from one sweep differ
+//     from their parent's output image only in the few lines their
+//     barriers had not yet drained, so storing them as deltas collapses
+//     the per-image cost from O(pool) to O(changed lines).
 package imgstore
 
 import (
 	"bytes"
 	"compress/flate"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sync"
@@ -24,20 +35,39 @@ type ID [32]byte
 // String renders a short hex prefix.
 func (id ID) String() string { return fmt.Sprintf("%x", id[:8]) }
 
+// Blob encoding tags (first byte of every stored blob).
+const (
+	blobFull  byte = 0
+	blobDelta byte = 1
+)
+
+// maxDeltaDepth bounds delta-chain recursion during decode. Fuzzer crash
+// images base directly on their parent's full output image (depth 1);
+// the bound only guards against malformed chains.
+const maxDeltaDepth = 32
+
 // Stats is a snapshot of store behaviour.
 type Stats struct {
-	// Puts counts Put calls; Dedups counts Puts that hit an existing
-	// image.
-	Puts   int
-	Dedups int
+	// Puts counts Put/PutDelta calls; Dedups counts those that hit an
+	// existing image; DeltaPuts counts fresh images stored delta-encoded.
+	Puts      int
+	Dedups    int
+	DeltaPuts int
 	// CacheHits/CacheMisses count Get lookups against the decompressed
 	// caches (shared or per-worker); a miss charges the simulated
 	// decompress cost.
 	CacheHits   int
 	CacheMisses int
-	// RawBytes and CompressedBytes measure storage consumption.
+	// RawBytes and CompressedBytes measure storage consumption: the
+	// serialized size images would occupy uncompressed vs the blob bytes
+	// actually held.
 	RawBytes        int64
 	CompressedBytes int64
+	// BytesCompressed / BytesDecompressed count the bytes fed through the
+	// compressor on Put and produced by the decompressor on decode — the
+	// actual flate work done, which delta encoding shrinks.
+	BytesCompressed   int64
+	BytesDecompressed int64
 }
 
 // counters holds the live statistics. They are plain atomics rather than
@@ -46,15 +76,16 @@ type Stats struct {
 // never serializes on the store mutex and stays clean under the race
 // detector.
 type counters struct {
-	puts, dedups           atomic.Int64
-	cacheHits, cacheMisses atomic.Int64
-	rawBytes, compressed   atomic.Int64
+	puts, dedups, deltaPuts atomic.Int64
+	cacheHits, cacheMisses  atomic.Int64
+	rawBytes, compressed    atomic.Int64
+	bytesComp, bytesDecomp  atomic.Int64
 }
 
 // Store is the content-addressed image store.
 type Store struct {
 	mu       sync.Mutex
-	blobs    map[ID][]byte // compressed serialized images
+	blobs    map[ID][]byte // tagged compressed blobs
 	cache    map[ID]*pmem.Image
 	cacheLRU []ID
 	cacheCap int
@@ -72,9 +103,92 @@ func New(cacheCap int) *Store {
 	}
 }
 
-// Put stores an image, deduplicating by content hash, and returns its ID
-// and whether it was new.
+// Pools for flate writers, readers, and scratch buffers: Put/decode are
+// the hottest allocation sites in the fuzzing loop, and a flate.Writer
+// alone is several hundred KiB of window state. Reset reuses it across
+// Puts; the pools are shared by all workers (sync.Pool is concurrency
+// safe and contents are state-free between uses).
+var (
+	flateWriterPool = sync.Pool{New: func() interface{} {
+		w, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+		if err != nil {
+			panic(err) // BestSpeed is a valid level; cannot happen
+		}
+		return w
+	}}
+	flateReaderPool = sync.Pool{New: func() interface{} {
+		return flate.NewReader(bytes.NewReader(nil))
+	}}
+	scratchPool = sync.Pool{New: func() interface{} {
+		return new(bytes.Buffer)
+	}}
+)
+
+// deflate compresses raw with a pooled writer and returns a fresh slice.
+func (s *Store) deflate(raw []byte) ([]byte, error) {
+	buf := scratchPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	w := flateWriterPool.Get().(*flate.Writer)
+	w.Reset(buf)
+	_, werr := w.Write(raw)
+	cerr := w.Close()
+	flateWriterPool.Put(w)
+	out := append([]byte(nil), buf.Bytes()...)
+	scratchPool.Put(buf)
+	if werr != nil {
+		return nil, fmt.Errorf("imgstore: %w", werr)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("imgstore: %w", cerr)
+	}
+	s.stats.bytesComp.Add(int64(len(raw)))
+	return out, nil
+}
+
+// inflate decompresses blob with a pooled reader into a fresh slice.
+func (s *Store) inflate(blob []byte) ([]byte, error) {
+	r := flateReaderPool.Get().(io.ReadCloser)
+	if err := r.(flate.Resetter).Reset(bytes.NewReader(blob), nil); err != nil {
+		return nil, fmt.Errorf("imgstore: reset inflate: %w", err)
+	}
+	buf := scratchPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	_, rerr := buf.ReadFrom(r)
+	cerr := r.Close()
+	flateReaderPool.Put(r)
+	raw := append([]byte(nil), buf.Bytes()...)
+	scratchPool.Put(buf)
+	if rerr != nil {
+		return nil, fmt.Errorf("imgstore: decompress: %w", rerr)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("imgstore: decompress close: %w", cerr)
+	}
+	s.stats.bytesDecomp.Add(int64(len(raw)))
+	return raw, nil
+}
+
+// Put stores an image full-encoded, deduplicating by content hash, and
+// returns its ID and whether it was new.
 func (s *Store) Put(img *pmem.Image) (ID, bool, error) {
+	return s.put(img, ID{}, nil)
+}
+
+// PutDelta stores an image delta-encoded against a base image already in
+// the store (baseID must be base's ID). The delta is the byte runs where
+// img.Data differs from base.Data; UUID and layout are carried in the
+// blob header. Falls back to full encoding when the base is unusable
+// (missing, nil, or of a different size). Deduplication and the returned
+// (ID, fresh) contract are identical to Put — callers cannot observe the
+// encoding except through Stats.
+func (s *Store) PutDelta(img *pmem.Image, baseID ID, base *pmem.Image) (ID, bool, error) {
+	if base == nil || len(base.Data) != len(img.Data) {
+		return s.put(img, ID{}, nil)
+	}
+	return s.put(img, baseID, base)
+}
+
+func (s *Store) put(img *pmem.Image, baseID ID, base *pmem.Image) (ID, bool, error) {
 	id := ID(img.Hash())
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -83,22 +197,102 @@ func (s *Store) Put(img *pmem.Image) (ID, bool, error) {
 		s.stats.dedups.Add(1)
 		return id, false, nil
 	}
-	raw := img.Marshal()
-	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, flate.BestSpeed)
-	if err != nil {
-		return ID{}, false, fmt.Errorf("imgstore: %w", err)
+
+	var blob []byte
+	if base != nil {
+		if _, ok := s.blobs[baseID]; ok {
+			b, err := s.encodeDeltaBlob(img, baseID, base)
+			if err != nil {
+				return ID{}, false, err
+			}
+			blob = b
+			s.stats.deltaPuts.Add(1)
+		}
 	}
-	if _, err := w.Write(raw); err != nil {
-		return ID{}, false, fmt.Errorf("imgstore: %w", err)
+	if blob == nil {
+		compressed, err := s.deflate(img.Marshal())
+		if err != nil {
+			return ID{}, false, err
+		}
+		blob = append(make([]byte, 0, 1+len(compressed)), blobFull)
+		blob = append(blob, compressed...)
 	}
-	if err := w.Close(); err != nil {
-		return ID{}, false, fmt.Errorf("imgstore: %w", err)
-	}
-	s.blobs[id] = buf.Bytes()
-	s.stats.rawBytes.Add(int64(len(raw)))
-	s.stats.compressed.Add(int64(len(buf.Bytes())))
+	s.blobs[id] = blob
+	// RawBytes counts the serialized size regardless of encoding, so the
+	// compression ratio reflects what delta encoding actually saves.
+	s.stats.rawBytes.Add(int64(serializedSize(img)))
+	s.stats.compressed.Add(int64(len(blob)))
 	return id, true, nil
+}
+
+// serializedSize is the size img.Marshal() would produce, computed
+// without building it.
+func serializedSize(img *pmem.Image) int {
+	const magicLen, uuidLen, lenField, sumLen = 8, 16, 8, 32
+	return magicLen + uuidLen + lenField + len(img.Layout) + lenField + len(img.Data) + sumLen
+}
+
+// encodeDeltaBlob builds: tag | baseID | uuid | uvarint layoutLen |
+// layout | uvarint dataLen | flate(delta payload), where the payload is
+// uvarint nRuns followed by (uvarint off, uvarint len, raw bytes) runs.
+func (s *Store) encodeDeltaBlob(img *pmem.Image, baseID ID, base *pmem.Image) ([]byte, error) {
+	runs := diffRuns(base.Data, img.Data)
+	payload := scratchPool.Get().(*bytes.Buffer)
+	payload.Reset()
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		payload.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+	}
+	putUvarint(uint64(len(runs)))
+	for _, r := range runs {
+		putUvarint(uint64(r.Off))
+		putUvarint(uint64(r.Len))
+		payload.Write(img.Data[r.Off : r.Off+r.Len])
+	}
+	compressed, err := s.deflate(payload.Bytes())
+	scratchPool.Put(payload)
+	if err != nil {
+		return nil, err
+	}
+
+	blob := make([]byte, 0, 1+len(baseID)+16+2*binary.MaxVarintLen64+len(img.Layout)+len(compressed))
+	blob = append(blob, blobDelta)
+	blob = append(blob, baseID[:]...)
+	blob = append(blob, img.UUID[:]...)
+	blob = append(blob, tmp[:binary.PutUvarint(tmp[:], uint64(len(img.Layout)))]...)
+	blob = append(blob, img.Layout...)
+	blob = append(blob, tmp[:binary.PutUvarint(tmp[:], uint64(len(img.Data)))]...)
+	blob = append(blob, compressed...)
+	return blob, nil
+}
+
+// diffRuns returns the byte runs (cache-line granular) where b differs
+// from a. len(a) == len(b) is the caller's invariant.
+func diffRuns(a, b []byte) []pmem.Range {
+	var runs []pmem.Range
+	for off := 0; off < len(b); {
+		end := off + pmem.LineSize
+		if end > len(b) {
+			end = len(b)
+		}
+		if bytes.Equal(a[off:end], b[off:end]) {
+			off = end
+			continue
+		}
+		start := off
+		for off < len(b) {
+			end = off + pmem.LineSize
+			if end > len(b) {
+				end = len(b)
+			}
+			if bytes.Equal(a[off:end], b[off:end]) {
+				break
+			}
+			off = end
+		}
+		runs = append(runs, pmem.Range{Off: start, Len: off - start})
+	}
+	return runs
 }
 
 // Has reports whether the image is stored.
@@ -134,32 +328,128 @@ func (s *Store) Get(id ID, clock *pmem.Clock) (*pmem.Image, error) {
 	return img, nil
 }
 
-// decode decompresses and unmarshals a stored image, charging the
-// simulated restore cost when clock is non-nil. It performs the
-// expensive work outside the store mutex so concurrent workers
-// decompress in parallel.
-func (s *Store) decode(id ID, clock *pmem.Clock) (*pmem.Image, error) {
+// blob fetches a stored blob under the mutex.
+func (s *Store) blob(id ID) ([]byte, bool) {
 	s.mu.Lock()
-	blob, ok := s.blobs[id]
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[id]
+	return b, ok
+}
+
+// decode reconstructs a stored image, charging the simulated restore
+// cost when clock is non-nil. It performs the expensive work outside the
+// store mutex so concurrent workers decompress in parallel. Delta blobs
+// reconstruct their base recursively from blobs only — never through the
+// shared cache, whose contents depend on cross-worker timing and would
+// break per-(Seed,Workers) determinism of the charged costs.
+func (s *Store) decode(id ID, clock *pmem.Clock) (*pmem.Image, error) {
+	return s.decodeDepth(id, clock, 0)
+}
+
+func (s *Store) decodeDepth(id ID, clock *pmem.Clock, depth int) (*pmem.Image, error) {
+	if depth > maxDeltaDepth {
+		return nil, fmt.Errorf("imgstore: delta chain too deep at %s", id)
+	}
+	blob, ok := s.blob(id)
 	if !ok {
 		return nil, fmt.Errorf("imgstore: unknown image %s", id)
 	}
+	if len(blob) == 0 {
+		return nil, fmt.Errorf("imgstore: empty blob %s", id)
+	}
+	switch blob[0] {
+	case blobFull:
+		if clock != nil {
+			clock.ChargeDecompress()
+		}
+		raw, err := s.inflate(blob[1:])
+		if err != nil {
+			return nil, err
+		}
+		img, err := pmem.UnmarshalImage(raw)
+		if err != nil {
+			return nil, fmt.Errorf("imgstore: %w", err)
+		}
+		return img, nil
+	case blobDelta:
+		return s.decodeDelta(id, blob, clock, depth)
+	default:
+		return nil, fmt.Errorf("imgstore: unknown blob tag %d for %s", blob[0], id)
+	}
+}
+
+func (s *Store) decodeDelta(id ID, blob []byte, clock *pmem.Clock, depth int) (*pmem.Image, error) {
+	corrupt := func(what string) error {
+		return fmt.Errorf("imgstore: corrupt delta blob %s: %s", id, what)
+	}
+	p := 1
+	if len(blob) < p+len(ID{})+16 {
+		return nil, corrupt("truncated header")
+	}
+	var baseID ID
+	p += copy(baseID[:], blob[p:])
+	var uuid [16]byte
+	p += copy(uuid[:], blob[p:])
+	layoutLen, n := binary.Uvarint(blob[p:])
+	if n <= 0 || p+n+int(layoutLen) > len(blob) {
+		return nil, corrupt("layout length")
+	}
+	p += n
+	layout := string(blob[p : p+int(layoutLen)])
+	p += int(layoutLen)
+	dataLen, n := binary.Uvarint(blob[p:])
+	if n <= 0 {
+		return nil, corrupt("data length")
+	}
+	p += n
+
+	base, err := s.decodeDepth(baseID, clock, depth+1)
+	if err != nil {
+		return nil, fmt.Errorf("imgstore: delta base of %s: %w", id, err)
+	}
+	if len(base.Data) != int(dataLen) {
+		return nil, corrupt("base size mismatch")
+	}
 	if clock != nil {
-		clock.ChargeDecompress()
+		clock.ChargeDeltaDecompress()
 	}
-	r := flate.NewReader(bytes.NewReader(blob))
-	raw, err := io.ReadAll(r)
+	payload, err := s.inflate(blob[p:])
 	if err != nil {
-		return nil, fmt.Errorf("imgstore: decompress: %w", err)
+		return nil, err
 	}
-	if err := r.Close(); err != nil {
-		return nil, fmt.Errorf("imgstore: decompress close: %w", err)
+
+	data := append([]byte(nil), base.Data...)
+	q := 0
+	nRuns, n := binary.Uvarint(payload[q:])
+	if n <= 0 {
+		return nil, corrupt("run count")
 	}
-	img, err := pmem.UnmarshalImage(raw)
-	if err != nil {
-		return nil, fmt.Errorf("imgstore: %w", err)
+	q += n
+	for i := uint64(0); i < nRuns; i++ {
+		off, n := binary.Uvarint(payload[q:])
+		if n <= 0 {
+			return nil, corrupt("run offset")
+		}
+		q += n
+		runLen, n := binary.Uvarint(payload[q:])
+		if n <= 0 {
+			return nil, corrupt("run length")
+		}
+		q += n
+		if off+runLen > uint64(len(data)) || q+int(runLen) > len(payload) {
+			return nil, corrupt("run out of range")
+		}
+		copy(data[off:off+runLen], payload[q:q+int(runLen)])
+		q += int(runLen)
 	}
+
+	img := &pmem.Image{UUID: uuid, Layout: layout, Data: data}
+	if got := ID(img.Hash()); got != id {
+		return nil, corrupt("reconstructed hash mismatch")
+	}
+	// The hash was just verified against the content-addressed key;
+	// memoize it so later Puts of this image skip the SHA pass.
+	img.SetPrecomputedHash([32]byte(id))
 	return img, nil
 }
 
@@ -207,12 +497,15 @@ func (s *Store) Len() int {
 // set is not a single instant).
 func (s *Store) Stats() Stats {
 	return Stats{
-		Puts:            int(s.stats.puts.Load()),
-		Dedups:          int(s.stats.dedups.Load()),
-		CacheHits:       int(s.stats.cacheHits.Load()),
-		CacheMisses:     int(s.stats.cacheMisses.Load()),
-		RawBytes:        s.stats.rawBytes.Load(),
-		CompressedBytes: s.stats.compressed.Load(),
+		Puts:              int(s.stats.puts.Load()),
+		Dedups:            int(s.stats.dedups.Load()),
+		DeltaPuts:         int(s.stats.deltaPuts.Load()),
+		CacheHits:         int(s.stats.cacheHits.Load()),
+		CacheMisses:       int(s.stats.cacheMisses.Load()),
+		RawBytes:          s.stats.rawBytes.Load(),
+		CompressedBytes:   s.stats.compressed.Load(),
+		BytesCompressed:   s.stats.bytesComp.Load(),
+		BytesDecompressed: s.stats.bytesDecomp.Load(),
 	}
 }
 

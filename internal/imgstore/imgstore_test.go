@@ -2,6 +2,7 @@ package imgstore
 
 import (
 	"bytes"
+	"math/rand"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -212,6 +213,182 @@ func TestStatsConcurrent(t *testing.T) {
 	}
 	if st.Puts != 2*workers || st.Dedups != workers {
 		t.Fatalf("puts=%d dedups=%d, want %d/%d", st.Puts, st.Dedups, 2*workers, workers)
+	}
+}
+
+// mkDerived copies base and flips a few cache lines — the shape of a
+// crash image relative to its run's output image.
+func mkDerived(base *pmem.Image, lines ...int) *pmem.Image {
+	d := &pmem.Image{UUID: base.UUID, Layout: base.Layout, Data: append([]byte(nil), base.Data...)}
+	for _, l := range lines {
+		for i := l * pmem.LineSize; i < (l+1)*pmem.LineSize && i < len(d.Data); i++ {
+			d.Data[i] ^= 0x5A
+		}
+	}
+	return d
+}
+
+func TestDeltaPutGetRoundTrip(t *testing.T) {
+	s := New(0)
+	base := mkImage(3, 1<<16)
+	base.UUID = [16]byte{9, 9}
+	baseID, _, err := s.Put(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := mkDerived(base, 1, 7, 500)
+	id, fresh, err := s.PutDelta(img, baseID, base)
+	if err != nil || !fresh {
+		t.Fatalf("PutDelta: fresh=%v err=%v", fresh, err)
+	}
+	if st := s.Stats(); st.DeltaPuts != 1 {
+		t.Fatalf("DeltaPuts = %d, want 1", st.DeltaPuts)
+	}
+	got, err := s.Get(id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UUID != img.UUID || got.Layout != img.Layout || !bytes.Equal(got.Data, img.Data) {
+		t.Fatalf("delta round trip mismatch")
+	}
+	if got.Hash() != img.Hash() {
+		t.Fatalf("decoded hash differs")
+	}
+}
+
+func TestDeltaMuchSmallerThanFull(t *testing.T) {
+	// A three-line delta over a 64 KiB image must be far smaller than a
+	// full (compressed) copy of random data.
+	s := New(0)
+	base := &pmem.Image{Layout: "t", Data: make([]byte, 1<<16)}
+	rand.New(rand.NewSource(11)).Read(base.Data)
+	baseID, _, _ := s.Put(base)
+	fullBytes := s.Stats().CompressedBytes
+	if _, _, err := s.PutDelta(mkDerived(base, 2, 3, 99), baseID, base); err != nil {
+		t.Fatal(err)
+	}
+	deltaBytes := s.Stats().CompressedBytes - fullBytes
+	if deltaBytes*10 >= fullBytes {
+		t.Fatalf("delta blob %d B not well under full blob %d B", deltaBytes, fullBytes)
+	}
+}
+
+func TestDeltaFallsBackToFull(t *testing.T) {
+	s := New(0)
+	base := mkImage(1, 4096)
+	baseID, _, _ := s.Put(base)
+
+	// nil base, wrong-size base, and unknown baseID all full-encode.
+	for i, c := range []struct {
+		baseID ID
+		base   *pmem.Image
+		img    *pmem.Image
+	}{
+		{baseID, nil, mkImage(2, 4096)},
+		{baseID, mkImage(1, 2048), mkImage(3, 4096)},
+		{ID{0xFF}, base, mkDerived(base, 5)},
+	} {
+		id, fresh, err := s.PutDelta(c.img, c.baseID, c.base)
+		if err != nil || !fresh {
+			t.Fatalf("case %d: fresh=%v err=%v", i, fresh, err)
+		}
+		got, err := s.Get(id, nil)
+		if err != nil || !bytes.Equal(got.Data, c.img.Data) {
+			t.Fatalf("case %d: round trip failed: %v", i, err)
+		}
+	}
+	if st := s.Stats(); st.DeltaPuts != 0 {
+		t.Fatalf("fallback cases recorded DeltaPuts = %d", st.DeltaPuts)
+	}
+}
+
+func TestDeltaDedupAndChain(t *testing.T) {
+	s := New(0)
+	base := mkImage(4, 8192)
+	baseID, _, _ := s.Put(base)
+
+	img := mkDerived(base, 10)
+	id1, fresh, _ := s.PutDelta(img, baseID, base)
+	if !fresh {
+		t.Fatalf("first delta Put reported duplicate")
+	}
+	// Same content again (even full-encoded) must dedup to the same ID.
+	if id2, fresh2, _ := s.Put(mkDerived(base, 10)); id2 != id1 || fresh2 {
+		t.Fatalf("delta-encoded image not deduplicated against full Put")
+	}
+
+	// A chain: each generation delta-encoded against the previous one.
+	prev, prevID := img, id1
+	var lastID ID
+	for g := 0; g < 6; g++ {
+		next := mkDerived(prev, 20+g)
+		nid, _, err := s.PutDelta(next, prevID, prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev, prevID, lastID = next, nid, nid
+	}
+	clock := pmem.NewClock()
+	got, err := s.Get(lastID, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, prev.Data) {
+		t.Fatalf("chained delta decode mismatch")
+	}
+	if clock.Now() == 0 {
+		t.Fatalf("chained decode charged no simulated time")
+	}
+}
+
+func TestDeltaStatsBytes(t *testing.T) {
+	s := New(0)
+	base := mkImage(6, 1<<15)
+	baseID, _, _ := s.Put(base)
+	id, _, _ := s.PutDelta(mkDerived(base, 0, 1), baseID, base)
+	st := s.Stats()
+	if st.BytesCompressed == 0 {
+		t.Fatalf("BytesCompressed not counted: %+v", st)
+	}
+	if _, err := s.Get(id, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.BytesDecompressed == 0 {
+		t.Fatalf("BytesDecompressed not counted: %+v", st)
+	}
+}
+
+func TestDeltaConcurrentPuts(t *testing.T) {
+	// Delta Puts share pooled flate writers and scratch buffers; hammering
+	// them from many goroutines must neither race nor corrupt blobs.
+	s := New(0)
+	base := mkImage(8, 1<<14)
+	baseID, _, _ := s.Put(base)
+	const workers = 8
+	var wg sync.WaitGroup
+	ids := make([]ID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			img := mkDerived(base, w, w+workers)
+			id, _, err := s.PutDelta(img, baseID, base)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[w] = id
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		got, err := s.Get(ids[w], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Data, mkDerived(base, w, w+workers).Data) {
+			t.Fatalf("worker %d: concurrent delta corrupted", w)
+		}
 	}
 }
 

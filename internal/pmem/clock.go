@@ -26,6 +26,21 @@ const (
 
 	// costExecBase models per-execution process overhead (spawn, parse).
 	costExecBase = 80_000
+
+	// Copy-on-write sweep costs. Journaling a fence's delta and
+	// materializing a crash image from deltas replace a full re-execution
+	// plus full-device snapshot per barrier, so their simulated costs are
+	// per-line, not per-pool: Figure-13 trajectories reflect the
+	// optimization the same way the paper's SysOpt feature does.
+	costSweepCheckpointBase  = 200
+	costSweepCheckpointLine  = 8
+	costSweepMaterializeBase = 1_500
+	costSweepMaterializeLine = 4
+
+	// costDeltaDecompress models restoring a delta-encoded image blob:
+	// inflating a small delta and applying it to an already-resident base
+	// is far cheaper than inflating a full pool image.
+	costDeltaDecompress = 25_000
 )
 
 // Clock accumulates simulated nanoseconds. The fuzzing harness runs each
@@ -59,6 +74,22 @@ func (c *Clock) ChargeClose() { c.Charge(costClose) }
 
 // ChargeDecompress charges the cost of restoring a compressed image.
 func (c *Clock) ChargeDecompress() { c.Charge(costDecompress) }
+
+// ChargeDeltaDecompress charges the cost of restoring a delta-encoded
+// image from its base plus a compressed delta.
+func (c *Clock) ChargeDeltaDecompress() { c.Charge(costDeltaDecompress) }
+
+// ChargeSweepCheckpoint charges the cost of journaling one fence's
+// copy-on-write delta of `lines` cache lines.
+func (c *Clock) ChargeSweepCheckpoint(lines int) {
+	c.Charge(costSweepCheckpointBase + int64(lines)*costSweepCheckpointLine)
+}
+
+// ChargeSweepMaterialize charges the cost of materializing a crash image
+// by applying `lines` journaled cache lines to a base copy.
+func (c *Clock) ChargeSweepMaterialize(lines int) {
+	c.Charge(costSweepMaterializeBase + int64(lines)*costSweepMaterializeLine)
+}
 
 // ChargeExecBase charges fixed per-execution overhead.
 func (c *Clock) ChargeExecBase() { c.Charge(costExecBase) }

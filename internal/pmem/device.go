@@ -99,6 +99,9 @@ type Device struct {
 	internal     int   // >0 while the PM library performs metadata accesses
 	closed       bool
 	commitVars   []Range
+	cvAtLastOp   int // len(commitVars) as of the most recent PM operation
+
+	sweep *Sweep // non-nil while a copy-on-write sweep journal is attached
 
 	stats Stats
 }
@@ -203,6 +206,11 @@ func (d *Device) check(off, n int) {
 // tracking via the caller's call site, trace emission, simulated-time
 // accounting, and probabilistic failure injection.
 func (d *Device) pmop(kind trace.Kind, off, n int, site instr.SiteID, cost int64) {
+	// Commit-variable annotations can arrive between PM operations; a crash
+	// injected at op N observes only the registrations made by then. The
+	// sweep journal records this count so derived pre-fence crash states
+	// resolve the same commit-variable prefix a truncated replay would.
+	d.cvAtLastOp = len(d.commitVars)
 	d.opCount++
 	if d.opLimit > 0 && d.opCount > d.opLimit {
 		panic(Hang{Ops: d.opLimit})
@@ -237,18 +245,10 @@ func (d *Device) pmop(kind trace.Kind, off, n int, site instr.SiteID, cost int64
 // PM testing tools make.
 func (d *Device) evictQueuedAtCrash() {
 	for l := range d.queued {
-		x := uint64(l)*0x9e3779b97f4a7c15 ^ uint64(d.opCount)*0xff51afd7ed558ccd
-		x ^= x >> 29
-		x *= 0xbf58476d1ce4e5b9
-		x ^= x >> 32
-		if x&1 == 0 {
+		if !lineSurvivesCrash(l, d.opCount) {
 			continue // this line did not make it out of the queue
 		}
-		start := l * LineSize
-		end := start + LineSize
-		if end > len(d.volatile) {
-			end = len(d.volatile)
-		}
+		start, end := lineBounds(l, len(d.volatile))
 		copy(d.persisted[start:end], d.volatile[start:end])
 	}
 }
@@ -314,12 +314,16 @@ func (d *Device) Fence(site instr.SiteID) {
 	if d.closed {
 		panic(ErrClosed)
 	}
+	// The sweep checkpoint is taken at fence entry, before the drain: at
+	// this instant the device holds exactly the state an op-targeted crash
+	// at the previous PM operation would see, and the queued set is exactly
+	// the delta this fence is about to persist.
+	var cp *Checkpoint
+	if d.sweep != nil {
+		cp = d.captureCheckpoint()
+	}
 	for l := range d.queued {
-		start := l * LineSize
-		end := start + LineSize
-		if end > len(d.volatile) {
-			end = len(d.volatile)
-		}
+		start, end := lineBounds(l, len(d.volatile))
 		copy(d.persisted[start:end], d.volatile[start:end])
 	}
 	d.queued = make(map[int]struct{})
@@ -327,6 +331,16 @@ func (d *Device) Fence(site instr.SiteID) {
 	d.stats.Fences++
 	d.pmop(trace.Fence, 0, 0, site, costFence)
 	d.barrierOps = append(d.barrierOps, d.opCount)
+	if cp != nil {
+		// Recorded only after the fence's own pmop succeeded: if that op
+		// crashed or hit the hang limit, no barrier was reached.
+		cp.Barrier = d.barrierCount
+		cp.Op = d.opCount
+		d.sweep.cps = append(d.sweep.cps, *cp)
+		if d.clock != nil {
+			d.clock.ChargeSweepCheckpoint(len(cp.Delta))
+		}
+	}
 	if d.injector != nil && d.injector.AtBarrier(d.barrierCount) {
 		// The fence's own drain already happened; anything queued by the
 		// fence's instrumentation op itself is handled like any crash.

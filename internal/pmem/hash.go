@@ -1,0 +1,116 @@
+package pmem
+
+import (
+	"crypto/sha256"
+	"encoding"
+	"hash"
+)
+
+// hashStateStride is the spacing of saved SHA-256 midstates. 4 KiB keeps
+// the ladder small (a 1 MiB pool saves 256 states of ~100 bytes each)
+// while letting a resume skip everything before the first changed byte.
+const hashStateStride = 4096
+
+// ImageHasher computes Image content hashes (SHA-256 over
+// UUID | layout | data) incrementally across a sequence of images that
+// share a long unchanged prefix — exactly the shape of sibling crash
+// images produced by the copy-on-write sweep, where consecutive barriers
+// differ only in the lines the fence drained. It keeps a ladder of
+// SHA-256 midstates at fixed strides; hashing the next image resumes from
+// the deepest midstate at or before the first changed byte instead of
+// rehashing the whole pool.
+//
+// The digest is bit-identical to Image.Hash: midstates are serialized and
+// restored through the stdlib digest's encoding.BinaryMarshaler support,
+// so only the duplicated work is skipped, never the hash function.
+type ImageHasher struct {
+	prefix []byte // UUID + layout, hashed before any data
+	states []hasherState
+}
+
+// hasherState is a midstate valid after hashing prefix + data[:off].
+type hasherState struct {
+	off int
+	bin []byte
+}
+
+// NewImageHasher returns a hasher for images with the given identity.
+// All images passed to Sum must share this UUID and layout (they factor
+// into the digest ahead of the data).
+func NewImageHasher(uuid [16]byte, layout string) *ImageHasher {
+	prefix := make([]byte, 0, 16+len(layout))
+	prefix = append(prefix, uuid[:]...)
+	prefix = append(prefix, layout...)
+	return &ImageHasher{prefix: prefix}
+}
+
+// Sum returns the content hash of an image with the hasher's identity and
+// the given data. firstChanged is the smallest byte offset at which data
+// may differ from the data of the previous Sum call (len(data) if nothing
+// changed, 0 for the first call or when unknown). Passing a too-small
+// firstChanged only wastes work; passing a too-large one corrupts the
+// result — callers derive it from the sweep journal's delta line indices.
+func (h *ImageHasher) Sum(data []byte, firstChanged int) [32]byte {
+	if firstChanged > len(data) {
+		firstChanged = len(data)
+	}
+	if firstChanged < 0 {
+		firstChanged = 0
+	}
+
+	d := sha256.New()
+	resume := 0
+
+	// Deepest saved midstate at or before the first changed byte; states
+	// beyond it describe data that may have changed and are dropped.
+	k := -1
+	for i, st := range h.states {
+		if st.off > firstChanged {
+			break
+		}
+		k = i
+	}
+	if k >= 0 {
+		if err := d.(encoding.BinaryUnmarshaler).UnmarshalBinary(h.states[k].bin); err == nil {
+			resume = h.states[k].off
+			h.states = h.states[:k+1]
+		} else {
+			// A stdlib digest never fails to restore its own marshaled
+			// state; degrade to a full pass if it somehow does.
+			d = sha256.New()
+			h.states = h.states[:0]
+		}
+	} else {
+		h.states = h.states[:0]
+	}
+	if resume == 0 && len(h.states) == 0 {
+		d.Write(h.prefix)
+		h.saveState(d, 0)
+	}
+
+	// Hash forward from the resume point, recording midstates at stride
+	// boundaries for the next call to resume from.
+	for pos := resume; pos < len(data); {
+		next := (pos/hashStateStride + 1) * hashStateStride
+		if next > len(data) {
+			next = len(data)
+		}
+		d.Write(data[pos:next])
+		pos = next
+		if pos%hashStateStride == 0 && pos < len(data) {
+			h.saveState(d, pos)
+		}
+	}
+
+	var out [32]byte
+	d.Sum(out[:0])
+	return out
+}
+
+func (h *ImageHasher) saveState(d hash.Hash, off int) {
+	bin, err := d.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		return
+	}
+	h.states = append(h.states, hasherState{off: off, bin: bin})
+}

@@ -21,6 +21,12 @@ type Image struct {
 	Layout string
 	// Data is the raw pool contents.
 	Data []byte
+
+	// hash memoizes the content hash when it was derived incrementally or
+	// verified during decode. It is only ever set through
+	// SetPrecomputedHash, on images whose contents will not change.
+	hash    [32]byte
+	hashSet bool
 }
 
 const imageMagic = "PMFZIMG1"
@@ -31,6 +37,9 @@ var ErrBadImage = errors.New("pmem: bad image")
 // Hash returns the SHA-256 of the image contents (UUID + layout + data).
 // PMFuzz's image-reduction step (§4.5 step ④) deduplicates on this value.
 func (img *Image) Hash() [32]byte {
+	if img.hashSet {
+		return img.hash
+	}
 	h := sha256.New()
 	h.Write(img.UUID[:])
 	h.Write([]byte(img.Layout))
@@ -40,7 +49,17 @@ func (img *Image) Hash() [32]byte {
 	return out
 }
 
-// Clone returns a deep copy of the image.
+// SetPrecomputedHash memoizes the image's content hash. The caller owns
+// the invariant that h equals Hash() of the current contents and that the
+// image is no longer mutated; the sweep's incremental hasher and the
+// store's verified decode path use it to skip redundant full SHA passes.
+func (img *Image) SetPrecomputedHash(h [32]byte) {
+	img.hash = h
+	img.hashSet = true
+}
+
+// Clone returns a deep copy of the image. The hash memo is deliberately
+// dropped: clones exist to be mutated.
 func (img *Image) Clone() *Image {
 	data := make([]byte, len(img.Data))
 	copy(data, img.Data)
@@ -49,22 +68,28 @@ func (img *Image) Clone() *Image {
 	return out
 }
 
+// marshalSize returns the exact serialized size of the image.
+func (img *Image) marshalSize() int {
+	return len(imageMagic) + 16 + 8 + len(img.Layout) + 8 + len(img.Data) + sha256.Size
+}
+
 // Marshal serializes the image with a checksummed header:
 // magic | uuid | layout len | layout | data len | data | sha256.
+// One buffer of exact size is allocated and the checksum is computed over
+// it in place — no bytes.Buffer growth and no second copy of the pool.
 func (img *Image) Marshal() []byte {
-	var buf bytes.Buffer
-	buf.WriteString(imageMagic)
-	buf.Write(img.UUID[:])
-	var n [8]byte
-	binary.LittleEndian.PutUint64(n[:], uint64(len(img.Layout)))
-	buf.Write(n[:])
-	buf.WriteString(img.Layout)
-	binary.LittleEndian.PutUint64(n[:], uint64(len(img.Data)))
-	buf.Write(n[:])
-	buf.Write(img.Data)
-	sum := sha256.Sum256(buf.Bytes())
-	buf.Write(sum[:])
-	return buf.Bytes()
+	out := make([]byte, img.marshalSize())
+	p := copy(out, imageMagic)
+	p += copy(out[p:], img.UUID[:])
+	binary.LittleEndian.PutUint64(out[p:], uint64(len(img.Layout)))
+	p += 8
+	p += copy(out[p:], img.Layout)
+	binary.LittleEndian.PutUint64(out[p:], uint64(len(img.Data)))
+	p += 8
+	p += copy(out[p:], img.Data)
+	sum := sha256.Sum256(out[:p])
+	copy(out[p:], sum[:])
+	return out
 }
 
 // UnmarshalImage parses a serialized image, verifying magic and checksum.

@@ -203,21 +203,25 @@ func analyzePost(tc executor.TestCase, preRes *executor.Result, postInput []byte
 // probabilistic placements matter for missing-fence bugs: their windows
 // lie strictly between ordering points, where barrier failures cannot
 // land.
+//
+// Check runs single-sweep: one journaled pre-failure execution supplies
+// every ordering-point crash state (CheckPostSweep). The per-failure
+// re-execution path remains available as CheckPost and is golden-tested
+// to produce the same report set.
 func Check(tc executor.TestCase, maxBarriers int, probRate float64, probSeeds int) []Report {
-	return CheckPost(tc, maxBarriers, probRate, probSeeds, nil)
+	return CheckPostSweep(tc, maxBarriers, probRate, probSeeds, nil)
 }
 
-// CheckPost is Check with an explicit post-failure input (nil replays
-// the original input). Testing tools append the workload's consistency
-// check so corrupted recovery states are observed even when the original
-// input never asks for one.
+// CheckPost is the per-failure-point reference mode: it re-executes the
+// pre-failure input once per barrier (and once per pre-fence placement)
+// with an injected failure. postInput is the explicit post-failure input
+// (nil replays the original input); testing tools append the workload's
+// consistency check so corrupted recovery states are observed even when
+// the original input never asks for one.
 func CheckPost(tc executor.TestCase, maxBarriers int, probRate float64, probSeeds int, postInput []byte) []Report {
 	clean := executor.Run(tc, executor.Options{})
 	if clean.Faulted() {
-		return []Report{{
-			Kind:   PostFailureFault,
-			Detail: fmt.Sprintf("test case faults without any failure: err=%v panic=%v", clean.Err, clean.PanicVal),
-		}}
+		return faultWithoutFailure(clean)
 	}
 	barriers := clean.Barriers
 	if maxBarriers > 0 && barriers > maxBarriers {
@@ -235,18 +239,67 @@ func CheckPost(tc executor.TestCase, maxBarriers int, probRate float64, probSeed
 			}
 		}
 	}
-	if probRate > 0 {
-		totalOps := clean.Ops
-		for s := 0; s < probSeeds; s++ {
-			// Deterministic op-level placements spread across the run.
-			op := (s + 1) * totalOps / (probSeeds + 1)
-			if op < 1 {
-				op = 1
-			}
-			reports = append(reports, CheckPoint(tc, pmem.OpFailure{N: op}, postInput)...)
-			inj := pmem.NewProbabilisticFailure(tc.Seed+int64(s)*104729, probRate)
-			reports = append(reports, CheckPoint(tc, inj, postInput)...)
+	return append(reports, probReports(tc, clean.Ops, probRate, probSeeds, postInput)...)
+}
+
+// CheckPostSweep is the single-sweep mode: ONE journaled pre-failure
+// execution (executor.SweepRun) supplies the crash state at every
+// ordering point — barrier and pre-fence placements alike — with
+// per-barrier taint checkpoints read from the copy-on-write journal
+// instead of re-replaying the input per failure point. Only the
+// post-failure executions remain per-point, as in the paper's two-stage
+// design. The report set is identical to CheckPost (pinned by test).
+func CheckPostSweep(tc executor.TestCase, maxBarriers int, probRate float64, probSeeds int, postInput []byte) []Report {
+	sw := executor.SweepRun(tc, executor.Options{})
+	if sw.Clean.Faulted() {
+		return faultWithoutFailure(sw.Clean)
+	}
+	barriers := sw.Barriers()
+	if maxBarriers > 0 && barriers > maxBarriers {
+		barriers = maxBarriers
+	}
+	var reports []Report
+	for b := 1; b <= barriers; b++ {
+		// Materialize the pre-fence state first — it derives from barrier
+		// b-1's image, so this keeps the cursor strictly forward — but
+		// report barrier-then-pre-fence, matching CheckPost's order.
+		preFence := sw.PreFenceCrash(b)
+		if atBarrier := sw.Crash(b); atBarrier != nil {
+			reports = append(reports, analyzePost(tc, atBarrier, postInput)...)
 		}
+		if preFence != nil {
+			reports = append(reports, analyzePost(tc, preFence, postInput)...)
+		}
+	}
+	return append(reports, probReports(tc, sw.Clean.Ops, probRate, probSeeds, postInput)...)
+}
+
+// faultWithoutFailure reports a test case that faults with no injected
+// failure at all — not a cross-failure bug, but always worth surfacing.
+func faultWithoutFailure(clean *executor.Result) []Report {
+	return []Report{{
+		Kind:   PostFailureFault,
+		Detail: fmt.Sprintf("test case faults without any failure: err=%v panic=%v", clean.Err, clean.PanicVal),
+	}}
+}
+
+// probReports runs the probabilistic placements shared by CheckPost and
+// CheckPostSweep. These crash points are not ordering points, so they are
+// genuinely re-executed in both modes.
+func probReports(tc executor.TestCase, totalOps int, probRate float64, probSeeds int, postInput []byte) []Report {
+	if probRate <= 0 {
+		return nil
+	}
+	var reports []Report
+	for s := 0; s < probSeeds; s++ {
+		// Deterministic op-level placements spread across the run.
+		op := (s + 1) * totalOps / (probSeeds + 1)
+		if op < 1 {
+			op = 1
+		}
+		reports = append(reports, CheckPoint(tc, pmem.OpFailure{N: op}, postInput)...)
+		inj := pmem.NewProbabilisticFailure(tc.Seed+int64(s)*104729, probRate)
+		reports = append(reports, CheckPoint(tc, inj, postInput)...)
 	}
 	return reports
 }

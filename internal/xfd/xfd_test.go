@@ -141,6 +141,49 @@ func TestDetectsSkippedBackupAcrossFailure(t *testing.T) {
 	}
 }
 
+// TestSweepModeMatchesPerBarrier is the acceptance pin for the
+// single-sweep mode: on every real bug the checker targets (Bugs 1–6)
+// plus a correct program, CheckPostSweep must produce the exact report
+// sequence of the per-barrier re-execution mode — same kinds, failure
+// points, triggering events, and details.
+func TestSweepModeMatchesPerBarrier(t *testing.T) {
+	cases := []struct {
+		name     string
+		workload string
+		input    []byte
+		bug      *bugs.Set
+		probRate float64
+		seeds    int
+	}{
+		{"bug1", "hashmap-tx", []byte("i 1 1\ni 2 2\n"), bugs.NewSet().EnableReal(bugs.Bug1HashmapTXCreateNotRetried), 0, 0},
+		{"bug2", "btree", []byte("i 1 1\ni 2 2\n"), bugs.NewSet().EnableReal(bugs.Bug2BTreeCreateNotRetried), 0, 0},
+		{"bug3", "rbtree", []byte("i 1 1\ni 2 2\n"), bugs.NewSet().EnableReal(bugs.Bug3RBTreeCreateNotRetried), 0, 0},
+		{"bug4", "rtree", []byte("i 1 1\ni 2 2\n"), bugs.NewSet().EnableReal(bugs.Bug4RTreeCreateNotRetried), 0, 0},
+		{"bug5", "skiplist", []byte("i 1 1\ni 2 2\n"), bugs.NewSet().EnableReal(bugs.Bug5SkipListCreateNotRetried), 0, 0},
+		{"bug6", "hashmap-atomic", []byte("i 1 1\ni 2 2\ni 3 3\nc\n"), bugs.NewSet().EnableReal(bugs.Bug6AtomicRecoveryNotCalled), 0.002, 2},
+		{"fixed", "btree", []byte("i 1 1\ni 2 2\nc\n"), nil, 0.002, 2},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tc := executor.TestCase{Workload: c.workload, Input: c.input, Bugs: c.bug, Seed: 1}
+			old := CheckPost(tc, 0, c.probRate, c.seeds, nil)
+			nw := CheckPostSweep(tc, 0, c.probRate, c.seeds, nil)
+			if len(old) != len(nw) {
+				t.Fatalf("report counts differ: per-barrier=%d sweep=%d", len(old), len(nw))
+			}
+			for i := range old {
+				if old[i] != nw[i] {
+					t.Fatalf("report %d differs:\nper-barrier: %s\nsweep:       %s", i, old[i], nw[i])
+				}
+			}
+			if c.bug != nil && len(old) == 0 {
+				t.Fatalf("bug case produced no reports in either mode")
+			}
+		})
+	}
+}
+
 // TestCheckPointPastEnd: a failure point beyond the execution produces
 // no reports.
 func TestCheckPointPastEnd(t *testing.T) {
