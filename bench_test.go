@@ -275,6 +275,42 @@ func BenchmarkFuzzerThroughput(b *testing.B) {
 	b.ReportMetric(float64(totalExecs)/b.Elapsed().Seconds(), "target-execs/sec")
 }
 
+// BenchmarkExecHotLoop measures the steady-state cost of one fuzzing
+// execution — the hot path everything else multiplies. "fresh" allocates
+// a new device (~2×poolsize), tracer (2×64 KiB), and output snapshot per
+// run, the pre-arena behavior; "arena" reuses one executor.Arena exactly
+// the way each fuzzing worker does (device reset in place, pooled
+// tracer, recycled snapshot buffer) — the persistent-mode/forkserver
+// analog. The acceptance bar for this PR: the arena leg sustains ≥1.5×
+// the fresh leg's execs/sec with ≥80% fewer allocs/op.
+func BenchmarkExecHotLoop(b *testing.B) {
+	tc := executor.TestCase{Workload: "btree", Input: benchSweepInput(), Seed: 1}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := executor.Run(tc, executor.Options{})
+			if res.Faulted() {
+				b.Fatalf("execution faulted: err=%v panic=%v", res.Err, res.PanicVal)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
+	})
+	b.Run("arena", func(b *testing.B) {
+		arena := executor.NewArena()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := executor.Run(tc, executor.Options{Arena: arena})
+			if res.Faulted() {
+				b.Fatalf("execution faulted: err=%v panic=%v", res.Err, res.PanicVal)
+			}
+			arena.Recycle(res)
+			arena.RecycleImage(res.Image)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
+	})
+}
+
 // BenchmarkWorkloadExecution measures single-execution cost per workload
 // (the unit of all fuzzing throughput).
 func BenchmarkWorkloadExecution(b *testing.B) {

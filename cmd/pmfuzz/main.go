@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"pmfuzz/internal/core"
@@ -47,8 +48,38 @@ func main() {
 		seriesOut  = flag.String("series-out", "", "write the coverage time series as JSON (for plotting Figure 13)")
 		showTree   = flag.Bool("show-tree", false, "print the test-case tree (Figure 12)")
 		list       = flag.Bool("list", false, "list workloads and configurations")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the session to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at session end to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmfuzz: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pmfuzz: memprofile:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("workloads:")

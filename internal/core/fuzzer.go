@@ -83,6 +83,11 @@ type Fuzzer struct {
 	series    []Sample
 	faults    []Fault
 	faultMsgs map[string]bool
+
+	// arena is the serial loop's execution reuse handle (persistent-mode
+	// analog): one resident device plus pooled tracers and snapshot
+	// buffers shared by every execution. Workers get their own.
+	arena *executor.Arena
 }
 
 // New builds a fuzzer for the configuration. bugSet configures the
@@ -114,6 +119,7 @@ func New(cfg Config, bugSet *bugs.Set) (*Fuzzer, error) {
 		seedDict:     dict,
 		faultMsgs:    map[string]bool{},
 		pmPathSigs:   map[uint64]struct{}{},
+		arena:        executor.NewArena(),
 	}
 	for _, s := range seeds {
 		f.queue.Add(&fuzz.Entry{Input: s, ParentID: -1, Favored: fuzz.FavoredHigh})
@@ -218,11 +224,17 @@ func (f *Fuzzer) deriveChild(e *fuzz.Entry) ([]byte, *imageRef) {
 			// Build the initial image by one clean seed run.
 			res := executor.Run(executor.TestCase{
 				Workload: f.cfg.Workload, Input: f.seedInput, Bugs: f.bugs, Seed: f.cfg.Seed,
-			}, executor.Options{Clock: f.clock})
+			}, executor.Options{Clock: f.clock, Arena: f.arena})
 			if res.Image == nil {
+				f.arena.Recycle(res)
 				return input, nil
 			}
 			base = &imageRef{img: res.Image}
+			mutated := base.img.Clone()
+			mutated.Data = f.mut.MutateImage(mutated.Data)
+			f.arena.Recycle(res)
+			f.arena.RecycleImage(res.Image)
+			return input, &imageRef{img: mutated}
 		}
 		mutated := base.img.Clone()
 		mutated.Data = f.mut.MutateImage(mutated.Data)
@@ -274,9 +286,15 @@ func (f *Fuzzer) runMutated(parent *fuzz.Entry, input []byte, img *imageRef) {
 		Clock:       f.clock,
 		ImageCached: cached || (tc.Image == nil && f.cfg.Features.SysOpt),
 		MaxCommands: f.cfg.MaxCommands,
+		Arena:       f.arena,
 	})
 	f.execs++
 	f.observe(parent, tc, res)
+	// The serial loop fully consumes a result inside observe (maps merged,
+	// images serialized into the store), so its tracer and output-image
+	// buffer can be recycled for the next execution.
+	f.arena.Recycle(res)
+	f.arena.RecycleImage(res.Image)
 	if f.execs%max(1, f.cfg.SampleEveryExecs) == 0 {
 		f.sample(false)
 	}
@@ -373,7 +391,7 @@ func (f *Fuzzer) harvestImages(parent *fuzz.Entry, tc executor.TestCase, res *ex
 	// (§3.2), and the interesting recovery states come from crashes at
 	// different phases of the run.
 	if f.clock.Now() < f.cfg.BudgetNS {
-		sw := executor.SweepRun(tc, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands})
+		sw := executor.SweepRun(tc, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands, Arena: f.arena})
 		f.execs++
 		sw.EnableIncrementalHash()
 		n := f.cfg.MaxBarrierImages
@@ -387,17 +405,25 @@ func (f *Fuzzer) harvestImages(parent *fuzz.Entry, tc executor.TestCase, res *ex
 			}
 			if crash := sw.Crash(b); crash != nil && crash.Image != nil {
 				f.addImageEntryDelta(parent, tc.Input, crash.Image, true, f.clock.Now(), outID, res.Image)
+				// Materialized images are serialized immediately; their
+				// buffers feed the next snapshots. (Their shared empty
+				// tracer is deliberately NOT recycled.)
+				f.arena.RecycleImage(crash.Image)
 			}
 		}
+		f.arena.Recycle(sw.Clean)
+		f.arena.RecycleImage(sw.Clean.Image)
 	}
 	for s := 0; s < f.cfg.ProbFailSeeds && f.cfg.ProbFailRate > 0 && f.clock.Now() < f.cfg.BudgetNS; s++ {
 		tcp := tc
 		tcp.Injector = pmem.NewProbabilisticFailure(f.cfg.Seed+int64(f.execs)*131, f.cfg.ProbFailRate)
-		crash := executor.Run(tcp, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands})
+		crash := executor.Run(tcp, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands, Arena: f.arena})
 		f.execs++
 		if crash.Crashed && crash.Image != nil {
 			f.addImageEntryDelta(parent, tc.Input, crash.Image, true, f.clock.Now(), outID, res.Image)
 		}
+		f.arena.Recycle(crash)
+		f.arena.RecycleImage(crash.Image)
 	}
 }
 

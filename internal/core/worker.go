@@ -95,6 +95,13 @@ type worker struct {
 
 	seedInput []byte
 
+	// arena is this worker's private execution reuse handle (the
+	// persistent-mode analog): one resident device, pooled tracers and
+	// snapshot buffers. Outcomes shipped to the coordinator (coverage
+	// maps, output and crash images) are never recycled — the arena only
+	// reclaims state that dies inside the worker.
+	arena *executor.Arena
+
 	leases  chan workItem
 	results chan *workerBatch
 }
@@ -116,6 +123,7 @@ func newWorker(f *Fuzzer, id int) *worker {
 		branchVirgin: instr.NewVirgin(),
 		pmVirgin:     instr.NewVirgin(),
 		seedInput:    f.seedInput,
+		arena:        executor.NewArena(),
 		leases:       make(chan workItem, 1),
 		results:      make(chan *workerBatch, 1),
 	}
@@ -209,6 +217,7 @@ func (w *worker) execCase(input []byte, img *imageRef) *execOutcome {
 		Clock:       w.clock,
 		ImageCached: cached || (tc.Image == nil && w.cfg.Features.SysOpt),
 		MaxCommands: w.cfg.MaxCommands,
+		Arena:       w.arena,
 	})
 	o := &execOutcome{input: input, inImage: tc.Image, execs: 1}
 	newBSlot, newBBucket := w.branchVirgin.Merge(res.Tracer.BranchMap())
@@ -220,9 +229,12 @@ func (w *worker) execCase(input []byte, img *imageRef) *execOutcome {
 	if newBSlot || newBBucket || newPSlot || newPBucket {
 		// Locally new: ship the maps for the authoritative merge. The
 		// tracer is per-execution, so the maps can be handed off without
-		// copying.
+		// copying — which also means this tracer must NOT be recycled:
+		// the coordinator reads the maps after the batch is shipped.
 		o.branch = res.Tracer.BranchMap()
 		o.pm = res.Tracer.PMMap()
+	} else {
+		w.arena.Recycle(res)
 	}
 	if res.Faulted() {
 		o.faulted = true
@@ -232,11 +244,15 @@ func (w *worker) execCase(input []byte, img *imageRef) *execOutcome {
 			o.faultMsg = res.Err.Error()
 		}
 		o.simNS = w.clock.Now()
+		w.arena.RecycleImage(res.Image)
 		return o
 	}
 	if w.cfg.Features.ImgFuzzIndirect && res.Image != nil && (newPSlot || newPBucket) {
 		o.outImage = res.Image
 		w.harvestCrashImages(tc, res, o)
+	} else {
+		// The output image is not shipped; reclaim its buffer.
+		w.arena.RecycleImage(res.Image)
 	}
 	o.simNS = w.clock.Now()
 	return o
@@ -257,7 +273,7 @@ func (w *worker) harvestCrashImages(tc executor.TestCase, res *executor.Result, 
 		return
 	}
 	if w.clock.Now() < w.cfg.BudgetNS {
-		sw := executor.SweepRun(tc, executor.Options{Clock: w.clock, MaxCommands: w.cfg.MaxCommands})
+		sw := executor.SweepRun(tc, executor.Options{Clock: w.clock, MaxCommands: w.cfg.MaxCommands, Arena: w.arena})
 		o.execs++
 		sw.EnableIncrementalHash()
 		n := w.cfg.MaxBarrierImages
@@ -273,14 +289,21 @@ func (w *worker) harvestCrashImages(tc executor.TestCase, res *executor.Result, 
 				o.crashImages = append(o.crashImages, crash.Image)
 			}
 		}
+		// The journaled run's own result stays worker-local (the sweep
+		// ships only materialized crash images), so it can be reclaimed.
+		w.arena.Recycle(sw.Clean)
+		w.arena.RecycleImage(sw.Clean.Image)
 	}
 	for s := 0; s < w.cfg.ProbFailSeeds && w.cfg.ProbFailRate > 0 && w.clock.Now() < w.cfg.BudgetNS; s++ {
 		tcp := tc
 		tcp.Injector = pmem.NewProbabilisticFailure(w.cfg.Seed+int64(w.id)*workerSeedPrime+int64(o.execs)*131, w.cfg.ProbFailRate)
-		crash := executor.Run(tcp, executor.Options{Clock: w.clock, MaxCommands: w.cfg.MaxCommands})
+		crash := executor.Run(tcp, executor.Options{Clock: w.clock, MaxCommands: w.cfg.MaxCommands, Arena: w.arena})
 		o.execs++
 		if crash.Crashed && crash.Image != nil {
 			o.crashImages = append(o.crashImages, crash.Image)
+		} else {
+			w.arena.RecycleImage(crash.Image)
 		}
+		w.arena.Recycle(crash)
 	}
 }

@@ -52,6 +52,11 @@ type Options struct {
 	// MaxOps bounds PM operations per execution (0 = DefaultMaxOps); a
 	// run exceeding it is reported as a hang, like a fuzzing timeout.
 	MaxOps int
+	// Arena, when non-nil, runs the execution on the arena's resident
+	// device and pooled tracers instead of allocating fresh ones — the
+	// persistent-mode hot path. See Arena for the aliasing contract on
+	// the returned Result.
+	Arena *Arena
 }
 
 // DefaultMaxOps bounds runaway executions (e.g. cyclic structures on
@@ -78,19 +83,25 @@ type Result struct {
 	Panicked bool
 	// PanicVal is the recovered panic value when Panicked.
 	PanicVal interface{}
-	// Tracer holds the branch and PM coverage maps.
+	// Tracer holds the branch and PM coverage maps. On an arena run it
+	// may be pooled: pass the Result to Arena.Recycle once the maps are
+	// consumed, or keep it (never recycle) if the maps are retained.
 	Tracer *instr.Tracer
-	// Trace is the PM-operation event trace (nil unless RecordTrace).
+	// Trace is the PM-operation event trace (nil unless RecordTrace);
+	// pooled like Tracer on arena runs.
 	Trace *trace.Recorder
 	// CommitVars are the commit-variable annotations registered during
 	// the run (the XFDetector annotation analog); the cross-failure
-	// checker exempts them from taint analysis.
+	// checker exempts them from taint analysis. On an arena run the
+	// slice aliases device state: read only, valid until the next run
+	// on the same arena.
 	CommitVars []pmem.Range
 	// Barriers and Ops count ordering points and PM operations executed.
 	Barriers int
 	Ops      int
 	// BarrierOps holds the PM-op index of each fence, for pre-fence
-	// failure placement.
+	// failure placement. On an arena run it aliases device state: read
+	// only, valid until the next run on the same arena.
 	BarrierOps []int
 	// Commands counts command lines actually executed.
 	Commands int
@@ -125,7 +136,12 @@ type runExtras struct {
 // non-nil a copy-on-write sweep journal is attached to the device and
 // command-start op indices are recorded into it.
 func run(tc TestCase, opts Options, sh *runExtras) (*Result, *runExtras) {
-	res := &Result{Tracer: instr.NewTracer()}
+	res := &Result{}
+	if opts.Arena != nil {
+		res.Tracer = opts.Arena.tracer()
+	} else {
+		res.Tracer = instr.NewTracer()
+	}
 	prog, err := workloads.New(tc.Workload)
 	if err != nil {
 		res.Err = err
@@ -133,9 +149,16 @@ func run(tc TestCase, opts Options, sh *runExtras) (*Result, *runExtras) {
 	}
 
 	var dev *pmem.Device
-	if tc.Image != nil {
+	switch {
+	case opts.Arena != nil:
+		size := 0
+		if tc.Image == nil {
+			size = prog.PoolSize()
+		}
+		dev = opts.Arena.device(tc.Image, size)
+	case tc.Image != nil:
 		dev = pmem.NewDeviceFromImage(tc.Image)
-	} else {
+	default:
 		dev = pmem.NewDevice(prog.PoolSize())
 	}
 	if opts.Clock != nil {
@@ -145,7 +168,11 @@ func run(tc TestCase, opts Options, sh *runExtras) (*Result, *runExtras) {
 	}
 	dev.SetTracer(res.Tracer)
 	if opts.RecordTrace {
-		res.Trace = trace.NewRecorder()
+		if opts.Arena != nil {
+			res.Trace = opts.Arena.recorder()
+		} else {
+			res.Trace = trace.NewRecorder()
+		}
 		dev.SetSink(res.Trace)
 	}
 	if tc.Injector != nil {
@@ -203,7 +230,17 @@ func run(tc TestCase, opts Options, sh *runExtras) (*Result, *runExtras) {
 			res.Err = fmt.Errorf("setup: %w", err)
 			return false
 		}
-		for _, line := range bytes.Split(tc.Input, []byte("\n")) {
+		// Iterate input lines in place instead of materializing the
+		// [][]byte bytes.Split allocates per run; the sequence is
+		// identical (count(sep)+1 lines, including the trailing empty
+		// line after a final newline).
+		for rest, more := tc.Input, true; more; {
+			var line []byte
+			if i := bytes.IndexByte(rest, '\n'); i >= 0 {
+				line, rest = rest[:i], rest[i+1:]
+			} else {
+				line, rest, more = rest, nil, false
+			}
 			if res.Commands >= maxCmds {
 				break
 			}

@@ -28,6 +28,20 @@ type SweepResult struct {
 	// EnableIncrementalHash; used by the fuzzer, not the checkers).
 	hasher     *pmem.ImageHasher
 	lastHashed int // barrier index of the previous incremental hash
+
+	// emptyTracer is lazily shared by every materialized Result: the
+	// truncated replay a materialization stands in for never traced
+	// anything, so all those results carry identical, permanently empty
+	// coverage maps — one allocation instead of 128 KiB per crash image.
+	emptyTracer *instr.Tracer
+}
+
+// materializedTracer returns the shared read-only empty tracer.
+func (s *SweepResult) materializedTracer() *instr.Tracer {
+	if s.emptyTracer == nil {
+		s.emptyTracer = instr.NewTracer()
+	}
+	return s.emptyTracer
 }
 
 // SweepRun executes the test case once with a copy-on-write sweep journal
@@ -105,7 +119,7 @@ func (s *SweepResult) Crash(b int) *Result {
 		s.lastHashed = b
 	}
 	return &Result{
-		Tracer:      instr.NewTracer(),
+		Tracer:      s.materializedTracer(),
 		Image:       img,
 		Crashed:     true,
 		Crash:       pmem.Crash{Barrier: cp.Barrier, Op: cp.Op},
@@ -137,7 +151,7 @@ func (s *SweepResult) PreFenceCrash(b int) *Result {
 	s.charge(before)
 
 	return &Result{
-		Tracer:      instr.NewTracer(),
+		Tracer:      s.materializedTracer(),
 		Image:       &pmem.Image{Layout: s.layout, Data: data},
 		Crashed:     true,
 		Crash:       pmem.Crash{Barrier: -1, Op: cp.PreOp},

@@ -1,0 +1,148 @@
+package fuzz
+
+import "testing"
+
+func TestNextEmptyQueue(t *testing.T) {
+	q := NewQueue(1)
+	if e := q.Next(); e != nil {
+		t.Fatalf("Next on empty queue = %+v, want nil", e)
+	}
+	if l := q.Lease(4); l != nil {
+		t.Fatalf("Lease on empty queue = %+v, want nil", l)
+	}
+}
+
+// TestNextSkipsUnfavoredLows drives the scheduler over a corpus that mixes
+// one favored entry with many low-priority ones. Low entries without
+// branch-coverage merit must never be selected while the scan can land on
+// something better — that skip is the whole point of favored levels.
+func TestNextSkipsUnfavoredLows(t *testing.T) {
+	q := NewQueue(42)
+	for i := 0; i < 8; i++ {
+		q.Add(&Entry{Input: []byte{byte(i)}, Favored: FavoredLow})
+	}
+	high := q.Add(&Entry{Input: []byte("high"), Favored: FavoredHigh})
+
+	for i := 0; i < 200; i++ {
+		e := q.Next()
+		if e == nil {
+			t.Fatal("Next returned nil on non-empty queue")
+		}
+		if e.Favored == FavoredLow {
+			t.Fatalf("iteration %d: selected a low entry without NewBranch while a high entry exists", i)
+		}
+	}
+	if high.Selections != 200 {
+		t.Fatalf("high entry Selections = %d, want 200", high.Selections)
+	}
+}
+
+// TestNextLowOnlyOnBranchMerit checks the two low-priority outcomes: a
+// low entry with NewBranch set is eventually selected, and the round-robin
+// fallback still terminates when every entry is an unmarked low.
+func TestNextLowOnlyOnBranchMerit(t *testing.T) {
+	q := NewQueue(7)
+	plain := q.Add(&Entry{Input: []byte("plain"), Favored: FavoredLow})
+	branch := q.Add(&Entry{Input: []byte("branch"), Favored: FavoredLow, NewBranch: true})
+
+	for i := 0; i < 500; i++ {
+		if q.Next() == nil {
+			t.Fatal("Next returned nil on non-empty queue")
+		}
+	}
+	if branch.Selections == 0 {
+		t.Fatal("low entry with NewBranch was never selected in 500 draws")
+	}
+	// The fallback round-robin may pick the plain low, but branch merit
+	// must dominate: the marked entry gets a real selection share.
+	if branch.Selections <= plain.Selections/4 {
+		t.Fatalf("branch-merit low selected %d times vs plain %d — merit weighting lost",
+			branch.Selections, plain.Selections)
+	}
+}
+
+// TestNextFavoredWeighting checks the aggregate ordering High > Medium >
+// unmarked Low over many draws from a mixed corpus.
+func TestNextFavoredWeighting(t *testing.T) {
+	q := NewQueue(3)
+	low := q.Add(&Entry{Input: []byte("l"), Favored: FavoredLow})
+	med := q.Add(&Entry{Input: []byte("m"), Favored: FavoredMedium})
+	high := q.Add(&Entry{Input: []byte("h"), Favored: FavoredHigh})
+
+	total := 0
+	for i := 0; i < 600; i++ {
+		q.Next()
+		total++
+	}
+	if got := low.Selections + med.Selections + high.Selections; got != total {
+		t.Fatalf("Selections accounting: %d recorded, %d draws", got, total)
+	}
+	if !(high.Selections > med.Selections && med.Selections > low.Selections) {
+		t.Fatalf("favored weighting violated: high=%d med=%d low=%d",
+			high.Selections, med.Selections, low.Selections)
+	}
+}
+
+// TestLeaseEnergyScaling pins the energy formula energyBase << Favored and
+// the one-splice-slot-per-child contract.
+func TestLeaseEnergyScaling(t *testing.T) {
+	for _, tc := range []struct {
+		favored int
+		want    int
+	}{
+		{FavoredLow, 4},
+		{FavoredMedium, 8},
+		{FavoredHigh, 16},
+	} {
+		q := NewQueue(1)
+		// NewBranch makes even a low entry selectable, so Lease never
+		// falls through to a different favored level than intended.
+		q.Add(&Entry{Input: []byte("x"), Favored: tc.favored, NewBranch: true})
+		l := q.Lease(4)
+		if l == nil {
+			t.Fatalf("favored=%d: Lease returned nil", tc.favored)
+		}
+		if l.Energy != tc.want {
+			t.Fatalf("favored=%d: Energy = %d, want %d", tc.favored, l.Energy, tc.want)
+		}
+		if len(l.Splices) != l.Energy {
+			t.Fatalf("favored=%d: len(Splices) = %d, want Energy %d", tc.favored, len(l.Splices), l.Energy)
+		}
+	}
+}
+
+// TestLeaseSpliceGating checks that splice partners appear only once the
+// corpus is big enough (> 4 entries) and never alias the parent's input.
+func TestLeaseSpliceGating(t *testing.T) {
+	q := NewQueue(9)
+	for i := 0; i < 4; i++ {
+		q.Add(&Entry{Input: []byte{byte(i)}, Favored: FavoredHigh})
+	}
+	l := q.Lease(8)
+	for i, s := range l.Splices {
+		if s != nil {
+			t.Fatalf("splice slot %d filled with a 4-entry corpus; want nil (havoc fallback)", i)
+		}
+	}
+
+	for i := 4; i < 12; i++ {
+		q.Add(&Entry{Input: []byte{byte(i)}, Favored: FavoredHigh})
+	}
+	filled := 0
+	for draw := 0; draw < 20; draw++ {
+		l = q.Lease(8)
+		parent := l.Parent
+		for _, s := range l.Splices {
+			if s == nil {
+				continue
+			}
+			filled++
+			if len(s) == 1 && len(parent.Input) == 1 && s[0] == parent.Input[0] {
+				t.Fatal("splice partner aliases the leased parent's input")
+			}
+		}
+	}
+	if filled == 0 {
+		t.Fatal("no splice slot was ever filled with a 12-entry corpus")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // MapSize is the number of slots in a coverage map. It matches AFL's
@@ -59,17 +60,32 @@ func ID(label string) SiteID {
 // CallerSite is safe for concurrent use; the site-ID cache is shared by
 // all fuzzing workers.
 func CallerSite(skip int) SiteID {
-	var pcs [8]uintptr
 	// Callers skip: 0 is Callers itself, 1 is CallerSite, so the frame
-	// `skip` levels above CallerSite's caller starts at skip+2.
-	n := runtime.Callers(skip+2, pcs[:])
-	if n == 0 {
+	// `skip` levels above CallerSite's caller starts at skip+2. Only the
+	// first physical PC is needed for the cache key, and the stack walk's
+	// cost scales with the frames it decodes, so the hot path captures
+	// exactly one; the full 8-frame inline chain is re-captured only on a
+	// cache miss (once per call site per process).
+	var pc1 [1]uintptr
+	if runtime.Callers(skip+2, pc1[:]) == 0 {
 		return 0
 	}
-	key := siteKey{pc: pcs[0], skip: skip}
-	if v, ok := siteCache.Load(key); ok {
-		return v.(SiteID)
+	key := siteKey{pc: pc1[0], skip: skip}
+	if id, ok := siteCache.Load().m[key]; ok {
+		return id
 	}
+	var pcs [8]uintptr
+	n := runtime.Callers(skip+2, pcs[:])
+	return resolveSite(key, pcs, n)
+}
+
+// resolveSite is the cache-miss slow path, kept out of CallerSite so the
+// pc array does not escape on the hot path: runtime.CallersFrames
+// retains its argument slice, and with the resolution inline the array
+// would be heap-allocated on EVERY call — one hidden allocation per PM
+// operation. Here the array is a by-value parameter, so only actual
+// misses (once per call site per process) pay the allocation.
+func resolveSite(key siteKey, pcs [8]uintptr, n int) SiteID {
 	frames := runtime.CallersFrames(pcs[:n])
 	var label strings.Builder
 	for {
@@ -91,7 +107,7 @@ func CallerSite(skip int) SiteID {
 		}
 	}
 	id := ID(label.String())
-	siteCache.Store(key, id)
+	siteCache.publish(key, id)
 	return id
 }
 
@@ -103,7 +119,44 @@ type siteKey struct {
 	skip int
 }
 
-var siteCache sync.Map
+// siteMap is a copy-on-write read-mostly cache. A sync.Map would box the
+// siteKey struct into an interface on every Load — one heap allocation
+// per PM operation, the single largest allocation source in the fuzzing
+// hot loop. Instead, lookups read an immutable plain map through an
+// atomic pointer (allocation-free), and the rare miss republishes a
+// copied map under a mutex. The site population is small and fixed by
+// the binary's PM call sites, so copies quickly stop happening.
+type siteCacheT struct {
+	mu sync.Mutex
+	p  atomic.Pointer[siteMapT]
+}
+
+type siteMapT struct {
+	m map[siteKey]SiteID
+}
+
+func (c *siteCacheT) Load() *siteMapT { return c.p.Load() }
+
+func (c *siteCacheT) publish(key siteKey, id SiteID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.p.Load().m
+	if _, ok := old[key]; ok {
+		return // lost the race; first resolution wins (same label anyway)
+	}
+	next := make(map[siteKey]SiteID, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = id
+	c.p.Store(&siteMapT{m: next})
+}
+
+var siteCache = func() *siteCacheT {
+	c := &siteCacheT{}
+	c.p.Store(&siteMapT{m: map[siteKey]SiteID{}})
+	return c
+}()
 
 // Map is a fixed-size counter map in the style of AFL's shared-memory
 // bitmap. Counters saturate at 255.

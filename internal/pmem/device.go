@@ -25,6 +25,7 @@ package pmem
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"pmfuzz/internal/instr"
 	"pmfuzz/internal/trace"
@@ -80,17 +81,58 @@ type FailureInjector interface {
 	AtOp(n int) bool
 }
 
+// Per-line durability states. A line whose epoch stamp is stale is
+// clean; lineClean only ever appears as an explicit stamp after a fence
+// or close drained the line within the current execution.
+const (
+	lineClean  uint8 = 0
+	lineDirty  uint8 = 1 // written, not flushed
+	lineQueued uint8 = 2 // flushed, not fenced
+)
+
 // Device is one simulated PM module holding a single mapped image.
+//
+// The line-tracking hot path is flat and epoch-stamped rather than
+// map-based: lineState[l] is valid only while lineEpoch[l] equals the
+// device's current epoch, so Reset clears every per-line set in O(1) by
+// bumping the epoch instead of reallocating or zeroing. dirtyList and
+// queuedList append a line index every time a line *enters* that state;
+// entries go stale when the line transitions again, so every consumer
+// filters against the current lineState (and deduplicates where a line
+// may have bounced into the same state twice). This keeps Store / Flush
+// / Fence allocation-free while giving drains and snapshots a compact
+// candidate list instead of a full-device scan.
 type Device struct {
 	persisted []byte
 	volatile  []byte
-	dirty     map[int]struct{} // line index -> written, not flushed
-	queued    map[int]struct{} // line index -> flushed, not fenced
 
-	tracer   *instr.Tracer
-	sink     trace.Sink
-	injector FailureInjector
-	clock    *Clock
+	epoch      uint32
+	lineEpoch  []uint32 // per-line epoch stamp validating lineState
+	lineState  []uint8  // lineClean / lineDirty / lineQueued
+	touchEpoch []uint32 // per-line epoch stamp validating touchList membership
+	dirtyList  []int32  // lines that entered lineDirty (lazy-stale)
+	queuedList []int32  // lines that entered lineQueued (lazy-stale)
+	touchList  []int32  // lines written this execution (for fast Reset)
+	nDirty     int
+	nQueued    int
+
+	// lastBase identifies the image the previous Reset started from, so a
+	// Reset onto the same image can restore only the touched lines.
+	lastBase     *Image
+	lastBaseData []byte
+	lastEmpty    bool
+
+	// scratch buffers for sorted line collection (UnpersistedRanges and
+	// the sweep checkpoint capture); reused across calls.
+	scratchA []int
+	scratchB []int
+	scratchC []int
+
+	tracer    *instr.Tracer
+	sink      trace.Sink
+	injector  FailureInjector
+	clock     *Clock
+	snapAlloc func(n int) []byte // optional snapshot-buffer allocator
 
 	opCount      int
 	opLimit      int // 0 = unlimited
@@ -100,6 +142,8 @@ type Device struct {
 	closed       bool
 	commitVars   []Range
 	cvAtLastOp   int // len(commitVars) as of the most recent PM operation
+	cvNorm       []Range
+	cvNormAt     int // len(commitVars) the cvNorm memo was computed at
 
 	sweep *Sweep // non-nil while a copy-on-write sweep journal is attached
 
@@ -117,23 +161,117 @@ type Stats struct {
 
 // NewDevice creates a device of the given size initialized to zero bytes.
 func NewDevice(size int) *Device {
-	return &Device{
-		persisted: make([]byte, size),
-		volatile:  make([]byte, size),
-		dirty:     make(map[int]struct{}),
-		queued:    make(map[int]struct{}),
-		clock:     NewClock(),
-	}
+	d := &Device{}
+	d.ResetEmpty(size)
+	d.clock = NewClock()
+	return d
 }
 
 // NewDeviceFromImage creates a device whose persisted and volatile state
 // are both initialized from the image contents, as if the image file were
 // DAX-mapped at program start.
 func NewDeviceFromImage(img *Image) *Device {
-	d := NewDevice(len(img.Data))
-	copy(d.persisted, img.Data)
-	copy(d.volatile, img.Data)
+	d := &Device{}
+	d.Reset(img)
+	d.clock = NewClock()
 	return d
+}
+
+// Reset reinitializes the device to the state NewDeviceFromImage(img)
+// would produce — except that the clock starts nil instead of fresh —
+// reusing every internal buffer. It is the persistent-mode analog: a
+// fuzzing worker keeps one device arena and resets it per execution
+// instead of allocating ~2×poolsize each run. Attached tracer, sink,
+// injector, clock, snapshot allocator, op limit, sweep journal, and all
+// counters are cleared.
+func (d *Device) Reset(img *Image) {
+	d.resetState(len(img.Data), img)
+}
+
+// ResetEmpty is Reset onto a zeroed device of the given size — the
+// NewDevice analog.
+func (d *Device) ResetEmpty(size int) {
+	d.resetState(size, nil)
+}
+
+func (d *Device) resetState(size int, base *Image) {
+	if len(d.persisted) != size {
+		d.persisted = make([]byte, size)
+		d.volatile = make([]byte, size)
+		nl := (size + LineSize - 1) / LineSize
+		d.lineEpoch = make([]uint32, nl)
+		d.lineState = make([]uint8, nl)
+		d.touchEpoch = make([]uint32, nl)
+		d.epoch = 0 // bumped below; fresh zero stamps then read as clean
+		d.lastBase, d.lastBaseData, d.lastEmpty = nil, nil, false
+	}
+
+	// Content restore. The fast path applies when the device is reset onto
+	// the very image (same *Image, same backing array) the previous
+	// execution started from: only touched lines can differ from the base
+	// — persisted bytes change solely on drained/evicted lines (all
+	// entered via Store/NTStore) and volatile bytes solely in
+	// Store/NTStore, both of which stamp touchList.
+	switch {
+	case base != nil && d.lastBase == base && sameSlice(d.lastBaseData, base.Data):
+		for _, l32 := range d.touchList {
+			start, end := lineBounds(int(l32), size)
+			copy(d.persisted[start:end], base.Data[start:end])
+			copy(d.volatile[start:end], base.Data[start:end])
+		}
+	case base == nil && d.lastEmpty:
+		for _, l32 := range d.touchList {
+			start, end := lineBounds(int(l32), size)
+			clear(d.persisted[start:end])
+			clear(d.volatile[start:end])
+		}
+	case base != nil:
+		copy(d.persisted, base.Data)
+		copy(d.volatile, base.Data)
+	default:
+		clear(d.persisted)
+		clear(d.volatile)
+	}
+	if base != nil {
+		d.lastBase, d.lastBaseData, d.lastEmpty = base, base.Data, false
+	} else {
+		d.lastBase, d.lastBaseData, d.lastEmpty = nil, nil, true
+	}
+
+	d.epoch++
+	if d.epoch == 0 { // uint32 wraparound: stale stamps could alias
+		clear(d.lineEpoch)
+		clear(d.touchEpoch)
+		d.epoch = 1
+	}
+	d.dirtyList = d.dirtyList[:0]
+	d.queuedList = d.queuedList[:0]
+	d.touchList = d.touchList[:0]
+	d.nDirty, d.nQueued = 0, 0
+
+	d.tracer = nil
+	d.sink = nil
+	d.injector = nil
+	d.clock = nil
+	d.snapAlloc = nil
+	d.opCount = 0
+	d.opLimit = 0
+	d.barrierCount = 0
+	d.barrierOps = d.barrierOps[:0]
+	d.internal = 0
+	d.closed = false
+	d.commitVars = d.commitVars[:0]
+	d.cvAtLastOp = 0
+	d.cvNorm = nil
+	d.cvNormAt = 0
+	d.sweep = nil
+	d.stats = Stats{}
+}
+
+// sameSlice reports whether two byte slices share identical length and
+// backing array start — the identity test behind the fast Reset path.
+func sameSlice(a, b []byte) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
 // SetTracer attaches a coverage tracer; PM operations are reported to it
@@ -160,9 +298,19 @@ func (d *Device) MarkCommitVar(off, n int) {
 	d.commitVars = append(d.commitVars, Range{Off: off, Len: n})
 }
 
-// CommitVars returns the annotated commit-variable ranges, merged.
+// CommitVars returns the annotated commit-variable ranges, merged. The
+// returned slice is memoized device state: treat it as read-only, valid
+// until the next MarkCommitVar or Reset.
 func (d *Device) CommitVars() []Range {
-	return NormalizeRanges(append([]Range(nil), d.commitVars...))
+	if len(d.commitVars) == 0 {
+		return nil
+	}
+	if d.cvNormAt != len(d.commitVars) || d.cvNorm == nil {
+		d.cvNorm = append(d.cvNorm[:0], d.commitVars...)
+		d.cvNorm = NormalizeRanges(d.cvNorm)
+		d.cvNormAt = len(d.commitVars)
+	}
+	return d.cvNorm
 }
 
 // SetClock replaces the simulated-time clock (shared clocks let an
@@ -182,9 +330,18 @@ func (d *Device) Stats() Stats { return d.stats }
 func (d *Device) Barriers() int { return d.barrierCount }
 
 // BarrierOps returns the PM-op index of each executed fence, in order.
+// The returned slice is internal device state: treat it as read-only,
+// valid until the next Reset (which recycles the backing array).
 func (d *Device) BarrierOps() []int {
-	return append([]int(nil), d.barrierOps...)
+	return d.barrierOps
 }
+
+// SetSnapshotAlloc installs the allocator PersistedSnapshot and
+// VolatileSnapshot draw their output buffers from (an arena's buffer
+// pool); contents are fully overwritten before return. A nil allocator,
+// or one returning a wrong-sized buffer, falls back to make. Reset
+// clears the hook.
+func (d *Device) SetSnapshotAlloc(f func(n int) []byte) { d.snapAlloc = f }
 
 // Ops returns how many PM operations have executed.
 func (d *Device) Ops() int { return d.opCount }
@@ -244,12 +401,36 @@ func (d *Device) pmop(kind trace.Kind, off, n int, site instr.SiteID, cost int64
 // (unflushed) lines never persist — the standard worst-case assumption
 // PM testing tools make.
 func (d *Device) evictQueuedAtCrash() {
-	for l := range d.queued {
+	// queuedList may hold stale entries (and duplicates) for lines that
+	// left the queued state; filter against the live state. The copy is
+	// idempotent, so duplicate live entries are harmless.
+	for _, l32 := range d.queuedList {
+		l := int(l32)
+		if d.lineEpoch[l] != d.epoch || d.lineState[l] != lineQueued {
+			continue
+		}
 		if !lineSurvivesCrash(l, d.opCount) {
 			continue // this line did not make it out of the queue
 		}
 		start, end := lineBounds(l, len(d.volatile))
 		copy(d.persisted[start:end], d.volatile[start:end])
+	}
+}
+
+// lineStateOf returns the line's effective durability state, treating a
+// stale epoch stamp as clean.
+func (d *Device) lineStateOf(l int) uint8 {
+	if d.lineEpoch[l] != d.epoch {
+		return lineClean
+	}
+	return d.lineState[l]
+}
+
+// touch stamps a line as written this execution (the fast-Reset set).
+func (d *Device) touch(l int) {
+	if d.touchEpoch[l] != d.epoch {
+		d.touchEpoch[l] = d.epoch
+		d.touchList = append(d.touchList, int32(l))
 	}
 }
 
@@ -260,8 +441,16 @@ func (d *Device) Store(off int, p []byte, site instr.SiteID) {
 	copy(d.volatile[off:], p)
 	first, last := d.lineRange(off, len(p))
 	for l := first; l <= last; l++ {
-		d.dirty[l] = struct{}{}
-		delete(d.queued, l)
+		d.touch(l)
+		if st := d.lineStateOf(l); st != lineDirty {
+			if st == lineQueued {
+				d.nQueued--
+			}
+			d.lineEpoch[l] = d.epoch
+			d.lineState[l] = lineDirty
+			d.dirtyList = append(d.dirtyList, int32(l))
+			d.nDirty++
+		}
 	}
 	d.stats.Stores++
 	d.pmop(trace.Store, off, len(p), site, costStore)
@@ -275,8 +464,16 @@ func (d *Device) NTStore(off int, p []byte, site instr.SiteID) {
 	copy(d.volatile[off:], p)
 	first, last := d.lineRange(off, len(p))
 	for l := first; l <= last; l++ {
-		delete(d.dirty, l)
-		d.queued[l] = struct{}{}
+		d.touch(l)
+		if st := d.lineStateOf(l); st != lineQueued {
+			if st == lineDirty {
+				d.nDirty--
+			}
+			d.lineEpoch[l] = d.epoch
+			d.lineState[l] = lineQueued
+			d.queuedList = append(d.queuedList, int32(l))
+			d.nQueued++
+		}
 	}
 	d.stats.NTStores++
 	d.pmop(trace.NTStore, off, len(p), site, costStore)
@@ -297,9 +494,11 @@ func (d *Device) Flush(off, n int, site instr.SiteID) {
 	d.check(off, n)
 	first, last := d.lineRange(off, n)
 	for l := first; l <= last; l++ {
-		if _, ok := d.dirty[l]; ok {
-			delete(d.dirty, l)
-			d.queued[l] = struct{}{}
+		if d.lineStateOf(l) == lineDirty {
+			d.lineState[l] = lineQueued
+			d.queuedList = append(d.queuedList, int32(l))
+			d.nDirty--
+			d.nQueued++
 		}
 	}
 	d.stats.Flushes++
@@ -322,11 +521,18 @@ func (d *Device) Fence(site instr.SiteID) {
 	if d.sweep != nil {
 		cp = d.captureCheckpoint()
 	}
-	for l := range d.queued {
-		start, end := lineBounds(l, len(d.volatile))
-		copy(d.persisted[start:end], d.volatile[start:end])
+	if d.nQueued > 0 {
+		for _, l32 := range d.queuedList {
+			l := int(l32)
+			if d.lineEpoch[l] == d.epoch && d.lineState[l] == lineQueued {
+				start, end := lineBounds(l, len(d.volatile))
+				copy(d.persisted[start:end], d.volatile[start:end])
+				d.lineState[l] = lineClean
+			}
+		}
+		d.nQueued = 0
 	}
-	d.queued = make(map[int]struct{})
+	d.queuedList = d.queuedList[:0]
 	d.barrierCount++
 	d.stats.Fences++
 	d.pmop(trace.Fence, 0, 0, site, costFence)
@@ -373,54 +579,74 @@ func (d *Device) LibOp(kind trace.Kind, off, n int, site instr.SiteID) {
 }
 
 // DirtyLines returns the number of lines written but not yet flushed.
-func (d *Device) DirtyLines() int { return len(d.dirty) }
+func (d *Device) DirtyLines() int { return d.nDirty }
 
 // QueuedLines returns the number of lines flushed but not yet fenced.
-func (d *Device) QueuedLines() int { return len(d.queued) }
+func (d *Device) QueuedLines() int { return d.nQueued }
+
+// linesIn collects into buf the indices of every line currently dirty
+// and/or queued, sorted ascending and deduplicated. The transition lists
+// are lazy-stale, so entries are filtered against the live line state;
+// a line can legitimately appear twice in one list (dirty → queued →
+// dirty), hence the dedup.
+func (d *Device) linesIn(buf []int, wantDirty, wantQueued bool) []int {
+	buf = buf[:0]
+	if wantDirty && d.nDirty > 0 {
+		for _, l32 := range d.dirtyList {
+			l := int(l32)
+			if d.lineEpoch[l] == d.epoch && d.lineState[l] == lineDirty {
+				buf = append(buf, l)
+			}
+		}
+	}
+	if wantQueued && d.nQueued > 0 {
+		for _, l32 := range d.queuedList {
+			l := int(l32)
+			if d.lineEpoch[l] == d.epoch && d.lineState[l] == lineQueued {
+				buf = append(buf, l)
+			}
+		}
+	}
+	sort.Ints(buf)
+	out := buf[:0]
+	for i, l := range buf {
+		if i == 0 || l != buf[i-1] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
 
 // UnpersistedRanges returns the byte ranges whose volatile content differs
 // from the persisted content — the data that would be lost by a failure
 // right now. The cross-failure checker uses this as its taint set.
 func (d *Device) UnpersistedRanges() []Range {
-	var rs []Range
-	lines := make(map[int]struct{}, len(d.dirty)+len(d.queued))
-	for l := range d.dirty {
-		lines[l] = struct{}{}
-	}
-	for l := range d.queued {
-		lines[l] = struct{}{}
-	}
-	for l := range lines {
-		start := l * LineSize
-		end := start + LineSize
-		if end > len(d.volatile) {
-			end = len(d.volatile)
-		}
-		for i := start; i < end; i++ {
-			if d.volatile[i] != d.persisted[i] {
-				j := i
-				for j < end && d.volatile[j] != d.persisted[j] {
-					j++
-				}
-				rs = append(rs, Range{Off: i, Len: j - i})
-				i = j
-			}
+	d.scratchA = d.linesIn(d.scratchA, true, true)
+	return diffRangesOverLines(d.scratchA, d.volatile, d.persisted)
+}
+
+// snapBuf returns a device-sized output buffer, preferring the installed
+// snapshot allocator (arena pool) over a fresh allocation.
+func (d *Device) snapBuf() []byte {
+	if d.snapAlloc != nil {
+		if b := d.snapAlloc(len(d.persisted)); len(b) == len(d.persisted) {
+			return b
 		}
 	}
-	return NormalizeRanges(rs)
+	return make([]byte, len(d.persisted))
 }
 
 // PersistedSnapshot returns a copy of the durable state — the crash image
 // a failure at this instant would leave behind.
 func (d *Device) PersistedSnapshot() []byte {
-	out := make([]byte, len(d.persisted))
+	out := d.snapBuf()
 	copy(out, d.persisted)
 	return out
 }
 
 // VolatileSnapshot returns a copy of the program-visible state.
 func (d *Device) VolatileSnapshot() []byte {
-	out := make([]byte, len(d.volatile))
+	out := d.snapBuf()
 	copy(out, d.volatile)
 	return out
 }
@@ -429,19 +655,27 @@ func (d *Device) VolatileSnapshot() []byte {
 // and marks the device closed. It returns the final durable contents.
 func (d *Device) Close() []byte {
 	if !d.closed {
-		for l := range d.dirty {
-			d.queued[l] = struct{}{}
-		}
-		d.dirty = map[int]struct{}{}
-		for l := range d.queued {
-			start := l * LineSize
-			end := start + LineSize
-			if end > len(d.volatile) {
-				end = len(d.volatile)
+		if d.nDirty > 0 || d.nQueued > 0 {
+			// Every non-clean line has at least one (possibly stale)
+			// entry in one of the two transition lists; draining any line
+			// that is still dirty or queued covers them all without a
+			// full-device scan or temporary set.
+			drain := func(list []int32) {
+				for _, l32 := range list {
+					l := int(l32)
+					if d.lineEpoch[l] == d.epoch && d.lineState[l] != lineClean {
+						start, end := lineBounds(l, len(d.volatile))
+						copy(d.persisted[start:end], d.volatile[start:end])
+						d.lineState[l] = lineClean
+					}
+				}
 			}
-			copy(d.persisted[start:end], d.volatile[start:end])
+			drain(d.dirtyList)
+			drain(d.queuedList)
+			d.nDirty, d.nQueued = 0, 0
 		}
-		d.queued = map[int]struct{}{}
+		d.dirtyList = d.dirtyList[:0]
+		d.queuedList = d.queuedList[:0]
 		if d.clock != nil {
 			d.clock.Charge(costClose)
 		}

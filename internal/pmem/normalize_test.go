@@ -1,0 +1,95 @@
+package pmem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteNormalize is the reference model for NormalizeRanges: mark every
+// covered byte in a set, then read back the maximal runs. Quadratic and
+// allocation-heavy, but obviously correct.
+func bruteNormalize(rs []Range, space int) []Range {
+	covered := make([]bool, space)
+	for _, r := range rs {
+		for b := r.Off; b < r.End(); b++ {
+			covered[b] = true
+		}
+	}
+	var out []Range
+	for b := 0; b < space; {
+		if !covered[b] {
+			b++
+			continue
+		}
+		start := b
+		for b < space && covered[b] {
+			b++
+		}
+		out = append(out, Range{Off: start, Len: b - start})
+	}
+	return out
+}
+
+func rangesEqual(a, b []Range) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNormalizeRangesMatchesBruteForce drives NormalizeRanges with random
+// range sets and checks the result against the byte-set reference:
+// sorted, non-overlapping, adjacency merged, total coverage preserved.
+func TestNormalizeRangesMatchesBruteForce(t *testing.T) {
+	const space = 256
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(12)
+		rs := make([]Range, n)
+		for i := range rs {
+			off := rng.Intn(space - 1)
+			// Len >= 1: NormalizeRanges' contract assumes non-empty
+			// ranges (the device never emits zero-length ones).
+			length := 1 + rng.Intn(space-off-1+1)
+			if off+length > space {
+				length = space - off
+			}
+			rs[i] = Range{Off: off, Len: length}
+		}
+		want := bruteNormalize(rs, space)
+		got := NormalizeRanges(rs)
+		if !rangesEqual(got, want) {
+			t.Fatalf("trial %d: NormalizeRanges = %v, brute force = %v", trial, got, want)
+		}
+	}
+}
+
+// TestNormalizeRangesAdjacencyAndEdges pins the specific shapes the
+// random sweep might miss: exact adjacency, duplicates, containment, and
+// the len<=1 pass-through.
+func TestNormalizeRangesAdjacencyAndEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Range
+		want []Range
+	}{
+		{"empty", nil, nil},
+		{"single", []Range{{Off: 5, Len: 3}}, []Range{{Off: 5, Len: 3}}},
+		{"adjacent merge", []Range{{Off: 0, Len: 4}, {Off: 4, Len: 4}}, []Range{{Off: 0, Len: 8}}},
+		{"gap preserved", []Range{{Off: 0, Len: 4}, {Off: 5, Len: 4}}, []Range{{Off: 0, Len: 4}, {Off: 5, Len: 4}}},
+		{"duplicate", []Range{{Off: 2, Len: 2}, {Off: 2, Len: 2}}, []Range{{Off: 2, Len: 2}}},
+		{"contained", []Range{{Off: 0, Len: 10}, {Off: 3, Len: 2}}, []Range{{Off: 0, Len: 10}}},
+		{"unsorted overlap", []Range{{Off: 6, Len: 4}, {Off: 0, Len: 8}}, []Range{{Off: 0, Len: 10}}},
+	}
+	for _, tc := range cases {
+		got := NormalizeRanges(append([]Range(nil), tc.in...))
+		if !rangesEqual(got, tc.want) {
+			t.Errorf("%s: NormalizeRanges(%v) = %v, want %v", tc.name, tc.in, got, tc.want)
+		}
+	}
+}

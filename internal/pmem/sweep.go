@@ -134,16 +134,6 @@ func lineSurvivesCrash(l, op int) bool {
 	return x&1 == 1
 }
 
-// sortedLines returns the map's line indices in ascending order.
-func sortedLines(m map[int]struct{}) []int {
-	out := make([]int, 0, len(m))
-	for l := range m {
-		out = append(out, l)
-	}
-	sort.Ints(out)
-	return out
-}
-
 // lineBounds clips line l to the device size.
 func lineBounds(l, size int) (start, end int) {
 	start = l * LineSize
@@ -187,8 +177,12 @@ func (d *Device) captureCheckpoint() *Checkpoint {
 		CommitVarCount:    len(d.commitVars),
 		PreCommitVarCount: d.cvAtLastOp,
 	}
-	queued := sortedLines(d.queued)
-	dirty := sortedLines(d.dirty)
+	// Sorted, deduplicated snapshots of the live queued and dirty sets,
+	// filtered out of the lazy-stale transition lists into device-owned
+	// scratch buffers (the journal's own Delta/Lost data is what escapes).
+	d.scratchA = d.linesIn(d.scratchA, false, true)
+	d.scratchB = d.linesIn(d.scratchB, true, false)
+	queued, dirty := d.scratchA, d.scratchB
 
 	// Delta: every queued line is about to be drained; its post-fence
 	// persisted bytes equal its current volatile bytes. PreDelta: the
@@ -211,14 +205,14 @@ func (d *Device) captureCheckpoint() *Checkpoint {
 	// PreLost (crash at PreOp): dirty lines plus the non-evicted part of
 	// the queue; evicted lines persist their volatile bytes and drop out
 	// of the diff, exactly as after evictQueuedAtCrash.
-	preLines := dirty
+	d.scratchC = append(d.scratchC[:0], dirty...)
 	for _, l := range queued {
 		if !lineSurvivesCrash(l, d.opCount) {
-			preLines = append(preLines, l)
+			d.scratchC = append(d.scratchC, l)
 		}
 	}
-	sort.Ints(preLines)
-	cp.PreLost = diffRangesOverLines(preLines, d.volatile, d.persisted)
+	sort.Ints(d.scratchC)
+	cp.PreLost = diffRangesOverLines(d.scratchC, d.volatile, d.persisted)
 	return cp
 }
 

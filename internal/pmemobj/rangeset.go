@@ -10,6 +10,10 @@ import "pmfuzz/internal/pmem"
 // covered; an empty result means the TX_ADD was fully redundant.
 type rangeSet struct {
 	rs []pmem.Range // sorted by Off, non-overlapping
+	// scratch backs Add's result slice. Every caller consumes the fresh
+	// sub-ranges before touching the set again, so one buffer per set
+	// avoids an allocation on each non-redundant TX_ADD.
+	scratch []pmem.Range
 }
 
 func newRangeSet() *rangeSet { return &rangeSet{} }
@@ -40,12 +44,13 @@ func (s *rangeSet) Covered(r pmem.Range) bool {
 }
 
 // Add inserts r and returns the newly covered (previously absent)
-// sub-ranges in ascending order.
+// sub-ranges in ascending order. The returned slice is only valid until
+// the next Add on this set.
 func (s *rangeSet) Add(r pmem.Range) []pmem.Range {
 	if r.Len <= 0 {
 		return nil
 	}
-	var fresh []pmem.Range
+	fresh := s.scratch[:0]
 	cur := r.Off
 	end := r.End()
 	for _, e := range s.rs {
@@ -69,6 +74,10 @@ func (s *rangeSet) Add(r pmem.Range) []pmem.Range {
 		fresh = append(fresh, pmem.Range{Off: cur, Len: end - cur})
 	}
 	s.rs = pmem.NormalizeRanges(append(s.rs, r))
+	s.scratch = fresh
+	if len(fresh) == 0 {
+		return nil // fully redundant add, keep the documented nil result
+	}
 	return fresh
 }
 

@@ -9,27 +9,27 @@ import (
 	"pmfuzz/internal/trace"
 )
 
-// The undo log lives in a fixed arena inside the pool:
-//
-//	[count u64] [entry]* ...
-//	entry: [target off u64] [len u64] [old data ...]
-//
-// TX_ADD appends an entry (persisted with a barrier) and then increments
-// the count (persisted with a second barrier) so a half-written entry is
-// never applied. Recovery on open applies valid entries in reverse and
-// clears the count — the canonical undo protocol the paper's Figure 7
-// sketches with its backup.valid commit variable.
+// Undo log, in a fixed arena inside the pool:
+// [count u64] [entry: [target off u64] [len u64] [old data ...]]*. TX_ADD
+// appends an entry (persisted with a barrier), then increments the count
+// (second barrier) so a half-written entry is never applied; recovery on
+// open applies valid entries in reverse and clears the count (Figure 7).
+// NOTE: PM site labels capture wrapper-internal frames (Tx → Commit,
+// TxZNew → TxAlloc) by file:line — keep every edit in or above the public
+// Pool methods line-count-neutral or the pinned coverage goldens diverge.
 const logEntryHeader = 16
 
 // txState is the per-pool transaction runtime.
 type txState struct {
-	p       *Pool
-	depth   int
-	ranges  *rangeSet
-	allocs  []Oid
-	frees   []Oid
-	logTail uint64 // volatile append cursor within the arena
-	err     error  // sticky error forcing abort at outermost end
+	p           *Pool
+	depth       int
+	ranges      *rangeSet
+	allocs      []Oid
+	frees       []Oid
+	logTail     uint64       // volatile append cursor within the arena
+	err         error        // sticky error forcing abort at outermost end
+	lineScratch []pmem.Range // commit's reused line-flush scratch
+	oldScratch  []byte       // appendEntry's reused snapshot scratch
 }
 
 func newTxState(p *Pool) *txState {
@@ -248,7 +248,12 @@ func (t *txState) appendEntry(off, n uint64, site instr.SiteID) error {
 	base := p.logOff + t.logTail
 	p.storeU64Raw(int(base), off, site)
 	p.storeU64Raw(int(base+8), n, site)
-	old := make([]byte, n)
+	// The device copies on both Load and Store, so the snapshot buffer's
+	// lifetime ends here and one per-transaction scratch serves every entry.
+	if uint64(cap(t.oldScratch)) < n {
+		t.oldScratch = make([]byte, n)
+	}
+	old := t.oldScratch[:n]
 	p.dev.Load(int(off), old, site)
 	p.dev.Store(int(base+logEntryHeader), old, site)
 	p.dev.Flush(int(base), int(need), site)
@@ -270,12 +275,13 @@ func (t *txState) commit(site instr.SiteID) {
 	// Flush the union of covered ranges at cache-line granularity so
 	// adjacent ranges sharing a line are written back exactly once —
 	// what a real CLWB loop over the range tree does.
-	var lineRs []pmem.Range
+	lineRs := t.lineScratch[:0]
 	for _, r := range t.ranges.Ranges() {
 		start := r.Off / pmem.LineSize * pmem.LineSize
 		end := (r.End() + pmem.LineSize - 1) / pmem.LineSize * pmem.LineSize
 		lineRs = append(lineRs, pmem.Range{Off: start, Len: end - start})
 	}
+	t.lineScratch = lineRs
 	for _, r := range pmem.NormalizeRanges(lineRs) {
 		p.dev.Flush(r.Off, r.Len, site)
 	}

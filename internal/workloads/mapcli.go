@@ -1,9 +1,9 @@
 package workloads
 
 import (
-	"bytes"
 	"errors"
-	"fmt"
+	"unicode"
+	"unicode/utf8"
 )
 
 // The six key-value structures share PMDK mapcli's command style: one
@@ -36,10 +36,48 @@ var ErrInconsistent = errors.New("workloads: consistency check failed")
 // overflow or degenerate.
 const maxKeyDigits = 12
 
+// splitFields extracts the first three whitespace-separated fields of
+// line without allocating, with the exact separator semantics of
+// bytes.Fields (ASCII space table, unicode.IsSpace for multibyte runes —
+// fuzzed lines are arbitrary bytes, so the distinction is observable).
+// n is capped at 3: every command grammar here reads at most three
+// fields, and their `len(fields) < k` guards all use k ≤ 3.
+func splitFields(line []byte) (fields [3][]byte, n int) {
+	for i := 0; i < len(line) && n < 3; {
+		sp, size := spaceAt(line, i)
+		if sp {
+			i += size
+			continue
+		}
+		start := i
+		for i < len(line) {
+			sp, size = spaceAt(line, i)
+			if sp {
+				break
+			}
+			i += size
+		}
+		fields[n] = line[start:i]
+		n++
+	}
+	return fields, n
+}
+
+// spaceAt reports whether the rune starting at line[i] is a field
+// separator, and its encoded size.
+func spaceAt(line []byte, i int) (bool, int) {
+	c := line[i]
+	if c < utf8.RuneSelf {
+		return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r', 1
+	}
+	r, size := utf8.DecodeRune(line[i:])
+	return unicode.IsSpace(r), size
+}
+
 // ParseOp parses one mapcli line.
 func ParseOp(line []byte) (Op, error) {
-	fields := bytes.Fields(line)
-	if len(fields) == 0 {
+	fields, n := splitFields(line)
+	if n == 0 {
 		return Op{}, ErrSkip
 	}
 	if len(fields[0]) != 1 {
@@ -48,7 +86,7 @@ func ParseOp(line []byte) (Op, error) {
 	op := Op{Code: fields[0][0]}
 	switch op.Code {
 	case 'i':
-		if len(fields) < 3 {
+		if n < 3 {
 			return Op{}, ErrSkip
 		}
 		var err error
@@ -59,7 +97,7 @@ func ParseOp(line []byte) (Op, error) {
 			return Op{}, ErrSkip
 		}
 	case 'r', 'g':
-		if len(fields) < 2 {
+		if n < 2 {
 			return Op{}, ErrSkip
 		}
 		var err error
@@ -73,14 +111,19 @@ func ParseOp(line []byte) (Op, error) {
 	return op, nil
 }
 
+var (
+	errBadNumber = errors.New("workloads: bad number")
+	errBadDigit  = errors.New("workloads: bad digit")
+)
+
 func parseU64(b []byte) (uint64, error) {
 	if len(b) == 0 || len(b) > maxKeyDigits {
-		return 0, fmt.Errorf("bad number length %d", len(b))
+		return 0, errBadNumber
 	}
 	var v uint64
 	for _, c := range b {
 		if c < '0' || c > '9' {
-			return 0, fmt.Errorf("bad digit %q", c)
+			return 0, errBadDigit
 		}
 		v = v*10 + uint64(c-'0')
 	}

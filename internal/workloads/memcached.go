@@ -262,13 +262,13 @@ func (m *Memcached) stampOp(env *Env) {
 
 // Exec implements Program.
 func (m *Memcached) Exec(env *Env, line []byte) error {
-	fields := bytes.Fields(line)
-	if len(fields) == 0 {
+	fields, n := splitFields(line)
+	if n == 0 {
 		return nil
 	}
 	switch string(fields[0]) {
 	case "set":
-		if len(fields) < 3 {
+		if n < 3 {
 			return nil
 		}
 		k, err1 := parseU64(fields[1])
@@ -279,7 +279,7 @@ func (m *Memcached) Exec(env *Env, line []byte) error {
 		m.set(env, k, v)
 		return nil
 	case "get":
-		if len(fields) < 2 {
+		if n < 2 {
 			return nil
 		}
 		if k, err := parseU64(fields[1]); err == nil {
@@ -287,7 +287,7 @@ func (m *Memcached) Exec(env *Env, line []byte) error {
 		}
 		return nil
 	case "del":
-		if len(fields) < 2 {
+		if n < 2 {
 			return nil
 		}
 		if k, err := parseU64(fields[1]); err == nil {

@@ -204,14 +204,14 @@ func (r *Redis) reconstruct(env *Env) {
 
 // Exec implements Program.
 func (r *Redis) Exec(env *Env, line []byte) error {
-	fields := bytes.Fields(line)
-	if len(fields) == 0 {
+	fields, n := splitFields(line)
+	if n == 0 {
 		return nil
 	}
 	cmd := string(bytes.ToUpper(fields[0]))
 	switch cmd {
 	case "SET":
-		if len(fields) < 3 {
+		if n < 3 {
 			return nil
 		}
 		k, err1 := parseU64(fields[1])
@@ -221,7 +221,7 @@ func (r *Redis) Exec(env *Env, line []byte) error {
 		}
 		return r.put(env, k, v)
 	case "GET":
-		if len(fields) < 2 {
+		if n < 2 {
 			return nil
 		}
 		if k, err := parseU64(fields[1]); err == nil {
@@ -229,7 +229,7 @@ func (r *Redis) Exec(env *Env, line []byte) error {
 		}
 		return nil
 	case "DEL":
-		if len(fields) < 2 {
+		if n < 2 {
 			return nil
 		}
 		k, err := parseU64(fields[1])
