@@ -10,13 +10,17 @@ package pmfuzz
 
 import (
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
+	"time"
 
 	"pmfuzz/internal/core"
 	"pmfuzz/internal/executor"
 	"pmfuzz/internal/experiments"
+	"pmfuzz/internal/obs"
 	"pmfuzz/internal/workloads"
 	"pmfuzz/internal/workloads/bugs"
 	"pmfuzz/internal/xfd"
@@ -308,6 +312,63 @@ func BenchmarkExecHotLoop(b *testing.B) {
 			arena.RecycleImage(res.Image)
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
+	})
+}
+
+// BenchmarkTelemetryOverhead measures what the obs layer adds to the
+// execution hot path, against the same arena loop as
+// BenchmarkExecHotLoop. "off" is the baseline (nil shard — telemetry
+// detached, the default); "shard" attaches a per-worker metrics shard
+// and folds it into the registry at the coordinator's sampling cadence;
+// "sinks" additionally runs a live session flushing every sink (status
+// line to io.Discard, fuzzer_stats/plot_data and the JSONL trace in a
+// temp dir). The PR's acceptance bar: the shard leg stays within 2% of
+// off — telemetry must be effectively free where executions happen.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	tc := executor.TestCase{Workload: "btree", Input: benchSweepInput(), Seed: 1}
+	loop := func(b *testing.B, shard *obs.Shard, m *obs.Metrics) {
+		arena := executor.NewArena()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := executor.Run(tc, executor.Options{Arena: arena, Shard: shard})
+			if res.Faulted() {
+				b.Fatalf("execution faulted: err=%v panic=%v", res.Err, res.PanicVal)
+			}
+			arena.Recycle(res)
+			arena.RecycleImage(res.Image)
+			if m != nil && i%20 == 19 { // the engine's SampleEveryExecs cadence
+				m.MergeShard(shard)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
+	}
+	b.Run("off", func(b *testing.B) { loop(b, nil, nil) })
+	b.Run("shard", func(b *testing.B) {
+		m := obs.NewMetrics("btree", "pmfuzz", 1, 1, 0)
+		var sh obs.Shard
+		loop(b, &sh, m)
+	})
+	b.Run("sinks", func(b *testing.B) {
+		dir := b.TempDir()
+		sess, err := obs.NewSession(obs.Config{
+			Workload: "btree", FuzzConfig: "pmfuzz", Workers: 1, Seed: 1,
+			StatusEvery: 50 * time.Millisecond, StatusW: io.Discard,
+			OutDir:    dir,
+			TracePath: filepath.Join(dir, "trace.jsonl"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.Start(); err != nil {
+			b.Fatal(err)
+		}
+		var sh obs.Shard
+		loop(b, &sh, sess.M)
+		b.StopTimer()
+		if err := sess.Close(); err != nil {
+			b.Fatal(err)
+		}
 	})
 }
 

@@ -19,14 +19,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"pmfuzz/internal/core"
 	"pmfuzz/internal/experiments"
+	"pmfuzz/internal/obs"
 	"pmfuzz/internal/pmem"
 	"pmfuzz/internal/workloads"
 	"pmfuzz/internal/workloads/bugs"
@@ -34,22 +37,25 @@ import (
 
 func main() {
 	var (
-		workload   = flag.String("workload", "btree", "workload to fuzz (see -list)")
-		config     = flag.String("config", "pmfuzz", "comparison point: pmfuzz, pmfuzz-no-sysopt, afl++, afl++-sysopt, afl++-imgfuzz")
-		budgetMS   = flag.Int64("budget-ms", 500, "simulated-time budget in milliseconds")
-		seed       = flag.Int64("seed", 1, "session seed (identical seeds replay identically)")
-		workers    = flag.Int("workers", 1, "parallel fuzzing workers: 1 = the paper's single-instance trajectory, 0 = one per CPU, N = an N-instance fleet (deterministic per seed+workers)")
-		experiment = flag.String("experiment", "", "regenerate a paper artifact: fig13, table3, realbugs")
-		workloadsF = flag.String("workloads", "", "comma-separated workload subset for experiments (default: all eight)")
-		synBug     = flag.Int("syn-bug", 0, "enable a synthetic injection point by ID")
-		realBug    = flag.Int("real-bug", 0, "enable a real-world bug (1-12, section 5.4)")
-		outDir     = flag.String("out", "", "export generated test cases to this directory")
-		inDir      = flag.String("in", "", "import a previously exported corpus as extra seeds")
-		seriesOut  = flag.String("series-out", "", "write the coverage time series as JSON (for plotting Figure 13)")
-		showTree   = flag.Bool("show-tree", false, "print the test-case tree (Figure 12)")
-		list       = flag.Bool("list", false, "list workloads and configurations")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the session to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile at session end to this file")
+		workload    = flag.String("workload", "btree", "workload to fuzz (see -list)")
+		config      = flag.String("config", "pmfuzz", "comparison point: pmfuzz, pmfuzz-no-sysopt, afl++, afl++-sysopt, afl++-imgfuzz")
+		budgetMS    = flag.Int64("budget-ms", 500, "simulated-time budget in milliseconds")
+		seed        = flag.Int64("seed", 1, "session seed (identical seeds replay identically)")
+		workers     = flag.Int("workers", 1, "parallel fuzzing workers: 1 = the paper's single-instance trajectory, 0 = one per CPU, N = an N-instance fleet (deterministic per seed+workers)")
+		experiment  = flag.String("experiment", "", "regenerate a paper artifact: fig13, table3, realbugs")
+		workloadsF  = flag.String("workloads", "", "comma-separated workload subset for experiments (default: all eight)")
+		synBug      = flag.Int("syn-bug", 0, "enable a synthetic injection point by ID")
+		realBug     = flag.Int("real-bug", 0, "enable a real-world bug (1-12, section 5.4)")
+		outDir      = flag.String("out", "", "export generated test cases to this directory")
+		inDir       = flag.String("in", "", "import a previously exported corpus as extra seeds")
+		seriesOut   = flag.String("series-out", "", "write the coverage time series as JSON (for plotting Figure 13)")
+		showTree    = flag.Bool("show-tree", false, "print the test-case tree (Figure 12)")
+		list        = flag.Bool("list", false, "list workloads and configurations")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the session to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at session end to this file")
+		statusEvery = flag.Duration("status-every", 0, "print an AFL-style status line to stderr at this wall-clock interval (0 = off)")
+		traceOut    = flag.String("trace-out", "", "write a JSONL event trace (sim-time stamps) to this file")
+		statsAddr   = flag.String("stats-addr", "", "serve live metrics over HTTP (expvar at /debug/vars, Prometheus text at /metrics); use :0 for an ephemeral port")
 	)
 	flag.Parse()
 
@@ -84,7 +90,11 @@ func main() {
 	if *list {
 		fmt.Println("workloads:")
 		for _, n := range workloads.Names() {
-			prog, _ := workloads.New(n)
+			prog, err := workloads.New(n)
+			if err != nil {
+				fmt.Printf("  %-16s unavailable: %v\n", n, err)
+				continue
+			}
 			fmt.Printf("  %-16s %d synthetic injection points\n", n, len(prog.SynPoints()))
 		}
 		fmt.Println("configurations (Table 2):")
@@ -136,8 +146,42 @@ func main() {
 		}
 		fmt.Printf("imported %d test cases from %s\n", n, *inDir)
 	}
+	var tele *obs.Session
+	if *statusEvery > 0 || *traceOut != "" || *statsAddr != "" {
+		tele, err = obs.NewSession(obs.Config{
+			Workload:    *workload,
+			FuzzConfig:  *config,
+			Workers:     *workers,
+			Seed:        *seed,
+			BudgetNS:    budget,
+			StatusEvery: *statusEvery,
+			OutDir:      *outDir,
+			TracePath:   *traceOut,
+			HTTPAddr:    *statsAddr,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz: telemetry:", err)
+			os.Exit(1)
+		}
+		if err := tele.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz: telemetry:", err)
+			os.Exit(1)
+		}
+		if *statsAddr != "" {
+			fmt.Fprintf(os.Stderr, "pmfuzz: serving stats at http://%s/debug/vars and /metrics\n", tele.Addr())
+		}
+		fuzzer.SetTelemetry(tele)
+	}
 	res := fuzzer.Run()
+	if tele != nil {
+		if err := tele.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz: telemetry:", err)
+		}
+	}
 	printSession(res)
+	if tele != nil {
+		printStages(os.Stdout, tele.M.Snapshot())
+	}
 	if *showTree {
 		printTree(res)
 	}
@@ -214,21 +258,26 @@ func runExperiment(name, workloadList string, budget, seed int64) error {
 	if workloadList != "" {
 		wls = strings.Split(workloadList, ",")
 	}
+	// Experiments are long sweeps of sessions; narrate each phase on
+	// stderr so the eventual table on stdout stays clean.
+	progress := experiments.Progress(func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "pmfuzz: "+format+"\n", args...)
+	})
 	switch name {
 	case "fig13":
-		res, err := experiments.Fig13(wls, budget, seed)
+		res, err := experiments.Fig13Progress(wls, budget, seed, progress)
 		if err != nil {
 			return err
 		}
 		fmt.Print(res.Render())
 	case "table3":
-		res, err := experiments.Table3(wls, budget, seed, experiments.DefaultDetect())
+		res, err := experiments.Table3Progress(wls, budget, seed, experiments.DefaultDetect(), progress)
 		if err != nil {
 			return err
 		}
 		fmt.Print(res.Render())
 	case "realbugs":
-		res, err := experiments.RealBugs(budget, seed, experiments.DefaultDetect())
+		res, err := experiments.RealBugsProgress(budget, seed, experiments.DefaultDetect(), progress)
 		if err != nil {
 			return err
 		}
@@ -239,19 +288,21 @@ func runExperiment(name, workloadList string, budget, seed int64) error {
 	return nil
 }
 
-func printSession(res *core.Result) {
-	fmt.Printf("workload:       %s\n", res.Config.Workload)
-	fmt.Printf("features:       %+v\n", res.Config.Features)
+func printSession(res *core.Result) { printSessionTo(os.Stdout, res) }
+
+func printSessionTo(w io.Writer, res *core.Result) {
+	fmt.Fprintf(w, "workload:       %s\n", res.Config.Workload)
+	fmt.Fprintf(w, "features:       %+v\n", res.Config.Features)
 	if res.Config.Workers != 1 {
-		fmt.Printf("workers:        %d (merged fleet; time axis is the max over worker clocks)\n", res.Config.Workers)
+		fmt.Fprintf(w, "workers:        %d (merged fleet; time axis is the max over worker clocks)\n", res.Config.Workers)
 	}
-	fmt.Printf("simulated time: %.2f ms (budget %.2f ms)\n",
+	fmt.Fprintf(w, "simulated time: %.2f ms (budget %.2f ms)\n",
 		float64(res.SimNS)/1e6, float64(res.Config.BudgetNS)/1e6)
-	fmt.Printf("executions:     %d\n", res.Execs)
-	fmt.Printf("PM paths:       %d\n", res.PMPaths)
-	fmt.Printf("queue entries:  %d\n", res.Queue.Len())
+	fmt.Fprintf(w, "executions:     %d\n", res.Execs)
+	fmt.Fprintf(w, "PM paths:       %d\n", res.PMPaths)
+	fmt.Fprintf(w, "queue entries:  %d\n", res.Queue.Len())
 	st := res.Store.Stats()
-	fmt.Printf("images:         %d stored (%d dedup hits, %.1fx compression)\n",
+	fmt.Fprintf(w, "images:         %d stored (%d dedup hits, %.1fx compression)\n",
 		res.Store.Len(), st.Dedups, res.Store.CompressionRatio())
 	crash := 0
 	for _, e := range res.Queue.Entries() {
@@ -259,48 +310,115 @@ func printSession(res *core.Result) {
 			crash++
 		}
 	}
-	fmt.Printf("crash images:   %d\n", crash)
+	fmt.Fprintf(w, "crash images:   %d\n", crash)
 	if len(res.Faults) > 0 {
-		fmt.Printf("faults (%d):\n", len(res.Faults))
+		fmt.Fprintf(w, "faults (%d):\n", len(res.Faults))
 		for _, f := range res.Faults {
-			fmt.Printf("  @%.2f ms: %s\n", float64(f.SimNS)/1e6, f.Msg)
+			fmt.Fprintf(w, "  @%.2f ms: %s\n", float64(f.SimNS)/1e6, f.Msg)
 		}
 	} else {
-		fmt.Println("faults:         none")
+		fmt.Fprintln(w, "faults:         none")
 	}
 }
 
-// importCorpus loads case-*.input (+ optional case-*.img) pairs written
-// by export and seeds the fuzzer with them.
+// printStages renders the telemetry registry's per-stage wall-time
+// breakdown after the session summary.
+func printStages(w io.Writer, snap obs.Snapshot) {
+	var rows []obs.StageSnap
+	for _, st := range snap.Stages {
+		if st.Ops > 0 {
+			rows = append(rows, st)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].NS > rows[j].NS })
+	fmt.Fprintln(w, "stage breakdown (wall time):")
+	for _, r := range rows {
+		avg := float64(r.NS) / float64(r.Ops)
+		fmt.Fprintf(w, "  %-13s %8d ops  %8.2f ms  %8.1f us/op\n",
+			r.Name, r.Ops, float64(r.NS)/1e6, avg/1e3)
+	}
+}
+
+// caseMeta is the case-*.meta.json sidecar: the scheduling identity an
+// exported entry needs to survive an export→import roundtrip. Without
+// it, crash images re-import as ordinary seeds and the test-case tree
+// loses its edges.
+type caseMeta struct {
+	ID           int   `json:"id"`
+	ParentID     int   `json:"parent_id"`
+	IsCrashImage bool  `json:"is_crash_image"`
+	Favored      int   `json:"favored"`
+	Depth        int   `json:"depth"`
+	NewBranch    bool  `json:"new_branch"`
+	NewPM        bool  `json:"new_pm"`
+	FoundSimNS   int64 `json:"found_sim_ns"`
+}
+
+// importCorpus loads case-*.input (+ optional case-*.img and
+// case-*.meta.json) triples written by export and seeds the fuzzer with
+// them. Sidecar parent IDs are remapped from the exported ID space to
+// the importing queue's IDs; a parent that wasn't part of the import
+// becomes a root (-1).
 func importCorpus(f *core.Fuzzer, dir string) (int, error) {
 	matches, err := filepath.Glob(filepath.Join(dir, "case-*.input"))
 	if err != nil {
 		return 0, err
 	}
+	sort.Strings(matches) // zero-padded names: lexical order == exported ID order, parents before children
+	idMap := make(map[int]int, len(matches))
 	n := 0
 	for _, path := range matches {
 		input, err := os.ReadFile(path)
 		if err != nil {
 			return n, err
 		}
+		base := strings.TrimSuffix(path, ".input")
 		var img *pmem.Image
-		imgPath := strings.TrimSuffix(path, ".input") + ".img"
-		if raw, err := os.ReadFile(imgPath); err == nil {
+		if raw, err := os.ReadFile(base + ".img"); err == nil {
 			img, err = pmem.UnmarshalImage(raw)
 			if err != nil {
-				return n, fmt.Errorf("%s: %w", imgPath, err)
+				return n, fmt.Errorf("%s: %w", base+".img", err)
 			}
 		}
-		if err := f.AddSeed(input, img); err != nil {
+		var meta *core.SeedMeta
+		oldID := -1
+		if raw, err := os.ReadFile(base + ".meta.json"); err == nil {
+			var cm caseMeta
+			if err := json.Unmarshal(raw, &cm); err != nil {
+				return n, fmt.Errorf("%s: %w", base+".meta.json", err)
+			}
+			oldID = cm.ID
+			parent := -1
+			if p, ok := idMap[cm.ParentID]; ok {
+				parent = p
+			}
+			meta = &core.SeedMeta{
+				ParentID:     parent,
+				IsCrashImage: cm.IsCrashImage,
+				Favored:      cm.Favored,
+				Depth:        cm.Depth,
+				NewBranch:    cm.NewBranch,
+				NewPM:        cm.NewPM,
+			}
+		}
+		newID, err := f.AddSeedMeta(input, img, meta)
+		if err != nil {
 			return n, err
+		}
+		if oldID >= 0 {
+			idMap[oldID] = newID
 		}
 		n++
 	}
 	return n, nil
 }
 
-// export writes each queue entry as <id>.input (command bytes) and, when
-// the entry carries an image, <id>.img (serialized pool image).
+// export writes each queue entry as <id>.input (command bytes), a
+// <id>.meta.json scheduling sidecar, and, when the entry carries an
+// image, <id>.img (serialized pool image).
 func export(res *core.Result, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -308,6 +426,22 @@ func export(res *core.Result, dir string) error {
 	for _, e := range res.Queue.Entries() {
 		base := filepath.Join(dir, fmt.Sprintf("case-%05d", e.ID))
 		if err := os.WriteFile(base+".input", e.Input, 0o644); err != nil {
+			return err
+		}
+		meta, err := json.MarshalIndent(caseMeta{
+			ID:           e.ID,
+			ParentID:     e.ParentID,
+			IsCrashImage: e.IsCrashImage,
+			Favored:      e.Favored,
+			Depth:        e.Depth,
+			NewBranch:    e.NewBranch,
+			NewPM:        e.NewPM,
+			FoundSimNS:   e.FoundSimNS,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(base+".meta.json", meta, 0o644); err != nil {
 			return err
 		}
 		if e.HasImage {

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"pmfuzz/internal/core"
+	"pmfuzz/internal/obs"
 	"pmfuzz/internal/pmem"
 )
 
@@ -88,5 +91,162 @@ func TestImportCorpusRoundTrip(t *testing.T) {
 	res2 := f2.Run()
 	if res2.Execs == 0 {
 		t.Fatalf("resumed session did nothing")
+	}
+}
+
+func TestExportImportMetaFidelity(t *testing.T) {
+	cfg, err := core.DefaultConfig("btree", core.PMFuzzAll, 20_000_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.Run()
+	dir := t.TempDir()
+	if err := export(res, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every case must carry a sidecar.
+	metas, err := filepath.Glob(filepath.Join(dir, "case-*.meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != res.Queue.Len() {
+		t.Fatalf("exported %d sidecars, queue has %d entries", len(metas), res.Queue.Len())
+	}
+
+	f2, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := len(f2.CorpusEntries())
+	n, err := importCorpus(f2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != res.Queue.Len() {
+		t.Fatalf("imported %d, exported %d", n, res.Queue.Len())
+	}
+
+	orig := res.Queue.Entries()
+	got := f2.CorpusEntries()[pre:]
+	if len(got) != len(orig) {
+		t.Fatalf("imported %d entries into queue, want %d", len(got), len(orig))
+	}
+	crashSeen := false
+	for i, e := range orig {
+		g := got[i]
+		if g.IsCrashImage != e.IsCrashImage || g.Favored != e.Favored ||
+			g.Depth != e.Depth || g.NewBranch != e.NewBranch || g.NewPM != e.NewPM {
+			t.Errorf("entry %d: metadata lost in roundtrip: got %+v want %+v", i, g, e)
+		}
+		wantParent := -1
+		if e.ParentID >= 0 {
+			// Parents precede children in ID order, so the remapped
+			// parent is the imported copy of the same exported entry.
+			wantParent = pre + e.ParentID
+		}
+		if g.ParentID != wantParent {
+			t.Errorf("entry %d: parent = %d, want %d", i, g.ParentID, wantParent)
+		}
+		if g.HasImage != e.HasImage {
+			t.Errorf("entry %d: has-image = %v, want %v", i, g.HasImage, e.HasImage)
+		}
+		crashSeen = crashSeen || e.IsCrashImage
+	}
+	if !crashSeen {
+		t.Log("note: session produced no crash-image entries; crash fidelity untested")
+	}
+}
+
+func TestImportCorpusWithoutSidecars(t *testing.T) {
+	// Corpora exported before the sidecar existed must still import
+	// (as high-priority roots, the old behavior).
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "case-00000.input"), []byte("i 1 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := core.DefaultConfig("btree", core.PMFuzzAll, 1_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := len(f.CorpusEntries())
+	n, err := importCorpus(f, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("imported %d, want 1", n)
+	}
+	e := f.CorpusEntries()[pre]
+	if e.ParentID != -1 || e.IsCrashImage {
+		t.Fatalf("sidecar-less import should be a plain root, got %+v", e)
+	}
+}
+
+func TestPrintSessionTo(t *testing.T) {
+	cfg, err := core.DefaultConfig("btree", core.PMFuzzAll, 10_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.Run()
+	var buf bytes.Buffer
+	printSessionTo(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"workload:       btree", "executions:", "PM paths:", "queue entries:", "images:", "crash images:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("session summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	cfg, err := core.DefaultConfig("btree", core.PMFuzzAll, 10_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.Run()
+	path := filepath.Join(t.TempDir(), "series.json")
+	if err := writeSeries(res, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var series []map[string]any
+	if err := json.Unmarshal(raw, &series); err != nil {
+		t.Fatalf("series not valid JSON: %v", err)
+	}
+	if len(series) != len(res.Series) {
+		t.Fatalf("series file has %d points, result has %d", len(series), len(res.Series))
+	}
+}
+
+func TestPrintStages(t *testing.T) {
+	m := obs.NewMetrics("btree", "pmfuzz", 1, 1, 1_000_000)
+	var sh obs.Shard
+	sh.End(obs.StageExec, sh.Begin())
+	m.MergeShard(&sh)
+	var buf bytes.Buffer
+	printStages(&buf, m.Snapshot())
+	out := buf.String()
+	if !strings.Contains(out, "stage breakdown") || !strings.Contains(out, "exec") {
+		t.Errorf("stage breakdown missing expected content:\n%s", out)
 	}
 }

@@ -16,6 +16,7 @@ package core
 
 import (
 	"pmfuzz/internal/fuzz"
+	"pmfuzz/internal/obs"
 )
 
 // runParallel executes the fuzzing session as a coordinator plus n
@@ -53,7 +54,7 @@ func (f *Fuzzer) runParallel(n int) *Result {
 		}
 		for i := 0; i < leased; i++ {
 			b := <-ws[i].results
-			f.mergeBatch(b, &maxClock, &sampleBucket)
+			f.collectBatch(ws[i], b, &maxClock, &sampleBucket)
 			if b.done {
 				active[i] = false
 			}
@@ -92,7 +93,7 @@ func (f *Fuzzer) runParallel(n int) *Result {
 				continue
 			}
 			b := <-ws[i].results
-			f.mergeBatch(b, &maxClock, &sampleBucket)
+			f.collectBatch(ws[i], b, &maxClock, &sampleBucket)
 			if b.done {
 				active[i] = false
 			}
@@ -110,6 +111,28 @@ func (f *Fuzzer) runParallel(n int) *Result {
 		Queue:   f.queue,
 		Store:   f.store,
 	}
+}
+
+// collectBatch wraps mergeBatch with telemetry: the worker's metrics
+// shard is folded into the registry (the worker is parked between its
+// result hand-off and its next lease, so this is the same
+// exclusive-access window Virgin.MergeFrom uses), a round event marks
+// the batch boundary in the trace, and the merge itself is timed.
+// Events emitted during the merge are attributed to the batch's worker
+// (1-based; 0 is the coordinator/serial engine).
+func (f *Fuzzer) collectBatch(w *worker, b *workerBatch, maxClock *int64, sampleBucket *int) {
+	if f.tele != nil {
+		f.tele.M.MergeShard(w.shard)
+		f.obsWorker = w.id + 1
+		f.tele.Trace().Emit(obs.RoundEvent{
+			T: "round", SimNS: b.clockNS, Worker: w.id + 1,
+			Outcomes: len(b.outcomes), Done: b.done,
+		})
+	}
+	t0 := f.shard.Begin()
+	f.mergeBatch(b, maxClock, sampleBucket)
+	f.shard.End(obs.StageMerge, t0)
+	f.obsWorker = 0
 }
 
 // mergeBatch folds one worker batch into the authoritative session
@@ -178,6 +201,7 @@ func (f *Fuzzer) admitOutcome(parent *fuzz.Entry, o *execOutcome, newBranch, new
 		}
 	}
 	f.queue.Add(e)
+	f.obsAdmit(e)
 
 	// The worker harvested images for locally new PM paths; keep them
 	// only when the path is new fleet-wide (Figure 11 step ②). Crash

@@ -8,6 +8,7 @@ import (
 	"pmfuzz/internal/fuzz"
 	"pmfuzz/internal/imgstore"
 	"pmfuzz/internal/instr"
+	"pmfuzz/internal/obs"
 	"pmfuzz/internal/pmem"
 	"pmfuzz/internal/workloads"
 	"pmfuzz/internal/workloads/bugs"
@@ -88,6 +89,18 @@ type Fuzzer struct {
 	// analog): one resident device plus pooled tracers and snapshot
 	// buffers shared by every execution. Workers get their own.
 	arena *executor.Arena
+
+	// tele is the attached telemetry session (nil when disabled); shard
+	// is the serial loop's / coordinator's private metrics shard, merged
+	// into tele.M at sample boundaries. Workers carry their own shards.
+	// Telemetry is strictly read-only: with tele nil or attached, the
+	// session's trajectory, image hashes, and faults are bit-identical.
+	tele  *obs.Session
+	shard *obs.Shard
+	// obsWorker attributes trace events to their producing worker: 0 for
+	// the serial loop and the coordinator, i+1 while worker i's batch is
+	// being merged.
+	obsWorker int
 }
 
 // New builds a fuzzer for the configuration. bugSet configures the
@@ -127,25 +140,163 @@ func New(cfg Config, bugSet *bugs.Set) (*Fuzzer, error) {
 	return f, nil
 }
 
+// SetTelemetry attaches a telemetry session (nil detaches). Must be
+// called before Run.
+func (f *Fuzzer) SetTelemetry(s *obs.Session) {
+	f.tele = s
+	if s == nil {
+		f.shard = nil
+		f.store.SetShard(nil)
+		return
+	}
+	f.shard = &obs.Shard{}
+	f.store.SetShard(f.shard)
+}
+
+// obsStart emits the trace's session header.
+func (f *Fuzzer) obsStart(workers int) {
+	if f.tele == nil {
+		return
+	}
+	f.tele.Trace().Emit(obs.SessionEvent{
+		T: "session", Workload: f.cfg.Workload, Seed: f.cfg.Seed,
+		Workers: workers, BudgetNS: f.cfg.BudgetNS,
+	})
+}
+
+// obsFinish pushes the final registry state and closes the trace's
+// event stream with the session totals.
+func (f *Fuzzer) obsFinish(res *Result) {
+	if f.tele == nil {
+		return
+	}
+	f.pushObs(res.SimNS)
+	f.tele.Trace().Emit(obs.EndEvent{
+		T: "end", SimNS: res.SimNS, Execs: res.Execs, PMPaths: res.PMPaths,
+		QueueLen: res.Queue.Len(), Images: res.Store.Len(), Faults: len(res.Faults),
+	})
+}
+
+// obsAdmit records a corpus admission (entry already queued).
+func (f *Fuzzer) obsAdmit(e *fuzz.Entry) {
+	if f.tele == nil {
+		return
+	}
+	f.tele.M.CountAdmit()
+	f.tele.Trace().Emit(obs.AdmitEvent{
+		T: "admit", SimNS: e.FoundSimNS, Worker: f.obsWorker,
+		ID: e.ID, Parent: e.ParentID, Favored: e.Favored,
+		NewBranch: e.NewBranch, NewPM: e.NewPM,
+		CrashImage: e.IsCrashImage, HasImage: e.HasImage,
+	})
+}
+
+// obsHarvest records a freshly stored generated image's queue entry.
+func (f *Fuzzer) obsHarvest(e *fuzz.Entry, isCrash bool) {
+	if f.tele == nil {
+		return
+	}
+	f.tele.M.CountHarvest(isCrash)
+	f.tele.Trace().Emit(obs.HarvestEvent{
+		T: "harvest", SimNS: e.FoundSimNS, Worker: f.obsWorker,
+		ID: e.ID, Parent: e.ParentID, Image: e.ImageID.String(),
+		CrashImage: isCrash,
+	})
+}
+
+// obsFault records a deduplicated fault bucket's first detection.
+func (f *Fuzzer) obsFault(fault Fault) {
+	if f.tele == nil {
+		return
+	}
+	f.tele.M.CountUniqueFault()
+	f.tele.Trace().Emit(obs.FaultEvent{
+		T: "fault", SimNS: fault.SimNS, Worker: f.obsWorker,
+		Execs: fault.Execs, Msg: fault.Msg,
+	})
+}
+
+// pushObs publishes the session's gauge state to the registry and folds
+// in the coordinating goroutine's shard. Called at sample boundaries —
+// all sources (queue, virgins, store, path set) are owned or safely
+// readable by the coordinating goroutine at those points.
+func (f *Fuzzer) pushObs(simNS int64) {
+	if f.tele == nil {
+		return
+	}
+	f.tele.M.MergeShard(f.shard)
+	qs := f.queue.ObsStats()
+	f.tele.M.SetGauges(obs.Gauges{
+		SimNS: simNS, QueueLen: f.queue.Len(), PMPaths: len(f.pmPathSigs),
+		BranchCov: f.branchVirgin.CoveredStates(),
+		Images:    f.store.Len(), CrashImages: qs.CrashImages,
+		FavLow: qs.FavLow, FavMed: qs.FavMed, FavHigh: qs.FavHigh,
+		PendingFavs: qs.PendingFavs, PendingTotal: qs.PendingTotal,
+		MaxDepth: qs.MaxDepth,
+	})
+	st := f.store.Stats()
+	f.tele.M.SetStoreStats(obs.StoreStats{
+		Puts: int64(st.Puts), Dedups: int64(st.Dedups), DeltaPuts: int64(st.DeltaPuts),
+		CacheHits: int64(st.CacheHits), CacheMisses: int64(st.CacheMisses),
+		RawBytes: st.RawBytes, CompressedBytes: st.CompressedBytes,
+	})
+}
+
+// SeedMeta carries an exported corpus entry's scheduling metadata so an
+// imported seed keeps its identity: crash images stay crash images, the
+// test-case tree keeps its parent edges, and Algorithm 2 priorities
+// survive the roundtrip.
+type SeedMeta struct {
+	// ParentID is the entry's parent in the importing queue's ID space
+	// (-1 for roots); the importer remaps exported IDs before calling.
+	ParentID     int
+	IsCrashImage bool
+	Favored      int
+	Depth        int
+	NewBranch    bool
+	NewPM        bool
+}
+
 // AddSeed injects an extra seed test case (input plus optional starting
 // image) before Run — used to resume fuzzing from an exported corpus.
+// Without metadata the entry enters as a high-priority root.
 func (f *Fuzzer) AddSeed(input []byte, img *pmem.Image) error {
+	_, err := f.AddSeedMeta(input, img, nil)
+	return err
+}
+
+// AddSeedMeta is AddSeed with explicit corpus metadata (nil behaves
+// like AddSeed). It returns the new entry's queue ID so importers can
+// remap parent references for subsequent entries.
+func (f *Fuzzer) AddSeedMeta(input []byte, img *pmem.Image, meta *SeedMeta) (int, error) {
 	e := &fuzz.Entry{
 		Input:    append([]byte(nil), input...),
 		ParentID: -1,
 		Favored:  fuzz.FavoredHigh,
 	}
+	if meta != nil {
+		e.ParentID = meta.ParentID
+		e.IsCrashImage = meta.IsCrashImage
+		e.Favored = meta.Favored
+		e.Depth = meta.Depth
+		e.NewBranch = meta.NewBranch
+		e.NewPM = meta.NewPM
+	}
 	if img != nil {
 		id, _, err := f.store.Put(img)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		e.ImageID = id
 		e.HasImage = true
 	}
 	f.queue.Add(e)
-	return nil
+	return e.ID, nil
 }
+
+// CorpusEntries exposes the current queue contents (read-only use, for
+// inspecting imported corpora before Run).
+func (f *Fuzzer) CorpusEntries() []*fuzz.Entry { return f.queue.Entries() }
 
 // Run executes the fuzzing loop until the simulated budget is exhausted
 // and returns the session result. With Config.Workers > 1 (or 0, which
@@ -160,10 +311,15 @@ func (f *Fuzzer) Run() *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	f.obsStart(workers)
+	var res *Result
 	if workers == 1 {
-		return f.runSerial()
+		res = f.runSerial()
+	} else {
+		res = f.runParallel(workers)
 	}
-	return f.runParallel(workers)
+	f.obsFinish(res)
+	return res
 }
 
 // runSerial is the single-threaded fuzzing loop. It is kept verbatim as
@@ -182,6 +338,9 @@ func (f *Fuzzer) runSerial() *Result {
 		e := f.queue.Next()
 		if e == nil {
 			break
+		}
+		if f.shard != nil {
+			f.shard.Rounds++ // a serial "round" is one parent selection
 		}
 		energy := energyBase << uint(e.Favored) // 4 / 8 / 16 children
 		for i := 0; i < energy && f.clock.Now() < f.cfg.BudgetNS; i++ {
@@ -208,11 +367,13 @@ func (f *Fuzzer) runSerial() *Result {
 func (f *Fuzzer) deriveChild(e *fuzz.Entry) ([]byte, *imageRef) {
 	input := e.Input
 	if f.cfg.Features.InputFuzz {
+		t0 := f.shard.Begin()
 		if other := f.queue.Random(); other != nil && other.ID != e.ID && len(f.queue.Entries()) > 4 && f.mutCoin() {
 			input = f.mut.Splice(e.Input, other.Input)
 		} else {
 			input = f.mut.Havoc(e.Input)
 		}
+		f.shard.End(obs.StageMutate, t0)
 	}
 	img := f.resolveImage(e)
 	if f.cfg.Features.ImgFuzzDirect {
@@ -224,20 +385,24 @@ func (f *Fuzzer) deriveChild(e *fuzz.Entry) ([]byte, *imageRef) {
 			// Build the initial image by one clean seed run.
 			res := executor.Run(executor.TestCase{
 				Workload: f.cfg.Workload, Input: f.seedInput, Bugs: f.bugs, Seed: f.cfg.Seed,
-			}, executor.Options{Clock: f.clock, Arena: f.arena})
+			}, executor.Options{Clock: f.clock, Arena: f.arena, Shard: f.shard})
 			if res.Image == nil {
 				f.arena.Recycle(res)
 				return input, nil
 			}
 			base = &imageRef{img: res.Image}
+			t0 := f.shard.Begin()
 			mutated := base.img.Clone()
 			mutated.Data = f.mut.MutateImage(mutated.Data)
+			f.shard.End(obs.StageMutate, t0)
 			f.arena.Recycle(res)
 			f.arena.RecycleImage(res.Image)
 			return input, &imageRef{img: mutated}
 		}
+		t0 := f.shard.Begin()
 		mutated := base.img.Clone()
 		mutated.Data = f.mut.MutateImage(mutated.Data)
+		f.shard.End(obs.StageMutate, t0)
 		return input, &imageRef{img: mutated}
 	}
 	return input, img
@@ -287,6 +452,7 @@ func (f *Fuzzer) runMutated(parent *fuzz.Entry, input []byte, img *imageRef) {
 		ImageCached: cached || (tc.Image == nil && f.cfg.Features.SysOpt),
 		MaxCommands: f.cfg.MaxCommands,
 		Arena:       f.arena,
+		Shard:       f.shard,
 	})
 	f.execs++
 	f.observe(parent, tc, res)
@@ -346,6 +512,7 @@ func (f *Fuzzer) observe(parent *fuzz.Entry, tc executor.TestCase, res *executor
 		}
 	}
 	f.queue.Add(e)
+	f.obsAdmit(e)
 
 	// Image generation is driven by new PM paths only (Figure 11 step ②:
 	// "upon observing a new PM path, it saves this test case for further
@@ -391,7 +558,7 @@ func (f *Fuzzer) harvestImages(parent *fuzz.Entry, tc executor.TestCase, res *ex
 	// (§3.2), and the interesting recovery states come from crashes at
 	// different phases of the run.
 	if f.clock.Now() < f.cfg.BudgetNS {
-		sw := executor.SweepRun(tc, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands, Arena: f.arena})
+		sw := executor.SweepRun(tc, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands, Arena: f.arena, Shard: f.shard})
 		f.execs++
 		sw.EnableIncrementalHash()
 		n := f.cfg.MaxBarrierImages
@@ -417,7 +584,7 @@ func (f *Fuzzer) harvestImages(parent *fuzz.Entry, tc executor.TestCase, res *ex
 	for s := 0; s < f.cfg.ProbFailSeeds && f.cfg.ProbFailRate > 0 && f.clock.Now() < f.cfg.BudgetNS; s++ {
 		tcp := tc
 		tcp.Injector = pmem.NewProbabilisticFailure(f.cfg.Seed+int64(f.execs)*131, f.cfg.ProbFailRate)
-		crash := executor.Run(tcp, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands, Arena: f.arena})
+		crash := executor.Run(tcp, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands, Arena: f.arena, Shard: f.shard})
 		f.execs++
 		if crash.Crashed && crash.Image != nil {
 			f.addImageEntryDelta(parent, tc.Input, crash.Image, true, f.clock.Now(), outID, res.Image)
@@ -451,7 +618,7 @@ func (f *Fuzzer) addImageEntryDelta(parent *fuzz.Entry, input []byte, img *pmem.
 		parentID = parent.ID
 		depth = parent.Depth + 1
 	}
-	f.queue.Add(&fuzz.Entry{
+	e := f.queue.Add(&fuzz.Entry{
 		Input:        append([]byte(nil), input...),
 		ImageID:      id,
 		HasImage:     true,
@@ -465,6 +632,7 @@ func (f *Fuzzer) addImageEntryDelta(parent *fuzz.Entry, input []byte, img *pmem.
 		NewPM:      true,
 		FoundSimNS: foundNS,
 	})
+	f.obsHarvest(e, isCrash)
 	return id, true
 }
 
@@ -496,6 +664,7 @@ func (f *Fuzzer) addFault(parent *fuzz.Entry, input []byte, msg string, simNS in
 		fault.HasImage = true
 	}
 	f.faults = append(f.faults, fault)
+	f.obsFault(fault)
 }
 
 func (f *Fuzzer) sample(force bool) {
@@ -506,6 +675,7 @@ func (f *Fuzzer) sample(force bool) {
 // axis — the shared clock for the serial engine, the max over worker
 // clock shards for the fleet.
 func (f *Fuzzer) sampleAt(simNS int64, force bool) {
+	f.pushObs(simNS)
 	s := Sample{
 		SimNS:     simNS,
 		Execs:     f.execs,

@@ -1,0 +1,189 @@
+package core
+
+// Tests for the telemetry hard rule: a session with telemetry attached
+// (shards, sinks, trace) is bit-identical — trajectory, corpus, image
+// hashes, faults — to the same session without it, and the event trace
+// itself is byte-deterministic per (Seed, Workers).
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pmfuzz/internal/obs"
+)
+
+// sessionDigest reduces a session result to a comparable fingerprint
+// covering the trajectory, the fault list, and every queue entry's
+// identity including its image hash.
+func sessionDigest(res *Result) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "execs=%d simns=%d pmpaths=%d\n", res.Execs, res.SimNS, res.PMPaths)
+	for _, s := range res.Series {
+		fmt.Fprintf(h, "s %d %d %d %d %d %d\n", s.SimNS, s.Execs, s.PMPaths, s.BranchCov, s.QueueLen, s.Images)
+	}
+	for _, f := range res.Faults {
+		fmt.Fprintf(h, "f %q %d %d\n", f.Msg, f.Execs, f.SimNS)
+	}
+	for _, e := range res.Queue.Entries() {
+		fmt.Fprintf(h, "e %d %d %d %x %v %v %v %d\n",
+			e.ID, e.ParentID, e.Favored, e.ImageID, e.HasImage, e.IsCrashImage, e.NewPM, e.FoundSimNS)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// runWithTelemetry runs one btree session, optionally with a full
+// telemetry session attached (all sinks live, status to io.Discard),
+// and returns the session digest.
+func runWithTelemetry(t *testing.T, workers int, attach bool) string {
+	t.Helper()
+	cfg, err := DefaultConfig("btree", PMFuzzAll, 40_000_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = workers
+	f, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attach {
+		dir := t.TempDir()
+		sess, err := obs.NewSession(obs.Config{
+			Workload: "btree", FuzzConfig: "pmfuzz", Workers: workers,
+			Seed: 42, BudgetNS: cfg.BudgetNS,
+			StatusEvery: 5_000_000, StatusW: io.Discard, // 5ms ticker, discarded
+			OutDir:    filepath.Join(dir, "out"),
+			TracePath: filepath.Join(dir, "trace.jsonl"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Start(); err != nil {
+			t.Fatal(err)
+		}
+		f.SetTelemetry(sess)
+		defer func() {
+			if err := sess.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}()
+	}
+	return sessionDigest(f.Run())
+}
+
+func TestTelemetryReadOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full telemetry equivalence in -short mode")
+	}
+	for _, workers := range []int{1, 2} {
+		base := runWithTelemetry(t, workers, false)
+		with := runWithTelemetry(t, workers, true)
+		if base != with {
+			t.Errorf("workers=%d: session digest changed with telemetry attached", workers)
+		}
+	}
+}
+
+func TestTelemetryRegistryMatchesResult(t *testing.T) {
+	cfg, err := DefaultConfig("btree", PMFuzzAll, 20_000_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := obs.NewSession(obs.Config{Workload: "btree", FuzzConfig: "pmfuzz", Workers: 1, Seed: 42, BudgetNS: cfg.BudgetNS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetTelemetry(sess)
+	res := f.Run()
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := sess.M.Snapshot()
+	if snap.Execs != int64(res.Execs) {
+		t.Errorf("registry execs = %d, result execs = %d", snap.Execs, res.Execs)
+	}
+	if snap.SimNS != res.SimNS {
+		t.Errorf("registry sim_ns = %d, result simns = %d", snap.SimNS, res.SimNS)
+	}
+	if snap.PMPaths != int64(res.PMPaths) {
+		t.Errorf("registry pm_paths = %d, result pmpaths = %d", snap.PMPaths, res.PMPaths)
+	}
+	if snap.QueueLen != int64(res.Queue.Len()) {
+		t.Errorf("registry queue_len = %d, queue len = %d", snap.QueueLen, res.Queue.Len())
+	}
+	if snap.Images != int64(res.Store.Len()) {
+		t.Errorf("registry images = %d, store len = %d", snap.Images, res.Store.Len())
+	}
+	if snap.Stages[obs.StageExec].Ops != snap.Execs {
+		t.Errorf("exec stage ops = %d, execs = %d", snap.Stages[obs.StageExec].Ops, snap.Execs)
+	}
+	if snap.Admits == 0 || snap.Harvests == 0 {
+		t.Errorf("expected admissions and harvests, got %d/%d", snap.Admits, snap.Harvests)
+	}
+	var histTotal int64
+	for _, b := range snap.ExecHist {
+		histTotal += b.Count
+	}
+	if histTotal != snap.Execs {
+		t.Errorf("exec histogram total = %d, execs = %d", histTotal, snap.Execs)
+	}
+}
+
+// runTraced runs one session with only the trace sink and returns the
+// trace bytes.
+func runTraced(t *testing.T, workers int) []byte {
+	t.Helper()
+	cfg, err := DefaultConfig("btree", PMFuzzAll, 20_000_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = workers
+	f, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	sess, err := obs.NewSession(obs.Config{
+		Workload: "btree", FuzzConfig: "pmfuzz", Workers: workers,
+		Seed: 42, BudgetNS: cfg.BudgetNS, TracePath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetTelemetry(sess)
+	f.Run()
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace determinism replay in -short mode")
+	}
+	for _, workers := range []int{1, 2} {
+		a := runTraced(t, workers)
+		b := runTraced(t, workers)
+		if !bytes.Equal(a, b) {
+			t.Errorf("workers=%d: trace not byte-deterministic across replays", workers)
+		}
+		if len(a) == 0 {
+			t.Errorf("workers=%d: empty trace", workers)
+		}
+	}
+	// Events carry sim time only: any wall-clock stamp would break the
+	// replay equality above, so this doubles as the no-wall-clock check.
+}

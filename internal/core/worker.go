@@ -18,6 +18,7 @@ import (
 	"pmfuzz/internal/fuzz"
 	"pmfuzz/internal/imgstore"
 	"pmfuzz/internal/instr"
+	"pmfuzz/internal/obs"
 	"pmfuzz/internal/pmem"
 	"pmfuzz/internal/workloads/bugs"
 )
@@ -102,6 +103,13 @@ type worker struct {
 	// reclaims state that dies inside the worker.
 	arena *executor.Arena
 
+	// shard is this worker's private telemetry shard (nil when telemetry
+	// is off). The coordinator folds it into the shared registry while
+	// the worker is parked between batches — the same exclusive-access
+	// window the virgin refresh uses — so the hot path never touches a
+	// shared cache line.
+	shard *obs.Shard
+
 	leases  chan workItem
 	results chan *workerBatch
 }
@@ -111,7 +119,11 @@ func newWorker(f *Fuzzer, id int) *worker {
 	if f.cfg.Features.SysOpt {
 		cacheCap = f.cfg.ImageCacheCap
 	}
-	return &worker{
+	var shard *obs.Shard
+	if f.tele != nil {
+		shard = &obs.Shard{}
+	}
+	w := &worker{
 		id:           id,
 		cfg:          f.cfg,
 		bugs:         f.bugs,
@@ -124,14 +136,23 @@ func newWorker(f *Fuzzer, id int) *worker {
 		pmVirgin:     instr.NewVirgin(),
 		seedInput:    f.seedInput,
 		arena:        executor.NewArena(),
+		shard:        shard,
 		leases:       make(chan workItem, 1),
 		results:      make(chan *workerBatch, 1),
 	}
+	w.cache.SetShard(shard)
+	return w
 }
 
 // run is the worker goroutine: execute each lease, ship the batch.
+// Between shipping a batch and receiving the next lease the worker
+// never writes its shard (idle timing starts on lease receipt), which
+// is what lets the coordinator merge the shard in that window.
 func (w *worker) run() {
+	idle0 := w.shard.Begin()
 	for item := range w.leases {
+		w.shard.EndIdle(idle0)
+		t0 := w.shard.Begin()
 		b := &workerBatch{parent: item.lease.Parent}
 		if item.seedRun {
 			if w.clock.Now() < w.cfg.BudgetNS {
@@ -146,7 +167,9 @@ func (w *worker) run() {
 		}
 		b.clockNS = w.clock.Now()
 		b.done = b.clockNS >= w.cfg.BudgetNS
+		w.shard.EndLease(t0)
 		w.results <- b
+		idle0 = w.shard.Begin()
 	}
 }
 
@@ -158,11 +181,13 @@ func (w *worker) deriveChild(l *fuzz.Lease, i int) ([]byte, *imageRef) {
 	e := l.Parent
 	input := e.Input
 	if w.cfg.Features.InputFuzz {
+		t0 := w.shard.Begin()
 		if sp := l.Splices[i]; sp != nil && w.rng.Intn(4) == 0 {
 			input = w.mut.Splice(e.Input, sp)
 		} else {
 			input = w.mut.Havoc(e.Input)
 		}
+		w.shard.End(obs.StageMutate, t0)
 	}
 	img := w.resolveImage(e)
 	if w.cfg.Features.ImgFuzzDirect {
@@ -171,14 +196,16 @@ func (w *worker) deriveChild(l *fuzz.Lease, i int) ([]byte, *imageRef) {
 		if base == nil || base.img == nil {
 			res := executor.Run(executor.TestCase{
 				Workload: w.cfg.Workload, Input: w.seedInput, Bugs: w.bugs, Seed: w.cfg.Seed,
-			}, executor.Options{Clock: w.clock})
+			}, executor.Options{Clock: w.clock, Shard: w.shard})
 			if res.Image == nil {
 				return input, nil
 			}
 			base = &imageRef{img: res.Image}
 		}
+		t0 := w.shard.Begin()
 		mutated := base.img.Clone()
 		mutated.Data = w.mut.MutateImage(mutated.Data)
+		w.shard.End(obs.StageMutate, t0)
 		return input, &imageRef{img: mutated}
 	}
 	return input, img
@@ -218,6 +245,7 @@ func (w *worker) execCase(input []byte, img *imageRef) *execOutcome {
 		ImageCached: cached || (tc.Image == nil && w.cfg.Features.SysOpt),
 		MaxCommands: w.cfg.MaxCommands,
 		Arena:       w.arena,
+		Shard:       w.shard,
 	})
 	o := &execOutcome{input: input, inImage: tc.Image, execs: 1}
 	newBSlot, newBBucket := w.branchVirgin.Merge(res.Tracer.BranchMap())
@@ -273,7 +301,7 @@ func (w *worker) harvestCrashImages(tc executor.TestCase, res *executor.Result, 
 		return
 	}
 	if w.clock.Now() < w.cfg.BudgetNS {
-		sw := executor.SweepRun(tc, executor.Options{Clock: w.clock, MaxCommands: w.cfg.MaxCommands, Arena: w.arena})
+		sw := executor.SweepRun(tc, executor.Options{Clock: w.clock, MaxCommands: w.cfg.MaxCommands, Arena: w.arena, Shard: w.shard})
 		o.execs++
 		sw.EnableIncrementalHash()
 		n := w.cfg.MaxBarrierImages
@@ -297,7 +325,7 @@ func (w *worker) harvestCrashImages(tc executor.TestCase, res *executor.Result, 
 	for s := 0; s < w.cfg.ProbFailSeeds && w.cfg.ProbFailRate > 0 && w.clock.Now() < w.cfg.BudgetNS; s++ {
 		tcp := tc
 		tcp.Injector = pmem.NewProbabilisticFailure(w.cfg.Seed+int64(w.id)*workerSeedPrime+int64(o.execs)*131, w.cfg.ProbFailRate)
-		crash := executor.Run(tcp, executor.Options{Clock: w.clock, MaxCommands: w.cfg.MaxCommands, Arena: w.arena})
+		crash := executor.Run(tcp, executor.Options{Clock: w.clock, MaxCommands: w.cfg.MaxCommands, Arena: w.arena, Shard: w.shard})
 		o.execs++
 		if crash.Crashed && crash.Image != nil {
 			o.crashImages = append(o.crashImages, crash.Image)

@@ -10,8 +10,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"pmfuzz/internal/instr"
+	"pmfuzz/internal/obs"
 	"pmfuzz/internal/pmem"
 	"pmfuzz/internal/trace"
 	"pmfuzz/internal/workloads"
@@ -57,6 +59,11 @@ type Options struct {
 	// persistent-mode hot path. See Arena for the aliasing contract on
 	// the returned Result.
 	Arena *Arena
+	// Shard, when non-nil, receives this execution's telemetry (wall
+	// latency, hang/fault counts). Telemetry is strictly read-only: it
+	// never touches the clock, the device, or any result field, so a run
+	// with a shard attached is bit-identical to one without.
+	Shard *obs.Shard
 }
 
 // DefaultMaxOps bounds runaway executions (e.g. cyclic structures on
@@ -136,6 +143,7 @@ type runExtras struct {
 // non-nil a copy-on-write sweep journal is attached to the device and
 // command-start op indices are recorded into it.
 func run(tc TestCase, opts Options, sh *runExtras) (*Result, *runExtras) {
+	obsT0 := opts.Shard.Begin()
 	res := &Result{}
 	if opts.Arena != nil {
 		res.Tracer = opts.Arena.tracer()
@@ -264,6 +272,10 @@ func run(tc TestCase, opts Options, sh *runExtras) (*Result, *runExtras) {
 	}()
 	finish()
 	_ = done
+	if opts.Shard != nil {
+		_, hang := res.PanicVal.(pmem.Hang)
+		opts.Shard.RecordExec(time.Since(obsT0), res.Panicked && hang, res.Faulted())
+	}
 	return res, sh
 }
 

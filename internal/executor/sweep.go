@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"pmfuzz/internal/instr"
+	"pmfuzz/internal/obs"
 	"pmfuzz/internal/pmem"
 )
 
@@ -108,6 +109,9 @@ func (s *SweepResult) Crash(b int) *Result {
 	if s.sweep == nil || b < 1 || b > s.sweep.Barriers() {
 		return nil
 	}
+	// Materialization is charged to the sweep stage; the journaled run
+	// itself already counted as an execution inside run().
+	defer s.opts.Shard.End(obs.StageSweep, s.opts.Shard.Begin())
 	cp := s.sweep.Checkpoint(b)
 	before := s.cursor.AppliedLines()
 	data := s.cursor.ImageData(b)
@@ -146,6 +150,7 @@ func (s *SweepResult) PreFenceCrash(b int) *Result {
 	if cp.PreOp < 1 {
 		return nil
 	}
+	defer s.opts.Shard.End(obs.StageSweep, s.opts.Shard.Begin())
 	before := s.cursor.AppliedLines()
 	data := s.cursor.PreFenceData(b)
 	s.charge(before)

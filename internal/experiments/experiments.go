@@ -27,6 +27,19 @@ import (
 	"pmfuzz/internal/xfd"
 )
 
+// Progress receives per-phase status lines from the long-running
+// experiment drivers — a fig13 sweep is workloads × configurations
+// sessions and says nothing until it finishes, so the CLI hands in a
+// stderr printer. nil disables reporting.
+type Progress func(format string, args ...interface{})
+
+// printf forwards to the callback when one is set.
+func (p Progress) printf(format string, args ...interface{}) {
+	if p != nil {
+		p(format, args...)
+	}
+}
+
 // PaperWorkloads is the Table 3 workload list in paper order.
 func PaperWorkloads() []string {
 	return []string{
@@ -55,9 +68,15 @@ type Fig13Result struct {
 // Fig13 runs the coverage comparison for the given workloads (nil = all
 // eight) with the simulated budget.
 func Fig13(workloadNames []string, budgetNS int64, seed int64) (*Fig13Result, error) {
+	return Fig13Progress(workloadNames, budgetNS, seed, nil)
+}
+
+// Fig13Progress is Fig13 with a per-cell progress callback.
+func Fig13Progress(workloadNames []string, budgetNS int64, seed int64, progress Progress) (*Fig13Result, error) {
 	if workloadNames == nil {
 		workloadNames = PaperWorkloads()
 	}
+	total := len(workloadNames) * len(core.ConfigNames())
 	out := &Fig13Result{BudgetNS: budgetNS}
 	for _, wl := range workloadNames {
 		for _, cn := range core.ConfigNames() {
@@ -77,6 +96,8 @@ func Fig13(workloadNames []string, budgetNS int64, seed int64) (*Fig13Result, er
 				PMPaths:  res.PMPaths,
 				Execs:    res.Execs,
 			})
+			progress.printf("fig13 [%d/%d] %s/%s: %d PM paths, %d execs",
+				len(out.Cells), total, wl, cn, res.PMPaths, res.Execs)
 		}
 	}
 	return out, nil

@@ -42,6 +42,11 @@ type Table3Result struct {
 // (the best non-PMFuzz point, per §5.3), feeds the generated test cases
 // to the testing tools, and counts detections.
 func Table3(workloadNames []string, budgetNS int64, seed int64, opts DetectOptions) (*Table3Result, error) {
+	return Table3Progress(workloadNames, budgetNS, seed, opts, nil)
+}
+
+// Table3Progress is Table3 with a per-bug progress callback.
+func Table3Progress(workloadNames []string, budgetNS int64, seed int64, opts DetectOptions, progress Progress) (*Table3Result, error) {
 	if workloadNames == nil {
 		workloadNames = PaperWorkloads()
 	}
@@ -78,8 +83,12 @@ func Table3(workloadNames []string, budgetNS int64, seed int64, opts DetectOptio
 				AFLSysOptFound: aflDet.Detected,
 				AFLSysOptBy:    aflDet.By,
 			})
+			progress.printf("table3 %s syn-bug %d: pmfuzz=%v afl-sysopt=%v",
+				wl, pt.ID, pmDet.Detected, aflDet.Detected)
 		}
 		out.Rows = append(out.Rows, row)
+		progress.printf("table3 %s: %d/%d pmfuzz, %d/%d afl-sysopt",
+			wl, row.PMFuzz, row.Total, row.AFLSysOpt, row.Total)
 	}
 	return out, nil
 }

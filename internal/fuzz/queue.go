@@ -135,6 +135,44 @@ func (q *Queue) Next() *Entry {
 	return e
 }
 
+// ObsStats summarizes corpus composition for telemetry in one pass:
+// the favored mix, crash-image share, AFL's pending counts (entries the
+// scheduler has never selected), and the deepest derivation chain.
+type ObsStats struct {
+	FavLow, FavMed, FavHigh   int
+	CrashImages               int
+	PendingFavs, PendingTotal int
+	MaxDepth                  int
+}
+
+// ObsStats scans the corpus once and returns its composition.
+func (q *Queue) ObsStats() ObsStats {
+	var s ObsStats
+	for _, e := range q.entries {
+		switch {
+		case e.Favored >= FavoredHigh:
+			s.FavHigh++
+		case e.Favored == FavoredMedium:
+			s.FavMed++
+		default:
+			s.FavLow++
+		}
+		if e.IsCrashImage {
+			s.CrashImages++
+		}
+		if e.Selections == 0 {
+			s.PendingTotal++
+			if e.Favored >= FavoredHigh {
+				s.PendingFavs++
+			}
+		}
+		if e.Depth > s.MaxDepth {
+			s.MaxDepth = e.Depth
+		}
+	}
+	return s
+}
+
 // Random returns a uniformly random entry (for splicing).
 func (q *Queue) Random() *Entry {
 	if len(q.entries) == 0 {

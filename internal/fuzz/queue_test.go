@@ -146,3 +146,24 @@ func TestLeaseSpliceGating(t *testing.T) {
 		t.Fatal("no splice slot was ever filled with a 12-entry corpus")
 	}
 }
+
+func TestQueueObsStats(t *testing.T) {
+	q := NewQueue(1)
+	q.Add(&Entry{Input: []byte("a"), Favored: FavoredHigh, Depth: 2})
+	q.Add(&Entry{Input: []byte("b"), Favored: FavoredMedium, IsCrashImage: true, Depth: 5})
+	q.Add(&Entry{Input: []byte("c"), Favored: FavoredLow, Selections: 1})
+	q.Add(&Entry{Input: []byte("d"), Favored: FavoredHigh, Selections: 3})
+	s := q.ObsStats()
+	if s.FavHigh != 2 || s.FavMed != 1 || s.FavLow != 1 {
+		t.Errorf("favored mix = %d/%d/%d, want 2/1/1", s.FavHigh, s.FavMed, s.FavLow)
+	}
+	if s.CrashImages != 1 {
+		t.Errorf("crash images = %d, want 1", s.CrashImages)
+	}
+	if s.PendingTotal != 2 || s.PendingFavs != 1 {
+		t.Errorf("pending = %d (favs %d), want 2 (favs 1)", s.PendingTotal, s.PendingFavs)
+	}
+	if s.MaxDepth != 5 {
+		t.Errorf("max depth = %d, want 5", s.MaxDepth)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pmfuzz/internal/obs"
 	"pmfuzz/internal/pmem"
 )
 
@@ -90,7 +91,17 @@ type Store struct {
 	cacheLRU []ID
 	cacheCap int
 	stats    counters
+
+	// shard receives put/get wall-time telemetry. The store is shared
+	// across workers but Put/Get through it are issued only by the
+	// session's coordinating goroutine (workers go through their private
+	// Cache), so a single unsynchronized shard is safe.
+	shard *obs.Shard
 }
+
+// SetShard attaches a telemetry shard (nil detaches). Telemetry is
+// read-only: it never changes what the store returns or charges.
+func (s *Store) SetShard(sh *obs.Shard) { s.shard = sh }
 
 // New creates a store with the given decompressed-cache capacity
 // (entries). A capacity of 0 disables caching, modeling a fuzzer that
@@ -189,6 +200,7 @@ func (s *Store) PutDelta(img *pmem.Image, baseID ID, base *pmem.Image) (ID, bool
 }
 
 func (s *Store) put(img *pmem.Image, baseID ID, base *pmem.Image) (ID, bool, error) {
+	defer s.shard.End(obs.StagePut, s.shard.Begin())
 	id := ID(img.Hash())
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -309,6 +321,7 @@ func (s *Store) Has(id ID) bool {
 // a private Cache instead so their hit sequences — and the simulated
 // costs they save — stay deterministic per worker.
 func (s *Store) Get(id ID, clock *pmem.Clock) (*pmem.Image, error) {
+	defer s.shard.End(obs.StageGet, s.shard.Begin())
 	s.mu.Lock()
 	if img, ok := s.cache[id]; ok {
 		s.touch(id)
@@ -534,7 +547,14 @@ type Cache struct {
 	cap   int
 	m     map[ID]*pmem.Image
 	lru   []ID
+
+	// shard receives this cache's get telemetry; single-owner like the
+	// cache itself.
+	shard *obs.Shard
 }
+
+// SetShard attaches the owning worker's telemetry shard (nil detaches).
+func (c *Cache) SetShard(sh *obs.Shard) { c.shard = sh }
 
 // NewCache creates a private cache over the store holding at most cap
 // decompressed images. A capacity of 0 disables caching.
@@ -554,6 +574,7 @@ func (c *Cache) Cached(id ID) bool {
 // are safe to share read-only across caches: executions copy the data
 // into the simulated device before mutating it.
 func (c *Cache) Get(id ID, clock *pmem.Clock) (*pmem.Image, error) {
+	defer c.shard.End(obs.StageGet, c.shard.Begin())
 	if img, ok := c.m[id]; ok {
 		c.store.stats.cacheHits.Add(1)
 		c.touch(id)

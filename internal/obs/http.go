@@ -1,0 +1,157 @@
+package obs
+
+// The HTTP sink: /debug/vars serves the standard expvar JSON (with the
+// live snapshot published under the "pmfuzz" key), /metrics serves
+// Prometheus text exposition. expvar.Publish panics on duplicate names,
+// so the snapshot var is published once per process and reads through a
+// swappable atomic pointer to the current session's registry.
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ln is the session's listener state; split out so session.go does not
+// import net/http.
+type ln struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+var (
+	curMetrics  atomic.Pointer[Metrics]
+	publishOnce sync.Once
+)
+
+// publishExpvar registers the "pmfuzz" expvar exactly once per process;
+// later sessions just swap the pointer it reads.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("pmfuzz", expvar.Func(func() interface{} {
+			m := curMetrics.Load()
+			if m == nil {
+				return nil
+			}
+			return m.Snapshot()
+		}))
+	})
+}
+
+// startHTTP binds cfg.HTTPAddr and serves expvar + Prometheus until
+// Close. ":0" binds an ephemeral port (Addr reports it).
+func (s *Session) startHTTP() error {
+	publishExpvar()
+	curMetrics.Store(s.M)
+	l, err := net.Listen("tcp", s.cfg.HTTPAddr)
+	if err != nil {
+		return fmt.Errorf("obs: stats addr: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		m := curMetrics.Load()
+		if m == nil {
+			http.Error(w, "no session", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, PrometheusText(m.Snapshot()))
+	})
+	srv := &http.Server{Handler: mux}
+	s.httpLn = ln{l: l, srv: srv}
+	go srv.Serve(l)
+	return nil
+}
+
+// Addr reports the bound stats address ("" when the HTTP sink is off).
+func (s *Session) Addr() string {
+	if s == nil || s.httpLn.l == nil {
+		return ""
+	}
+	return s.httpLn.l.Addr().String()
+}
+
+func (s *Session) stopHTTP() error {
+	if s.httpLn.srv == nil {
+		return nil
+	}
+	return s.httpLn.srv.Close()
+}
+
+// PrometheusText renders the snapshot in Prometheus text exposition
+// format (counters/gauges plus the exec-latency histogram with
+// cumulative le buckets).
+func PrometheusText(s Snapshot) string {
+	var b strings.Builder
+	labels := fmt.Sprintf(`workload=%q,config=%q`, s.Workload, s.Config)
+	counter := func(name, help string, v interface{}) {
+		fmt.Fprintf(&b, "# HELP pmfuzz_%s %s\n# TYPE pmfuzz_%s counter\npmfuzz_%s{%s} %v\n",
+			name, help, name, name, labels, v)
+	}
+	gauge := func(name, help string, v interface{}) {
+		fmt.Fprintf(&b, "# HELP pmfuzz_%s %s\n# TYPE pmfuzz_%s gauge\npmfuzz_%s{%s} %v\n",
+			name, help, name, name, labels, v)
+	}
+	counter("execs_total", "Test-case executions.", s.Execs)
+	counter("hangs_total", "Executions stopped by the simulated-ops hang guard.", s.Hangs)
+	counter("faulted_execs_total", "Executions that faulted.", s.Faults)
+	counter("unique_faults_total", "Deduplicated fault buckets.", s.UniqueFaults)
+	counter("admits_total", "Inputs admitted to the corpus.", s.Admits)
+	counter("harvests_total", "Crash/out images harvested into the store.", s.Harvests)
+	counter("rounds_total", "Worker lease rounds merged.", s.Rounds)
+	gauge("execs_per_sec", "Wall-clock execution rate.", fmt.Sprintf("%.2f", s.ExecsPerSec))
+	gauge("sim_ns", "Simulated nanoseconds consumed.", s.SimNS)
+	gauge("queue_len", "Corpus entries.", s.QueueLen)
+	gauge("pm_paths", "Distinct PM paths covered.", s.PMPaths)
+	gauge("branch_cov", "Covered branch-map (slot,bucket) states.", s.BranchCov)
+	gauge("images", "PM images in the store.", s.Images)
+	gauge("crash_images", "Crash-image corpus entries.", s.CrashImages)
+	gauge("pending_favs", "Favored entries not yet fuzzed.", s.PendingFavs)
+	gauge("max_depth", "Deepest corpus derivation chain.", s.MaxDepth)
+	counter("store_dedup_hits_total", "Image puts deduplicated by content hash.", s.StoreDedups)
+	counter("store_delta_puts_total", "Image puts stored delta-encoded.", s.StoreDeltaPuts)
+	counter("image_cache_hits_total", "Worker image-cache hits.", s.CacheHits)
+	counter("image_cache_misses_total", "Worker image-cache misses.", s.CacheMisses)
+	gauge("store_compression_ratio", "Raw/compressed stored-image bytes.",
+		fmt.Sprintf("%.4f", s.CompressionRatio()))
+
+	fmt.Fprintf(&b, "# HELP pmfuzz_stage_seconds_total Wall-clock seconds per pipeline stage.\n")
+	fmt.Fprintf(&b, "# TYPE pmfuzz_stage_seconds_total counter\n")
+	stages := append([]StageSnap(nil), s.Stages...)
+	sort.Slice(stages, func(i, j int) bool { return stages[i].Name < stages[j].Name })
+	for _, st := range stages {
+		fmt.Fprintf(&b, "pmfuzz_stage_seconds_total{%s,stage=%q} %.6f\n", labels, st.Name, float64(st.NS)/1e9)
+	}
+	fmt.Fprintf(&b, "# HELP pmfuzz_stage_ops_total Operations per pipeline stage.\n")
+	fmt.Fprintf(&b, "# TYPE pmfuzz_stage_ops_total counter\n")
+	for _, st := range stages {
+		fmt.Fprintf(&b, "pmfuzz_stage_ops_total{%s,stage=%q} %d\n", labels, st.Name, st.Ops)
+	}
+
+	fmt.Fprintf(&b, "# HELP pmfuzz_exec_duration_seconds Wall-clock latency of one execution.\n")
+	fmt.Fprintf(&b, "# TYPE pmfuzz_exec_duration_seconds histogram\n")
+	var cum int64
+	for _, bk := range s.ExecHist {
+		cum += bk.Count
+		le := "+Inf"
+		if bk.UpperNS >= 0 {
+			le = fmt.Sprintf("%g", float64(bk.UpperNS)/1e9)
+		}
+		fmt.Fprintf(&b, "pmfuzz_exec_duration_seconds_bucket{%s,le=%q} %d\n", labels, le, cum)
+	}
+	var execNS int64
+	for _, st := range s.Stages {
+		if st.Name == StageExec.String() {
+			execNS = st.NS
+		}
+	}
+	fmt.Fprintf(&b, "pmfuzz_exec_duration_seconds_sum{%s} %.6f\n", labels, float64(execNS)/1e9)
+	fmt.Fprintf(&b, "pmfuzz_exec_duration_seconds_count{%s} %d\n", labels, cum)
+	return b.String()
+}

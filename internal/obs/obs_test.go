@@ -1,0 +1,353 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistBuckets(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {255, 0}, {256, 1}, {257, 2 - 1},
+		{511, 1}, {512, 2}, {1 << 20, 13}, {1 << 62, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.ns); got != c.want {
+			t.Errorf("histBucket(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	if HistUpperNS(0) != 256 {
+		t.Errorf("HistUpperNS(0) = %d, want 256", HistUpperNS(0))
+	}
+	if HistUpperNS(HistBuckets-1) != -1 {
+		t.Errorf("last bucket should be unbounded")
+	}
+	var h Hist
+	h.Observe(100)
+	h.Observe(300)
+	h.Observe(300)
+	if h[0] != 1 || h[1] != 2 {
+		t.Errorf("hist = %v", h[:3])
+	}
+}
+
+func TestShardNilSafe(t *testing.T) {
+	var s *Shard
+	t0 := s.Begin()
+	if !t0.IsZero() {
+		t.Errorf("nil Begin should return zero time")
+	}
+	s.End(StageExec, t0)
+	s.RecordExec(time.Millisecond, false, true)
+	s.EndIdle(t0)
+	s.EndLease(t0)
+	var m *Metrics
+	m.MergeShard(s) // both nil: no-op
+}
+
+func TestMergeShardFoldsAndZeroes(t *testing.T) {
+	m := NewMetrics("btree", "pmfuzz", 2, 5, 1e9)
+	sh := &Shard{Execs: 10, Hangs: 1, Faults: 2, Rounds: 3, LeaseNS: 100, IdleNS: 50}
+	sh.StageNS[StageExec] = 1000
+	sh.StageOps[StageExec] = 10
+	sh.ExecHist.Observe(300)
+	m.MergeShard(sh)
+	if *sh != (Shard{}) {
+		t.Errorf("MergeShard must zero the shard: %+v", sh)
+	}
+	sh2 := &Shard{Execs: 5}
+	m.MergeShard(sh2)
+	s := m.Snapshot()
+	if s.Execs != 15 || s.Hangs != 1 || s.Faults != 2 || s.Rounds != 3 {
+		t.Errorf("snapshot counters wrong: %+v", s)
+	}
+	if s.Stages[StageExec].NS != 1000 || s.Stages[StageExec].Ops != 10 {
+		t.Errorf("stage exec wrong: %+v", s.Stages[StageExec])
+	}
+	if s.ExecHist[1].Count != 1 {
+		t.Errorf("hist not merged: %+v", s.ExecHist[:3])
+	}
+}
+
+func TestSnapshotGaugesAndRates(t *testing.T) {
+	m := NewMetrics("btree", "pmfuzz", 1, 5, 1e9)
+	m.SetGauges(Gauges{
+		SimNS: 42, QueueLen: 10, PMPaths: 20, BranchCov: 30,
+		Images: 7, CrashImages: 3, FavHigh: 4, PendingFavs: 2,
+		PendingTotal: 6, MaxDepth: 5,
+	})
+	m.SetStoreStats(StoreStats{
+		Puts: 100, Dedups: 40, DeltaPuts: 30,
+		CacheHits: 8, CacheMisses: 2, RawBytes: 1000, CompressedBytes: 250,
+	})
+	s := m.Snapshot()
+	if s.SimNS != 42 || s.QueueLen != 10 || s.CrashImages != 3 || s.MaxDepth != 5 {
+		t.Errorf("gauges wrong: %+v", s)
+	}
+	if got := s.DedupRate(); got != 0.4 {
+		t.Errorf("DedupRate = %v, want 0.4", got)
+	}
+	if got := s.DeltaRate(); got != 0.5 {
+		t.Errorf("DeltaRate = %v, want 0.5", got)
+	}
+	if got := s.CompressionRatio(); got != 4 {
+		t.Errorf("CompressionRatio = %v, want 4", got)
+	}
+}
+
+func TestStatusLineFields(t *testing.T) {
+	m := NewMetrics("btree", "pmfuzz", 2, 5, 5e8)
+	m.MergeShard(&Shard{Execs: 720})
+	m.SetGauges(Gauges{SimNS: 12e7, QueueLen: 317, PMPaths: 330, Images: 237})
+	line := StatusLine(m.Snapshot())
+	for _, want := range []string{"btree/pmfuzz w2", "execs 720", "q 317", "pm 330", "imgs 237", "sim 120.0/500.0 ms"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("status line missing %q:\n%s", want, line)
+		}
+	}
+}
+
+func TestFuzzerStatsFormat(t *testing.T) {
+	m := NewMetrics("btree", "pmfuzz", 1, 5, 5e8)
+	m.MergeShard(&Shard{Execs: 100, Rounds: 4})
+	now := time.Unix(1700000000, 0)
+	out := FuzzerStats(m.Snapshot(), now)
+	seen := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			t.Fatalf("bad fuzzer_stats line: %q", line)
+		}
+		seen[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	for _, k := range []string{
+		"start_time", "last_update", "fuzzer_pid", "afl_banner",
+		"cycles_done", "execs_done", "execs_per_sec", "paths_total",
+		"pending_favs", "bitmap_cvg", "unique_crashes", "unique_hangs",
+		"pmfuzz_sim_ms", "pmfuzz_pm_paths", "pmfuzz_stage_exec_ms",
+	} {
+		if _, ok := seen[k]; !ok {
+			t.Errorf("fuzzer_stats missing key %q", k)
+		}
+	}
+	if seen["execs_done"] != "100" {
+		t.Errorf("execs_done = %q, want 100", seen["execs_done"])
+	}
+	if seen["cycles_done"] != "4" {
+		t.Errorf("cycles_done = %q, want 4", seen["cycles_done"])
+	}
+	if seen["last_update"] != "1700000000" {
+		t.Errorf("last_update = %q", seen["last_update"])
+	}
+}
+
+func TestPlotRowColumns(t *testing.T) {
+	m := NewMetrics("btree", "pmfuzz", 1, 5, 5e8)
+	m.SetGauges(Gauges{QueueLen: 317, PMPaths: 330, Images: 237})
+	row := PlotRow(m.Snapshot(), time.Unix(1700000000, 0))
+	cols := strings.Split(row, ", ")
+	headerCols := strings.Split(strings.TrimPrefix(plotHeader, "# "), ", ")
+	if len(cols) != len(headerCols) {
+		t.Fatalf("plot row has %d columns, header has %d:\n%s\n%s", len(cols), len(headerCols), plotHeader, row)
+	}
+	if cols[0] != "1700000000" {
+		t.Errorf("unix_time column = %q", cols[0])
+	}
+	if !strings.HasSuffix(cols[6], "%") {
+		t.Errorf("map_size column should be a percentage: %q", cols[6])
+	}
+}
+
+func TestTraceJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tr, err := NewTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit(SessionEvent{T: "session", Workload: "btree", Seed: 5, Workers: 1, BudgetNS: 1e9})
+	tr.Emit(AdmitEvent{T: "admit", SimNS: 100, ID: 1, Favored: 2})
+	tr.Emit(EndEvent{T: "end", SimNS: 200, Execs: 10})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var types []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev struct {
+			T string `json:"t"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		types = append(types, ev.T)
+	}
+	want := []string{"session", "admit", "end"}
+	if fmt.Sprint(types) != fmt.Sprint(want) {
+		t.Errorf("event types = %v, want %v", types, want)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Emit(RoundEvent{T: "round"})
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil trace Close: %v", err)
+	}
+	var s *Session
+	if s.Trace() != nil {
+		t.Errorf("nil session Trace should be nil")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("nil session Close: %v", err)
+	}
+}
+
+func TestSessionSinks(t *testing.T) {
+	dir := t.TempDir()
+	var status bytes.Buffer
+	s, err := NewSession(Config{
+		Workload: "btree", FuzzConfig: "pmfuzz", Workers: 1, Seed: 5, BudgetNS: 1e9,
+		StatusEvery: 10 * time.Millisecond, StatusW: &status,
+		OutDir:    filepath.Join(dir, "out"),
+		TracePath: filepath.Join(dir, "trace.jsonl"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.M.MergeShard(&Shard{Execs: 42})
+	s.Trace().Emit(SessionEvent{T: "session", Workload: "btree"})
+	time.Sleep(30 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status.String(), "execs 42") {
+		t.Errorf("status output missing execs: %q", status.String())
+	}
+	stats, err := os.ReadFile(filepath.Join(dir, "out", "fuzzer_stats"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(stats), "execs_done") {
+		t.Errorf("fuzzer_stats content wrong:\n%s", stats)
+	}
+	plot, err := os.ReadFile(filepath.Join(dir, "out", "plot_data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(plot)), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "# unix_time") {
+		t.Errorf("plot_data should have header + rows:\n%s", plot)
+	}
+	traceB, err := os.ReadFile(filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(traceB), `"t":"session"`) {
+		t.Errorf("trace missing session event:\n%s", traceB)
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	s, err := NewSession(Config{
+		Workload: "btree", FuzzConfig: "pmfuzz", Workers: 1, Seed: 5, BudgetNS: 1e9,
+		HTTPAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.M.MergeShard(&Shard{Execs: 7})
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+
+	vars := get("/debug/vars")
+	var parsed map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &parsed); err != nil {
+		t.Fatalf("expvar output not JSON: %v", err)
+	}
+	if _, ok := parsed["pmfuzz"]; !ok {
+		t.Errorf("expvar missing pmfuzz key")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(parsed["pmfuzz"], &snap); err != nil {
+		t.Fatalf("pmfuzz expvar not a snapshot: %v", err)
+	}
+	if snap.Execs != 7 {
+		t.Errorf("expvar execs = %d, want 7", snap.Execs)
+	}
+
+	prom := get("/metrics")
+	for _, want := range []string{
+		"# TYPE pmfuzz_execs_total counter",
+		`pmfuzz_execs_total{workload="btree",config="pmfuzz"} 7`,
+		"# TYPE pmfuzz_exec_duration_seconds histogram",
+		`le="+Inf"`,
+		"pmfuzz_exec_duration_seconds_count",
+		`stage="exec"`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}
+
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	m := NewMetrics("w", "c", 1, 0, 0)
+	sh := &Shard{}
+	sh.ExecHist.Observe(100) // bucket 0
+	sh.ExecHist.Observe(300) // bucket 1
+	sh.ExecHist.Observe(300)
+	m.MergeShard(sh)
+	out := PrometheusText(m.Snapshot())
+	if !strings.Contains(out, `le="2.56e-07"`+"} 1") {
+		t.Errorf("first bucket should be cumulative 1:\n%s", out)
+	}
+	if !strings.Contains(out, `le="+Inf"`+"} 3") {
+		t.Errorf("+Inf bucket should be 3")
+	}
+	if !strings.Contains(out, "pmfuzz_exec_duration_seconds_count{") || !strings.Contains(out, "} 3\n") {
+		t.Errorf("count should be 3")
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if StageExec.String() != "exec" || StagePut.String() != "imgstore_put" {
+		t.Errorf("stage names wrong")
+	}
+	if Stage(99).String() != "unknown" {
+		t.Errorf("out-of-range stage should be unknown")
+	}
+}

@@ -1,0 +1,296 @@
+package obs
+
+// Session bundles the registry with its sinks for one fuzzing session:
+//
+//   - a periodic AFL-style status line on stderr (StatusEvery),
+//   - fuzzer_stats (key = value) and plot_data (CSV) files under
+//     OutDir, in AFL's formats so afl-plot and friends keep working,
+//   - the JSONL event trace (TracePath),
+//   - an HTTP endpoint serving expvar JSON and Prometheus text
+//     (HTTPAddr; see http.go).
+//
+// The sinks run off a wall-clock ticker goroutine that only READS the
+// atomic registry — the engine never blocks on a sink, and a session
+// with every sink enabled stays bit-identical to one with none.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Config parameterizes a telemetry session. Zero values disable each
+// sink; a Session with every sink off is still a live registry (useful
+// for benchmarks and the HTTP-only case).
+type Config struct {
+	// Workload, FuzzConfig, Workers, Seed, BudgetNS stamp the registry
+	// and the trace's session header.
+	Workload   string
+	FuzzConfig string
+	Workers    int
+	Seed       int64
+	BudgetNS   int64
+
+	// StatusEvery > 0 emits a status line to StatusW (default
+	// os.Stderr) at that wall-clock interval.
+	StatusEvery time.Duration
+	StatusW     io.Writer
+
+	// OutDir, when set, receives fuzzer_stats and plot_data (the
+	// directory is created; AFL keeps the same two files in its output
+	// directory).
+	OutDir string
+
+	// TracePath, when set, receives the JSONL event trace.
+	TracePath string
+
+	// HTTPAddr, when set, serves /debug/vars (expvar) and /metrics
+	// (Prometheus text) while the session runs.
+	HTTPAddr string
+}
+
+// Session is one attached telemetry session.
+type Session struct {
+	// M is the shared registry the engine merges shards into.
+	M *Metrics
+
+	cfg   Config
+	trace *Trace
+	plotF *os.File
+
+	stop chan struct{}
+	done chan struct{}
+
+	httpLn  ln
+	started bool
+}
+
+// NewSession builds the session and opens its file sinks. Nothing is
+// emitted until Start.
+func NewSession(cfg Config) (*Session, error) {
+	if cfg.StatusW == nil {
+		cfg.StatusW = os.Stderr
+	}
+	s := &Session{
+		M:    NewMetrics(cfg.Workload, cfg.FuzzConfig, cfg.Workers, cfg.Seed, cfg.BudgetNS),
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if cfg.TracePath != "" {
+		// The trace commonly lives inside OutDir; create its parent
+		// before OutDir handling so either ordering works.
+		if dir := filepath.Dir(cfg.TracePath); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, fmt.Errorf("obs: trace dir: %w", err)
+			}
+		}
+		tr, err := NewTrace(cfg.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		s.trace = tr
+	}
+	if cfg.OutDir != "" {
+		if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+			s.trace.Close()
+			return nil, fmt.Errorf("obs: out dir: %w", err)
+		}
+		f, err := os.Create(filepath.Join(cfg.OutDir, "plot_data"))
+		if err != nil {
+			s.trace.Close()
+			return nil, fmt.Errorf("obs: plot_data: %w", err)
+		}
+		s.plotF = f
+		fmt.Fprintln(f, plotHeader)
+	}
+	return s, nil
+}
+
+// Trace returns the event trace (nil when disabled; Emit on nil is a
+// no-op, so callers use it unguarded).
+func (s *Session) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.trace
+}
+
+// Start launches the sink ticker and the HTTP endpoint.
+func (s *Session) Start() error {
+	if s.started {
+		return nil
+	}
+	s.started = true
+	if s.cfg.HTTPAddr != "" {
+		if err := s.startHTTP(); err != nil {
+			return err
+		}
+	}
+	go s.loop()
+	return nil
+}
+
+// loop is the sink ticker: status lines and file refreshes until Close.
+func (s *Session) loop() {
+	defer close(s.done)
+	period := s.cfg.StatusEvery
+	if period <= 0 {
+		// File/HTTP-only sessions still refresh fuzzer_stats and append
+		// plot rows at a coarse default.
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.flushSinks()
+		}
+	}
+}
+
+// flushSinks emits one status line (when enabled) and refreshes the
+// stat files; runs on every tick and once more at Close.
+func (s *Session) flushSinks() {
+	snap := s.M.Snapshot()
+	if s.cfg.StatusEvery > 0 {
+		fmt.Fprintln(s.cfg.StatusW, StatusLine(snap))
+	}
+	if s.cfg.OutDir != "" {
+		s.writeFuzzerStats(snap)
+		s.appendPlotRow(snap)
+	}
+}
+
+// Close stops the ticker, writes the final stats/plot/status state,
+// closes the trace, and shuts the HTTP endpoint down.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	var err error
+	if s.started {
+		close(s.stop)
+		<-s.done
+	}
+	s.flushSinks()
+	if s.plotF != nil {
+		if cerr := s.plotF.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if terr := s.trace.Close(); err == nil {
+		err = terr
+	}
+	if herr := s.stopHTTP(); err == nil {
+		err = herr
+	}
+	return err
+}
+
+// StatusLine renders the one-line live view, AFL-UI style:
+//
+//	[pmfuzz btree/pmfuzz w1] 2.1s | sim 88.2/500.0 ms | execs 12456 (5930/s) | q 317 (fav 45, pend 12) | pm 330 | br 512 | imgs 237 (45 crash, 31% dedup) | faults 2 | hangs 0
+func StatusLine(s Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[pmfuzz %s/%s w%d] %.1fs", s.Workload, s.Config, s.Workers, s.WallSecs)
+	fmt.Fprintf(&b, " | sim %.1f/%.1f ms", float64(s.SimNS)/1e6, float64(s.BudgetNS)/1e6)
+	fmt.Fprintf(&b, " | execs %d (%.0f/s)", s.Execs, s.ExecsPerSec)
+	fmt.Fprintf(&b, " | q %d (fav %d, pend %d)", s.QueueLen, s.FavHigh, s.PendingFavs)
+	fmt.Fprintf(&b, " | pm %d | br %d", s.PMPaths, s.BranchCov)
+	fmt.Fprintf(&b, " | imgs %d (%d crash, %.0f%% dedup)", s.Images, s.CrashImages, 100*s.DedupRate())
+	fmt.Fprintf(&b, " | faults %d | hangs %d", s.UniqueFaults, s.Hangs)
+	return b.String()
+}
+
+// writeFuzzerStats rewrites OutDir/fuzzer_stats in AFL's key = value
+// format: the classic AFL keys first (so existing dashboards parse it),
+// then pmfuzz_* extensions for the PM-specific registry.
+func (s *Session) writeFuzzerStats(snap Snapshot) {
+	data := FuzzerStats(snap, time.Now())
+	os.WriteFile(filepath.Join(s.cfg.OutDir, "fuzzer_stats"), []byte(data), 0o644)
+}
+
+// FuzzerStats renders the AFL-format fuzzer_stats content.
+func FuzzerStats(s Snapshot, now time.Time) string {
+	var b strings.Builder
+	kv := func(k string, format string, args ...interface{}) {
+		fmt.Fprintf(&b, "%-18s: ", k)
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+	}
+	start := now.Add(-time.Duration(s.WallSecs * float64(time.Second)))
+	kv("start_time", "%d", start.Unix())
+	kv("last_update", "%d", now.Unix())
+	kv("fuzzer_pid", "%d", os.Getpid())
+	kv("afl_banner", "pmfuzz-%s", s.Workload)
+	kv("afl_version", "pmfuzz-sim")
+	kv("cycles_done", "%d", s.Rounds)
+	kv("execs_done", "%d", s.Execs)
+	kv("execs_per_sec", "%.2f", s.ExecsPerSec)
+	kv("paths_total", "%d", s.QueueLen)
+	kv("paths_favored", "%d", s.FavHigh)
+	kv("paths_found", "%d", s.Admits+s.Harvests)
+	kv("pending_favs", "%d", s.PendingFavs)
+	kv("pending_total", "%d", s.PendingTotal)
+	kv("max_depth", "%d", s.MaxDepth)
+	kv("bitmap_cvg", "%.2f%%", bitmapCvgPct(s))
+	kv("unique_crashes", "%d", s.UniqueFaults)
+	kv("unique_hangs", "%d", s.Hangs)
+	kv("command_line", "pmfuzz -workload %s -config %s -workers %d -seed %d", s.Workload, s.Config, s.Workers, s.Seed)
+
+	kv("pmfuzz_sim_ms", "%.3f", float64(s.SimNS)/1e6)
+	kv("pmfuzz_budget_ms", "%.3f", float64(s.BudgetNS)/1e6)
+	kv("pmfuzz_pm_paths", "%d", s.PMPaths)
+	kv("pmfuzz_branch_cov", "%d", s.BranchCov)
+	kv("pmfuzz_images", "%d", s.Images)
+	kv("pmfuzz_crash_images", "%d", s.CrashImages)
+	kv("pmfuzz_harvests", "%d", s.Harvests)
+	kv("pmfuzz_dedup_rate", "%.4f", s.DedupRate())
+	kv("pmfuzz_delta_rate", "%.4f", s.DeltaRate())
+	kv("pmfuzz_compression", "%.2f", s.CompressionRatio())
+	kv("pmfuzz_faulted_execs", "%d", s.Faults)
+	kv("pmfuzz_lease_ms", "%.1f", float64(s.LeaseNS)/1e6)
+	kv("pmfuzz_idle_ms", "%.1f", float64(s.IdleNS)/1e6)
+	for _, st := range s.Stages {
+		kv("pmfuzz_stage_"+st.Name+"_ms", "%.1f", float64(st.NS)/1e6)
+		kv("pmfuzz_stage_"+st.Name+"_ops", "%d", st.Ops)
+	}
+	return b.String()
+}
+
+// bitmapCvgPct approximates AFL's bitmap coverage: covered
+// (slot, bucket) states over the 64 Ki-slot map. Can exceed 100% in
+// principle (several buckets per slot); AFL consumers only plot it.
+func bitmapCvgPct(s Snapshot) float64 {
+	return 100 * float64(s.BranchCov) / float64(1<<16)
+}
+
+// plotHeader is AFL's plot_data header with pmfuzz extension columns
+// appended (afl-plot addresses columns by position, so extras at the
+// tail are harmless).
+const plotHeader = "# unix_time, cycles_done, cur_path, paths_total, pending_total, pending_favs, map_size, unique_crashes, unique_hangs, max_depth, execs_per_sec, total_execs, sim_ms, pm_paths, images"
+
+// appendPlotRow appends one CSV row to plot_data.
+func (s *Session) appendPlotRow(snap Snapshot) {
+	if s.plotF == nil {
+		return
+	}
+	fmt.Fprintln(s.plotF, PlotRow(snap, time.Now()))
+}
+
+// PlotRow renders one plot_data CSV row. cur_path carries the PM-path
+// count (this engine has no single "current path" cursor; the column
+// must stay numeric for AFL tooling).
+func PlotRow(s Snapshot, now time.Time) string {
+	return fmt.Sprintf("%d, %d, %d, %d, %d, %d, %.2f%%, %d, %d, %d, %.2f, %d, %.3f, %d, %d",
+		now.Unix(), s.Rounds, s.PMPaths, s.QueueLen, s.PendingTotal, s.PendingFavs,
+		bitmapCvgPct(s), s.UniqueFaults, s.Hangs, s.MaxDepth, s.ExecsPerSec,
+		s.Execs, float64(s.SimNS)/1e6, s.PMPaths, s.Images)
+}

@@ -1,0 +1,137 @@
+package obs
+
+// The structured event trace: one JSON object per line, recording the
+// discrete discoveries of a session — corpus admissions, image
+// harvests, fault discoveries, worker round boundaries — each stamped
+// with SIMULATED time only. Because the engine is deterministic per
+// (Seed, Workers) and no wall-clock value enters an event, the trace
+// file itself is byte-identical across replays of the same session:
+// diffing two traces diffs the sessions.
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// Trace writes JSONL events. A nil *Trace drops every Emit, so callers
+// never guard. Writers are buffered; Close flushes.
+type Trace struct {
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewTrace opens (truncating) a JSONL trace file.
+func NewTrace(path string) (*Trace, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 64<<10)
+	return &Trace{f: f, w: w, enc: json.NewEncoder(w)}, nil
+}
+
+// Emit appends one event (any JSON-marshalable value; the package's
+// *Event structs carry a "t" type tag). Errors are sticky and surfaced
+// by Close.
+func (t *Trace) Emit(v interface{}) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(v)
+}
+
+// Close flushes and closes the trace, returning the first error seen.
+func (t *Trace) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err := t.err
+	if ferr := t.w.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := t.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// SessionEvent opens every trace: the session parameters.
+type SessionEvent struct {
+	T        string `json:"t"` // "session"
+	Workload string `json:"workload"`
+	Seed     int64  `json:"seed"`
+	Workers  int    `json:"workers"`
+	BudgetNS int64  `json:"budget_ns"`
+}
+
+// AdmitEvent records an input admitted to the corpus (Figure 11 step ②
+// for inputs). Worker 0 is the serial engine / coordinator; parallel
+// workers are 1-based.
+type AdmitEvent struct {
+	T          string `json:"t"` // "admit"
+	SimNS      int64  `json:"sim_ns"`
+	Worker     int    `json:"worker"`
+	ID         int    `json:"id"`
+	Parent     int    `json:"parent"`
+	Favored    int    `json:"favored"`
+	NewBranch  bool   `json:"new_branch"`
+	NewPM      bool   `json:"new_pm"`
+	CrashImage bool   `json:"crash_image"`
+	HasImage   bool   `json:"has_image"`
+}
+
+// HarvestEvent records a freshly generated PM image entering the store
+// and the corpus (Figure 11 steps ③–⑤). Image is the content hash's
+// short hex prefix.
+type HarvestEvent struct {
+	T          string `json:"t"` // "harvest"
+	SimNS      int64  `json:"sim_ns"`
+	Worker     int    `json:"worker"`
+	ID         int    `json:"id"`
+	Parent     int    `json:"parent"`
+	Image      string `json:"image"`
+	CrashImage bool   `json:"crash_image"`
+}
+
+// FaultEvent records a deduplicated fault bucket's first detection
+// (§5.4.1's time-to-detection).
+type FaultEvent struct {
+	T      string `json:"t"` // "fault"
+	SimNS  int64  `json:"sim_ns"`
+	Worker int    `json:"worker"`
+	Execs  int    `json:"execs"`
+	Msg    string `json:"msg"`
+}
+
+// RoundEvent records one worker batch merged by the coordinator — the
+// fleet's heartbeat. Done marks the worker's budget exhausting.
+type RoundEvent struct {
+	T        string `json:"t"` // "round"
+	SimNS    int64  `json:"sim_ns"`
+	Worker   int    `json:"worker"`
+	Outcomes int    `json:"outcomes"`
+	Done     bool   `json:"done"`
+}
+
+// EndEvent closes every trace: the session totals.
+type EndEvent struct {
+	T        string `json:"t"` // "end"
+	SimNS    int64  `json:"sim_ns"`
+	Execs    int    `json:"execs"`
+	PMPaths  int    `json:"pm_paths"`
+	QueueLen int    `json:"queue"`
+	Images   int    `json:"images"`
+	Faults   int    `json:"faults"`
+}
