@@ -8,6 +8,7 @@
 //	pmcheck -workload btree -input case.input [-image case.img]
 //	pmcheck -workload redis -input case.input -xfd -xfd-barriers 50
 //	pmcheck -workload hashmap-tx -input case.input -real-bug 1 -xfd
+//	pmcheck -workload btree -input case.input -real-bug 2 -oracle
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 
 	"pmfuzz/internal/executor"
+	"pmfuzz/internal/oracle"
 	"pmfuzz/internal/pmcheck"
 	"pmfuzz/internal/pmem"
 	"pmfuzz/internal/workloads/bugs"
@@ -33,6 +35,8 @@ func main() {
 		runXFD      = flag.Bool("xfd", false, "also run the cross-failure checker")
 		xfdBarriers = flag.Int("xfd-barriers", 50, "cross-failure barrier sweep cap")
 		xfdProb     = flag.Float64("xfd-prob", 0, "probabilistic failure rate for the cross-failure sweep")
+		runOracle   = flag.Bool("oracle", false, "also run the differential crash-consistency oracle over the barrier sweep")
+		reproOut    = flag.String("repro-out", "", "directory for minimized oracle repro bundles (implies minimization)")
 	)
 	flag.Parse()
 
@@ -102,6 +106,34 @@ func main() {
 		findings += len(reports)
 		if len(reports) == 0 {
 			fmt.Println("xfdetector: clean")
+		}
+	}
+
+	if *runOracle || *reproOut != "" {
+		rep := oracle.Check(tc, oracle.Options{
+			PreFence: true,
+			Minimize: *reproOut != "",
+		})
+		if rep.Skipped != "" {
+			fmt.Printf("oracle: skipped: %s\n", rep.Skipped)
+		} else {
+			fmt.Printf("oracle: %d crash images checked over %d barriers\n", rep.Checked, rep.Barriers)
+			for _, v := range rep.Violations {
+				fmt.Println(v)
+			}
+			findings += len(rep.Violations)
+			if len(rep.Violations) == 0 {
+				fmt.Println("oracle: clean")
+			}
+		}
+		for i, b := range rep.Bundles {
+			dir := fmt.Sprintf("%s/repro-%03d", *reproOut, i)
+			if err := b.Write(dir); err != nil {
+				fmt.Fprintln(os.Stderr, "pmcheck: writing repro bundle:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("oracle: repro bundle (input %d -> %d bytes, barrier %d -> %d) written to %s\n",
+				b.OrigInputLen, len(b.Input), b.OrigBarrier, b.Barrier, dir)
 		}
 	}
 

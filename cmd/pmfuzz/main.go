@@ -56,6 +56,8 @@ func main() {
 		statusEvery = flag.Duration("status-every", 0, "print an AFL-style status line to stderr at this wall-clock interval (0 = off)")
 		traceOut    = flag.String("trace-out", "", "write a JSONL event trace (sim-time stamps) to this file")
 		statsAddr   = flag.String("stats-addr", "", "serve live metrics over HTTP (expvar at /debug/vars, Prometheus text at /metrics); use :0 for an ephemeral port")
+		oracleCheck = flag.Bool("oracle", false, "run the differential crash-consistency oracle on favored test cases (off the simulated clock)")
+		reproOut    = flag.String("repro-out", "", "directory for minimized oracle repro bundles (implies -oracle)")
 	)
 	flag.Parse()
 
@@ -133,6 +135,7 @@ func main() {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 	cfg.Workers = *workers
+	cfg.OracleCheck = *oracleCheck || *reproOut != ""
 	fuzzer, err := core.New(cfg, bg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmfuzz:", err)
@@ -195,6 +198,20 @@ func main() {
 		if err := export(res, *outDir); err != nil {
 			fmt.Fprintln(os.Stderr, "pmfuzz: export:", err)
 			os.Exit(1)
+		}
+	}
+	if *reproOut != "" {
+		for i, b := range res.Repros {
+			dir := filepath.Join(*reproOut, fmt.Sprintf("repro-%03d", i))
+			if err := b.Write(dir); err != nil {
+				fmt.Fprintln(os.Stderr, "pmfuzz: repro bundle:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("oracle repro %d: %s at barrier %d (input %d -> %d bytes) -> %s\n",
+				i, b.Kind, b.Barrier, b.OrigInputLen, len(b.Input), dir)
+		}
+		if len(res.Repros) == 0 {
+			fmt.Println("oracle: no violations; no repro bundles written")
 		}
 	}
 }

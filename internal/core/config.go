@@ -92,6 +92,19 @@ type Config struct {
 	SampleEveryExecs int
 	// MaxCommands caps command lines per execution (0 = default).
 	MaxCommands int
+	// OracleCheck runs the differential crash-consistency oracle
+	// (internal/oracle) on favored new-PM-path entries after image
+	// harvest: every crash image of the entry's barrier sweep must
+	// recover to a state the workload's shadow model explains.
+	// Violations are recorded as faults and minimized into repro bundles
+	// (Result.Repros). The oracle's replays run off the simulated clock
+	// on private arenas, so enabling it never changes the session's
+	// trajectory, coverage, or image stream. Default off.
+	OracleCheck bool
+	// OracleMaxChecks caps oracle sweeps per session (0 = default cap);
+	// each check costs one journaled re-execution plus one recovery per
+	// ordering point.
+	OracleMaxChecks int
 	// Workers is the number of parallel fuzzing workers — the in-process
 	// analog of the master/slave AFL fleet the paper runs (§5.1). Each
 	// worker owns a private coverage shard, mutator, image cache, and

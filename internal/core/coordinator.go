@@ -110,6 +110,7 @@ func (f *Fuzzer) runParallel(n int) *Result {
 		PMPaths: len(f.pmPathSigs),
 		Queue:   f.queue,
 		Store:   f.store,
+		Repros:  f.repros,
 	}
 }
 
@@ -211,5 +212,10 @@ func (f *Fuzzer) admitOutcome(parent *fuzz.Entry, o *execOutcome, newBranch, new
 		for _, ci := range o.crashImages {
 			f.addImageEntryDelta(e, o.input, ci, true, o.simNS, outID, o.outImage)
 		}
+	}
+	// The oracle runs on the coordinator goroutine (the checker is not
+	// concurrency-safe) against the same test case the worker executed.
+	if e.NewPM {
+		f.oracleScan(e, o.input, o.inImage, o.simNS)
 	}
 }

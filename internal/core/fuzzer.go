@@ -9,6 +9,7 @@ import (
 	"pmfuzz/internal/imgstore"
 	"pmfuzz/internal/instr"
 	"pmfuzz/internal/obs"
+	"pmfuzz/internal/oracle"
 	"pmfuzz/internal/pmem"
 	"pmfuzz/internal/workloads"
 	"pmfuzz/internal/workloads/bugs"
@@ -60,6 +61,9 @@ type Result struct {
 	// generated test cases (step ⑤ of Figure 9).
 	Queue *fuzz.Queue
 	Store *imgstore.Store
+	// Repros holds the minimized differential-oracle repro bundles
+	// (capped at maxRepros; empty unless Config.OracleCheck).
+	Repros []*oracle.Bundle
 }
 
 // Fuzzer is one fuzzing session.
@@ -89,6 +93,14 @@ type Fuzzer struct {
 	// analog): one resident device plus pooled tracers and snapshot
 	// buffers shared by every execution. Workers get their own.
 	arena *executor.Arena
+
+	// oracleCk is the differential crash-consistency checker (nil unless
+	// Config.OracleCheck). It owns private arenas and runs off the
+	// simulated clock, so its replays never perturb the trajectory. Used
+	// only from the serial loop / coordinator goroutine.
+	oracleCk     *oracle.Checker
+	oracleChecks int
+	repros       []*oracle.Bundle
 
 	// tele is the attached telemetry session (nil when disabled); shard
 	// is the serial loop's / coordinator's private metrics shard, merged
@@ -133,6 +145,9 @@ func New(cfg Config, bugSet *bugs.Set) (*Fuzzer, error) {
 		faultMsgs:    map[string]bool{},
 		pmPathSigs:   map[uint64]struct{}{},
 		arena:        executor.NewArena(),
+	}
+	if cfg.OracleCheck {
+		f.oracleCk = oracle.NewChecker()
 	}
 	for _, s := range seeds {
 		f.queue.Add(&fuzz.Entry{Input: s, ParentID: -1, Favored: fuzz.FavoredHigh})
@@ -358,6 +373,7 @@ func (f *Fuzzer) runSerial() *Result {
 		PMPaths: len(f.pmPathSigs),
 		Queue:   f.queue,
 		Store:   f.store,
+		Repros:  f.repros,
 	}
 }
 
@@ -519,6 +535,57 @@ func (f *Fuzzer) observe(parent *fuzz.Entry, tc executor.TestCase, res *executor
 	// PM image generation").
 	if f.cfg.Features.ImgFuzzIndirect && res.Image != nil && e.NewPM {
 		f.harvestImages(e, tc, res)
+	}
+	if e.NewPM {
+		f.oracleScan(e, tc.Input, tc.Image, f.clock.Now())
+	}
+}
+
+// maxRepros caps the minimized repro bundles retained per session.
+const maxRepros = 8
+
+// defaultOracleMaxChecks bounds oracle sweeps when the config doesn't.
+const defaultOracleMaxChecks = 64
+
+// oracleScan runs the differential crash-consistency oracle on one
+// favored test case: sweep its ordering points, recover every crash
+// image, and require each recovered state to be explainable by the
+// shadow model. Violations become faults (deduplicated by message) and,
+// while the repro cap allows, delta-debugged repro bundles. The oracle
+// runs entirely off the simulated clock on its own arenas.
+func (f *Fuzzer) oracleScan(parent *fuzz.Entry, input []byte, img *pmem.Image, simNS int64) {
+	if f.oracleCk == nil {
+		return
+	}
+	maxChecks := f.cfg.OracleMaxChecks
+	if maxChecks <= 0 {
+		maxChecks = defaultOracleMaxChecks
+	}
+	if f.oracleChecks >= maxChecks {
+		return
+	}
+	f.oracleChecks++
+	tc := executor.TestCase{
+		Workload: f.cfg.Workload,
+		Input:    input,
+		Image:    img,
+		Bugs:     f.bugs,
+		Seed:     f.cfg.Seed,
+	}
+	rep := f.oracleCk.Check(tc, oracle.Options{
+		MaxCommands:   f.cfg.MaxCommands,
+		MaxViolations: 1,
+	})
+	for _, v := range rep.Violations {
+		// Minimize only novel violations (same bucket key as addFault):
+		// re-finding a known violation through another favored entry
+		// should not cost a delta-debugging pass or a duplicate bundle.
+		fresh := !f.faultMsgs[v.String()]
+		f.addFault(parent, input, v.String(), simNS)
+		if fresh && len(f.repros) < maxRepros {
+			f.repros = append(f.repros,
+				f.oracleCk.Minimize(tc, v, oracle.Options{MaxCommands: f.cfg.MaxCommands}))
+		}
 	}
 }
 

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// oracleSession runs one session with the differential oracle enabled.
+func oracleSession(t *testing.T, workload string, budget int64, bg *bugs.Set) *Result {
+	t.Helper()
+	cfg, err := DefaultConfig(workload, PMFuzzAll, budget, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.OracleCheck = true
+	f, err := New(cfg, bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Run()
+}
+
+// TestOracleOffTrajectory pins the determinism contract: enabling the
+// oracle must not change the session's trajectory — same executions,
+// same simulated time, same coverage, same queue growth.
+func TestOracleOffTrajectory(t *testing.T) {
+	base := runSession(t, "btree", PMFuzzAll, testBudget, nil)
+	with := oracleSession(t, "btree", testBudget, nil)
+	if base.Execs != with.Execs || base.SimNS != with.SimNS || base.PMPaths != with.PMPaths {
+		t.Fatalf("oracle perturbed the trajectory: execs %d/%d simNS %d/%d pmPaths %d/%d",
+			base.Execs, with.Execs, base.SimNS, with.SimNS, base.PMPaths, with.PMPaths)
+	}
+	if base.Queue.Len() != with.Queue.Len() {
+		t.Fatalf("oracle perturbed the queue: %d vs %d entries", base.Queue.Len(), with.Queue.Len())
+	}
+}
+
+// TestOracleSessionCleanNoViolations: a fixed program's session emits no
+// oracle faults and no repro bundles.
+func TestOracleSessionCleanNoViolations(t *testing.T) {
+	res := oracleSession(t, "btree", testBudget, nil)
+	for _, f := range res.Faults {
+		if strings.HasPrefix(f.Msg, "[oracle]") {
+			t.Errorf("oracle false positive in clean session: %s", f.Msg)
+		}
+	}
+	if len(res.Repros) != 0 {
+		t.Errorf("clean session emitted %d repro bundles", len(res.Repros))
+	}
+}
+
+// TestOracleSessionFindsBug: fuzzing the create-not-retried btree bug
+// with the oracle on yields an oracle fault and a minimized bundle that
+// replays to its recorded verdict.
+func TestOracleSessionFindsBug(t *testing.T) {
+	bg := bugs.NewSet().EnableReal(bugs.Bug2BTreeCreateNotRetried)
+	res := oracleSession(t, "btree", testBudget, bg)
+	found := false
+	for _, f := range res.Faults {
+		if strings.HasPrefix(f.Msg, "[oracle]") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("oracle recorded no violation fault (faults: %d, repros: %d)",
+			len(res.Faults), len(res.Repros))
+	}
+	if len(res.Repros) == 0 {
+		t.Fatal("no repro bundle emitted")
+	}
+	b := res.Repros[0]
+	if b.OrigInputLen < len(b.Input) {
+		t.Fatalf("minimized input grew: %d > %d", len(b.Input), b.OrigInputLen)
+	}
+}

@@ -64,6 +64,12 @@ type Options struct {
 	// never touches the clock, the device, or any result field, so a run
 	// with a shard attached is bit-identical to one without.
 	Shard *obs.Shard
+	// Probe, when non-nil, runs after the command loop and before the
+	// program closes, inside the fault-recovery scope: a probe that
+	// dereferences corrupted state panics into Result.Panicked instead of
+	// crashing the process. The differential oracle uses it to dump the
+	// recovered workload state. A returned error lands in Result.Err.
+	Probe func(env *workloads.Env, prog workloads.Program) error
 }
 
 // DefaultMaxOps bounds runaway executions (e.g. cyclic structures on
@@ -260,6 +266,12 @@ func run(tc TestCase, opts Options, sh *runExtras) (*Result, *runExtras) {
 				if errors.Is(err, workloads.ErrStop) {
 					break
 				}
+				res.Err = err
+				return false
+			}
+		}
+		if opts.Probe != nil {
+			if err := opts.Probe(env, prog); err != nil {
 				res.Err = err
 				return false
 			}

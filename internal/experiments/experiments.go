@@ -333,26 +333,34 @@ func DetectWithTools(res *core.Result, bg *bugs.Set, wantPerf bool, opts DetectO
 	// behaviour (e.g. the one test case whose replay crosses a rebuild
 	// threshold), instead of a blind positional sample.
 	entries := MinimizeCorpus(res, bg, 8*opts.MaxEntries)
+	// The checker replays reuse one arena; the Detection is fully built
+	// (strings copied out of the reports) before each Recycle.
+	arena := executor.NewArena()
 	for _, e := range entries {
 		tc, err := entryTestCase(res, e, bg, res.Config.Seed)
 		if err != nil {
 			continue
 		}
-		run := executor.Run(tc, executor.Options{RecordTrace: true})
+		run := executor.Run(tc, executor.Options{RecordTrace: true, Arena: arena})
 		if run.Trace == nil {
+			arena.Recycle(run)
 			continue
 		}
 		reports := pmcheck.Check(run.Trace.Events())
+		var det Detection
 		if wantPerf && pmcheck.HasClass(reports, pmcheck.Performance) {
-			return Detection{Detected: true, By: "pmemcheck: " + reports[0].Rule.String(), SimNS: entrySimNS(e)}
+			det = Detection{Detected: true, By: "pmemcheck: " + reports[0].Rule.String(), SimNS: entrySimNS(e)}
 		}
 		if !wantPerf {
 			if pmcheck.HasClass(reports, pmcheck.CrashConsistency) {
-				return Detection{Detected: true, By: "pmemcheck: " + reports[0].Rule.String(), SimNS: entrySimNS(e)}
+				det = Detection{Detected: true, By: "pmemcheck: " + reports[0].Rule.String(), SimNS: entrySimNS(e)}
+			} else if run.Faulted() {
+				det = Detection{Detected: true, By: "replay-fault", SimNS: entrySimNS(e)}
 			}
-			if run.Faulted() {
-				return Detection{Detected: true, By: "replay-fault", SimNS: entrySimNS(e)}
-			}
+		}
+		arena.Recycle(run)
+		if det.Detected {
+			return det
 		}
 	}
 	if !wantPerf {

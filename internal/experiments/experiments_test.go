@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pmfuzz/internal/core"
+	"pmfuzz/internal/executor"
 	"pmfuzz/internal/workloads/bugs"
 )
 
@@ -159,5 +160,49 @@ func TestReplayEntriesBounded(t *testing.T) {
 		if picked[i].ID < picked[i-1].ID {
 			t.Fatalf("entries not in generation order")
 		}
+	}
+}
+
+// replayAllocBudget is the per-replay allocation ceiling for the checker
+// and minimizer replay loops: the executor's arena budget plus headroom
+// for the image-store fetch each replay performs. Catches any return of
+// the fresh-device/tracer churn the arena removed.
+const replayAllocBudget = 600
+
+func TestReplayAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting off in -short")
+	}
+	cfg, err := core.DefaultConfig("btree", core.PMFuzzAll, smallBudget, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.Run()
+	entries := replayEntries(res, 8)
+	if len(entries) == 0 {
+		t.Fatal("no entries to replay")
+	}
+	arena := executor.NewArena()
+	replayAll := func() {
+		for _, e := range entries {
+			tc, err := entryTestCase(res, e, nil, res.Config.Seed)
+			if err != nil {
+				continue
+			}
+			run := executor.Run(tc, executor.Options{Arena: arena})
+			arena.Recycle(run)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		replayAll() // warm the arena pools and the site cache
+	}
+	avg := testing.AllocsPerRun(10, replayAll)
+	perReplay := avg / float64(len(entries))
+	if perReplay > replayAllocBudget {
+		t.Fatalf("steady-state replay allocates %.0f/op, budget %d", perReplay, replayAllocBudget)
 	}
 }

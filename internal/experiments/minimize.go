@@ -16,14 +16,19 @@ import (
 func MinimizeCorpus(res *core.Result, bg *bugs.Set, maxReplay int) []*fuzz.Entry {
 	candidates := replayEntries(res, maxReplay)
 	virgin := instr.NewVirgin()
+	// One arena serves the whole replay loop: Merge consumes the PM map
+	// before Recycle returns the tracer to the pool, so replays stay off
+	// the allocation hot path like the fuzzing loop itself.
+	arena := executor.NewArena()
 	var kept []*fuzz.Entry
 	for _, e := range candidates {
 		tc, err := entryTestCase(res, e, bg, res.Config.Seed)
 		if err != nil {
 			continue
 		}
-		run := executor.Run(tc, executor.Options{})
+		run := executor.Run(tc, executor.Options{Arena: arena})
 		newSlot, newBucket := virgin.Merge(run.Tracer.PMMap())
+		arena.Recycle(run)
 		if newSlot || newBucket {
 			kept = append(kept, e)
 		}

@@ -1,0 +1,35 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+
+	"pmfuzz/internal/workloads"
+)
+
+// FuzzMutators asserts the mutation operators never panic, respect the
+// input length bound, and keep their output consumable by the command
+// parsers (every line either parses or is skippable noise — ParseOp must
+// not panic on any mutated line).
+func FuzzMutators(f *testing.F) {
+	f.Add(int64(1), []byte("i 1 1\ni 2 2\nc\n"), []byte("r 1\ng 2\nq\n"))
+	f.Add(int64(42), []byte("SET 1 1\nDEL 1\nCHECK\n"), []byte("set 9 9\ndel 9\n"))
+	f.Add(int64(7), []byte(""), []byte("i 5 5\n"))
+	f.Fuzz(func(t *testing.T, seed int64, a, b []byte) {
+		if len(a) > MaxInputLen {
+			a = a[:MaxInputLen]
+		}
+		if len(b) > MaxInputLen {
+			b = b[:MaxInputLen]
+		}
+		m := NewMutator(seed, DictFor([][]byte{a, b}))
+		for _, out := range [][]byte{m.Havoc(a), m.Splice(a, b), m.Havoc(m.Splice(b, a))} {
+			if len(out) > MaxInputLen {
+				t.Fatalf("mutated stream exceeds MaxInputLen: %d > %d", len(out), MaxInputLen)
+			}
+			for _, line := range bytes.Split(out, []byte("\n")) {
+				workloads.ParseOp(line) // must not panic; ErrSkip is fine
+			}
+		}
+	})
+}

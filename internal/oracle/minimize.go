@@ -1,0 +1,172 @@
+package oracle
+
+import (
+	"pmfuzz/internal/executor"
+	"pmfuzz/internal/workloads"
+)
+
+// This file shrinks an oracle violation into a minimal repro. Three
+// passes, each re-validated against the oracle so the result is always a
+// genuine violation:
+//
+//  1. Truncation — a crash image depends only on the command prefix
+//     executed before the failure, so every line after the in-flight
+//     command (index Commands-1) is dead weight and can be dropped
+//     soundly in one step.
+//  2. ddmin over the remaining command lines (complement-removal
+//     delta debugging, Zeller-style): repeatedly delete chunks while the
+//     stream still produces some oracle violation. The violation kind may
+//     shift during shrinking (e.g. state-mismatch → recovery-fault);
+//     any violation keeps the candidate — a repro bundle reproduces *a*
+//     crash-consistency failure, and the final verdict is re-recorded.
+//  3. Bisection over the sweep's crash points to move the failure
+//     barrier as early as possible. Single-barrier probes assume the
+//     violating suffix is contiguous; when it is not, bisection may miss
+//     the global minimum, but the returned barrier is always re-verified
+//     violating, so the bundle stays sound either way.
+
+// Minimize shrinks violation v of tc into a repro bundle. The minimized
+// input is always a subsequence of tc.Input's lines (never larger), and
+// the recorded barrier is verified violating on the minimized stream.
+func (c *Checker) Minimize(tc executor.TestCase, v *Violation, opts Options) *Bundle {
+	origLen := len(tc.Input)
+	origBarrier := v.Barrier
+	lines := splitLines(tc.Input)
+
+	// Pass 1: truncate everything after the in-flight command.
+	if v.Commands < len(lines) {
+		cand := lines[:v.Commands]
+		if vv := c.firstViolation(tc, joinLines(cand), opts); vv != nil {
+			lines, v = cand, vv
+		}
+	}
+
+	// Pass 2: ddmin over the surviving lines.
+	lines, v = c.ddmin(tc, lines, v, opts)
+	input := joinLines(lines)
+
+	// Pass 3: bisect the crash point toward the earliest violating
+	// barrier of the minimized stream.
+	v = c.earliestBarrier(tc, input, v, opts)
+
+	syn, real := enabledBugs(tc.Bugs)
+	return &Bundle{
+		Workload:     tc.Workload,
+		Seed:         tc.Seed,
+		Input:        input,
+		StartImage:   tc.Image,
+		Barrier:      v.Barrier,
+		PreFence:     v.PreFence,
+		Op:           v.Op,
+		Commands:     v.Commands,
+		Kind:         v.Kind,
+		Detail:       v.Detail,
+		Expected:     v.Expected,
+		ExpectedNext: v.ExpectedNext,
+		Actual:       v.Actual,
+		SynBugs:      syn,
+		RealBugs:     real,
+		OrigInputLen: origLen,
+		OrigBarrier:  origBarrier,
+	}
+}
+
+// firstViolation scans input in tc's context and returns the earliest
+// violation, or nil when the stream is clean (or cannot be judged).
+func (c *Checker) firstViolation(tc executor.TestCase, input []byte, opts Options) *Violation {
+	tc.Input = input
+	vs, _, _, skip := c.scan(tc, opts, 0, 1)
+	if skip != "" || len(vs) == 0 {
+		return nil
+	}
+	return vs[0]
+}
+
+// ddmin runs complement-removal delta debugging over the command lines,
+// keeping any candidate that still violates the oracle.
+func (c *Checker) ddmin(tc executor.TestCase, lines [][]byte, v *Violation, opts Options) ([][]byte, *Violation) {
+	granularity := 2
+	for len(lines) >= 2 {
+		chunk := (len(lines) + granularity - 1) / granularity
+		reduced := false
+		for start := 0; start < len(lines); start += chunk {
+			end := min(start+chunk, len(lines))
+			cand := make([][]byte, 0, len(lines)-(end-start))
+			cand = append(cand, lines[:start]...)
+			cand = append(cand, lines[end:]...)
+			if vv := c.firstViolation(tc, joinLines(cand), opts); vv != nil {
+				lines, v = cand, vv
+				granularity = max(granularity-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if granularity >= len(lines) {
+				break
+			}
+			granularity = min(granularity*2, len(lines))
+		}
+	}
+	return lines, v
+}
+
+// earliestBarrier bisects the sweep's crash points of the (already
+// minimized) input toward the earliest violating barrier, probing single
+// barriers against one persistent sweep — backward seeks rebuild from
+// the journal base, so out-of-order probes are safe. Every accepted
+// midpoint was itself judged violating; on any inconsistency the search
+// falls back to the last verified violation.
+func (c *Checker) earliestBarrier(tc executor.TestCase, input []byte, v *Violation, opts Options) *Violation {
+	if v.Barrier <= 1 {
+		return v
+	}
+	tc.Input = input
+
+	base, bv := c.recoverDump(tc, tc.Image, opts)
+	if bv != nil {
+		return v
+	}
+	maxCmds := opts.MaxCommands
+	if maxCmds <= 0 {
+		maxCmds = workloads.MaxCommands
+	}
+	prefixes, err := prefixStates(tc.Workload, base, splitLines(input), maxCmds)
+	if err != nil {
+		return v
+	}
+	sw := executor.SweepRun(tc, executor.Options{
+		Arena:       c.sweepArena,
+		MaxCommands: opts.MaxCommands,
+		MaxOps:      opts.MaxOps,
+	})
+	defer c.sweepArena.Recycle(sw.Clean)
+	if sw.Clean.Faulted() {
+		return v
+	}
+
+	probe := func(b int) *Violation {
+		var res *executor.Result
+		if v.PreFence {
+			res = sw.PreFenceCrash(b)
+		} else {
+			res = sw.Crash(b)
+		}
+		if res == nil {
+			return nil
+		}
+		return c.judge(tc, res, b, v.PreFence, prefixes, opts)
+	}
+
+	best := v
+	lo, hi := 1, min(v.Barrier, sw.Barriers())
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if vv := probe(mid); vv != nil {
+			best, hi = vv, mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best
+}

@@ -1,0 +1,315 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"pmfuzz/internal/executor"
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/workloads"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// Options tunes one oracle check.
+type Options struct {
+	// MaxBarriers caps how many barrier crash points are validated
+	// (0 = every ordering point of the execution).
+	MaxBarriers int
+	// PreFence also validates the pre-fence (flushed-but-unfenced) crash
+	// window before each barrier.
+	PreFence bool
+	// MaxViolations stops the scan after this many violations
+	// (0 = collect all).
+	MaxViolations int
+	// Minimize shrinks each violation into a delta-debugged repro bundle.
+	Minimize bool
+	// MaxCommands / MaxOps mirror the executor options used for the
+	// sweep and the recovery replays (0 = executor defaults).
+	MaxCommands int
+	MaxOps      int
+}
+
+// Violation is one crash image the oracle could not explain.
+type Violation struct {
+	Workload string
+	// Barrier is the ordering-point index of the injected failure; with
+	// PreFence set the crash fired in the flushed-but-unfenced window
+	// just before that barrier.
+	Barrier  int
+	PreFence bool
+	// Op is the PM-operation index of the failure.
+	Op int
+	// Commands is how many command lines had started when the failure
+	// fired; command Commands-1 is the in-flight one.
+	Commands int
+	// Kind is "recovery-fault" (recovery panicked — the segfault analog),
+	// "recovery-error" (recovery or the workload's own consistency check
+	// reported an error), or "state-mismatch" (recovered state equals no
+	// explainable prefix state).
+	Kind   string
+	Detail string
+	// For state-mismatch: the two explainable states (in-flight command
+	// absent / applied) and what recovery actually produced.
+	Expected     []workloads.KV
+	ExpectedNext []workloads.KV
+	Actual       []workloads.KV
+}
+
+// String renders the violation for reports.
+func (v *Violation) String() string {
+	at := fmt.Sprintf("barrier %d", v.Barrier)
+	if v.PreFence {
+		at = fmt.Sprintf("pre-fence op %d", v.Op)
+	}
+	return fmt.Sprintf("[oracle] %s: crash at %s (op %d, %d commands started): %s: %s",
+		v.Workload, at, v.Op, v.Commands, v.Kind, v.Detail)
+}
+
+// Report is the outcome of checking one test case.
+type Report struct {
+	Workload string
+	// Barriers is the ordering-point count of the clean execution.
+	Barriers int
+	// Checked counts crash images validated.
+	Checked int
+	// Skipped is non-empty when the oracle could not judge the test case
+	// (unknown workload, faulting clean run, unrecoverable start image).
+	Skipped    string
+	Violations []*Violation
+	// Bundles holds one minimized repro per violation when
+	// Options.Minimize was set.
+	Bundles []*Bundle
+}
+
+// Checker runs differential crash-consistency checks. It owns two
+// executor arenas — one for journaled sweep executions, one for recovery
+// replays — so repeated checks stay off the allocation hot path (the
+// sweep's copy-on-write journal snapshots its base image, which is what
+// makes interleaving recovery replays with crash-image materialization
+// on resident devices safe). Not safe for concurrent use.
+type Checker struct {
+	sweepArena *executor.Arena
+	recArena   *executor.Arena
+}
+
+// NewChecker returns a reusable checker.
+func NewChecker() *Checker {
+	return &Checker{sweepArena: executor.NewArena(), recArena: executor.NewArena()}
+}
+
+// Check validates every crash image of tc's barrier sweep with a fresh
+// one-shot checker.
+func Check(tc executor.TestCase, opts Options) *Report {
+	return NewChecker().Check(tc, opts)
+}
+
+// Check sweeps tc's ordering points, recovers every crash image, and
+// verifies each recovered state is explainable: equal to the shadow
+// state at the completed-command prefix, or to that prefix plus the
+// whole in-flight command (atomicity + durability). Any injector on tc
+// is ignored; the sweep is the failure source.
+func (c *Checker) Check(tc executor.TestCase, opts Options) *Report {
+	rep := &Report{Workload: tc.Workload}
+	vs, checked, barriers, skip := c.scan(tc, opts, opts.MaxBarriers, opts.MaxViolations)
+	rep.Violations, rep.Checked, rep.Barriers, rep.Skipped = vs, checked, barriers, skip
+	if opts.Minimize {
+		// Neighbouring crash points usually shrink to the same repro;
+		// keep one bundle per distinct minimized outcome.
+		seen := map[string]bool{}
+		for _, v := range vs {
+			b := c.Minimize(tc, v, opts)
+			key := fmt.Sprintf("%s|%d|%t|%s", b.Kind, b.Barrier, b.PreFence, b.Input)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			rep.Bundles = append(rep.Bundles, b)
+		}
+	}
+	return rep
+}
+
+// scan is the shared sweep-and-judge loop behind Check and the
+// minimizer's re-validation probes. maxB caps the barrier range scanned
+// ([1..maxB]); maxV stops after that many violations. It returns the
+// violations in ascending barrier order, so the first one is the
+// earliest explicable-state failure of the scanned window.
+func (c *Checker) scan(tc executor.TestCase, opts Options, maxB, maxV int) (vs []*Violation, checked, barriers int, skip string) {
+	prog, err := workloads.New(tc.Workload)
+	if err != nil {
+		return nil, 0, 0, err.Error()
+	}
+	if _, ok := prog.(workloads.StateDumper); !ok {
+		return nil, 0, 0, fmt.Sprintf("oracle: workload %q has no state-dump hook", tc.Workload)
+	}
+	if _, err := CheckLine(tc.Workload); err != nil {
+		return nil, 0, 0, err.Error()
+	}
+
+	// Baseline S₀: the recovered state of the start image. If the start
+	// image itself doesn't recover cleanly, nothing observed below could
+	// be attributed to the command stream.
+	base, bv := c.recoverDump(tc, tc.Image, opts)
+	if bv != nil {
+		return nil, 0, 0, "baseline recovery of start image not clean: " + bv.Detail
+	}
+
+	maxCmds := opts.MaxCommands
+	if maxCmds <= 0 {
+		maxCmds = workloads.MaxCommands
+	}
+	lines := splitLines(tc.Input)
+	prefixes, err := prefixStates(tc.Workload, base, lines, maxCmds)
+	if err != nil {
+		return nil, 0, 0, err.Error()
+	}
+
+	sw := executor.SweepRun(tc, executor.Options{
+		Arena:       c.sweepArena,
+		MaxCommands: opts.MaxCommands,
+		MaxOps:      opts.MaxOps,
+	})
+	defer c.sweepArena.Recycle(sw.Clean)
+	if sw.Clean.Faulted() {
+		return nil, 0, 0, fmt.Sprintf("clean execution faulted: panicked=%v err=%v", sw.Clean.Panicked, sw.Clean.Err)
+	}
+	barriers = sw.Barriers()
+	if maxB <= 0 || maxB > barriers {
+		maxB = barriers
+	}
+	for b := 1; b <= maxB; b++ {
+		if opts.PreFence {
+			// Before ImageData(b), so the cursor moves strictly forward.
+			if res := sw.PreFenceCrash(b); res != nil {
+				checked++
+				if v := c.judge(tc, res, b, true, prefixes, opts); v != nil {
+					vs = append(vs, v)
+					if maxV > 0 && len(vs) >= maxV {
+						return vs, checked, barriers, ""
+					}
+				}
+			}
+		}
+		res := sw.Crash(b)
+		if res == nil {
+			continue
+		}
+		checked++
+		if v := c.judge(tc, res, b, false, prefixes, opts); v != nil {
+			vs = append(vs, v)
+			if maxV > 0 && len(vs) >= maxV {
+				return vs, checked, barriers, ""
+			}
+		}
+	}
+	return vs, checked, barriers, ""
+}
+
+// judge recovers one crash image and decides whether the recovered state
+// is explainable against the shadow prefixes.
+func (c *Checker) judge(tc executor.TestCase, crash *executor.Result, barrier int, preFence bool, prefixes [][]workloads.KV, opts Options) *Violation {
+	dump, rv := c.recoverDump(tc, crash.Image, opts)
+	v := &Violation{
+		Workload: tc.Workload,
+		Barrier:  barrier,
+		PreFence: preFence,
+		Op:       crash.Crash.Op,
+		Commands: crash.Commands,
+	}
+	if rv != nil {
+		v.Kind, v.Detail = rv.Kind, rv.Detail
+		return v
+	}
+	cur := crash.Commands
+	if cur > len(prefixes)-1 {
+		cur = len(prefixes) - 1
+	}
+	prev := cur - 1
+	if prev < 0 {
+		prev = 0
+	}
+	if kvEqual(dump, prefixes[cur]) || kvEqual(dump, prefixes[prev]) {
+		return nil
+	}
+	v.Kind = "state-mismatch"
+	v.Expected, v.ExpectedNext, v.Actual = prefixes[prev], prefixes[cur], dump
+	v.Detail = diffString(prefixes[prev], prefixes[cur], dump)
+	return v
+}
+
+// recoverDump runs recovery (Setup with no commands) on img under tc's
+// bug flags and seed, dumps the recovered durable state, and executes
+// the workload's own consistency check. A recovery fault or check error
+// comes back as a partially filled Violation (Kind/Detail only).
+func (c *Checker) recoverDump(tc executor.TestCase, img *pmem.Image, opts Options) ([]workloads.KV, *Violation) {
+	checkLine, _ := CheckLine(tc.Workload)
+	var dump []workloads.KV
+	probe := func(env *workloads.Env, prog workloads.Program) error {
+		dump = prog.(workloads.StateDumper).DumpState(env)
+		return prog.Exec(env, checkLine)
+	}
+	rtc := executor.TestCase{Workload: tc.Workload, Image: img, Bugs: tc.Bugs, Seed: tc.Seed}
+	res := executor.Run(rtc, executor.Options{Arena: c.recArena, MaxOps: opts.MaxOps, Probe: probe})
+	defer c.recArena.Recycle(res)
+	switch {
+	case res.Panicked:
+		return nil, &Violation{Kind: "recovery-fault", Detail: fmt.Sprint(res.PanicVal)}
+	case res.Err != nil:
+		return nil, &Violation{Kind: "recovery-error", Detail: res.Err.Error()}
+	}
+	return dump, nil
+}
+
+// diffString renders a compact expected-vs-actual diff for reports.
+func diffString(prev, next, actual []workloads.KV) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "recovered state (%d keys) matches neither prefix state (%d keys) nor prefix+in-flight (%d keys)",
+		len(actual), len(prev), len(next))
+	toMap := func(kvs []workloads.KV) map[uint64]uint64 {
+		m := make(map[uint64]uint64, len(kvs))
+		for _, kv := range kvs {
+			m[kv.Key] = kv.Val
+		}
+		return m
+	}
+	am, nm := toMap(actual), toMap(next)
+	shown := 0
+	for _, kv := range actual {
+		if v, ok := nm[kv.Key]; !ok || v != kv.Val {
+			if shown < 8 {
+				fmt.Fprintf(&b, "; unexpected %d=%d", kv.Key, kv.Val)
+			}
+			shown++
+		}
+	}
+	for _, kv := range next {
+		if _, ok := am[kv.Key]; !ok {
+			if shown < 8 {
+				fmt.Fprintf(&b, "; missing %d=%d", kv.Key, kv.Val)
+			}
+			shown++
+		}
+	}
+	if shown > 8 {
+		fmt.Fprintf(&b, "; (+%d more)", shown-8)
+	}
+	return b.String()
+}
+
+// enabledBugs enumerates the active bug flags for bundle metadata.
+func enabledBugs(set *bugs.Set) (syn []int, real []int) {
+	if set == nil {
+		return nil, nil
+	}
+	for id := 1; id <= 64; id++ {
+		if set.Syn(id) {
+			syn = append(syn, id)
+		}
+	}
+	for b := bugs.RealBug(1); b <= bugs.NumRealBugs; b++ {
+		if set.Real(b) {
+			real = append(real, int(b))
+		}
+	}
+	return syn, real
+}

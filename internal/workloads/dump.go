@@ -1,0 +1,267 @@
+package workloads
+
+import (
+	"sort"
+
+	"pmfuzz/internal/pmemobj"
+)
+
+// KV is one key/value pair of a workload's persistent state, as reported
+// by StateDumper.DumpState.
+type KV struct {
+	Key, Val uint64
+}
+
+// StateDumper is implemented by workloads whose persistent state reduces
+// to a set of key/value pairs. DumpState walks the *durable* structure
+// (never volatile indexes or caches) after Setup has run, so the dump
+// reflects exactly what recovery reconstructed — the observation the
+// differential crash-consistency oracle compares against its shadow
+// model. Op stamps and other non-transactional bookkeeping fields are
+// deliberately excluded: they are written from volatile counters and are
+// not part of the logical state.
+//
+// All eight registered workloads implement it.
+type StateDumper interface {
+	DumpState(env *Env) []KV
+}
+
+// SortKVs orders a dump by key (then value) so dumps compare as sets.
+func SortKVs(kvs []KV) {
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].Key != kvs[j].Key {
+			return kvs[i].Key < kvs[j].Key
+		}
+		return kvs[i].Val < kvs[j].Val
+	})
+}
+
+// This file implements StateDumper for all eight workloads. Each dump
+// walks the durable on-pool structure exactly as recovery left it —
+// never the volatile indexes — and reports the logical key/value set.
+// The differential oracle compares these dumps against its shadow model,
+// so the walks must visit only state the shadow models: op stamps, size
+// counters, checksums, and commit flags are excluded (their own
+// consistency is the workload check()'s job, and several are written
+// from volatile counters that legitimately diverge across recoveries).
+//
+// The walks run on recovered crash images, which can be arbitrarily
+// corrupted when a bug is present: every traversal is bounded by
+// dumpMaxNodes, and blowing the bound panics. The executor's fault
+// recovery turns that panic into Result.Panicked, which the oracle
+// reports as a violation — the same way a native program would segfault
+// walking a cyclic or garbage structure.
+
+// dumpMaxNodes bounds any dump traversal; far above what MaxCommands
+// inserts can build, so only corrupted structures (cycles, garbage
+// counts) hit it.
+const dumpMaxNodes = 1 << 16
+
+// All eight workloads implement the oracle's model hook.
+var (
+	_ StateDumper = (*BTree)(nil)
+	_ StateDumper = (*RBTree)(nil)
+	_ StateDumper = (*RTree)(nil)
+	_ StateDumper = (*SkipList)(nil)
+	_ StateDumper = (*HashmapTX)(nil)
+	_ StateDumper = (*HashmapAtomic)(nil)
+	_ StateDumper = (*Redis)(nil)
+	_ StateDumper = (*Memcached)(nil)
+)
+
+// dumpBound panics when a traversal exceeds its node budget.
+type dumpBound struct{ left int }
+
+func newDumpBound() *dumpBound { return &dumpBound{left: dumpMaxNodes} }
+
+func (b *dumpBound) step() {
+	b.left--
+	if b.left < 0 {
+		panic("workloads: state dump exceeded node bound (corrupted structure)")
+	}
+}
+
+// DumpState implements StateDumper: in-order walk of the B-Tree.
+func (b *BTree) DumpState(env *Env) []KV {
+	var out []KV
+	bound := newDumpBound()
+	m := b.mapOid()
+	var walk func(nd pmemobj.Oid)
+	walk = func(nd pmemobj.Oid) {
+		if nd.IsNull() {
+			return
+		}
+		bound.step()
+		n := b.nN(nd)
+		if n < 0 || n > btMaxItems {
+			panic("workloads: btree dump: node item count out of range")
+		}
+		leaf := b.isLeaf(nd)
+		for i := 0; i < n; i++ {
+			if !leaf {
+				walk(b.slot(nd, i))
+			}
+			out = append(out, KV{Key: b.key(nd, i), Val: b.val(nd, i)})
+		}
+		if !leaf {
+			walk(b.slot(nd, n))
+		}
+	}
+	walk(pmemobj.Oid(b.pool.U64(m, btMapRoot)))
+	SortKVs(out)
+	return out
+}
+
+// DumpState implements StateDumper: sentinel-terminated walk of the
+// red-black tree.
+func (r *RBTree) DumpState(env *Env) []KV {
+	var out []KV
+	bound := newDumpBound()
+	m := r.mapOid()
+	sent := r.oidFld(m, rbMapSentinel)
+	var walk func(nd pmemobj.Oid)
+	walk = func(nd pmemobj.Oid) {
+		if nd == sent || nd.IsNull() {
+			return
+		}
+		bound.step()
+		walk(r.oidFld(nd, rbLeft))
+		out = append(out, KV{Key: r.fld(nd, rbKey), Val: r.fld(nd, rbVal)})
+		walk(r.oidFld(nd, rbRight))
+	}
+	walk(r.oidFld(m, rbMapRoot))
+	SortKVs(out)
+	return out
+}
+
+// DumpState implements StateDumper: full radix walk; a key is the
+// 16-nibble path to a node carrying a value.
+func (r *RTree) DumpState(env *Env) []KV {
+	var out []KV
+	bound := newDumpBound()
+	m := r.mapOid()
+	var walk func(nd pmemobj.Oid, prefix uint64, depth int)
+	walk = func(nd pmemobj.Oid, prefix uint64, depth int) {
+		if nd.IsNull() {
+			return
+		}
+		bound.step()
+		if depth == rtKeyNibbles {
+			if r.pool.U64(nd, rtHasVal) != 0 {
+				out = append(out, KV{Key: prefix, Val: r.pool.U64(nd, rtValue)})
+			}
+			return
+		}
+		for i := 0; i < rtFanout; i++ {
+			walk(r.child(nd, i), prefix<<4|uint64(i), depth+1)
+		}
+	}
+	walk(pmemobj.Oid(r.pool.U64(m, rtMapRoot)), 0, 0)
+	SortKVs(out)
+	return out
+}
+
+// DumpState implements StateDumper: level-0 walk of the skip list
+// (levels above 0 are a volatile-style acceleration structure over the
+// same nodes; level 0 holds every element).
+func (s *SkipList) DumpState(env *Env) []KV {
+	var out []KV
+	bound := newDumpBound()
+	m := s.mapOid()
+	head := pmemobj.Oid(s.pool.U64(m, slMapHead))
+	if head.IsNull() {
+		return out
+	}
+	for nd := pmemobj.Oid(s.pool.U64(head, slNext)); !nd.IsNull(); {
+		bound.step()
+		out = append(out, KV{Key: s.pool.U64(nd, slKey), Val: s.pool.U64(nd, slVal)})
+		nd = pmemobj.Oid(s.pool.U64(nd, slNext))
+	}
+	SortKVs(out)
+	return out
+}
+
+// DumpState implements StateDumper: walk every bucket chain of the
+// transactional hashmap.
+func (h *HashmapTX) DumpState(env *Env) []KV {
+	var out []KV
+	bound := newDumpBound()
+	m := h.mapOid()
+	n := h.pool.U64(m, hmtNBuckets)
+	if n > dumpMaxNodes {
+		panic("workloads: hashmap-tx dump: bucket count out of range")
+	}
+	for b := uint64(0); b < n; b++ {
+		for e := h.bucketHead(m, b); !e.IsNull(); {
+			bound.step()
+			out = append(out, KV{Key: h.pool.U64(e, hmtEKey), Val: h.pool.U64(e, hmtEVal)})
+			e = pmemobj.Oid(h.pool.U64(e, hmtENext))
+		}
+	}
+	SortKVs(out)
+	return out
+}
+
+// DumpState implements StateDumper: walk every bucket chain of the
+// atomic hashmap. The count/count_dirty commit fields are deliberately
+// not dumped — their consistency is exactly what recovery repairs, and
+// the workload check() already validates them against the chains.
+func (h *HashmapAtomic) DumpState(env *Env) []KV {
+	var out []KV
+	bound := newDumpBound()
+	m := h.mapOid()
+	n := h.pool.U64(m, hmaNBuckets)
+	if n > dumpMaxNodes {
+		panic("workloads: hashmap-atomic dump: bucket count out of range")
+	}
+	for b := uint64(0); b < n; b++ {
+		for e := h.bucketHead(m, b); !e.IsNull(); {
+			bound.step()
+			out = append(out, KV{Key: h.pool.U64(e, hmaEKey), Val: h.pool.U64(e, hmaEVal)})
+			e = pmemobj.Oid(h.pool.U64(e, hmaENext))
+		}
+	}
+	SortKVs(out)
+	return out
+}
+
+// DumpState implements StateDumper: walk the persistent bucket table
+// (head-pointer chains), not the volatile lookup table reconstruct()
+// builds over it.
+func (r *Redis) DumpState(env *Env) []KV {
+	var out []KV
+	bound := newDumpBound()
+	db := r.dbOid()
+	buckets := pmemobj.Oid(r.pool.U64(db, rdBuckets))
+	n := r.pool.U64(db, rdNBuckets)
+	if n > dumpMaxNodes {
+		panic("workloads: redis dump: bucket count out of range")
+	}
+	for b := uint64(0); b < n; b++ {
+		for e := pmemobj.Oid(r.pool.U64(buckets, b*rdBLen+rdBHead)); !e.IsNull(); {
+			bound.step()
+			out = append(out, KV{Key: r.pool.U64(e, rdEKey), Val: r.pool.U64(e, rdEVal)})
+			e = pmemobj.Oid(r.pool.U64(e, rdENext))
+		}
+	}
+	SortKVs(out)
+	return out
+}
+
+// DumpState implements StateDumper: scan the pslab slots for used items,
+// exactly the walk scan() performs to rebuild the volatile index.
+func (m *Memcached) DumpState(env *Env) []KV {
+	var out []KV
+	n := int(m.ld64(mcNSlots))
+	if n < 0 || n > dumpMaxNodes {
+		panic("workloads: memcached dump: slot count out of range")
+	}
+	for s := 0; s < n; s++ {
+		off := m.slotOff(s)
+		if m.ld64(off+mcSlotUsed) != 0 {
+			out = append(out, KV{Key: m.ld64(off + mcSlotKey), Val: m.ld64(off + mcSlotVal)})
+		}
+	}
+	SortKVs(out)
+	return out
+}

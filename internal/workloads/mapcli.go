@@ -111,6 +111,19 @@ func ParseOp(line []byte) (Op, error) {
 	return op, nil
 }
 
+// ParseFields exposes the exact field-splitting the command dialects use
+// (first three whitespace-separated fields, bytes.Fields separator
+// semantics). The differential oracle's shadow models parse with this so
+// model and program agree byte-for-byte on what a fuzzed line means.
+func ParseFields(line []byte) ([3][]byte, int) { return splitFields(line) }
+
+// ParseNum exposes the dialects' bounded decimal parser for the same
+// reason as ParseFields.
+func ParseNum(b []byte) (uint64, bool) {
+	v, err := parseU64(b)
+	return v, err == nil
+}
+
 var (
 	errBadNumber = errors.New("workloads: bad number")
 	errBadDigit  = errors.New("workloads: bad digit")

@@ -1,0 +1,49 @@
+package workloads
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzMapCLIParse asserts ParseOp never panics on arbitrary bytes and
+// that every line it accepts roundtrips: re-rendering the parsed op in
+// canonical form parses back to the identical op.
+func FuzzMapCLIParse(f *testing.F) {
+	for _, s := range mapcliSeeds() {
+		f.Add(s)
+	}
+	f.Add([]byte("i 1 2"))
+	f.Add([]byte("r 999999999999"))
+	f.Add([]byte("g 0"))
+	f.Add([]byte("c"))
+	f.Add([]byte("q"))
+	f.Add([]byte("i\t3\t4"))
+	f.Add([]byte("  i  5  6  "))
+	f.Add([]byte("x 1 2"))
+	f.Add([]byte("i 1"))
+	f.Add([]byte("i 1000000000000 1")) // 13 digits: over maxKeyDigits
+	f.Fuzz(func(t *testing.T, line []byte) {
+		op, err := ParseOp(line)
+		if err != nil {
+			return // rejected lines are skipped noise; nothing to check
+		}
+		var canon string
+		switch op.Code {
+		case 'i':
+			canon = fmt.Sprintf("i %d %d", op.Key, op.Val)
+		case 'r', 'g':
+			canon = fmt.Sprintf("%c %d", op.Code, op.Key)
+		case 'c', 'q':
+			canon = string(op.Code)
+		default:
+			t.Fatalf("ParseOp accepted unknown opcode %q from %q", op.Code, line)
+		}
+		op2, err := ParseOp([]byte(canon))
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted line %q rejected: %v", canon, line, err)
+		}
+		if op2 != op {
+			t.Fatalf("roundtrip drifted: %q parsed %+v, canonical %q parsed %+v", line, op, canon, op2)
+		}
+	})
+}
