@@ -35,30 +35,100 @@ import (
 	"pmfuzz/internal/workloads/bugs"
 )
 
+// The CLI surface, grouped the way -h renders it (see flagGroups).
+// Flags live at package scope so the usage audit test can verify every
+// one of them is documented in exactly one group.
+var (
+	// Session.
+	workload = flag.String("workload", "btree", "workload to fuzz (see -list)")
+	config   = flag.String("config", "pmfuzz", "comparison point: pmfuzz, pmfuzz-no-sysopt, afl++, afl++-sysopt, afl++-imgfuzz")
+	budgetMS = flag.Int64("budget-ms", 500, "simulated-time budget in milliseconds")
+	seed     = flag.Int64("seed", 1, "session seed (identical seeds replay identically)")
+	workers  = flag.Int("workers", 1, "parallel fuzzing workers: 1 = the paper's single-instance trajectory, 0 = one per CPU, N = an N-instance fleet (deterministic per seed+workers)")
+	list     = flag.Bool("list", false, "list workloads and configurations, then exit")
+
+	// Two-stage pipeline (the original tool's --cores-stage1/--cores-stage2).
+	coresStage1   = flag.Int("cores-stage1", 0, "stage-1 core budget (0 = -workers); stage 1 fuzzes inputs and generates crash images")
+	coresStage2   = flag.Int("cores-stage2", 0, "per-sub-campaign core budget; > 0 enables stage 2, which fuzzes inputs from promoted crash images' recovered state")
+	disableStage2 = flag.Bool("disable-stage2", false, "force stage 2 off even when -cores-stage2 is set; the session reproduces the single-loop trajectory byte-for-byte")
+	stage2Budget  = flag.Int64("stage2-budget-ms", 0, "simulated-time budget of one stage-2 sub-campaign in milliseconds (0 = budget-ms/4)")
+	stage2MaxCamp = flag.Int("stage2-max-campaigns", 0, "cap on stage-2 sub-campaigns per session (0 = 4)")
+	trackRecovery = flag.Bool("track-recovery", false, "account recovery-path PM coverage for crash-image executions (read-only; implied by -cores-stage2)")
+
+	// Bug injection.
+	synBug  = flag.Int("syn-bug", 0, "enable a synthetic injection point by ID")
+	realBug = flag.Int("real-bug", 0, "enable a real-world bug (1-12, section 5.4)")
+
+	// Corpus I/O.
+	outDir    = flag.String("out", "", "export generated test cases to this directory (two-stage corpora use stage=N,iter=M subdirectories)")
+	inDir     = flag.String("in", "", "import a previously exported corpus (flat or staged layout) as extra seeds")
+	seriesOut = flag.String("series-out", "", "write the coverage time series as JSON (for plotting Figure 13)")
+	showTree  = flag.Bool("show-tree", false, "print the test-case tree (Figure 12)")
+
+	// Experiments.
+	experiment = flag.String("experiment", "", "regenerate a paper artifact: fig13, table3, realbugs")
+	workloadsF = flag.String("workloads", "", "comma-separated workload subset for experiments (default: all eight)")
+
+	// Observability.
+	statusEvery = flag.Duration("status-every", 0, "print an AFL-style status line to stderr at this wall-clock interval (0 = off)")
+	traceOut    = flag.String("trace-out", "", "write a JSONL event trace (sim-time stamps; stage_enter/stage_exit events for two-stage sessions) to this file")
+	statsAddr   = flag.String("stats-addr", "", "serve live metrics over HTTP (expvar at /debug/vars, Prometheus text at /metrics); use :0 for an ephemeral port")
+
+	// Crash-consistency oracle.
+	oracleCheck = flag.Bool("oracle", false, "run the differential crash-consistency oracle on favored test cases (off the simulated clock)")
+	reproOut    = flag.String("repro-out", "", "directory for minimized oracle repro bundles (implies -oracle)")
+
+	// Profiling.
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the session to this file")
+	memProfile = flag.String("memprofile", "", "write a pprof heap profile at session end to this file")
+)
+
+// flagGroups orders -h output; every registered flag belongs to exactly
+// one group (TestUsageCoversAllFlags pins this).
+var flagGroups = []struct {
+	title string
+	names []string
+}{
+	{"Session", []string{"workload", "config", "budget-ms", "seed", "workers", "list"}},
+	{"Two-stage pipeline (maps to the original tool's --cores-stage1/--cores-stage2)",
+		[]string{"cores-stage1", "cores-stage2", "disable-stage2", "stage2-budget-ms", "stage2-max-campaigns", "track-recovery"}},
+	{"Bug injection", []string{"syn-bug", "real-bug"}},
+	{"Corpus I/O", []string{"out", "in", "series-out", "show-tree"}},
+	{"Experiments (paper artifacts)", []string{"experiment", "workloads"}},
+	{"Observability", []string{"status-every", "trace-out", "stats-addr"}},
+	{"Crash-consistency oracle", []string{"oracle", "repro-out"}},
+	{"Profiling", []string{"cpuprofile", "memprofile"}},
+}
+
+// usage renders the grouped help text.
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintf(w, "Usage: pmfuzz [flags]\n\n")
+	fmt.Fprintf(w, "Fuzz a persistent-memory workload (or regenerate a paper artifact).\n\n")
+	for _, g := range flagGroups {
+		fmt.Fprintf(w, "%s:\n", g.title)
+		for _, n := range g.names {
+			fl := flag.Lookup(n)
+			if fl == nil {
+				continue
+			}
+			arg, help := flag.UnquoteUsage(fl)
+			fmt.Fprintf(w, "  -%s", fl.Name)
+			if arg != "" {
+				fmt.Fprintf(w, " %s", arg)
+			}
+			fmt.Fprintf(w, "\n    \t%s", help)
+			if fl.DefValue != "" && fl.DefValue != "false" && fl.DefValue != "0" && fl.DefValue != "0s" {
+				fmt.Fprintf(w, " (default %s)", fl.DefValue)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
 func main() {
-	var (
-		workload    = flag.String("workload", "btree", "workload to fuzz (see -list)")
-		config      = flag.String("config", "pmfuzz", "comparison point: pmfuzz, pmfuzz-no-sysopt, afl++, afl++-sysopt, afl++-imgfuzz")
-		budgetMS    = flag.Int64("budget-ms", 500, "simulated-time budget in milliseconds")
-		seed        = flag.Int64("seed", 1, "session seed (identical seeds replay identically)")
-		workers     = flag.Int("workers", 1, "parallel fuzzing workers: 1 = the paper's single-instance trajectory, 0 = one per CPU, N = an N-instance fleet (deterministic per seed+workers)")
-		experiment  = flag.String("experiment", "", "regenerate a paper artifact: fig13, table3, realbugs")
-		workloadsF  = flag.String("workloads", "", "comma-separated workload subset for experiments (default: all eight)")
-		synBug      = flag.Int("syn-bug", 0, "enable a synthetic injection point by ID")
-		realBug     = flag.Int("real-bug", 0, "enable a real-world bug (1-12, section 5.4)")
-		outDir      = flag.String("out", "", "export generated test cases to this directory")
-		inDir       = flag.String("in", "", "import a previously exported corpus as extra seeds")
-		seriesOut   = flag.String("series-out", "", "write the coverage time series as JSON (for plotting Figure 13)")
-		showTree    = flag.Bool("show-tree", false, "print the test-case tree (Figure 12)")
-		list        = flag.Bool("list", false, "list workloads and configurations")
-		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the session to this file")
-		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at session end to this file")
-		statusEvery = flag.Duration("status-every", 0, "print an AFL-style status line to stderr at this wall-clock interval (0 = off)")
-		traceOut    = flag.String("trace-out", "", "write a JSONL event trace (sim-time stamps) to this file")
-		statsAddr   = flag.String("stats-addr", "", "serve live metrics over HTTP (expvar at /debug/vars, Prometheus text at /metrics); use :0 for an ephemeral port")
-		oracleCheck = flag.Bool("oracle", false, "run the differential crash-consistency oracle on favored test cases (off the simulated clock)")
-		reproOut    = flag.String("repro-out", "", "directory for minimized oracle repro bundles (implies -oracle)")
-	)
+	flag.Usage = usage
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -136,6 +206,14 @@ func main() {
 	}
 	cfg.Workers = *workers
 	cfg.OracleCheck = *oracleCheck || *reproOut != ""
+	cfg.Stage1Workers = *coresStage1
+	cfg.Stage2Workers = *coresStage2
+	if *disableStage2 {
+		cfg.Stage2Workers = 0
+	}
+	cfg.Stage2BudgetNS = *stage2Budget * 1_000_000
+	cfg.Stage2MaxCampaigns = *stage2MaxCamp
+	cfg.TrackRecovery = *trackRecovery
 	fuzzer, err := core.New(cfg, bg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmfuzz:", err)
@@ -328,6 +406,10 @@ func printSessionTo(w io.Writer, res *core.Result) {
 		}
 	}
 	fmt.Fprintf(w, "crash images:   %d\n", crash)
+	if res.Config.Stage2Workers > 0 {
+		fmt.Fprintf(w, "stage 2:        %d campaigns, %d execs, %d recovery coverage states\n",
+			res.Stage2Campaigns, res.Stage2Execs, res.RecoverySites)
+	}
 	if len(res.Faults) > 0 {
 		fmt.Fprintf(w, "faults (%d):\n", len(res.Faults))
 		for _, f := range res.Faults {
@@ -372,6 +454,10 @@ type caseMeta struct {
 	NewBranch    bool  `json:"new_branch"`
 	NewPM        bool  `json:"new_pm"`
 	FoundSimNS   int64 `json:"found_sim_ns"`
+	// Stage/Iter locate the entry in the two-stage corpus layout
+	// (stage=2,iter=N directories); zero for single-stage sessions.
+	Stage int `json:"stage,omitempty"`
+	Iter  int `json:"iter,omitempty"`
 }
 
 // importCorpus loads case-*.input (+ optional case-*.img and
@@ -384,7 +470,17 @@ func importCorpus(f *core.Fuzzer, dir string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	sort.Strings(matches) // zero-padded names: lexical order == exported ID order, parents before children
+	// Two-stage corpora live in stage=N,iter=M subdirectories.
+	staged, err := filepath.Glob(filepath.Join(dir, "stage=*", "case-*.input"))
+	if err != nil {
+		return 0, err
+	}
+	matches = append(matches, staged...)
+	// Zero-padded names: base-name order == exported ID order, parents
+	// before children — regardless of which stage directory a case is in.
+	sort.Slice(matches, func(i, j int) bool {
+		return filepath.Base(matches[i]) < filepath.Base(matches[j])
+	})
 	idMap := make(map[int]int, len(matches))
 	n := 0
 	for _, path := range matches {
@@ -419,6 +515,8 @@ func importCorpus(f *core.Fuzzer, dir string) (int, error) {
 				Depth:        cm.Depth,
 				NewBranch:    cm.NewBranch,
 				NewPM:        cm.NewPM,
+				Stage:        cm.Stage,
+				Iter:         cm.Iter,
 			}
 		}
 		newID, err := f.AddSeedMeta(input, img, meta)
@@ -436,12 +534,40 @@ func importCorpus(f *core.Fuzzer, dir string) (int, error) {
 // export writes each queue entry as <id>.input (command bytes), a
 // <id>.meta.json scheduling sidecar, and, when the entry carries an
 // image, <id>.img (serialized pool image).
+//
+// Single-stage corpora export flat (compatible with every pre-two-stage
+// consumer). When the session ran stage 2, entries split into the
+// original tool's per-stage iteration directories: stage=1,iter=0/ for
+// the stage-1 corpus and stage=2,iter=N/ for each promotion round's
+// sub-campaign output.
 func export(res *core.Result, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	staged := false
 	for _, e := range res.Queue.Entries() {
-		base := filepath.Join(dir, fmt.Sprintf("case-%05d", e.ID))
+		if e.Stage == 2 && e.Iter > 0 {
+			staged = true
+			break
+		}
+	}
+	made := map[string]bool{}
+	for _, e := range res.Queue.Entries() {
+		d := dir
+		if staged {
+			sub := "stage=1,iter=0"
+			if e.Stage == 2 && e.Iter > 0 {
+				sub = fmt.Sprintf("stage=2,iter=%d", e.Iter)
+			}
+			d = filepath.Join(dir, sub)
+			if !made[d] {
+				if err := os.MkdirAll(d, 0o755); err != nil {
+					return err
+				}
+				made[d] = true
+			}
+		}
+		base := filepath.Join(d, fmt.Sprintf("case-%05d", e.ID))
 		if err := os.WriteFile(base+".input", e.Input, 0o644); err != nil {
 			return err
 		}
@@ -454,6 +580,8 @@ func export(res *core.Result, dir string) error {
 			NewBranch:    e.NewBranch,
 			NewPM:        e.NewPM,
 			FoundSimNS:   e.FoundSimNS,
+			Stage:        e.Stage,
+			Iter:         e.Iter,
 		}, "", "  ")
 		if err != nil {
 			return err

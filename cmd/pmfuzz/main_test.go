@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -188,6 +189,110 @@ func TestImportCorpusWithoutSidecars(t *testing.T) {
 	e := f.CorpusEntries()[pre]
 	if e.ParentID != -1 || e.IsCrashImage {
 		t.Fatalf("sidecar-less import should be a plain root, got %+v", e)
+	}
+}
+
+func TestUsageCoversAllFlags(t *testing.T) {
+	// Every registered flag must be documented in exactly one usage
+	// group, and every group name must resolve to a registered flag —
+	// the audit that keeps -h complete as flags accumulate.
+	grouped := map[string]int{}
+	for _, g := range flagGroups {
+		for _, n := range g.names {
+			if flag.Lookup(n) == nil {
+				t.Errorf("usage group %q lists unregistered flag -%s", g.title, n)
+			}
+			grouped[n]++
+		}
+	}
+	flag.VisitAll(func(fl *flag.Flag) {
+		// Ignore testing package flags (-test.*).
+		if strings.HasPrefix(fl.Name, "test.") {
+			return
+		}
+		switch grouped[fl.Name] {
+		case 0:
+			t.Errorf("flag -%s is not documented in any usage group", fl.Name)
+		case 1:
+		default:
+			t.Errorf("flag -%s appears in %d usage groups", fl.Name, grouped[fl.Name])
+		}
+	})
+	var buf bytes.Buffer
+	flag.CommandLine.SetOutput(&buf)
+	defer flag.CommandLine.SetOutput(nil)
+	usage()
+	out := buf.String()
+	for name := range grouped {
+		if !strings.Contains(out, "-"+name) {
+			t.Errorf("usage output missing -%s", name)
+		}
+	}
+	for _, want := range []string{"--cores-stage1/--cores-stage2", "Observability", "Crash-consistency oracle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage output missing %q", want)
+		}
+	}
+}
+
+func TestExportStagedLayoutRoundTrip(t *testing.T) {
+	// A two-stage session exports into stage=N,iter=M subdirectories;
+	// importing that layout must reconstruct the corpus with stage
+	// labels intact.
+	cfg, err := core.DefaultConfig("btree", core.PMFuzzAll, 40_000_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Stage2Workers = 1
+	cfg.Stage2BudgetNS = 10_000_000
+	cfg.Stage2MaxCampaigns = 2
+	f, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.Run()
+	if res.Stage2Campaigns == 0 {
+		t.Fatalf("session ran no stage-2 campaigns; cannot test staged layout")
+	}
+	dir := t.TempDir()
+	if err := export(res, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "stage=1,iter=0")); err != nil {
+		t.Fatalf("staged export missing stage=1,iter=0: %v", err)
+	}
+	iterDirs, err := filepath.Glob(filepath.Join(dir, "stage=2,iter=*"))
+	if err != nil || len(iterDirs) == 0 {
+		t.Fatalf("staged export missing stage=2,iter=N directories (err=%v)", err)
+	}
+	flat, err := filepath.Glob(filepath.Join(dir, "case-*.input"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat) != 0 {
+		t.Fatalf("staged export left %d cases at the top level", len(flat))
+	}
+
+	f2, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := len(f2.CorpusEntries())
+	n, err := importCorpus(f2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != res.Queue.Len() {
+		t.Fatalf("imported %d, exported %d", n, res.Queue.Len())
+	}
+	stage2 := 0
+	for _, e := range f2.CorpusEntries()[pre:] {
+		if e.Stage == 2 && e.Iter > 0 {
+			stage2++
+		}
+	}
+	if stage2 == 0 {
+		t.Fatalf("stage labels lost in staged-layout roundtrip")
 	}
 }
 

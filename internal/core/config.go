@@ -113,6 +113,47 @@ type Config struct {
 	// trajectory bit-for-bit, and any fixed (Seed, Workers) pair replays
 	// identically.
 	Workers int
+
+	// The two-stage pipeline (the original tool's
+	// --cores-stage1/--cores-stage2 split): stage 1 fuzzes command
+	// inputs and generates crash images; a promotion policy then selects
+	// the interesting crash images (novel PM-path admits, oracle-flagged
+	// entries) and stage 2 spawns per-image sub-campaigns that fuzz
+	// command inputs from the *recovered* image as the start state.
+	//
+	// Stage1Workers is stage 1's core budget (0 = Workers).
+	// Stage2Workers is each sub-campaign's core budget; > 0 enables the
+	// pipeline, 0 (the default) disables stage 2 entirely and reproduces
+	// the single-loop engine's trajectory byte-for-byte. With stage 2
+	// on, a session is deterministic per
+	// (Seed, Workers, Stage1Workers, Stage2Workers, Stage2BudgetNS).
+	Stage1Workers int
+	Stage2Workers int
+	// Stage2BudgetNS is the simulated-time budget of one stage-2
+	// sub-campaign (0 = BudgetNS/4). Sub-campaigns extend the session's
+	// time axis past BudgetNS: stage 1 runs [0, BudgetNS), campaign k
+	// runs from the previous campaign's end.
+	Stage2BudgetNS int64
+	// Stage2MaxCampaigns caps sub-campaigns per session (0 = 4).
+	Stage2MaxCampaigns int
+	// TrackRecovery accounts recovery-path PM coverage: every execution
+	// that opens a crash image records the PM sites its setup phase
+	// (pool open, transaction recovery, workload recovery hooks)
+	// touched, merged into Result.Recovery. Forced on when stage 2 is
+	// enabled. The accounting is off-clock and never changes the
+	// trajectory.
+	TrackRecovery bool
+}
+
+// twoStage reports whether the stage-2 pipeline is enabled.
+func (c Config) twoStage() bool { return c.Stage2Workers > 0 }
+
+// stage1Workers resolves stage 1's core budget.
+func (c Config) stage1Workers() int {
+	if c.Stage1Workers > 0 {
+		return c.Stage1Workers
+	}
+	return c.Workers
 }
 
 // DefaultConfig returns a ready-to-run configuration for the comparison

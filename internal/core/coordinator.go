@@ -33,7 +33,9 @@ func (f *Fuzzer) runParallel(n int) *Result {
 		}
 	}()
 
-	var maxClock int64
+	// A stage-2 campaign's time axis starts at the campaign base, not
+	// zero; worker clock shards are charged the same offset at birth.
+	maxClock := f.clockBase
 	sampleBucket := 0
 	active := make([]bool, n)
 	for i := range active {
@@ -154,6 +156,11 @@ func (f *Fuzzer) mergeBatch(b *workerBatch, maxClock *int64, sampleBucket *int) 
 		}
 		if o.hasPMSig {
 			f.pmPathSigs[o.pmSig] = struct{}{}
+		}
+		if o.setupPM != nil && f.recVirgin != nil {
+			// Recovery accounting: fold the execution's setup-phase PM map
+			// into the session's recovery virgin.
+			f.recVirgin.Merge(o.setupPM)
 		}
 		if o.faulted {
 			f.addFault(b.parent, o.input, o.faultMsg, o.simNS)

@@ -64,6 +64,18 @@ type Result struct {
 	// Repros holds the minimized differential-oracle repro bundles
 	// (capped at maxRepros; empty unless Config.OracleCheck).
 	Repros []*oracle.Bundle
+	// Stage2Campaigns counts completed stage-2 sub-campaigns and
+	// Stage2Execs the executions they consumed (recovery runs included);
+	// both are zero with stage 2 off.
+	Stage2Campaigns int
+	Stage2Execs     int
+	// Recovery is the recovery-phase PM virgin map: the (site, bucket)
+	// coverage states observed while opening crash images — pool
+	// validation, transaction recovery, workload recovery hooks — before
+	// any command ran. Nil unless Config.TrackRecovery (or stage 2,
+	// which forces it). RecoverySites is its CoveredStates count.
+	Recovery      *instr.Virgin
+	RecoverySites int
 }
 
 // Fuzzer is one fuzzing session.
@@ -113,6 +125,24 @@ type Fuzzer struct {
 	// the serial loop and the coordinator, i+1 while worker i's batch is
 	// being merged.
 	obsWorker int
+
+	// Two-stage pipeline state. stage is 1 for the session fuzzer and 2
+	// inside a sub-campaign (where iter/campaign identify the promotion
+	// round and campaign ordinal); clockBase offsets worker clock shards
+	// so campaigns continue the session time axis; promoter collects
+	// stage-2 candidates (nil with stage 2 off — stage 1 then schedules
+	// crash images inline exactly as before); recVirgin accumulates
+	// recovery-phase PM coverage (nil unless Config.TrackRecovery).
+	stage     int
+	iter      int
+	campaign  int
+	clockBase int64
+	promoter  *promoter
+	recVirgin *instr.Virgin
+	// stage2Campaigns/stage2Execs mirror the Result fields during the
+	// run for gauge pushes.
+	stage2Campaigns int
+	stage2Execs     int
 }
 
 // New builds a fuzzer for the configuration. bugSet configures the
@@ -148,6 +178,17 @@ func New(cfg Config, bugSet *bugs.Set) (*Fuzzer, error) {
 	}
 	if cfg.OracleCheck {
 		f.oracleCk = oracle.NewChecker()
+	}
+	if cfg.twoStage() {
+		// Stage 2 needs recovery accounting for its coverage claim, and
+		// crash images leave the stage-1 schedule: they are routed to the
+		// promotion queue instead of being fuzzed inline.
+		f.cfg.TrackRecovery = true
+		f.promoter = newPromoter()
+		f.queue.SetStage2Routing(true)
+	}
+	if f.cfg.TrackRecovery {
+		f.recVirgin = instr.NewVirgin()
 	}
 	for _, s := range seeds {
 		f.queue.Add(&fuzz.Entry{Input: s, ParentID: -1, Favored: fuzz.FavoredHigh})
@@ -203,6 +244,7 @@ func (f *Fuzzer) obsAdmit(e *fuzz.Entry) {
 		ID: e.ID, Parent: e.ParentID, Favored: e.Favored,
 		NewBranch: e.NewBranch, NewPM: e.NewPM,
 		CrashImage: e.IsCrashImage, HasImage: e.HasImage,
+		Stage: f.stage,
 	})
 }
 
@@ -215,7 +257,7 @@ func (f *Fuzzer) obsHarvest(e *fuzz.Entry, isCrash bool) {
 	f.tele.Trace().Emit(obs.HarvestEvent{
 		T: "harvest", SimNS: e.FoundSimNS, Worker: f.obsWorker,
 		ID: e.ID, Parent: e.ParentID, Image: e.ImageID.String(),
-		CrashImage: isCrash,
+		CrashImage: isCrash, Stage: f.stage,
 	})
 }
 
@@ -227,8 +269,27 @@ func (f *Fuzzer) obsFault(fault Fault) {
 	f.tele.M.CountUniqueFault()
 	f.tele.Trace().Emit(obs.FaultEvent{
 		T: "fault", SimNS: fault.SimNS, Worker: f.obsWorker,
-		Execs: fault.Execs, Msg: fault.Msg,
+		Execs: fault.Execs, Msg: fault.Msg, Stage: f.stage,
 	})
+}
+
+// obsStageEnter/obsStageExit bracket a pipeline stage in the trace:
+// stage 1's fuzzing loop or one stage-2 sub-campaign. Emitted only for
+// two-stage sessions, so single-stage traces stay byte-identical.
+func (f *Fuzzer) obsStageEnter(ev obs.StageEnterEvent) {
+	if f.tele == nil {
+		return
+	}
+	ev.T = "stage_enter"
+	f.tele.Trace().Emit(ev)
+}
+
+func (f *Fuzzer) obsStageExit(ev obs.StageExitEvent) {
+	if f.tele == nil {
+		return
+	}
+	ev.T = "stage_exit"
+	f.tele.Trace().Emit(ev)
 }
 
 // pushObs publishes the session's gauge state to the registry and folds
@@ -249,6 +310,20 @@ func (f *Fuzzer) pushObs(simNS int64) {
 		PendingFavs: qs.PendingFavs, PendingTotal: qs.PendingTotal,
 		MaxDepth: qs.MaxDepth,
 	})
+	if f.promoter != nil || f.recVirgin != nil {
+		g := obs.Stage2Gauges{
+			Campaigns: f.stage2Campaigns,
+			Execs:     int64(f.stage2Execs),
+		}
+		if f.promoter != nil {
+			g.Promoted = f.promoter.promoted
+			g.Pending = len(f.promoter.pending)
+		}
+		if f.recVirgin != nil {
+			g.RecoverySites = f.recVirgin.CoveredStates()
+		}
+		f.tele.M.SetStage2(g)
+	}
 	st := f.store.Stats()
 	f.tele.M.SetStoreStats(obs.StoreStats{
 		Puts: int64(st.Puts), Dedups: int64(st.Dedups), DeltaPuts: int64(st.DeltaPuts),
@@ -270,6 +345,13 @@ type SeedMeta struct {
 	Depth        int
 	NewBranch    bool
 	NewPM        bool
+	// Stage/Iter carry the two-stage corpus layout (stage=2,iter=N
+	// directories) through an export/import roundtrip. An imported
+	// stage-2 entry is schedulable again unless the importing session
+	// also runs two-stage, in which case its crash image re-enters the
+	// promotion queue.
+	Stage int
+	Iter  int
 }
 
 // AddSeed injects an extra seed test case (input plus optional starting
@@ -296,6 +378,8 @@ func (f *Fuzzer) AddSeedMeta(input []byte, img *pmem.Image, meta *SeedMeta) (int
 		e.Depth = meta.Depth
 		e.NewBranch = meta.NewBranch
 		e.NewPM = meta.NewPM
+		e.Stage = meta.Stage
+		e.Iter = meta.Iter
 	}
 	if img != nil {
 		id, _, err := f.store.Put(img)
@@ -304,6 +388,12 @@ func (f *Fuzzer) AddSeedMeta(input []byte, img *pmem.Image, meta *SeedMeta) (int
 		}
 		e.ImageID = id
 		e.HasImage = true
+	}
+	if f.promoter != nil && e.IsCrashImage && e.HasImage {
+		// A two-stage session routes imported crash images to the
+		// promotion queue like freshly harvested ones.
+		e.Stage = 2
+		f.promoter.consider(e)
 	}
 	f.queue.Add(e)
 	return e.ID, nil
@@ -322,19 +412,51 @@ func (f *Fuzzer) CorpusEntries() []*fuzz.Entry { return f.queue.Entries() }
 // original single-threaded loop and reproduces its trajectory
 // bit-for-bit.
 func (f *Fuzzer) Run() *Result {
-	workers := f.cfg.Workers
+	workers := f.cfg.stage1Workers()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	f.obsStart(workers)
+	// Sub-campaign fuzzers share the session's telemetry: the session
+	// header/footer and stage events are the parent's to emit.
+	if f.stage != 2 {
+		f.obsStart(workers)
+	}
+	twoStage := f.cfg.twoStage() && f.stage != 2
+	if twoStage {
+		f.obsStageEnter(obs.StageEnterEvent{
+			Stage: 1, Root: -1, Workers: workers, BudgetNS: f.cfg.BudgetNS,
+		})
+	}
 	var res *Result
 	if workers == 1 {
 		res = f.runSerial()
 	} else {
 		res = f.runParallel(workers)
 	}
-	f.obsFinish(res)
+	if twoStage {
+		f.obsStageExit(obs.StageExitEvent{
+			SimNS: res.SimNS, Stage: 1, Execs: res.Execs, PMPaths: res.PMPaths,
+			RecoverySites: f.recoverySites(),
+		})
+		f.runStage2(res)
+	}
+	if f.recVirgin != nil {
+		res.Recovery = f.recVirgin
+		res.RecoverySites = f.recVirgin.CoveredStates()
+	}
+	if f.stage != 2 {
+		f.obsFinish(res)
+	}
 	return res
+}
+
+// recoverySites is the current recovery-phase coverage state count (0
+// when tracking is off).
+func (f *Fuzzer) recoverySites() int {
+	if f.recVirgin == nil {
+		return 0
+	}
+	return f.recVirgin.CoveredStates()
 }
 
 // runSerial is the single-threaded fuzzing loop. It is kept verbatim as
@@ -469,6 +591,10 @@ func (f *Fuzzer) runMutated(parent *fuzz.Entry, input []byte, img *imageRef) {
 		MaxCommands: f.cfg.MaxCommands,
 		Arena:       f.arena,
 		Shard:       f.shard,
+		// Recovery accounting: executions that open a crash image record
+		// the PM sites their setup phase touched (a plain map copy — the
+		// trajectory is unchanged).
+		RecordSetupPM: f.recVirgin != nil && parent != nil && parent.IsCrashImage && tc.Image != nil,
 	})
 	f.execs++
 	f.observe(parent, tc, res)
@@ -489,6 +615,9 @@ func (f *Fuzzer) observe(parent *fuzz.Entry, tc executor.TestCase, res *executor
 	newPMSlot, newPMBucket := f.pmVirgin.Merge(res.Tracer.PMMap())
 	if res.Tracer.PMOps() > 0 {
 		f.pmPathSigs[instr.Signature(res.Tracer.PMMap())] = struct{}{}
+	}
+	if res.SetupPM != nil && f.recVirgin != nil {
+		f.recVirgin.Merge(res.SetupPM)
 	}
 
 	if res.Faulted() {
@@ -585,6 +714,12 @@ func (f *Fuzzer) oracleScan(parent *fuzz.Entry, input []byte, img *pmem.Image, s
 		if fresh && len(f.repros) < maxRepros {
 			f.repros = append(f.repros,
 				f.oracleCk.Minimize(tc, v, oracle.Options{MaxCommands: f.cfg.MaxCommands}))
+		}
+		if parent != nil {
+			// Flag the entry for the stage-2 promotion policy: its crash
+			// images recover to states the shadow model cannot explain,
+			// making them the highest-value sub-campaign roots.
+			parent.OracleFlagged = true
 		}
 	}
 }
@@ -685,7 +820,7 @@ func (f *Fuzzer) addImageEntryDelta(parent *fuzz.Entry, input []byte, img *pmem.
 		parentID = parent.ID
 		depth = parent.Depth + 1
 	}
-	e := f.queue.Add(&fuzz.Entry{
+	e := &fuzz.Entry{
 		Input:        append([]byte(nil), input...),
 		ImageID:      id,
 		HasImage:     true,
@@ -698,7 +833,17 @@ func (f *Fuzzer) addImageEntryDelta(parent *fuzz.Entry, input []byte, img *pmem.
 		Favored:    fuzz.FavoredHigh,
 		NewPM:      true,
 		FoundSimNS: foundNS,
-	})
+	}
+	if f.promoter != nil && isCrash {
+		// Two-stage routing: crash images leave the stage-1 schedule and
+		// queue up for stage-2 promotion instead (Stage must be set
+		// before Add so the scheduler never counts the entry).
+		e.Stage = 2
+	}
+	f.queue.Add(e)
+	if f.promoter != nil && isCrash {
+		f.promoter.consider(e)
+	}
 	f.obsHarvest(e, isCrash)
 	return id, true
 }

@@ -1,0 +1,116 @@
+package core
+
+// The stage-2 promotion policy: stage 1 routes every fresh crash image
+// here instead of fuzzing it inline, and at each stage boundary the
+// scheduler drains the most interesting candidates to seed sub-campaigns
+// — the paper's stage 2, which re-runs the target on generated crash
+// images to reach recovery code that normal inputs never execute.
+
+import (
+	"sort"
+
+	"pmfuzz/internal/fuzz"
+	"pmfuzz/internal/imgstore"
+)
+
+// Promotion scores, highest first. Oracle-flagged images outrank plain
+// novel-PM-path images: an image the differential oracle could not
+// explain is the closest thing the session has to a suspected bug.
+const (
+	scoreNone    = 0
+	scoreNovelPM = 1
+	scoreOracle  = 2
+)
+
+// promoter collects stage-2 promotion candidates and drains them in
+// deterministic priority order. It is owned by the session's
+// coordinating goroutine; nothing here is concurrency-safe.
+type promoter struct {
+	// seen dedups by image content: a crash image is considered at most
+	// once per session, and once promoted it is never promoted again —
+	// already-explored states do not re-enter stage 2.
+	seen map[imgstore.ID]bool
+	// pending are candidates awaiting promotion, in discovery order.
+	pending []*fuzz.Entry
+	// promoted counts candidates drained so far.
+	promoted int
+}
+
+func newPromoter() *promoter {
+	return &promoter{seen: map[imgstore.ID]bool{}}
+}
+
+// consider registers a crash-image entry as a stage-2 candidate and
+// reports whether it was accepted. Entries without a stored image and
+// duplicate images (by content ID) are dropped.
+func (p *promoter) consider(e *fuzz.Entry) bool {
+	if e == nil || !e.HasImage || !e.IsCrashImage {
+		return false
+	}
+	if p.seen[e.ImageID] {
+		return false
+	}
+	p.seen[e.ImageID] = true
+	p.pending = append(p.pending, e)
+	return true
+}
+
+// score rates a candidate at promotion time — after stage 1 (or the
+// previous promotion round) has finished, so oracle flags set on the
+// candidate or its parent after harvesting are visible. q resolves
+// parent entries.
+func (p *promoter) score(q *fuzz.Queue, e *fuzz.Entry) int {
+	if e.OracleFlagged {
+		return scoreOracle
+	}
+	if par := q.Get(e.ParentID); par != nil && par.OracleFlagged {
+		// The oracle checks the parent test case whose sweep produced
+		// this crash image; a violation there flags the whole brood.
+		return scoreOracle
+	}
+	if e.NewPM {
+		return scoreNovelPM
+	}
+	return scoreNone
+}
+
+// promote drains up to max candidates, best first: by score descending
+// (oracle-flagged, then novel-PM-path; score-0 candidates are discarded,
+// not promoted), breaking ties by discovery order. The sort is stable
+// over discovery order, so promotion order is a pure function of the
+// session trajectory.
+func (p *promoter) promote(q *fuzz.Queue, max int) []*fuzz.Entry {
+	if max <= 0 || len(p.pending) == 0 {
+		return nil
+	}
+	cands := p.pending
+	p.pending = nil
+	type ranked struct {
+		e     *fuzz.Entry
+		score int
+		order int
+	}
+	rs := make([]ranked, 0, len(cands))
+	for i, e := range cands {
+		if s := p.score(q, e); s > scoreNone {
+			rs = append(rs, ranked{e: e, score: s, order: i})
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].score != rs[j].score {
+			return rs[i].score > rs[j].score
+		}
+		return rs[i].order < rs[j].order
+	})
+	out := make([]*fuzz.Entry, 0, max)
+	for i, r := range rs {
+		if i >= max {
+			// Overflow stays pending for the next promotion round.
+			p.pending = append(p.pending, r.e)
+			continue
+		}
+		out = append(out, r.e)
+		p.promoted++
+	}
+	return out
+}

@@ -59,6 +59,11 @@ type execOutcome struct {
 	outImage *pmem.Image
 	// crashImages are the failure-injection sweep results for outImage.
 	crashImages []*pmem.Image
+	// setupPM is the recovery-phase PM map copy recorded when the
+	// execution opened a crash image under recovery tracking (nil
+	// otherwise); the coordinator merges it into the session's recovery
+	// virgin.
+	setupPM *instr.Map
 	// faulted/faultMsg capture program faults (the crash bucket).
 	faulted  bool
 	faultMsg string
@@ -94,6 +99,10 @@ type worker struct {
 	branchVirgin *instr.Virgin
 	pmVirgin     *instr.Virgin
 
+	// trackRecovery mirrors the session's recovery accounting: crash-image
+	// executions record their setup-phase PM map for the coordinator.
+	trackRecovery bool
+
 	seedInput []byte
 
 	// arena is this worker's private execution reuse handle (the
@@ -124,22 +133,26 @@ func newWorker(f *Fuzzer, id int) *worker {
 		shard = &obs.Shard{}
 	}
 	w := &worker{
-		id:           id,
-		cfg:          f.cfg,
-		bugs:         f.bugs,
-		rng:          rand.New(rand.NewSource(f.cfg.Seed + 3 + int64(id)*workerSeedPrime)),
-		mut:          fuzz.NewMutator(f.cfg.Seed+2+int64(id)*workerSeedPrime, f.seedDict),
-		clock:        pmem.NewClock(),
-		cache:        f.store.NewCache(cacheCap),
-		store:        f.store,
-		branchVirgin: instr.NewVirgin(),
-		pmVirgin:     instr.NewVirgin(),
-		seedInput:    f.seedInput,
-		arena:        executor.NewArena(),
-		shard:        shard,
-		leases:       make(chan workItem, 1),
-		results:      make(chan *workerBatch, 1),
+		id:            id,
+		cfg:           f.cfg,
+		bugs:          f.bugs,
+		rng:           rand.New(rand.NewSource(f.cfg.Seed + 3 + int64(id)*workerSeedPrime)),
+		mut:           fuzz.NewMutator(f.cfg.Seed+2+int64(id)*workerSeedPrime, f.seedDict),
+		clock:         pmem.NewClock(),
+		cache:         f.store.NewCache(cacheCap),
+		store:         f.store,
+		branchVirgin:  instr.NewVirgin(),
+		pmVirgin:      instr.NewVirgin(),
+		trackRecovery: f.recVirgin != nil,
+		seedInput:     f.seedInput,
+		arena:         executor.NewArena(),
+		shard:         shard,
+		leases:        make(chan workItem, 1),
+		results:       make(chan *workerBatch, 1),
 	}
+	// A stage-2 campaign's workers continue the session time axis: their
+	// clock shards start at the campaign's base offset, not zero.
+	w.clock.Charge(f.clockBase)
 	w.cache.SetShard(shard)
 	return w
 }
@@ -157,12 +170,12 @@ func (w *worker) run() {
 		if item.seedRun {
 			if w.clock.Now() < w.cfg.BudgetNS {
 				e := item.lease.Parent
-				b.outcomes = append(b.outcomes, w.execCase(e.Input, w.resolveImage(e)))
+				b.outcomes = append(b.outcomes, w.execCase(e, e.Input, w.resolveImage(e)))
 			}
 		} else {
 			for i := 0; i < item.lease.Energy && w.clock.Now() < w.cfg.BudgetNS; i++ {
 				input, img := w.deriveChild(item.lease, i)
-				b.outcomes = append(b.outcomes, w.execCase(input, img))
+				b.outcomes = append(b.outcomes, w.execCase(item.lease.Parent, input, img))
 			}
 		}
 		b.clockNS = w.clock.Now()
@@ -228,7 +241,7 @@ func (w *worker) resolveImage(e *fuzz.Entry) *imageRef {
 // execCase executes one candidate, applies the worker-local coverage
 // pre-filter, and (on a locally new PM path) runs the crash-image sweep
 // so that a lease is one self-contained unit of fleet work.
-func (w *worker) execCase(input []byte, img *imageRef) *execOutcome {
+func (w *worker) execCase(parent *fuzz.Entry, input []byte, img *imageRef) *execOutcome {
 	tc := executor.TestCase{
 		Workload: w.cfg.Workload,
 		Input:    input,
@@ -241,13 +254,14 @@ func (w *worker) execCase(input []byte, img *imageRef) *execOutcome {
 		cached = img.cached
 	}
 	res := executor.Run(tc, executor.Options{
-		Clock:       w.clock,
-		ImageCached: cached || (tc.Image == nil && w.cfg.Features.SysOpt),
-		MaxCommands: w.cfg.MaxCommands,
-		Arena:       w.arena,
-		Shard:       w.shard,
+		Clock:         w.clock,
+		ImageCached:   cached || (tc.Image == nil && w.cfg.Features.SysOpt),
+		MaxCommands:   w.cfg.MaxCommands,
+		Arena:         w.arena,
+		Shard:         w.shard,
+		RecordSetupPM: w.trackRecovery && parent != nil && parent.IsCrashImage && tc.Image != nil,
 	})
-	o := &execOutcome{input: input, inImage: tc.Image, execs: 1}
+	o := &execOutcome{input: input, inImage: tc.Image, execs: 1, setupPM: res.SetupPM}
 	newBSlot, newBBucket := w.branchVirgin.Merge(res.Tracer.BranchMap())
 	newPSlot, newPBucket := w.pmVirgin.Merge(res.Tracer.PMMap())
 	if res.Tracer.PMOps() > 0 {

@@ -49,8 +49,16 @@ type Options struct {
 	// ImageCached marks the input image as already resident (the
 	// fork-server/SysOpt path), reducing the simulated open cost.
 	ImageCached bool
-	// MaxCommands caps executed command lines (0 = workloads.MaxCommands).
+	// MaxCommands caps executed command lines (0 = workloads.MaxCommands;
+	// negative = execute no commands at all, the recovery-only run).
 	MaxCommands int
+	// RecordSetupPM snapshots the PM coverage map right after program
+	// setup — pool open plus transaction/workload recovery, before any
+	// command executes — into Result.SetupPM. The two-stage engine uses
+	// it to account recovery-path PM coverage separately. The snapshot
+	// is a plain copy off the hot path: it never touches the clock, so a
+	// run with it on is trajectory-identical to one without.
+	RecordSetupPM bool
 	// MaxOps bounds PM operations per execution (0 = DefaultMaxOps); a
 	// run exceeding it is reported as a hang, like a fuzzing timeout.
 	MaxOps int
@@ -118,6 +126,11 @@ type Result struct {
 	BarrierOps []int
 	// Commands counts command lines actually executed.
 	Commands int
+	// SetupPM is the PM coverage map captured right after program setup
+	// (nil unless Options.RecordSetupPM, or when setup itself faulted).
+	// It is a private copy, never pooled: retaining it across
+	// Arena.Recycle is safe.
+	SetupPM *instr.Map
 }
 
 // Faulted reports whether the execution ended in an unexpected fault or
@@ -210,8 +223,10 @@ func run(tc TestCase, opts Options, sh *runExtras) (*Result, *runExtras) {
 	}
 
 	maxCmds := opts.MaxCommands
-	if maxCmds <= 0 {
+	if maxCmds == 0 {
 		maxCmds = workloads.MaxCommands
+	} else if maxCmds < 0 {
+		maxCmds = 0 // recovery-only run: setup and close, no commands
 	}
 
 	finish := func() {
@@ -243,6 +258,10 @@ func run(tc TestCase, opts Options, sh *runExtras) (*Result, *runExtras) {
 		if err := prog.Setup(env); err != nil {
 			res.Err = fmt.Errorf("setup: %w", err)
 			return false
+		}
+		if opts.RecordSetupPM {
+			m := *res.Tracer.PMMap()
+			res.SetupPM = &m
 		}
 		// Iterate input lines in place instead of materializing the
 		// [][]byte bytes.Split allocates per run; the sequence is
@@ -289,6 +308,24 @@ func run(tc TestCase, opts Options, sh *runExtras) (*Result, *runExtras) {
 		opts.Shard.RecordExec(time.Since(obsT0), res.Panicked && hang, res.Faulted())
 	}
 	return res, sh
+}
+
+// Recover opens the test case's image and drives only the program's
+// setup path — pool validation, transaction (undo/redo) recovery, and
+// workload-level recovery hooks — executing zero command lines, then
+// closes the program and returns the result. Result.Image is the
+// recovered durable state: the start state of a stage-2 sub-campaign,
+// which fuzzes command inputs from the *recovered* image rather than
+// the raw crash image, exactly as the original tool re-runs the target
+// on generated crash images. Result.SetupPM (RecordSetupPM is forced
+// on) is the recovery path's PM coverage.
+func Recover(tc TestCase, opts Options) *Result {
+	tc.Input = nil
+	tc.Injector = nil
+	opts.MaxCommands = -1
+	opts.RecordSetupPM = true
+	res, _ := run(tc, opts, nil)
+	return res
 }
 
 // NormalImage runs the test case without failures and returns the final

@@ -210,3 +210,79 @@ func TestResultFaultedSemantics(t *testing.T) {
 		t.Fatalf("ErrStop treated as fault")
 	}
 }
+
+func TestRecordSetupPM(t *testing.T) {
+	first := Run(TestCase{Workload: "btree", Input: []byte("i 1 1\ni 2 2\n"), Seed: 1}, Options{})
+	if first.Image == nil {
+		t.Fatal("no image from seed run")
+	}
+	// Off by default.
+	plain := Run(TestCase{Workload: "btree", Input: []byte("g 1\n"), Image: first.Image, Seed: 1}, Options{})
+	if plain.SetupPM != nil {
+		t.Fatalf("SetupPM recorded without RecordSetupPM")
+	}
+	// On: the setup-phase PM map is a snapshot taken before any command.
+	res := Run(TestCase{Workload: "btree", Input: []byte("g 1\n"), Image: first.Image, Seed: 1},
+		Options{RecordSetupPM: true})
+	if res.SetupPM == nil {
+		t.Fatalf("SetupPM not recorded")
+	}
+	setupOps, totalOps := 0, 0
+	for _, c := range res.SetupPM {
+		setupOps += int(c)
+	}
+	for _, c := range res.Tracer.PMMap() {
+		totalOps += int(c)
+	}
+	if setupOps == 0 {
+		t.Fatalf("setup phase recorded no PM activity (pool open must touch PM)")
+	}
+	if setupOps > totalOps {
+		t.Fatalf("setup map (%d ops) exceeds the full run map (%d ops)", setupOps, totalOps)
+	}
+}
+
+func TestMaxCommandsNegativeRunsNone(t *testing.T) {
+	res := Run(TestCase{Workload: "btree", Input: []byte("i 1 1\ni 2 2\n"), Seed: 1},
+		Options{MaxCommands: -1})
+	if res.Err != nil || res.Panicked {
+		t.Fatalf("setup-only run failed: err=%v panic=%v", res.Err, res.PanicVal)
+	}
+	if res.Commands != 0 {
+		t.Fatalf("commands = %d, want 0 with negative MaxCommands", res.Commands)
+	}
+	if res.Image == nil {
+		t.Fatalf("setup-only run produced no image")
+	}
+}
+
+func TestRecoverRunsRecoveryOnly(t *testing.T) {
+	// Produce a mid-transaction crash image, then drive only recovery.
+	crash := Run(TestCase{
+		Workload: "btree",
+		Input:    []byte("i 1 1\ni 2 2\n"),
+		Injector: pmem.BarrierFailure{N: 10},
+		Seed:     1,
+	}, Options{})
+	if !crash.Crashed || crash.Image == nil {
+		t.Fatalf("no crash image to recover")
+	}
+	rec := Recover(TestCase{Workload: "btree", Input: []byte("g 1\n"), Image: crash.Image, Seed: 1}, Options{})
+	if rec.Faulted() {
+		t.Fatalf("recovery faulted: err=%v panic=%v", rec.Err, rec.PanicVal)
+	}
+	if rec.Commands != 0 {
+		t.Fatalf("recovery executed %d commands, want 0 (input must be ignored)", rec.Commands)
+	}
+	if rec.SetupPM == nil {
+		t.Fatalf("recovery did not record its setup PM map")
+	}
+	if rec.Image == nil {
+		t.Fatalf("recovery produced no recovered image")
+	}
+	// The recovered state must reopen cleanly.
+	reopen := Run(TestCase{Workload: "btree", Input: []byte("c\n"), Image: rec.Image, Seed: 1}, Options{})
+	if reopen.Faulted() {
+		t.Fatalf("recovered image did not reopen: err=%v panic=%v", reopen.Err, reopen.PanicVal)
+	}
+}

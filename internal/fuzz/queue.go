@@ -48,6 +48,19 @@ type Entry struct {
 	// FoundSimNS is the simulated time the entry was added, used for
 	// the paper's time-to-detection measurements (§5.4.1).
 	FoundSimNS int64
+	// Stage records which pipeline stage owns the entry: 0/1 for the
+	// stage-1 input-fuzzing loop, 2 for entries routed to (or generated
+	// by) stage-2 crash-image sub-campaigns. With stage-2 routing
+	// enabled (SetStage2Routing), stage-2 entries are invisible to the
+	// stage-1 scheduler.
+	Stage int
+	// Iter is the stage-2 promotion round the entry belongs to (the
+	// original tool's stage=2,iter=N output directories); 0 in stage 1.
+	Iter int
+	// OracleFlagged marks entries whose test case the differential
+	// oracle flagged with a crash-consistency violation — their crash
+	// images are the highest-value stage-2 promotion candidates.
+	OracleFlagged bool
 }
 
 // Queue holds the corpus and implements favored-first scheduling: high
@@ -59,6 +72,16 @@ type Queue struct {
 	entries []*Entry
 	cursor  int
 	rng     *rand.Rand
+	// routeStage2 hides Stage==2 entries from Next/Lease: the two-stage
+	// session fuzzer routes crash images to the stage-2 promoter instead
+	// of fuzzing them inline. Off by default, so single-stage sessions
+	// (and imported corpora replayed without stage 2) schedule every
+	// entry exactly as before.
+	routeStage2 bool
+	// schedulable counts entries Next may return (all of them unless
+	// routing is on), so the skip loops terminate when the whole corpus
+	// is routed out.
+	schedulable int
 }
 
 // NewQueue creates an empty queue with a seeded scheduler.
@@ -66,10 +89,21 @@ func NewQueue(seed int64) *Queue {
 	return &Queue{rng: rand.New(rand.NewSource(seed))}
 }
 
+// SetStage2Routing toggles stage-2 routing (see Queue.routeStage2).
+// Must be set before scheduling starts; flipping it mid-session would
+// change which entries the cursor skips.
+func (q *Queue) SetStage2Routing(on bool) { q.routeStage2 = on }
+
+// routed reports that the entry is hidden from the stage-1 scheduler.
+func (q *Queue) routed(e *Entry) bool { return q.routeStage2 && e.Stage == 2 }
+
 // Add appends an entry and assigns its ID.
 func (q *Queue) Add(e *Entry) *Entry {
 	e.ID = len(q.entries)
 	q.entries = append(q.entries, e)
+	if !q.routed(e) {
+		q.schedulable++
+	}
 	return e
 }
 
@@ -95,12 +129,15 @@ func (q *Queue) Get(id int) *Entry {
 // images are reused as inputs in the next iteration). It always
 // terminates as long as the queue is non-empty.
 func (q *Queue) Next() *Entry {
-	if len(q.entries) == 0 {
+	if len(q.entries) == 0 || q.schedulable == 0 {
 		return nil
 	}
 	if q.rng.Intn(2) == 0 {
 		for i := len(q.entries) - 1; i >= 0; i-- {
 			e := q.entries[i]
+			if q.routed(e) {
+				continue
+			}
 			if e.Favored >= FavoredHigh && e.Selections == 0 {
 				e.Selections++
 				return e
@@ -110,6 +147,11 @@ func (q *Queue) Next() *Entry {
 	for tries := 0; tries < 4*len(q.entries); tries++ {
 		e := q.entries[q.cursor%len(q.entries)]
 		q.cursor++
+		if q.routed(e) {
+			// Routed entries advance the cursor without consuming the
+			// RNG, so the skip is deterministic.
+			continue
+		}
 		switch {
 		case e.Favored >= FavoredHigh:
 			e.Selections++
@@ -128,11 +170,17 @@ func (q *Queue) Next() *Entry {
 			}
 		}
 	}
-	// Everything was skipped this pass; fall back to round-robin.
-	e := q.entries[q.cursor%len(q.entries)]
-	q.cursor++
-	e.Selections++
-	return e
+	// Everything was skipped this pass; fall back to round-robin over
+	// the schedulable entries.
+	for {
+		e := q.entries[q.cursor%len(q.entries)]
+		q.cursor++
+		if q.routed(e) {
+			continue
+		}
+		e.Selections++
+		return e
+	}
 }
 
 // ObsStats summarizes corpus composition for telemetry in one pass:
@@ -143,6 +191,9 @@ type ObsStats struct {
 	CrashImages               int
 	PendingFavs, PendingTotal int
 	MaxDepth                  int
+	// Stage2 counts entries owned by stage 2 (routed promotion
+	// candidates plus sub-campaign corpora merged back).
+	Stage2 int
 }
 
 // ObsStats scans the corpus once and returns its composition.
@@ -159,6 +210,9 @@ func (q *Queue) ObsStats() ObsStats {
 		}
 		if e.IsCrashImage {
 			s.CrashImages++
+		}
+		if e.Stage == 2 {
+			s.Stage2++
 		}
 		if e.Selections == 0 {
 			s.PendingTotal++

@@ -167,3 +167,64 @@ func TestQueueObsStats(t *testing.T) {
 		t.Errorf("max depth = %d, want 5", s.MaxDepth)
 	}
 }
+
+// TestStage2Routing pins the two-stage schedule split: with routing on,
+// stage-2 entries are invisible to Next/Lease (they belong to the
+// promotion queue), while Random still sees them as splice partners;
+// with routing off (the default), stage labels do not affect scheduling.
+func TestStage2Routing(t *testing.T) {
+	q := NewQueue(3)
+	s1 := q.Add(&Entry{Input: []byte("s1"), Favored: FavoredHigh})
+	q.Add(&Entry{Input: []byte("s2"), Favored: FavoredHigh, Stage: 2})
+
+	// Routing off: both schedulable.
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[q.Next().ID] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("routing off: scheduled %d distinct entries, want 2", len(seen))
+	}
+
+	q.SetStage2Routing(true)
+	for i := 0; i < 100; i++ {
+		e := q.Next()
+		if e == nil {
+			t.Fatal("Next returned nil with a schedulable stage-1 entry present")
+		}
+		if e.Stage == 2 {
+			t.Fatalf("iteration %d: scheduled a stage-2 entry with routing on", i)
+		}
+	}
+	if l := q.Lease(4); l == nil || l.Parent.ID != s1.ID {
+		t.Fatalf("Lease did not select the stage-1 entry")
+	}
+	if st := q.ObsStats(); st.Stage2 != 1 {
+		t.Fatalf("ObsStats.Stage2 = %d, want 1", st.Stage2)
+	}
+	// Random (the splice-partner draw) stays corpus-wide.
+	randomSawStage2 := false
+	for i := 0; i < 200 && !randomSawStage2; i++ {
+		if e := q.Random(); e != nil && e.Stage == 2 {
+			randomSawStage2 = true
+		}
+	}
+	if !randomSawStage2 {
+		t.Fatalf("Random never returned the stage-2 entry")
+	}
+}
+
+// TestStage2RoutingAllRoutedTerminates: a queue holding only stage-2
+// entries must report nothing schedulable instead of spinning.
+func TestStage2RoutingAllRoutedTerminates(t *testing.T) {
+	q := NewQueue(3)
+	q.SetStage2Routing(true)
+	q.Add(&Entry{Input: []byte("a"), Favored: FavoredHigh, Stage: 2})
+	q.Add(&Entry{Input: []byte("b"), Favored: FavoredLow, Stage: 2})
+	if e := q.Next(); e != nil {
+		t.Fatalf("Next = %+v on an all-routed queue, want nil", e)
+	}
+	if l := q.Lease(4); l != nil {
+		t.Fatalf("Lease = %+v on an all-routed queue, want nil", l)
+	}
+}

@@ -90,7 +90,15 @@ type Store struct {
 	cache    map[ID]*pmem.Image
 	cacheLRU []ID
 	cacheCap int
-	stats    counters
+	// pins holds decompressed images pinned resident by refcount —
+	// stage-2 seed images that every sub-campaign execution starts
+	// from. Pinned images hit like cache entries but are exempt from
+	// LRU eviction and from the cache capacity (they stay resident even
+	// with caching disabled, like a fork server keeping its start state
+	// mapped).
+	pins    map[ID]*pmem.Image
+	pinRefs map[ID]int
+	stats   counters
 
 	// shard receives put/get wall-time telemetry. The store is shared
 	// across workers but Put/Get through it are issued only by the
@@ -111,6 +119,8 @@ func New(cacheCap int) *Store {
 		blobs:    map[ID][]byte{},
 		cache:    map[ID]*pmem.Image{},
 		cacheCap: cacheCap,
+		pins:     map[ID]*pmem.Image{},
+		pinRefs:  map[ID]int{},
 	}
 }
 
@@ -323,6 +333,11 @@ func (s *Store) Has(id ID) bool {
 func (s *Store) Get(id ID, clock *pmem.Clock) (*pmem.Image, error) {
 	defer s.shard.End(obs.StageGet, s.shard.Begin())
 	s.mu.Lock()
+	if img, ok := s.pins[id]; ok {
+		s.mu.Unlock()
+		s.stats.cacheHits.Add(1)
+		return img, nil
+	}
 	if img, ok := s.cache[id]; ok {
 		s.touch(id)
 		s.mu.Unlock()
@@ -467,12 +482,71 @@ func (s *Store) decodeDelta(id ID, blob []byte, clock *pmem.Clock, depth int) (*
 }
 
 // Cached reports whether the image is resident in the decompressed
-// cache (used to decide the simulated open cost).
+// cache or pinned (used to decide the simulated open cost).
 func (s *Store) Cached(id ID) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, ok := s.pins[id]; ok {
+		return true
+	}
 	_, ok := s.cache[id]
 	return ok
+}
+
+// Pin makes the image resident until a matching Unpin: it is decoded at
+// most once (the miss charges clock like any Get), then every lookup
+// hits regardless of cache capacity or LRU pressure. Pins are
+// refcounted, so nested campaigns pinning the same seed image compose.
+func (s *Store) Pin(id ID, clock *pmem.Clock) (*pmem.Image, error) {
+	s.mu.Lock()
+	if img, ok := s.pins[id]; ok {
+		s.pinRefs[id]++
+		s.mu.Unlock()
+		return img, nil
+	}
+	if img, ok := s.cache[id]; ok {
+		s.pins[id] = img
+		s.pinRefs[id] = 1
+		s.mu.Unlock()
+		return img, nil
+	}
+	s.mu.Unlock()
+	s.stats.cacheMisses.Add(1)
+	img, err := s.decode(id, clock)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if _, ok := s.pins[id]; !ok {
+		s.pins[id] = img
+		s.pinRefs[id] = 0
+	}
+	s.pinRefs[id]++
+	img = s.pins[id]
+	s.mu.Unlock()
+	return img, nil
+}
+
+// Unpin releases one Pin reference; at zero the image falls back to
+// normal cache policy. Unpinning an unpinned ID is a no-op.
+func (s *Store) Unpin(id ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pinRefs[id] <= 0 {
+		return
+	}
+	s.pinRefs[id]--
+	if s.pinRefs[id] == 0 {
+		delete(s.pinRefs, id)
+		delete(s.pins, id)
+	}
+}
+
+// Pinned reports whether the image is currently pinned resident.
+func (s *Store) Pinned(id ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pinRefs[id] > 0
 }
 
 func (s *Store) insertCache(id ID, img *pmem.Image) {

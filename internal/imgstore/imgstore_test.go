@@ -410,3 +410,54 @@ func TestPutGetPropertyRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPinKeepsImageResident(t *testing.T) {
+	// Pins must hold an image resident even with zero cache capacity —
+	// the stage-2 campaign contract: the promoted crash image and its
+	// recovered state stay decoded for the whole sub-campaign.
+	s := New(0)
+	img := mkImage(9, 4096)
+	id, _, err := s.Put(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cached(id) {
+		t.Fatalf("image resident before Pin with cacheCap=0")
+	}
+	p1, err := s.Pin(id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p1.Data, img.Data) {
+		t.Fatalf("pinned image data mismatch")
+	}
+	if !s.Pinned(id) || !s.Cached(id) {
+		t.Fatalf("image not resident after Pin")
+	}
+	// Get must hit the pin (same decoded instance, counted as cache hit).
+	before := s.Stats().CacheHits
+	got, err := s.Get(id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p1 {
+		t.Fatalf("Get decoded a second instance despite the pin")
+	}
+	if s.Stats().CacheHits != before+1 {
+		t.Fatalf("pinned Get not counted as cache hit")
+	}
+	// Refcounting: nested pin + one unpin keeps it resident.
+	if _, err := s.Pin(id, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Unpin(id)
+	if !s.Pinned(id) {
+		t.Fatalf("image unpinned while a reference remains")
+	}
+	s.Unpin(id)
+	if s.Pinned(id) || s.Cached(id) {
+		t.Fatalf("image still resident after final Unpin with cacheCap=0")
+	}
+	// Unpinning an unpinned image is a no-op.
+	s.Unpin(id)
+}

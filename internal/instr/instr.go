@@ -403,3 +403,18 @@ func (v *Virgin) CoveredStates() int {
 	}
 	return n
 }
+
+// NewStatesOver counts the (slot, counter-bucket) states covered by v
+// that o never observed — the set difference CoveredStates(v) \
+// CoveredStates(o). The two-stage engine uses it to demonstrate that
+// stage-2 sub-campaigns reach recovery-path PM states an equal-budget
+// stage-1-only session does not.
+func (v *Virgin) NewStatesOver(o *Virgin) int {
+	n := 0
+	for i, b := range v.seen {
+		for d := b &^ o.seen[i]; d != 0; d >>= 1 {
+			n += int(d & 1)
+		}
+	}
+	return n
+}

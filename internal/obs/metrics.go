@@ -182,6 +182,16 @@ type Gauges struct {
 	PendingFavs, PendingTotal, MaxDepth               int
 }
 
+// Stage2Gauges is the two-stage scheduler's point-in-time state: how
+// many crash-image sub-campaigns ran, how many images the promotion
+// policy selected or still holds pending, the executions stage 2
+// consumed, and the recovery-phase PM coverage states observed.
+type Stage2Gauges struct {
+	Campaigns, Promoted, Pending int
+	Execs                        int64
+	RecoverySites                int
+}
+
 // StoreStats mirrors the image store's counters (obs cannot import
 // imgstore — the dependency points the other way).
 type StoreStats struct {
@@ -219,6 +229,9 @@ type Metrics struct {
 	storePuts, storeDedups, storeDeltaPuts atomic.Int64
 	cacheHits, cacheMisses                 atomic.Int64
 	rawBytes, compressedBytes              atomic.Int64
+
+	stage2Campaigns, stage2Promoted, stage2Pending atomic.Int64
+	stage2Execs, recoverySites                     atomic.Int64
 }
 
 // NewMetrics creates a registry stamped with the session parameters.
@@ -285,6 +298,15 @@ func (m *Metrics) SetGauges(g Gauges) {
 	m.pendingFavs.Store(int64(g.PendingFavs))
 	m.pendingTotal.Store(int64(g.PendingTotal))
 	m.maxDepth.Store(int64(g.MaxDepth))
+}
+
+// SetStage2 publishes the two-stage scheduler's state.
+func (m *Metrics) SetStage2(g Stage2Gauges) {
+	m.stage2Campaigns.Store(int64(g.Campaigns))
+	m.stage2Promoted.Store(int64(g.Promoted))
+	m.stage2Pending.Store(int64(g.Pending))
+	m.stage2Execs.Store(g.Execs)
+	m.recoverySites.Store(int64(g.RecoverySites))
 }
 
 // SetStoreStats publishes the image store's counters.
@@ -354,6 +376,12 @@ type Snapshot struct {
 	Stages   []StageSnap      `json:"stages"`
 	ExecHist []HistBucketSnap `json:"exec_hist"`
 
+	Stage2Campaigns int64 `json:"stage2_campaigns"`
+	Stage2Promoted  int64 `json:"stage2_promoted"`
+	Stage2Pending   int64 `json:"stage2_pending"`
+	Stage2Execs     int64 `json:"stage2_execs"`
+	RecoverySites   int64 `json:"recovery_sites"`
+
 	StorePuts       int64 `json:"store_puts"`
 	StoreDedups     int64 `json:"store_dedups"`
 	StoreDeltaPuts  int64 `json:"store_delta_puts"`
@@ -400,6 +428,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		Rounds:  m.rounds.Load(),
 		LeaseNS: m.leaseNS.Load(),
 		IdleNS:  m.idleNS.Load(),
+
+		Stage2Campaigns: m.stage2Campaigns.Load(),
+		Stage2Promoted:  m.stage2Promoted.Load(),
+		Stage2Pending:   m.stage2Pending.Load(),
+		Stage2Execs:     m.stage2Execs.Load(),
+		RecoverySites:   m.recoverySites.Load(),
 
 		StorePuts:       m.storePuts.Load(),
 		StoreDedups:     m.storeDedups.Load(),

@@ -256,6 +256,11 @@ func FuzzerStats(s Snapshot, now time.Time) string {
 	kv("pmfuzz_delta_rate", "%.4f", s.DeltaRate())
 	kv("pmfuzz_compression", "%.2f", s.CompressionRatio())
 	kv("pmfuzz_faulted_execs", "%d", s.Faults)
+	kv("pmfuzz_stage2_campaigns", "%d", s.Stage2Campaigns)
+	kv("pmfuzz_stage2_promoted", "%d", s.Stage2Promoted)
+	kv("pmfuzz_stage2_pending", "%d", s.Stage2Pending)
+	kv("pmfuzz_stage2_execs", "%d", s.Stage2Execs)
+	kv("pmfuzz_recovery_sites", "%d", s.RecoverySites)
 	kv("pmfuzz_lease_ms", "%.1f", float64(s.LeaseNS)/1e6)
 	kv("pmfuzz_idle_ms", "%.1f", float64(s.IdleNS)/1e6)
 	for _, st := range s.Stages {

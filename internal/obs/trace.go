@@ -78,7 +78,9 @@ type SessionEvent struct {
 
 // AdmitEvent records an input admitted to the corpus (Figure 11 step ②
 // for inputs). Worker 0 is the serial engine / coordinator; parallel
-// workers are 1-based.
+// workers are 1-based. Stage is 2 for admissions made inside a stage-2
+// sub-campaign and omitted in stage 1, so single-stage traces are
+// byte-identical to pre-two-stage ones.
 type AdmitEvent struct {
 	T          string `json:"t"` // "admit"
 	SimNS      int64  `json:"sim_ns"`
@@ -90,6 +92,7 @@ type AdmitEvent struct {
 	NewPM      bool   `json:"new_pm"`
 	CrashImage bool   `json:"crash_image"`
 	HasImage   bool   `json:"has_image"`
+	Stage      int    `json:"stage,omitempty"`
 }
 
 // HarvestEvent records a freshly generated PM image entering the store
@@ -103,6 +106,7 @@ type HarvestEvent struct {
 	Parent     int    `json:"parent"`
 	Image      string `json:"image"`
 	CrashImage bool   `json:"crash_image"`
+	Stage      int    `json:"stage,omitempty"`
 }
 
 // FaultEvent records a deduplicated fault bucket's first detection
@@ -113,6 +117,7 @@ type FaultEvent struct {
 	Worker int    `json:"worker"`
 	Execs  int    `json:"execs"`
 	Msg    string `json:"msg"`
+	Stage  int    `json:"stage,omitempty"`
 }
 
 // RoundEvent records one worker batch merged by the coordinator — the
@@ -123,6 +128,46 @@ type RoundEvent struct {
 	Worker   int    `json:"worker"`
 	Outcomes int    `json:"outcomes"`
 	Done     bool   `json:"done"`
+}
+
+// StageEnterEvent marks a stage transition in the two-stage pipeline:
+// the scheduler entering stage 1's input-fuzzing loop, or launching one
+// stage-2 sub-campaign from a promoted crash image. Emitted only when
+// stage 2 is enabled, so single-stage traces carry no stage events.
+type StageEnterEvent struct {
+	T     string `json:"t"` // "stage_enter"
+	SimNS int64  `json:"sim_ns"`
+	Stage int    `json:"stage"`
+	// Iter is the stage-2 promotion round (the original tool's
+	// stage=2,iter=N directories); Campaign is the sub-campaign ordinal
+	// within the session. Both are 0 for stage 1.
+	Iter     int `json:"iter"`
+	Campaign int `json:"campaign"`
+	// Root is the promoted crash-image entry's queue ID (-1 for stage
+	// 1); Image its content hash prefix; Score its promotion score
+	// (2 = oracle-flagged, 1 = novel PM path).
+	Root  int    `json:"root"`
+	Image string `json:"image,omitempty"`
+	Score int    `json:"score,omitempty"`
+	// Workers and BudgetNS are the stage's core and simulated-time
+	// budgets.
+	Workers  int   `json:"workers"`
+	BudgetNS int64 `json:"budget_ns"`
+}
+
+// StageExitEvent closes a StageEnterEvent with the stage's outcomes.
+type StageExitEvent struct {
+	T        string `json:"t"` // "stage_exit"
+	SimNS    int64  `json:"sim_ns"`
+	Stage    int    `json:"stage"`
+	Iter     int    `json:"iter"`
+	Campaign int    `json:"campaign"`
+	// Execs counts executions consumed by the stage; PMPaths the
+	// session-wide distinct PM-path count on exit; RecoverySites the
+	// session-wide recovery-phase coverage states on exit.
+	Execs         int `json:"execs"`
+	PMPaths       int `json:"pm_paths"`
+	RecoverySites int `json:"recovery_sites"`
 }
 
 // EndEvent closes every trace: the session totals.
