@@ -21,6 +21,7 @@ import (
 	"pmfuzz/internal/executor"
 	"pmfuzz/internal/experiments"
 	"pmfuzz/internal/obs"
+	"pmfuzz/internal/oracle"
 	"pmfuzz/internal/workloads"
 	"pmfuzz/internal/workloads/bugs"
 	"pmfuzz/internal/xfd"
@@ -477,4 +478,58 @@ func BenchmarkXFDSweep(b *testing.B) {
 			xfd.CheckPostSweep(tc, 0, 0.002, 2, nil)
 		}
 	})
+}
+
+// BenchmarkPrunedSweep measures the representative-state pruning layer:
+// an oracle sweep that recovers one representative per behavioral
+// equivalence class ("pruned") against per-member checking ("full", the
+// pre-pruning behavior forced by Options.NoPrune). Equivalence — the
+// identical violation set — is verified before timing; the reported
+// metrics pin the sub-linear claim (recoveries_saved, reduction_x ≥ 3
+// on btree at equal barriers).
+func BenchmarkPrunedSweep(b *testing.B) {
+	cases := []struct {
+		name     string
+		workload string
+		input    []byte
+	}{
+		{"btree", "btree", benchSweepInput()},
+		{"rbtree", "rbtree", benchSweepInput()},
+		{"redis", "redis", []byte("SET 1 1\nSET 9 2\nSET 17 3\nSET 25 4\nDEL 9\nSET 33 5\nCHECK\n")},
+	}
+	for _, c := range cases {
+		c := c
+		tc := executor.TestCase{Workload: c.workload, Input: c.input, Seed: 3}
+		pruned := oracle.Check(tc, oracle.Options{PreFence: true})
+		full := oracle.Check(tc, oracle.Options{PreFence: true, NoPrune: true})
+		if pruned.Skipped != "" || full.Skipped != "" {
+			b.Fatalf("%s: oracle skipped (%q / %q)", c.name, pruned.Skipped, full.Skipped)
+		}
+		if len(pruned.Violations) != len(full.Violations) || pruned.Checked != full.Checked {
+			b.Fatalf("%s: pruned and full sweeps disagree (%d/%d violations, %d/%d checked)",
+				c.name, len(pruned.Violations), len(full.Violations), pruned.Checked, full.Checked)
+		}
+		perMember := full.Checked + 1
+		b.Run(c.name+"/pruned", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				oracle.Check(tc, oracle.Options{PreFence: true})
+			}
+			b.ReportMetric(float64(pruned.Checked), "states")
+			b.ReportMetric(float64(pruned.Classes), "classes")
+			b.ReportMetric(float64(pruned.Recoveries), "recoveries")
+			b.ReportMetric(float64(perMember-pruned.Recoveries), "recoveries_saved")
+			b.ReportMetric(float64(perMember)/float64(pruned.Recoveries), "reduction_x")
+			b.ReportMetric(float64(len(pruned.Violations)), "violations")
+		})
+		b.Run(c.name+"/full", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				oracle.Check(tc, oracle.Options{PreFence: true, NoPrune: true})
+			}
+			b.ReportMetric(float64(full.Checked), "states")
+			b.ReportMetric(float64(full.Recoveries), "recoveries")
+			b.ReportMetric(float64(len(full.Violations)), "violations")
+		})
+	}
 }

@@ -36,6 +36,7 @@ func main() {
 		xfdBarriers = flag.Int("xfd-barriers", 50, "cross-failure barrier sweep cap")
 		xfdProb     = flag.Float64("xfd-prob", 0, "probabilistic failure rate for the cross-failure sweep")
 		runOracle   = flag.Bool("oracle", false, "also run the differential crash-consistency oracle over the barrier sweep")
+		noPrune     = flag.Bool("no-prune-sweep", false, "check every crash state individually instead of one representative per equivalence class")
 		reproOut    = flag.String("repro-out", "", "directory for minimized oracle repro bundles (implies minimization)")
 	)
 	flag.Parse()
@@ -113,6 +114,7 @@ func main() {
 		rep := oracle.Check(tc, oracle.Options{
 			PreFence: true,
 			Minimize: *reproOut != "",
+			NoPrune:  *noPrune,
 		})
 		if rep.Skipped != "" {
 			fmt.Printf("oracle: skipped: %s\n", rep.Skipped)

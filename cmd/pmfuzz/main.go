@@ -77,6 +77,8 @@ var (
 	// Crash-consistency oracle.
 	oracleCheck = flag.Bool("oracle", false, "run the differential crash-consistency oracle on favored test cases (off the simulated clock)")
 	reproOut    = flag.String("repro-out", "", "directory for minimized oracle repro bundles (implies -oracle)")
+	pruneSweep  = flag.Bool("prune-sweep", true, "group sweep crash states into behavioral equivalence classes and check one representative per class (full per-member fallback on any violation keeps the reported violation set identical)")
+	noPrune     = flag.Bool("no-prune-sweep", false, "disable sweep pruning (overrides -prune-sweep): check every crash state individually")
 
 	// Profiling.
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the session to this file")
@@ -96,7 +98,7 @@ var flagGroups = []struct {
 	{"Corpus I/O", []string{"out", "in", "series-out", "show-tree"}},
 	{"Experiments (paper artifacts)", []string{"experiment", "workloads"}},
 	{"Observability", []string{"status-every", "trace-out", "stats-addr"}},
-	{"Crash-consistency oracle", []string{"oracle", "repro-out"}},
+	{"Crash-consistency oracle", []string{"oracle", "repro-out", "prune-sweep", "no-prune-sweep"}},
 	{"Profiling", []string{"cpuprofile", "memprofile"}},
 }
 
@@ -214,6 +216,10 @@ func main() {
 	cfg.Stage2BudgetNS = *stage2Budget * 1_000_000
 	cfg.Stage2MaxCampaigns = *stage2MaxCamp
 	cfg.TrackRecovery = *trackRecovery
+	if *noPrune {
+		*pruneSweep = false
+	}
+	cfg.NoPruneSweep = !*pruneSweep
 	fuzzer, err := core.New(cfg, bg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmfuzz:", err)

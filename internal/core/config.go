@@ -136,6 +136,14 @@ type Config struct {
 	Stage2BudgetNS int64
 	// Stage2MaxCampaigns caps sub-campaigns per session (0 = 4).
 	Stage2MaxCampaigns int
+	// NoPruneSweep disables representative-state sweep pruning. With
+	// pruning on (the default), the differential oracle judges one
+	// representative crash state per behavioral equivalence class
+	// (falling back to full per-member checks on any violation, so the
+	// reported violation set is identical either way), and stage-2
+	// promotion dedups crash-image candidates by class. Disabling it
+	// restores strictly per-point checking.
+	NoPruneSweep bool
 	// TrackRecovery accounts recovery-path PM coverage: every execution
 	// that opens a crash image records the PM sites its setup phase
 	// (pool open, transaction recovery, workload recovery hooks)

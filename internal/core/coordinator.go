@@ -216,8 +216,8 @@ func (f *Fuzzer) admitOutcome(parent *fuzz.Entry, o *execOutcome, newBranch, new
 	// images are stored delta-encoded against the run's output image.
 	if f.cfg.Features.ImgFuzzIndirect && o.outImage != nil && e.NewPM {
 		outID, _ := f.addImageEntry(e, o.input, o.outImage, false, o.simNS)
-		for _, ci := range o.crashImages {
-			f.addImageEntryDelta(e, o.input, ci, true, o.simNS, outID, o.outImage)
+		for i, ci := range o.crashImages {
+			f.addImageEntryDelta(e, o.input, ci, true, o.crashClassKeys[i], o.simNS, outID, o.outImage)
 		}
 	}
 	// The oracle runs on the coordinator goroutine (the checker is not

@@ -184,7 +184,7 @@ func New(cfg Config, bugSet *bugs.Set) (*Fuzzer, error) {
 		// crash images leave the stage-1 schedule: they are routed to the
 		// promotion queue instead of being fuzzed inline.
 		f.cfg.TrackRecovery = true
-		f.promoter = newPromoter()
+		f.promoter = newPromoter(!cfg.NoPruneSweep, f.store)
 		f.queue.SetStage2Routing(true)
 	}
 	if f.cfg.TrackRecovery {
@@ -203,10 +203,12 @@ func (f *Fuzzer) SetTelemetry(s *obs.Session) {
 	if s == nil {
 		f.shard = nil
 		f.store.SetShard(nil)
+		f.oracleCk.SetShard(nil)
 		return
 	}
 	f.shard = &obs.Shard{}
 	f.store.SetShard(f.shard)
+	f.oracleCk.SetShard(f.shard)
 }
 
 // obsStart emits the trace's session header.
@@ -329,6 +331,7 @@ func (f *Fuzzer) pushObs(simNS int64) {
 		Puts: int64(st.Puts), Dedups: int64(st.Dedups), DeltaPuts: int64(st.DeltaPuts),
 		CacheHits: int64(st.CacheHits), CacheMisses: int64(st.CacheMisses),
 		RawBytes: st.RawBytes, CompressedBytes: st.CompressedBytes,
+		ClassHits: st.ClassHits, ClassMisses: st.ClassMisses,
 	})
 }
 
@@ -704,7 +707,20 @@ func (f *Fuzzer) oracleScan(parent *fuzz.Entry, input []byte, img *pmem.Image, s
 	rep := f.oracleCk.Check(tc, oracle.Options{
 		MaxCommands:   f.cfg.MaxCommands,
 		MaxViolations: 1,
+		NoPrune:       f.cfg.NoPruneSweep,
 	})
+	if !f.cfg.NoPruneSweep && rep.Classes > 0 {
+		// Per-class telemetry: tallies for fuzzer_stats, one trace event
+		// per pruned sweep. Read-only — the oracle stays off-trajectory.
+		f.store.AddClassStats(int64(rep.ClassHits), int64(rep.Classes))
+		if f.tele != nil {
+			f.tele.Trace().Emit(obs.ClassEvent{
+				T: "class", SimNS: simNS, Worker: f.obsWorker,
+				Classes: rep.Classes, Hits: rep.ClassHits,
+				Checked: rep.Checked, Recoveries: rep.Recoveries, Stage: f.stage,
+			})
+		}
+	}
 	for _, v := range rep.Violations {
 		// Minimize only novel violations (same bucket key as addFault):
 		// re-finding a known violation through another favored entry
@@ -773,7 +789,7 @@ func (f *Fuzzer) harvestImages(parent *fuzz.Entry, tc executor.TestCase, res *ex
 				b = 1
 			}
 			if crash := sw.Crash(b); crash != nil && crash.Image != nil {
-				f.addImageEntryDelta(parent, tc.Input, crash.Image, true, f.clock.Now(), outID, res.Image)
+				f.addImageEntryDelta(parent, tc.Input, crash.Image, true, executor.CrashClassKey(crash), f.clock.Now(), outID, res.Image)
 				// Materialized images are serialized immediately; their
 				// buffers feed the next snapshots. (Their shared empty
 				// tracer is deliberately NOT recycled.)
@@ -789,7 +805,7 @@ func (f *Fuzzer) harvestImages(parent *fuzz.Entry, tc executor.TestCase, res *ex
 		crash := executor.Run(tcp, executor.Options{Clock: f.clock, MaxCommands: f.cfg.MaxCommands, Arena: f.arena, Shard: f.shard})
 		f.execs++
 		if crash.Crashed && crash.Image != nil {
-			f.addImageEntryDelta(parent, tc.Input, crash.Image, true, f.clock.Now(), outID, res.Image)
+			f.addImageEntryDelta(parent, tc.Input, crash.Image, true, executor.CrashClassKey(crash), f.clock.Now(), outID, res.Image)
 		}
 		f.arena.Recycle(crash)
 		f.arena.RecycleImage(crash.Image)
@@ -801,15 +817,17 @@ func (f *Fuzzer) harvestImages(parent *fuzz.Entry, tc executor.TestCase, res *ex
 // ID (valid even for deduplicated images, so it can serve as a delta
 // base) and whether a queue entry was added.
 func (f *Fuzzer) addImageEntry(parent *fuzz.Entry, input []byte, img *pmem.Image, isCrash bool, foundNS int64) (imgstore.ID, bool) {
-	return f.addImageEntryDelta(parent, input, img, isCrash, foundNS, imgstore.ID{}, nil)
+	return f.addImageEntryDelta(parent, input, img, isCrash, 0, foundNS, imgstore.ID{}, nil)
 }
 
 // addImageEntryDelta is addImageEntry with a delta base: when base is an
 // image already in the store under baseID, the new image is stored as
 // compressed difference runs against it (crash images share most lines
 // with their run's output image). The store falls back to full encoding
-// when the base is unusable.
-func (f *Fuzzer) addImageEntryDelta(parent *fuzz.Entry, input []byte, img *pmem.Image, isCrash bool, foundNS int64, baseID imgstore.ID, base *pmem.Image) (imgstore.ID, bool) {
+// when the base is unusable. classKey is the crash image's behavioral
+// equivalence class (executor.CrashClassKey; 0 = unclassified), recorded
+// on the entry for stage-2 promotion dedup.
+func (f *Fuzzer) addImageEntryDelta(parent *fuzz.Entry, input []byte, img *pmem.Image, isCrash bool, classKey uint64, foundNS int64, baseID imgstore.ID, base *pmem.Image) (imgstore.ID, bool) {
 	id, fresh, err := f.store.PutDelta(img, baseID, base)
 	if err != nil || !fresh {
 		return id, false // image reduction: identical images are dropped
@@ -833,6 +851,7 @@ func (f *Fuzzer) addImageEntryDelta(parent *fuzz.Entry, input []byte, img *pmem.
 		Favored:    fuzz.FavoredHigh,
 		NewPM:      true,
 		FoundSimNS: foundNS,
+		ClassKey:   classKey,
 	}
 	if f.promoter != nil && isCrash {
 		// Two-stage routing: crash images leave the stage-1 schedule and

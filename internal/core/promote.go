@@ -30,19 +30,34 @@ type promoter struct {
 	// once per session, and once promoted it is never promoted again —
 	// already-explored states do not re-enter stage 2.
 	seen map[imgstore.ID]bool
+	// seenClass dedups by behavioral equivalence class (Entry.ClassKey)
+	// when sweep pruning is active: crash states that differ in bytes
+	// but recover through the same code on the same durable decision
+	// data seed at most one sub-campaign. nil disables class dedup.
+	seenClass map[uint64]bool
+	// store tallies class hits/misses for telemetry (may be nil).
+	store *imgstore.Store
 	// pending are candidates awaiting promotion, in discovery order.
 	pending []*fuzz.Entry
 	// promoted counts candidates drained so far.
 	promoted int
 }
 
-func newPromoter() *promoter {
-	return &promoter{seen: map[imgstore.ID]bool{}}
+// newPromoter creates the promotion policy. classDedup enables
+// equivalence-class deduplication of candidates; store (optional)
+// receives the class hit/miss tallies.
+func newPromoter(classDedup bool, store *imgstore.Store) *promoter {
+	p := &promoter{seen: map[imgstore.ID]bool{}, store: store}
+	if classDedup {
+		p.seenClass = map[uint64]bool{}
+	}
+	return p
 }
 
 // consider registers a crash-image entry as a stage-2 candidate and
-// reports whether it was accepted. Entries without a stored image and
-// duplicate images (by content ID) are dropped.
+// reports whether it was accepted. Entries without a stored image,
+// duplicate images (by content ID), and — with class dedup on —
+// duplicate equivalence classes are dropped.
 func (p *promoter) consider(e *fuzz.Entry) bool {
 	if e == nil || !e.HasImage || !e.IsCrashImage {
 		return false
@@ -51,6 +66,18 @@ func (p *promoter) consider(e *fuzz.Entry) bool {
 		return false
 	}
 	p.seen[e.ImageID] = true
+	if p.seenClass != nil && e.ClassKey != 0 {
+		if p.seenClass[e.ClassKey] {
+			if p.store != nil {
+				p.store.CountClass(true)
+			}
+			return false
+		}
+		p.seenClass[e.ClassKey] = true
+		if p.store != nil {
+			p.store.CountClass(false)
+		}
+	}
 	p.pending = append(p.pending, e)
 	return true
 }

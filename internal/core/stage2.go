@@ -186,6 +186,7 @@ func (f *Fuzzer) newCampaign(root *fuzz.Entry, recID imgstore.ID, iter, campaign
 	child.faultMsgs = f.faultMsgs
 	child.tele = f.tele
 	child.shard = f.shard
+	child.oracleCk.SetShard(f.shard)
 	seeded := false
 	for _, e := range child.queue.Entries() {
 		e.ImageID = recID
@@ -240,6 +241,7 @@ func (f *Fuzzer) mergeCampaign(root *fuzz.Entry, child *Fuzzer, cres *Result, it
 			Stage:         2,
 			Iter:          iter,
 			OracleFlagged: ce.OracleFlagged,
+			ClassKey:      ce.ClassKey,
 		}
 		if p, ok := idMap[ce.ParentID]; ok {
 			ne.ParentID = p

@@ -77,7 +77,7 @@ func TestPromotionPolicy(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			q := fuzz.NewQueue(1)
-			p := newPromoter()
+			p := newPromoter(false, nil)
 			for _, c := range tc.in {
 				var parentID = -1
 				if c.parentOracle {
@@ -130,7 +130,7 @@ func TestPromotionPolicy(t *testing.T) {
 func TestPromotionDeterministicOrder(t *testing.T) {
 	build := func() []*fuzz.Entry {
 		q := fuzz.NewQueue(1)
-		p := newPromoter()
+		p := newPromoter(false, nil)
 		for i := 0; i < 10; i++ {
 			e := &fuzz.Entry{
 				Input:         []byte{byte(i)},
@@ -344,4 +344,44 @@ func TestStage2ReachesRecoverySites(t *testing.T) {
 	}
 	t.Logf("recovery coverage: two-stage=%d states, stage-1-only=%d states, novel-to-stage-2=%d",
 		two.RecoverySites, base.RecoverySites, novel)
+}
+
+// TestPromotionClassDedup (satellite of the sweep-pruning layer): with
+// class dedup active, the second crash image in an already-promoted
+// behavioral class is dropped even though its image ID is new; with
+// dedup off (or an unclassified key of 0) both pass. The store's class
+// counters tally the decisions.
+func TestPromotionClassDedup(t *testing.T) {
+	entry := func(img byte, classKey uint64) *fuzz.Entry {
+		return &fuzz.Entry{
+			Input: []byte{img}, ImageID: id(img), HasImage: true,
+			IsCrashImage: true, NewPM: true, ClassKey: classKey,
+		}
+	}
+
+	st := imgstore.New(4)
+	p := newPromoter(true, st)
+	if !p.consider(entry(1, 42)) {
+		t.Fatalf("first image of class 42 rejected")
+	}
+	if p.consider(entry(2, 42)) {
+		t.Fatalf("second image of class 42 accepted despite class dedup")
+	}
+	if !p.consider(entry(3, 43)) {
+		t.Fatalf("fresh class 43 rejected")
+	}
+	// Key 0 marks unclassified entries; they are never class-deduped.
+	if !p.consider(entry(4, 0)) || !p.consider(entry(5, 0)) {
+		t.Fatalf("unclassified entries must not be deduped")
+	}
+	s := st.Stats()
+	if s.ClassHits != 1 || s.ClassMisses != 2 {
+		t.Fatalf("class counters = %d hits / %d misses, want 1/2", s.ClassHits, s.ClassMisses)
+	}
+
+	// With dedup disabled every distinct image ID passes.
+	off := newPromoter(false, nil)
+	if !off.consider(entry(6, 42)) || !off.consider(entry(7, 42)) {
+		t.Fatalf("class dedup leaked into the disabled promoter")
+	}
 }

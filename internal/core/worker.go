@@ -57,8 +57,12 @@ type execOutcome struct {
 	// image generation is enabled.
 	inImage  *pmem.Image
 	outImage *pmem.Image
-	// crashImages are the failure-injection sweep results for outImage.
-	crashImages []*pmem.Image
+	// crashImages are the failure-injection sweep results for outImage;
+	// crashClassKeys carries each image's behavioral equivalence-class
+	// key (executor.CrashClassKey), index-parallel, computed at harvest
+	// time while the full crash Result is in hand.
+	crashImages    []*pmem.Image
+	crashClassKeys []uint64
 	// setupPM is the recovery-phase PM map copy recorded when the
 	// execution opened a crash image under recovery tracking (nil
 	// otherwise); the coordinator merges it into the session's recovery
@@ -329,6 +333,7 @@ func (w *worker) harvestCrashImages(tc executor.TestCase, res *executor.Result, 
 			}
 			if crash := sw.Crash(b); crash != nil && crash.Image != nil {
 				o.crashImages = append(o.crashImages, crash.Image)
+				o.crashClassKeys = append(o.crashClassKeys, executor.CrashClassKey(crash))
 			}
 		}
 		// The journaled run's own result stays worker-local (the sweep
@@ -343,6 +348,7 @@ func (w *worker) harvestCrashImages(tc executor.TestCase, res *executor.Result, 
 		o.execs++
 		if crash.Crashed && crash.Image != nil {
 			o.crashImages = append(o.crashImages, crash.Image)
+			o.crashClassKeys = append(o.crashClassKeys, executor.CrashClassKey(crash))
 		} else {
 			w.arena.RecycleImage(crash.Image)
 		}

@@ -169,6 +169,109 @@ func (s *SweepResult) PreFenceCrash(b int) *Result {
 	}
 }
 
+// CrashFingerprint locates one crash point of the sweep and carries its
+// recovery-relevant fingerprint — the coordinates consumers build
+// equivalence classes from without materializing the image.
+type CrashFingerprint struct {
+	// Barrier/PreFence address the point the way Crash/PreFenceCrash do.
+	Barrier  int
+	PreFence bool
+	// Op is the 1-based PM operation the failure lands on — what the
+	// materialized Result records in Crash.Op.
+	Op int
+	// Commands is how many command lines had started at the point — the
+	// shadow-model coordinate the oracle's expected states depend on.
+	Commands int
+	// FP is the journal-derived state fingerprint.
+	FP pmem.Fingerprint
+}
+
+// SemanticKey digests the coordinates the differential oracle's verdict
+// depends on: the command prefix in flight plus the commit-variable
+// registrations and their durable content. Crash points sharing a
+// semantic key recover through the same code on the same durable
+// decision data toward the same explainable prefix states — one
+// representative stands for the class (a violation still triggers the
+// oracle's full per-member fallback, so the key's coarseness can cost
+// re-checking but never accuracy).
+func (f CrashFingerprint) SemanticKey() uint64 {
+	return pmem.SemanticClassKey(f.Commands, f.FP.CVCount, f.FP.CVHash)
+}
+
+// ExactKey digests everything the cross-failure detector's post-failure
+// analysis reads: the full image content, the taint set, and the
+// commit-variable exemptions. Points sharing an exact key produce
+// byte-identical report sets (modulo the Barrier/Op stamp), so exact
+// dedup is lossless.
+func (f CrashFingerprint) ExactKey() [32]byte {
+	var k [32]byte
+	copy(k[:], f.FP.ImageHash[:])
+	mix := f.FP.TaintSig ^ (f.FP.CVHash * 0x9e3779b97f4a7c15) ^ uint64(f.FP.CVCount)
+	for i := 0; i < 8; i++ {
+		k[i] ^= byte(mix >> (8 * i))
+	}
+	return k
+}
+
+// Fingerprints computes one CrashFingerprint per crash point of the
+// sweep in cursor order — pre-fence (when preFence is set and the point
+// exists) then barrier, for b in [1..maxB] (0 = every barrier) — in a
+// single forward pass over the journal, without materializing any image.
+// The slice enumerates exactly the points Crash/PreFenceCrash would
+// return non-nil for, in the order a forward sweep visits them.
+func (s *SweepResult) Fingerprints(maxB int, preFence bool) []CrashFingerprint {
+	if s.sweep == nil {
+		return nil
+	}
+	if maxB <= 0 || maxB > s.sweep.Barriers() {
+		maxB = s.sweep.Barriers()
+	}
+	defer s.opts.Shard.End(obs.StageSweep, s.opts.Shard.Begin())
+	part := s.sweep.Partition(s.layout)
+	n := maxB
+	if preFence {
+		n *= 2
+	}
+	fps := make([]CrashFingerprint, 0, n)
+	for b := 1; b <= maxB; b++ {
+		cp := s.sweep.Checkpoint(b)
+		if preFence {
+			if fp, ok := part.PreFence(b); ok {
+				fps = append(fps, CrashFingerprint{
+					Barrier: b, PreFence: true, Op: cp.PreOp,
+					Commands: s.commandsAt(cp.PreOp), FP: fp,
+				})
+			}
+		}
+		fps = append(fps, CrashFingerprint{
+			Barrier: b, Op: cp.Op,
+			Commands: s.commandsAt(cp.Op), FP: part.Barrier(b),
+		})
+	}
+	if s.opts.Clock != nil {
+		s.opts.Clock.ChargeSweepMaterialize(part.AppliedLines())
+	}
+	return fps
+}
+
+// CrashClassKey computes the semantic class key of an already
+// materialized crash result — the same key Fingerprints derives from the
+// journal, built instead from the Result's command counter and
+// commit-variable ranges. Stage-2 promotion dedups harvested crash
+// images by it. Returns 0 for non-crash results (0 doubles as the
+// "unclassified" sentinel on queue entries).
+func CrashClassKey(res *Result) uint64 {
+	if res == nil || !res.Crashed || res.Image == nil {
+		return 0
+	}
+	sig := pmem.CommitVarSignature(res.CommitVars, res.Image.Data)
+	k := pmem.SemanticClassKey(res.Commands, len(res.CommitVars), sig)
+	if k == 0 {
+		k = 1 // keep 0 reserved for "unclassified"
+	}
+	return k
+}
+
 // hashResumeOffset returns the smallest byte offset whose content may
 // differ between the previously hashed barrier image and barrier b's —
 // the minimum delta line over the checkpoints in between. Descending or

@@ -61,6 +61,12 @@ type Entry struct {
 	// oracle flagged with a crash-consistency violation — their crash
 	// images are the highest-value stage-2 promotion candidates.
 	OracleFlagged bool
+	// ClassKey is the crash image's behavioral equivalence-class key
+	// (executor.CrashClassKey) for crash-image entries; 0 means
+	// unclassified. Stage-2 promotion dedups candidates by this key when
+	// sweep pruning is active, so behaviorally identical crash states
+	// spawn at most one sub-campaign.
+	ClassKey uint64
 }
 
 // Queue holds the corpus and implements favored-first scheduling: high

@@ -69,6 +69,13 @@ type Stats struct {
 	// actual flate work done, which delta encoding shrinks.
 	BytesCompressed   int64
 	BytesDecompressed int64
+	// ClassHits/ClassMisses count sweep-pruning equivalence-class
+	// lookups recorded against the store via CountClass: a miss is a
+	// fresh class (its representative image does real work downstream),
+	// a hit is a crash point absorbed into an existing class. The store
+	// only tallies — classing itself happens in the sweep consumers.
+	ClassHits   int64
+	ClassMisses int64
 }
 
 // counters holds the live statistics. They are plain atomics rather than
@@ -81,6 +88,7 @@ type counters struct {
 	cacheHits, cacheMisses  atomic.Int64
 	rawBytes, compressed    atomic.Int64
 	bytesComp, bytesDecomp  atomic.Int64
+	classHits, classMisses  atomic.Int64
 }
 
 // Store is the content-addressed image store.
@@ -571,6 +579,26 @@ func (s *Store) touch(id ID) {
 	}
 }
 
+// CountClass records one sweep-pruning equivalence-class lookup: hit
+// when the crash point joined an existing class, miss when it founded a
+// new one. Atomic, so concurrent consumers never serialize on the store
+// mutex.
+func (s *Store) CountClass(hit bool) {
+	if hit {
+		s.stats.classHits.Add(1)
+	} else {
+		s.stats.classMisses.Add(1)
+	}
+}
+
+// AddClassStats merges a batch of equivalence-class counts (e.g. one
+// pruned oracle sweep's classes and absorbed members) into the store's
+// tallies.
+func (s *Store) AddClassStats(hits, misses int64) {
+	s.stats.classHits.Add(hits)
+	s.stats.classMisses.Add(misses)
+}
+
 // Len returns the number of distinct stored images.
 func (s *Store) Len() int {
 	s.mu.Lock()
@@ -593,6 +621,8 @@ func (s *Store) Stats() Stats {
 		CompressedBytes:   s.stats.compressed.Load(),
 		BytesCompressed:   s.stats.bytesComp.Load(),
 		BytesDecompressed: s.stats.bytesDecomp.Load(),
+		ClassHits:         s.stats.classHits.Load(),
+		ClassMisses:       s.stats.classMisses.Load(),
 	}
 }
 

@@ -27,7 +27,8 @@ type Stage int
 
 // The accounted stages: input/image mutation, target execution, the
 // crash-image sweep (journaled run plus materialization), the
-// coordinator's batch merge, and image-store put/get.
+// coordinator's batch merge, image-store put/get, and the oracle's
+// per-class representative checks.
 const (
 	StageMutate Stage = iota
 	StageExec
@@ -35,13 +36,14 @@ const (
 	StageMerge
 	StagePut
 	StageGet
+	StageRepCheck
 	numStages
 )
 
 // NumStages is the number of accounted stages.
 const NumStages = int(numStages)
 
-var stageNames = [numStages]string{"mutate", "exec", "sweep", "merge", "imgstore_put", "imgstore_get"}
+var stageNames = [numStages]string{"mutate", "exec", "sweep", "merge", "imgstore_put", "imgstore_get", "rep_check"}
 
 // String returns the stage's metric label.
 func (s Stage) String() string {
@@ -193,11 +195,14 @@ type Stage2Gauges struct {
 }
 
 // StoreStats mirrors the image store's counters (obs cannot import
-// imgstore — the dependency points the other way).
+// imgstore — the dependency points the other way). ClassHits/ClassMisses
+// are the sweep-pruning equivalence-class counters: a miss is a fresh
+// class, a hit a crash state deduplicated into an existing one.
 type StoreStats struct {
 	Puts, Dedups, DeltaPuts   int64
 	CacheHits, CacheMisses    int64
 	RawBytes, CompressedBytes int64
+	ClassHits, ClassMisses    int64
 }
 
 // Metrics is the shared registry: every field is an atomic scalar, so
@@ -229,6 +234,7 @@ type Metrics struct {
 	storePuts, storeDedups, storeDeltaPuts atomic.Int64
 	cacheHits, cacheMisses                 atomic.Int64
 	rawBytes, compressedBytes              atomic.Int64
+	classHits, classMisses                 atomic.Int64
 
 	stage2Campaigns, stage2Promoted, stage2Pending atomic.Int64
 	stage2Execs, recoverySites                     atomic.Int64
@@ -318,6 +324,8 @@ func (m *Metrics) SetStoreStats(st StoreStats) {
 	m.cacheMisses.Store(st.CacheMisses)
 	m.rawBytes.Store(st.RawBytes)
 	m.compressedBytes.Store(st.CompressedBytes)
+	m.classHits.Store(st.ClassHits)
+	m.classMisses.Store(st.ClassMisses)
 }
 
 // StageSnap is one stage's accounted totals in a Snapshot.
@@ -389,6 +397,8 @@ type Snapshot struct {
 	CacheMisses     int64 `json:"cache_misses"`
 	RawBytes        int64 `json:"raw_bytes"`
 	CompressedBytes int64 `json:"compressed_bytes"`
+	ClassHits       int64 `json:"class_hits"`
+	ClassMisses     int64 `json:"class_misses"`
 }
 
 // Snapshot copies the registry.
@@ -442,6 +452,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		CacheMisses:     m.cacheMisses.Load(),
 		RawBytes:        m.rawBytes.Load(),
 		CompressedBytes: m.compressedBytes.Load(),
+		ClassHits:       m.classHits.Load(),
+		ClassMisses:     m.classMisses.Load(),
 	}
 	if wall > 0 {
 		s.ExecsPerSec = float64(s.Execs) / wall

@@ -256,6 +256,8 @@ func FuzzerStats(s Snapshot, now time.Time) string {
 	kv("pmfuzz_delta_rate", "%.4f", s.DeltaRate())
 	kv("pmfuzz_compression", "%.2f", s.CompressionRatio())
 	kv("pmfuzz_faulted_execs", "%d", s.Faults)
+	kv("pmfuzz_classes_total", "%d", s.ClassMisses)
+	kv("pmfuzz_class_hits", "%d", s.ClassHits)
 	kv("pmfuzz_stage2_campaigns", "%d", s.Stage2Campaigns)
 	kv("pmfuzz_stage2_promoted", "%d", s.Stage2Promoted)
 	kv("pmfuzz_stage2_pending", "%d", s.Stage2Pending)

@@ -120,6 +120,24 @@ type FaultEvent struct {
 	Stage  int    `json:"stage,omitempty"`
 }
 
+// ClassEvent records one pruned oracle sweep's equivalence-class
+// statistics: how many representative classes the sweep partitioned
+// into, how many crash points were absorbed as class members (hits),
+// how many points were judged in total, and how many recovery
+// executions were actually spent. Emitted only when sweep pruning is
+// active, so unpruned traces are byte-identical to pre-pruning ones
+// modulo nothing at all.
+type ClassEvent struct {
+	T          string `json:"t"` // "class"
+	SimNS      int64  `json:"sim_ns"`
+	Worker     int    `json:"worker"`
+	Classes    int    `json:"classes"`
+	Hits       int    `json:"hits"`
+	Checked    int    `json:"checked"`
+	Recoveries int    `json:"recoveries"`
+	Stage      int    `json:"stage,omitempty"`
+}
+
 // RoundEvent records one worker batch merged by the coordinator — the
 // fleet's heartbeat. Done marks the worker's budget exhausting.
 type RoundEvent struct {

@@ -89,14 +89,17 @@ func (b *Bundle) TestCase() executor.TestCase {
 func (b *Bundle) Replay(c *Checker, opts Options) (*Violation, error) {
 	opts.PreFence = opts.PreFence || b.PreFence
 	opts.Minimize = false
-	vs, _, _, skip := c.scan(b.TestCase(), opts, b.Barrier, 1)
-	if skip != "" {
-		return nil, fmt.Errorf("oracle: bundle replay skipped: %s", skip)
+	// Replays run unpruned so the reproduced verdict is judged at exactly
+	// the recorded crash point, independent of class representatives.
+	opts.NoPrune = true
+	rep := c.scan(b.TestCase(), opts, b.Barrier, 1)
+	if rep.Skipped != "" {
+		return nil, fmt.Errorf("oracle: bundle replay skipped: %s", rep.Skipped)
 	}
-	if len(vs) == 0 {
+	if len(rep.Violations) == 0 {
 		return nil, fmt.Errorf("oracle: bundle replay found no violation in barriers 1..%d", b.Barrier)
 	}
-	return vs[0], nil
+	return rep.Violations[0], nil
 }
 
 // Write stores the bundle as a directory: meta.json (verdict + crash

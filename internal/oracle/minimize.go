@@ -29,6 +29,11 @@ import (
 // input is always a subsequence of tc.Input's lines (never larger), and
 // the recorded barrier is verified violating on the minimized stream.
 func (c *Checker) Minimize(tc executor.TestCase, v *Violation, opts Options) *Bundle {
+	// Minimization probes run unpruned: every candidate verdict comes
+	// from individually judged crash points, so repro bundles stay
+	// byte-identical to the pre-pruning minimizer's regardless of how the
+	// violation was first found.
+	opts.NoPrune = true
 	origLen := len(tc.Input)
 	origBarrier := v.Barrier
 	lines := splitLines(tc.Input)
@@ -75,11 +80,11 @@ func (c *Checker) Minimize(tc executor.TestCase, v *Violation, opts Options) *Bu
 // violation, or nil when the stream is clean (or cannot be judged).
 func (c *Checker) firstViolation(tc executor.TestCase, input []byte, opts Options) *Violation {
 	tc.Input = input
-	vs, _, _, skip := c.scan(tc, opts, 0, 1)
-	if skip != "" || len(vs) == 0 {
+	rep := c.scan(tc, opts, 0, 1)
+	if rep.Skipped != "" || len(rep.Violations) == 0 {
 		return nil
 	}
-	return vs[0]
+	return rep.Violations[0]
 }
 
 // ddmin runs complement-removal delta debugging over the command lines,
@@ -155,7 +160,7 @@ func (c *Checker) earliestBarrier(tc executor.TestCase, input []byte, v *Violati
 		if res == nil {
 			return nil
 		}
-		return c.judge(tc, res, b, v.PreFence, prefixes, opts)
+		return c.judge(tc, res, b, v.PreFence, prefixes, opts, nil)
 	}
 
 	best := v

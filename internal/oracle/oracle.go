@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"pmfuzz/internal/executor"
+	"pmfuzz/internal/obs"
 	"pmfuzz/internal/pmem"
 	"pmfuzz/internal/workloads"
 	"pmfuzz/internal/workloads/bugs"
@@ -27,6 +28,15 @@ type Options struct {
 	// sweep and the recovery replays (0 = executor defaults).
 	MaxCommands int
 	MaxOps      int
+	// NoPrune disables representative-state pruning: every crash point is
+	// recovered and judged individually (the pre-equivalence-class
+	// behavior). The zero value — pruning ON — groups crash points into
+	// equivalence classes by (command prefix, commit-variable content)
+	// fingerprint, judges one representative per class, and attributes the
+	// verdict to all members; any representative violation triggers a full
+	// per-member pass, so the reported violation set is identical to an
+	// unpruned scan whenever pruning finds anything at all.
+	NoPrune bool
 }
 
 // Violation is one crash image the oracle could not explain.
@@ -79,6 +89,16 @@ type Report struct {
 	// Bundles holds one minimized repro per violation when
 	// Options.Minimize was set.
 	Bundles []*Bundle
+	// Classes / ClassHits count the equivalence classes and the
+	// duplicate-class crash points seen by the representative pass (both
+	// zero with Options.NoPrune).
+	Classes   int
+	ClassHits int
+	// Recoveries counts recovery executions actually run (the baseline
+	// included); MemoHits counts crash points answered from the per-scan
+	// recovery memo instead — identical images never recover twice.
+	Recoveries int
+	MemoHits   int
 }
 
 // Checker runs differential crash-consistency checks. It owns two
@@ -90,11 +110,25 @@ type Report struct {
 type Checker struct {
 	sweepArena *executor.Arena
 	recArena   *executor.Arena
+	// shard, when attached, times representative checks under the
+	// rep_check stage (nil-safe; the oracle stays off the simulated
+	// clock either way).
+	shard *obs.Shard
 }
 
 // NewChecker returns a reusable checker.
 func NewChecker() *Checker {
 	return &Checker{sweepArena: executor.NewArena(), recArena: executor.NewArena()}
+}
+
+// SetShard attaches a metrics shard for rep_check stage timing (nil
+// detaches). Safe on a nil Checker so callers with the oracle disabled
+// never guard.
+func (c *Checker) SetShard(sh *obs.Shard) {
+	if c == nil {
+		return
+	}
+	c.shard = sh
 }
 
 // Check validates every crash image of tc's barrier sweep with a fresh
@@ -109,14 +143,12 @@ func Check(tc executor.TestCase, opts Options) *Report {
 // whole in-flight command (atomicity + durability). Any injector on tc
 // is ignored; the sweep is the failure source.
 func (c *Checker) Check(tc executor.TestCase, opts Options) *Report {
-	rep := &Report{Workload: tc.Workload}
-	vs, checked, barriers, skip := c.scan(tc, opts, opts.MaxBarriers, opts.MaxViolations)
-	rep.Violations, rep.Checked, rep.Barriers, rep.Skipped = vs, checked, barriers, skip
+	rep := c.scan(tc, opts, opts.MaxBarriers, opts.MaxViolations)
 	if opts.Minimize {
 		// Neighbouring crash points usually shrink to the same repro;
 		// keep one bundle per distinct minimized outcome.
 		seen := map[string]bool{}
-		for _, v := range vs {
+		for _, v := range rep.Violations {
 			b := c.Minimize(tc, v, opts)
 			key := fmt.Sprintf("%s|%d|%t|%s", b.Kind, b.Barrier, b.PreFence, b.Input)
 			if seen[key] {
@@ -129,29 +161,69 @@ func (c *Checker) Check(tc executor.TestCase, opts Options) *Report {
 	return rep
 }
 
+// scanState carries one scan's recovery memo and accounting. The memo is
+// keyed by image content hash: within a scan the workload, bug flags,
+// seed, and op cap are fixed, so identical images recover identically.
+type scanState struct {
+	memo       map[[32]byte]memoEntry
+	recoveries int
+	memoHits   int
+}
+
+type memoEntry struct {
+	dump []workloads.KV
+	v    *Violation
+}
+
 // scan is the shared sweep-and-judge loop behind Check and the
 // minimizer's re-validation probes. maxB caps the barrier range scanned
-// ([1..maxB]); maxV stops after that many violations. It returns the
-// violations in ascending barrier order, so the first one is the
-// earliest explicable-state failure of the scanned window.
-func (c *Checker) scan(tc executor.TestCase, opts Options, maxB, maxV int) (vs []*Violation, checked, barriers int, skip string) {
+// ([1..maxB]); maxV stops after that many violations. Violations come
+// back in ascending crash-point order, so the first one is the earliest
+// explicable-state failure of the scanned window.
+//
+// With pruning on (the default), the scan fingerprints every crash point
+// from the sweep journal, groups points into equivalence classes by
+// semantic key, and judges only the first member of each class — the
+// representative. A scan whose representatives are all clean attributes
+// the clean verdict to every member and never recovers the rest. Any
+// representative violation abandons the attribution and re-runs the
+// whole window per member (recoveries already performed are answered
+// from the memo), reproducing the unpruned scan's violation set, order,
+// and early-stop semantics exactly.
+func (c *Checker) scan(tc executor.TestCase, opts Options, maxB, maxV int) *Report {
+	rep := &Report{Workload: tc.Workload}
 	prog, err := workloads.New(tc.Workload)
 	if err != nil {
-		return nil, 0, 0, err.Error()
+		rep.Skipped = err.Error()
+		return rep
 	}
 	if _, ok := prog.(workloads.StateDumper); !ok {
-		return nil, 0, 0, fmt.Sprintf("oracle: workload %q has no state-dump hook", tc.Workload)
+		rep.Skipped = fmt.Sprintf("oracle: workload %q has no state-dump hook", tc.Workload)
+		return rep
 	}
 	if _, err := CheckLine(tc.Workload); err != nil {
-		return nil, 0, 0, err.Error()
+		rep.Skipped = err.Error()
+		return rep
 	}
+
+	st := &scanState{memo: map[[32]byte]memoEntry{}}
 
 	// Baseline S₀: the recovered state of the start image. If the start
 	// image itself doesn't recover cleanly, nothing observed below could
-	// be attributed to the command stream.
-	base, bv := c.recoverDump(tc, tc.Image, opts)
+	// be attributed to the command stream. Seeding the memo with the
+	// start image's hash lets a sweep crash point that reproduces the
+	// start state reuse this recovery.
+	var base []workloads.KV
+	var bv *Violation
+	if tc.Image != nil {
+		base, bv = c.recoverDumpMemo(tc, tc.Image, tc.Image.Hash(), opts, st)
+	} else {
+		base, bv = c.recoverDump(tc, tc.Image, opts)
+		st.recoveries++
+	}
 	if bv != nil {
-		return nil, 0, 0, "baseline recovery of start image not clean: " + bv.Detail
+		rep.Skipped = "baseline recovery of start image not clean: " + bv.Detail
+		return rep
 	}
 
 	maxCmds := opts.MaxCommands
@@ -161,7 +233,8 @@ func (c *Checker) scan(tc executor.TestCase, opts Options, maxB, maxV int) (vs [
 	lines := splitLines(tc.Input)
 	prefixes, err := prefixStates(tc.Workload, base, lines, maxCmds)
 	if err != nil {
-		return nil, 0, 0, err.Error()
+		rep.Skipped = err.Error()
+		return rep
 	}
 
 	sw := executor.SweepRun(tc, executor.Options{
@@ -171,21 +244,48 @@ func (c *Checker) scan(tc executor.TestCase, opts Options, maxB, maxV int) (vs [
 	})
 	defer c.sweepArena.Recycle(sw.Clean)
 	if sw.Clean.Faulted() {
-		return nil, 0, 0, fmt.Sprintf("clean execution faulted: panicked=%v err=%v", sw.Clean.Panicked, sw.Clean.Err)
+		rep.Skipped = fmt.Sprintf("clean execution faulted: panicked=%v err=%v", sw.Clean.Panicked, sw.Clean.Err)
+		return rep
 	}
-	barriers = sw.Barriers()
-	if maxB <= 0 || maxB > barriers {
-		maxB = barriers
+	rep.Barriers = sw.Barriers()
+	if maxB <= 0 || maxB > rep.Barriers {
+		maxB = rep.Barriers
 	}
+
+	if !opts.NoPrune {
+		fps := sw.Fingerprints(maxB, opts.PreFence)
+		if c.scanReps(tc, sw, fps, prefixes, opts, st, rep) {
+			rep.Recoveries, rep.MemoHits = st.recoveries, st.memoHits
+			return rep
+		}
+		// A representative violated: fall back to the full per-member
+		// pass below, driven by the same fingerprint sequence (it
+		// enumerates exactly the points the unpruned loop would judge, in
+		// the same order, and supplies their image hashes for the memo).
+		for _, fp := range fps {
+			res := c.materialize(sw, fp)
+			rep.Checked++
+			if v := c.judge(tc, res, fp.Barrier, fp.PreFence, prefixes, opts, st); v != nil {
+				rep.Violations = append(rep.Violations, v)
+				if maxV > 0 && len(rep.Violations) >= maxV {
+					break
+				}
+			}
+		}
+		rep.Recoveries, rep.MemoHits = st.recoveries, st.memoHits
+		return rep
+	}
+
 	for b := 1; b <= maxB; b++ {
 		if opts.PreFence {
 			// Before ImageData(b), so the cursor moves strictly forward.
 			if res := sw.PreFenceCrash(b); res != nil {
-				checked++
-				if v := c.judge(tc, res, b, true, prefixes, opts); v != nil {
-					vs = append(vs, v)
-					if maxV > 0 && len(vs) >= maxV {
-						return vs, checked, barriers, ""
+				rep.Checked++
+				if v := c.judge(tc, res, b, true, prefixes, opts, st); v != nil {
+					rep.Violations = append(rep.Violations, v)
+					if maxV > 0 && len(rep.Violations) >= maxV {
+						rep.Recoveries, rep.MemoHits = st.recoveries, st.memoHits
+						return rep
 					}
 				}
 			}
@@ -194,21 +294,73 @@ func (c *Checker) scan(tc executor.TestCase, opts Options, maxB, maxV int) (vs [
 		if res == nil {
 			continue
 		}
-		checked++
-		if v := c.judge(tc, res, b, false, prefixes, opts); v != nil {
-			vs = append(vs, v)
-			if maxV > 0 && len(vs) >= maxV {
-				return vs, checked, barriers, ""
+		rep.Checked++
+		if v := c.judge(tc, res, b, false, prefixes, opts, st); v != nil {
+			rep.Violations = append(rep.Violations, v)
+			if maxV > 0 && len(rep.Violations) >= maxV {
+				rep.Recoveries, rep.MemoHits = st.recoveries, st.memoHits
+				return rep
 			}
 		}
 	}
-	return vs, checked, barriers, ""
+	rep.Recoveries, rep.MemoHits = st.recoveries, st.memoHits
+	return rep
+}
+
+// scanReps runs the representative pass: one judged member per semantic
+// class, verdict attributed to the whole class. Returns true when every
+// representative was clean (the scan is done, Checked covers all
+// members); false when one violated and the caller must fall back to
+// the full per-member pass.
+func (c *Checker) scanReps(tc executor.TestCase, sw *executor.SweepResult, fps []executor.CrashFingerprint, prefixes [][]workloads.KV, opts Options, st *scanState, rep *Report) bool {
+	seen := map[uint64]bool{}
+	for _, fp := range fps {
+		key := fp.SemanticKey()
+		if seen[key] {
+			rep.ClassHits++
+			continue
+		}
+		seen[key] = true
+		rep.Classes++
+		res := c.materialize(sw, fp)
+		t0 := c.shard.Begin()
+		v := c.judge(tc, res, fp.Barrier, fp.PreFence, prefixes, opts, st)
+		c.shard.End(obs.StageRepCheck, t0)
+		if v != nil {
+			return false
+		}
+	}
+	rep.Checked = len(fps)
+	return true
+}
+
+// materialize resolves a fingerprinted crash point to its Result,
+// stamping the image with the journal-derived content hash so the
+// recovery memo never rehashes it. The fingerprint enumerates only
+// existing points, so the result is never nil.
+func (c *Checker) materialize(sw *executor.SweepResult, fp executor.CrashFingerprint) *executor.Result {
+	var res *executor.Result
+	if fp.PreFence {
+		res = sw.PreFenceCrash(fp.Barrier)
+	} else {
+		res = sw.Crash(fp.Barrier)
+	}
+	res.Image.SetPrecomputedHash(fp.FP.ImageHash)
+	return res
 }
 
 // judge recovers one crash image and decides whether the recovered state
-// is explainable against the shadow prefixes.
-func (c *Checker) judge(tc executor.TestCase, crash *executor.Result, barrier int, preFence bool, prefixes [][]workloads.KV, opts Options) *Violation {
-	dump, rv := c.recoverDump(tc, crash.Image, opts)
+// is explainable against the shadow prefixes. st memoizes recoveries by
+// image hash (nil = no memoization; the minimizer's probes judge one
+// point at a time).
+func (c *Checker) judge(tc executor.TestCase, crash *executor.Result, barrier int, preFence bool, prefixes [][]workloads.KV, opts Options, st *scanState) *Violation {
+	var dump []workloads.KV
+	var rv *Violation
+	if st != nil {
+		dump, rv = c.recoverDumpMemo(tc, crash.Image, crash.Image.Hash(), opts, st)
+	} else {
+		dump, rv = c.recoverDump(tc, crash.Image, opts)
+	}
 	v := &Violation{
 		Workload: tc.Workload,
 		Barrier:  barrier,
@@ -235,6 +387,20 @@ func (c *Checker) judge(tc executor.TestCase, crash *executor.Result, barrier in
 	v.Expected, v.ExpectedNext, v.Actual = prefixes[prev], prefixes[cur], dump
 	v.Detail = diffString(prefixes[prev], prefixes[cur], dump)
 	return v
+}
+
+// recoverDumpMemo is recoverDump memoized on the image's content hash
+// within one scan: repeated identical images — common across pre-fence
+// windows and no-op barriers — never recover twice.
+func (c *Checker) recoverDumpMemo(tc executor.TestCase, img *pmem.Image, key [32]byte, opts Options, st *scanState) ([]workloads.KV, *Violation) {
+	if e, ok := st.memo[key]; ok {
+		st.memoHits++
+		return e.dump, e.v
+	}
+	dump, rv := c.recoverDump(tc, img, opts)
+	st.recoveries++
+	st.memo[key] = memoEntry{dump: dump, v: rv}
+	return dump, rv
 }
 
 // recoverDump runs recovery (Setup with no commands) on img under tc's

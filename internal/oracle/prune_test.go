@@ -1,0 +1,169 @@
+package oracle
+
+import (
+	"fmt"
+	"testing"
+
+	"pmfuzz/internal/executor"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// violationSet renders a report's violations as an ordered list of
+// strings so pruned and unpruned runs can be compared verbatim.
+func violationSet(rep *Report) []string {
+	out := make([]string, len(rep.Violations))
+	for i, v := range rep.Violations {
+		out[i] = v.String()
+	}
+	return out
+}
+
+func checkBoth(t *testing.T, tc executor.TestCase, opts Options) (pruned, unpruned *Report) {
+	t.Helper()
+	po := opts
+	po.NoPrune = false
+	pruned = Check(tc, po)
+	uo := opts
+	uo.NoPrune = true
+	unpruned = Check(tc, uo)
+	if pruned.Skipped != unpruned.Skipped {
+		t.Fatalf("skip disagreement: pruned %q vs unpruned %q", pruned.Skipped, unpruned.Skipped)
+	}
+	return pruned, unpruned
+}
+
+// TestPrunedCleanParity: on every clean workload a pruned sweep reports
+// the same (empty) violation set as an unpruned one, forms more than one
+// class, reuses classes (hits), and satisfies the recovery accounting
+// identities — clean pruned scans recover once per class plus the
+// baseline, unpruned scans once per crash state plus the baseline (memo
+// hits cover the rest).
+func TestPrunedCleanParity(t *testing.T) {
+	for w, input := range cleanInputs {
+		t.Run(w, func(t *testing.T) {
+			tc := executor.TestCase{Workload: w, Input: []byte(input), Seed: 1}
+			pruned, unpruned := checkBoth(t, tc, Options{PreFence: true})
+			if len(pruned.Violations) != 0 || len(unpruned.Violations) != 0 {
+				t.Fatalf("clean workload violated: pruned %v unpruned %v",
+					violationSet(pruned), violationSet(unpruned))
+			}
+			if pruned.Checked != unpruned.Checked {
+				t.Fatalf("Checked diverged: pruned %d unpruned %d", pruned.Checked, unpruned.Checked)
+			}
+			if pruned.Classes <= 1 {
+				t.Fatalf("expected multiple classes, got %d", pruned.Classes)
+			}
+			if pruned.ClassHits == 0 {
+				t.Fatalf("expected class hits over %d states in %d classes", pruned.Checked, pruned.Classes)
+			}
+			if pruned.Classes+pruned.ClassHits != pruned.Checked {
+				t.Fatalf("class accounting broken: %d classes + %d hits != %d checked",
+					pruned.Classes, pruned.ClassHits, pruned.Checked)
+			}
+			if pruned.Recoveries+pruned.MemoHits != pruned.Classes+1 {
+				t.Fatalf("pruned recovery accounting broken: %d recoveries + %d memo hits != %d classes + baseline",
+					pruned.Recoveries, pruned.MemoHits, pruned.Classes)
+			}
+			if unpruned.Recoveries+unpruned.MemoHits != unpruned.Checked+1 {
+				t.Fatalf("unpruned recovery accounting broken: %d recoveries + %d memo hits != %d checked + baseline",
+					unpruned.Recoveries, unpruned.MemoHits, unpruned.Checked)
+			}
+			if pruned.Recoveries >= unpruned.Recoveries {
+				t.Fatalf("pruning did not reduce recoveries: %d vs %d", pruned.Recoveries, unpruned.Recoveries)
+			}
+			if unpruned.Classes != 0 || unpruned.ClassHits != 0 {
+				t.Fatalf("unpruned scan reported class stats: %d/%d", unpruned.Classes, unpruned.ClassHits)
+			}
+		})
+	}
+}
+
+// TestPrunedBugParity: on Bugs 1-6 the pruned scan's full-fallback pass
+// reproduces exactly the unpruned violation set — same kinds, same
+// barriers, same order — so zero-false-positive and zero-false-negative
+// behavior is preserved where it matters most.
+func TestPrunedBugParity(t *testing.T) {
+	cases := []struct {
+		workload string
+		input    string
+		bug      bugs.RealBug
+	}{
+		{"hashmap-tx", "i 1 1\ni 2 2\n", bugs.Bug1HashmapTXCreateNotRetried},
+		{"btree", "i 1 1\ni 2 2\n", bugs.Bug2BTreeCreateNotRetried},
+		{"rbtree", "i 1 1\ni 2 2\n", bugs.Bug3RBTreeCreateNotRetried},
+		{"rtree", "i 1 1\ni 2 2\n", bugs.Bug4RTreeCreateNotRetried},
+		{"skiplist", "i 1 1\ni 2 2\n", bugs.Bug5SkipListCreateNotRetried},
+		{"hashmap-atomic", "i 1 1\ni 2 2\ni 3 3\nc\n", bugs.Bug6AtomicRecoveryNotCalled},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%s-bug%d", c.workload, c.bug), func(t *testing.T) {
+			bg := bugs.NewSet()
+			bg.EnableReal(c.bug)
+			tc := executor.TestCase{Workload: c.workload, Input: []byte(c.input), Seed: 1, Bugs: bg}
+			pruned, unpruned := checkBoth(t, tc, Options{PreFence: true})
+			pv, uv := violationSet(pruned), violationSet(unpruned)
+			if len(uv) == 0 {
+				t.Fatalf("bug %d not detected unpruned", c.bug)
+			}
+			if len(pv) != len(uv) {
+				t.Fatalf("violation count diverged: pruned %d unpruned %d\npruned: %v\nunpruned: %v",
+					len(pv), len(uv), pv, uv)
+			}
+			for i := range uv {
+				if pv[i] != uv[i] {
+					t.Fatalf("violation %d diverged:\npruned:   %s\nunpruned: %s", i, pv[i], uv[i])
+				}
+			}
+			if pruned.Checked != unpruned.Checked {
+				t.Fatalf("fallback Checked diverged: pruned %d unpruned %d", pruned.Checked, unpruned.Checked)
+			}
+		})
+	}
+}
+
+// TestRecoverDumpMemoized (satellite): within one scan, repeated
+// identical crash images never recover twice — the memo serves every
+// duplicate, and the accounting identity ties recoveries + hits to the
+// number of judged states.
+func TestRecoverDumpMemoized(t *testing.T) {
+	tc := executor.TestCase{Workload: "btree", Input: []byte(cleanInputs["btree"]), Seed: 1}
+	rep := Check(tc, Options{PreFence: true, NoPrune: true})
+	if rep.Skipped != "" {
+		t.Fatalf("skipped: %s", rep.Skipped)
+	}
+	if rep.MemoHits == 0 {
+		t.Fatalf("expected duplicate images to hit the recover memo; %d recoveries, 0 hits", rep.Recoveries)
+	}
+	if rep.Recoveries+rep.MemoHits != rep.Checked+1 {
+		t.Fatalf("memo accounting broken: %d + %d != %d + 1", rep.Recoveries, rep.MemoHits, rep.Checked)
+	}
+	if rep.Recoveries >= rep.Checked+1 {
+		t.Fatalf("memo saved nothing: %d recoveries for %d states", rep.Recoveries, rep.Checked)
+	}
+}
+
+// TestPrunedSweepRecoveryReduction pins the issue's headline number: on
+// btree, a pruned oracle sweep executes at least 3x fewer recovery runs
+// than per-member checking (the pre-pruning behavior: one recovery per
+// crash state plus the baseline) at equal crash states checked. It also
+// requires pruning to beat the exact-image memo alone, since duplicate
+// *images* are a strict subset of duplicate *classes*.
+func TestPrunedSweepRecoveryReduction(t *testing.T) {
+	tc := executor.TestCase{Workload: "btree", Input: []byte(cleanInputs["btree"]), Seed: 1}
+	pruned, unpruned := checkBoth(t, tc, Options{PreFence: true})
+	if pruned.Checked != unpruned.Checked || pruned.Checked == 0 {
+		t.Fatalf("checked diverged: %d vs %d", pruned.Checked, unpruned.Checked)
+	}
+	perMember := unpruned.Checked + 1 // every state recovered, plus the baseline
+	if perMember < 3*pruned.Recoveries {
+		t.Fatalf("reduction below 3x: per-member %d recoveries, pruned %d",
+			perMember, pruned.Recoveries)
+	}
+	if pruned.Recoveries >= unpruned.Recoveries {
+		t.Fatalf("pruning no better than exact-image memo: %d vs %d",
+			pruned.Recoveries, unpruned.Recoveries)
+	}
+	t.Logf("btree: %d states, %d classes, recoveries %d (per-member) / %d (memo) -> %d (%.1fx)",
+		pruned.Checked, pruned.Classes, perMember, unpruned.Recoveries, pruned.Recoveries,
+		float64(perMember)/float64(pruned.Recoveries))
+}

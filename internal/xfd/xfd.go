@@ -248,30 +248,118 @@ func CheckPost(tc executor.TestCase, maxBarriers int, probRate float64, probSeed
 // per-barrier taint checkpoints read from the copy-on-write journal
 // instead of re-replaying the input per failure point. Only the
 // post-failure executions remain per-point, as in the paper's two-stage
-// design. The report set is identical to CheckPost (pinned by test).
+// design, and points whose exact crash state duplicates an earlier one
+// reuse its analysis instead of re-executing recovery. The report set
+// is identical to CheckPost (pinned by test).
 func CheckPostSweep(tc executor.TestCase, maxBarriers int, probRate float64, probSeeds int, postInput []byte) []Report {
+	reports, _ := CheckPostSweepStats(tc, maxBarriers, probRate, probSeeds, postInput, false)
+	return reports
+}
+
+// SweepStats reports the work one CheckPostSweepStats call performed.
+type SweepStats struct {
+	// Points counts ordering-point crash states enumerated; Posts counts
+	// post-failure executions actually run for them; Reused counts
+	// points whose reports were cloned from an exact-duplicate point.
+	// Points == Posts + Reused.
+	Points int
+	Posts  int
+	Reused int
+}
+
+// CheckPostSweepStats is CheckPostSweep with work accounting and an
+// escape hatch: noPrune disables exact-state deduplication, re-running
+// the post-failure analysis at every point. Pruning is lossless — the
+// analysis is a pure function of the crash state (image bytes, taint
+// set, commit-variable exemptions) and the post input, so a duplicate
+// point's reports are byte-identical apart from the Barrier/Op stamp,
+// which the clone rewrites — making the two modes' outputs identical.
+func CheckPostSweepStats(tc executor.TestCase, maxBarriers int, probRate float64, probSeeds int, postInput []byte, noPrune bool) ([]Report, SweepStats) {
+	var stats SweepStats
 	sw := executor.SweepRun(tc, executor.Options{})
 	if sw.Clean.Faulted() {
-		return faultWithoutFailure(sw.Clean)
+		return faultWithoutFailure(sw.Clean), stats
 	}
 	barriers := sw.Barriers()
 	if maxBarriers > 0 && barriers > maxBarriers {
 		barriers = maxBarriers
 	}
 	var reports []Report
-	for b := 1; b <= barriers; b++ {
-		// Materialize the pre-fence state first — it derives from barrier
-		// b-1's image, so this keeps the cursor strictly forward — but
-		// report barrier-then-pre-fence, matching CheckPost's order.
-		preFence := sw.PreFenceCrash(b)
-		if atBarrier := sw.Crash(b); atBarrier != nil {
-			reports = append(reports, analyzePost(tc, atBarrier, postInput)...)
+	if noPrune {
+		for b := 1; b <= barriers; b++ {
+			// Materialize the pre-fence state first — it derives from
+			// barrier b-1's image, so this keeps the cursor strictly forward
+			// — but report barrier-then-pre-fence, matching CheckPost's
+			// order.
+			preFence := sw.PreFenceCrash(b)
+			if atBarrier := sw.Crash(b); atBarrier != nil {
+				stats.Points++
+				stats.Posts++
+				reports = append(reports, analyzePost(tc, atBarrier, postInput)...)
+			}
+			if preFence != nil {
+				stats.Points++
+				stats.Posts++
+				reports = append(reports, analyzePost(tc, preFence, postInput)...)
+			}
 		}
-		if preFence != nil {
-			reports = append(reports, analyzePost(tc, preFence, postInput)...)
+		return append(reports, probReports(tc, sw.Clean.Ops, probRate, probSeeds, postInput)...), stats
+	}
+
+	// Pruned: fingerprint every point from the journal, analyze only the
+	// first occurrence of each exact crash state, clone for the rest.
+	fps := sw.Fingerprints(barriers, true)
+	perPoint := make([][]Report, len(fps))
+	first := map[[32]byte]int{}
+	for i, fp := range fps {
+		stats.Points++
+		k := fp.ExactKey()
+		if j, ok := first[k]; ok {
+			stats.Reused++
+			perPoint[i] = cloneReports(perPoint[j], fp)
+			continue
+		}
+		first[k] = i
+		var res *executor.Result
+		if fp.PreFence {
+			res = sw.PreFenceCrash(fp.Barrier)
+		} else {
+			res = sw.Crash(fp.Barrier)
+		}
+		stats.Posts++
+		perPoint[i] = analyzePost(tc, res, postInput)
+	}
+	// Fingerprints enumerates pre-fence(b) then barrier(b); assemble the
+	// output barrier-then-pre-fence per b, matching CheckPost's order.
+	for i := 0; i < len(fps); i++ {
+		if fps[i].PreFence {
+			reports = append(reports, perPoint[i+1]...)
+			reports = append(reports, perPoint[i]...)
+			i++
+		} else {
+			reports = append(reports, perPoint[i]...)
 		}
 	}
-	return append(reports, probReports(tc, sw.Clean.Ops, probRate, probSeeds, postInput)...)
+	return append(reports, probReports(tc, sw.Clean.Ops, probRate, probSeeds, postInput)...), stats
+}
+
+// cloneReports re-stamps a duplicate point's reports with its own
+// failure coordinates. Every other field is a pure function of the
+// crash state and the post input, which the exact key fixes.
+func cloneReports(rs []Report, fp executor.CrashFingerprint) []Report {
+	if len(rs) == 0 {
+		return nil
+	}
+	barrier := fp.Barrier
+	if fp.PreFence {
+		barrier = -1 // pre-fence placements report Crash.Barrier = -1
+	}
+	out := make([]Report, len(rs))
+	for i, r := range rs {
+		r.Barrier, r.Op = barrier, fp.Op
+		out[i] = r
+	}
+	return out
 }
 
 // faultWithoutFailure reports a test case that faults with no injected

@@ -272,3 +272,48 @@ func TestPreFenceSweepCoversWindows(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepStatsDedup (satellite): the pruned post-failure sweep skips
+// duplicate-class crash states — report sequences stay byte-identical to
+// the unpruned loop while strictly fewer post-failure executions run,
+// and the stats balance (every point is either executed or reused).
+func TestSweepStatsDedup(t *testing.T) {
+	cases := []struct {
+		name     string
+		workload string
+		input    []byte
+		bug      *bugs.Set
+	}{
+		{"clean-btree", "btree", []byte("i 1 1\ni 2 2\ni 3 3\nc\n"), nil},
+		{"bug2", "btree", []byte("i 1 1\ni 2 2\n"), bugs.NewSet().EnableReal(bugs.Bug2BTreeCreateNotRetried)},
+		{"clean-redis", "redis", []byte("SET 1 1\nSET 9 2\nSET 17 3\nDEL 9\nCHECK\n"), nil},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tc := executor.TestCase{Workload: c.workload, Input: c.input, Bugs: c.bug, Seed: 1}
+			full, fs := CheckPostSweepStats(tc, 0, 0, 0, nil, true)
+			pruned, ps := CheckPostSweepStats(tc, 0, 0, 0, nil, false)
+			if len(full) != len(pruned) {
+				t.Fatalf("report counts differ: unpruned=%d pruned=%d", len(full), len(pruned))
+			}
+			for i := range full {
+				if full[i] != pruned[i] {
+					t.Fatalf("report %d differs:\nunpruned: %s\npruned:   %s", i, full[i], pruned[i])
+				}
+			}
+			if fs.Reused != 0 || fs.Posts != fs.Points {
+				t.Fatalf("unpruned stats inconsistent: %+v", fs)
+			}
+			if ps.Points != fs.Points {
+				t.Fatalf("point counts differ: unpruned=%d pruned=%d", fs.Points, ps.Points)
+			}
+			if ps.Posts+ps.Reused != ps.Points {
+				t.Fatalf("pruned stats don't balance: %+v", ps)
+			}
+			if ps.Reused == 0 {
+				t.Fatalf("pruned sweep reused nothing over %d points", ps.Points)
+			}
+		})
+	}
+}
