@@ -12,8 +12,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strconv"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -141,6 +144,148 @@ func BenchmarkParallelScaling(b *testing.B) {
 			b.ReportMetric(float64(totalExecs)/b.Elapsed().Seconds(), "target-execs/sec")
 		})
 	}
+}
+
+// fleetRun is one pmfuzz process's parsed summary output.
+type fleetRun struct {
+	execs                            int
+	published, imported, dedup, errs int64
+	bytesOut, bytesIn                int64
+}
+
+// runFleetMember spawns one pmfuzz process and parses its summary.
+// An empty syncDir runs the plain solo session (no fleet flags at all —
+// the deterministic baseline path).
+func runFleetMember(bin, syncDir, id string, seed, budgetMS int64) (fleetRun, error) {
+	args := []string{
+		"-workload", "btree",
+		"-budget-ms", strconv.FormatInt(budgetMS, 10),
+		"-seed", strconv.FormatInt(seed, 10),
+	}
+	if syncDir != "" {
+		args = append(args, "-sync-dir", syncDir, "-fuzzer-id", id, "-sync-every", "100ms")
+	}
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		return fleetRun{}, fmt.Errorf("member %s: %v\n%s", id, err, out)
+	}
+	var r fleetRun
+	sawExecs := false
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "executions:") {
+			if _, err := fmt.Sscanf(line, "executions: %d", &r.execs); err != nil {
+				return r, fmt.Errorf("member %s: bad executions line %q", id, line)
+			}
+			sawExecs = true
+		}
+		if strings.HasPrefix(line, "sync:") {
+			if _, err := fmt.Sscanf(line,
+				"sync: published %d, imported %d (%d dedup), errors %d, bytes out/in %d/%d",
+				&r.published, &r.imported, &r.dedup, &r.errs, &r.bytesOut, &r.bytesIn); err != nil {
+				return r, fmt.Errorf("member %s: bad sync line %q", id, line)
+			}
+		}
+	}
+	if !sawExecs {
+		return r, fmt.Errorf("member %s printed no executions line:\n%s", id, out)
+	}
+	return r, nil
+}
+
+// BenchmarkFleetScaling measures the multi-process fleet end to end: N
+// pmfuzz processes with distinct seeds share one -sync-dir, each burns
+// the same simulated budget on btree, and corpus entries (inputs and
+// crash-image blobs) flow through the sync directory. Following the
+// BenchmarkParallelScaling convention the time axis is simulated — all
+// members burn the full budget on their own clocks — so the scaling
+// signal is aggregate execs per simulated second: the bar is >= 2.5x
+// the solo rate at 4 processes. The sync traffic metrics (bytes moved,
+// dedup hit rate) come from each member's own sync summary. The
+// sync-overhead leg runs the same solo session with and without the
+// fleet flags and reports the wall-clock cost of syncing against an
+// empty fleet: the bar is < 5%.
+func BenchmarkFleetScaling(b *testing.B) {
+	budgetMS := benchBudgetNS(60) / 1_000_000
+	simSec := float64(budgetMS) / 1e3
+	bin := filepath.Join(b.TempDir(), "pmfuzz")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/pmfuzz").CombinedOutput(); err != nil {
+		b.Fatalf("building CLI: %v\n%s", err, out)
+	}
+
+	// runFleet launches n members concurrently over one fresh sync dir
+	// (or solo without fleet flags when withSync is false).
+	runFleet := func(b *testing.B, n int, withSync bool) []fleetRun {
+		b.Helper()
+		dir := ""
+		if withSync {
+			dir = b.TempDir()
+		}
+		runs := make([]fleetRun, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runs[i], errs[i] = runFleetMember(bin, dir, fmt.Sprintf("f%d", i), int64(11+i), budgetMS)
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return runs
+	}
+
+	var soloRate float64
+	for _, n := range []int{1, 2, 4} {
+		n := n
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			var agg float64
+			var runs []fleetRun
+			for i := 0; i < b.N; i++ {
+				runs = runFleet(b, n, true)
+				total := 0
+				for _, r := range runs {
+					total += r.execs
+				}
+				agg = float64(total) / simSec
+			}
+			b.ReportMetric(agg, "aggregate-execs/sim-sec")
+			if n == 1 {
+				soloRate = agg
+			} else if soloRate > 0 {
+				b.ReportMetric(agg/soloRate, "scaling-x")
+			}
+			var moved, imported, dedup, errCount float64
+			for _, r := range runs {
+				moved += float64(r.bytesOut + r.bytesIn)
+				imported += float64(r.imported)
+				dedup += float64(r.dedup)
+				errCount += float64(r.errs)
+			}
+			b.ReportMetric(moved, "sync-bytes")
+			b.ReportMetric(errCount, "sync-errors")
+			if imported+dedup > 0 {
+				b.ReportMetric(100*dedup/(imported+dedup), "dedup-hit-pct")
+			}
+		})
+	}
+	b.Run("sync-overhead", func(b *testing.B) {
+		var with, without time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			runFleet(b, 1, false)
+			without += time.Since(t0)
+			t0 = time.Now()
+			runFleet(b, 1, true)
+			with += time.Since(t0)
+		}
+		b.ReportMetric(100*(with.Seconds()/without.Seconds()-1), "sync-overhead-pct")
+	})
 }
 
 // BenchmarkTable3SyntheticBugs regenerates Table 3 one workload at a

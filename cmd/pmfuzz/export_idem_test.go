@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pmfuzz/internal/core"
+)
+
+// readTree loads every exported file as relative-path -> contents.
+func readTree(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	tree := map[string][]byte{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		tree[rel] = raw
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// assertReExport checks that re-exporting an imported corpus reproduces
+// the original tree byte-identically modulo the ID remap: every case
+// file of tree1 reappears shifted by pre (the importing session's own
+// seed count), inputs and images byte-for-byte, sidecars equal after
+// shifting their id/parent_id fields.
+func assertReExport(t *testing.T, dir1, dir2 string, pre int) {
+	t.Helper()
+	tree1 := readTree(t, dir1)
+	tree2 := readTree(t, dir2)
+	for rel, want := range tree1 {
+		sub, base := filepath.Dir(rel), filepath.Base(rel)
+		rest := strings.TrimPrefix(base, "case-")
+		num := rest[:strings.IndexByte(rest, '.')]
+		ext := rest[len(num):]
+		id, err := strconv.Atoi(num)
+		if err != nil {
+			t.Fatalf("unparseable case file %s", rel)
+		}
+		rel2 := filepath.Join(sub, fmt.Sprintf("case-%05d%s", id+pre, ext))
+		got, ok := tree2[rel2]
+		if !ok {
+			t.Errorf("re-export missing %s (for %s)", rel2, rel)
+			continue
+		}
+		if ext == ".meta.json" {
+			var cm caseMeta
+			if err := json.Unmarshal(want, &cm); err != nil {
+				t.Fatal(err)
+			}
+			cm.ID += pre
+			if cm.ParentID >= 0 {
+				cm.ParentID += pre
+			}
+			shifted, err := json.MarshalIndent(cm, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(shifted, got) {
+				t.Errorf("%s: sidecar differs after remap:\nwant %s\ngot  %s", rel2, shifted, got)
+			}
+		} else if !bytes.Equal(want, got) {
+			t.Errorf("%s: %d bytes, original %s has %d — tree not byte-identical", rel2, len(got), rel, len(want))
+		}
+	}
+	// The only additions are the importing session's own seeds.
+	extra := 0
+	for rel := range tree2 {
+		if strings.HasSuffix(rel, ".input") {
+			extra++
+		}
+	}
+	want := extra - pre
+	have := 0
+	for rel := range tree1 {
+		if strings.HasSuffix(rel, ".input") {
+			have++
+		}
+	}
+	if have != want {
+		t.Errorf("re-export has %d inputs for %d originals + %d seeds", extra, have, pre)
+	}
+}
+
+// reExport imports dir into a fresh session and exports the resulting
+// corpus without running it, returning the new directory and the seed
+// count the IDs shifted by.
+func reExport(t *testing.T, cfg core.Config, dir string) (string, int) {
+	t.Helper()
+	f, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := len(f.CorpusEntries())
+	if _, err := importCorpus(f, dir); err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	res := &core.Result{Config: cfg, Queue: f.CorpusQueue(), Store: f.Store()}
+	if err := export(res, out); err != nil {
+		t.Fatal(err)
+	}
+	return out, pre
+}
+
+// TestExportImportExportIdempotent pins the flat-layout roundtrip: the
+// corpus tree survives export→import→export byte-identically modulo the
+// deterministic ID shift, twice over (the second roundtrip composes).
+func TestExportImportExportIdempotent(t *testing.T) {
+	cfg, err := core.DefaultConfig("btree", core.PMFuzzAll, 20_000_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.Run()
+	dir1 := t.TempDir()
+	if err := export(res, dir1); err != nil {
+		t.Fatal(err)
+	}
+	dir2, pre2 := reExport(t, cfg, dir1)
+	assertReExport(t, dir1, dir2, pre2)
+	dir3, pre3 := reExport(t, cfg, dir2)
+	assertReExport(t, dir2, dir3, pre3)
+}
+
+// TestExportImportExportIdempotentStaged pins the same contract for the
+// two-stage corpus layout: stage=N,iter=M subdirectories, parent edges
+// into the stage-1 corpus, and crash-image labels all survive.
+func TestExportImportExportIdempotentStaged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-stage session in -short mode")
+	}
+	cfg, err := core.DefaultConfig("btree", core.PMFuzzAll, 40_000_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Stage2Workers = 1
+	cfg.Stage2BudgetNS = 10_000_000
+	cfg.Stage2MaxCampaigns = 2
+	f, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.Run()
+	if res.Stage2Campaigns == 0 {
+		t.Fatal("session ran no stage-2 campaigns")
+	}
+	dir1 := t.TempDir()
+	if err := export(res, dir1); err != nil {
+		t.Fatal(err)
+	}
+	dir2, pre := reExport(t, cfg, dir1)
+	assertReExport(t, dir1, dir2, pre)
+}
+
+// TestImportCorpusSkipsCorruptSidecar pins the tolerant import: a
+// truncated meta.json downgrades its case to a plain seed with a stderr
+// warning instead of aborting the import.
+func TestImportCorpusSkipsCorruptSidecar(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "case-00000.input"), []byte("i 1 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "case-00000.meta.json"), []byte(`{"id": 0, "is_crash`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "case-00001.input"), []byte("i 2 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ := json.Marshal(caseMeta{ID: 1, ParentID: -1, Favored: 2, Depth: 3})
+	if err := os.WriteFile(filepath.Join(dir, "case-00001.meta.json"), meta, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := core.DefaultConfig("btree", core.PMFuzzAll, 1_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := len(f.CorpusEntries())
+	n, err := importCorpus(f, dir)
+	if err != nil {
+		t.Fatalf("import aborted on corrupt sidecar: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("imported %d cases, want 2", n)
+	}
+	ents := f.CorpusEntries()[pre:]
+	if ents[0].Depth != 0 || ents[0].ParentID != -1 {
+		t.Errorf("corrupt-sidecar case imported with metadata: %+v", ents[0])
+	}
+	if ents[1].Depth != 3 {
+		t.Errorf("intact sidecar lost: %+v", ents[1])
+	}
+}

@@ -6,6 +6,9 @@
 //
 //	pmfuzz -workload btree -config pmfuzz -budget-ms 500
 //	pmfuzz -workload btree -workers 4 -budget-ms 500
+//	pmfuzz -workload btree -sync-dir /tmp/fleet -fuzzer-id f1 -seed 1
+//	pmfuzz -workload btree -budget-ms 500 -checkpoint ck.json -checkpoint-at-ms 200
+//	pmfuzz -resume ck.json
 //	pmfuzz -experiment fig13 -budget-ms 400
 //	pmfuzz -experiment table3 -workloads skiplist,btree -budget-ms 120
 //	pmfuzz -experiment realbugs -budget-ms 500
@@ -27,6 +30,9 @@ import (
 	"sort"
 	"strings"
 
+	"time"
+
+	"pmfuzz/internal/campaign"
 	"pmfuzz/internal/core"
 	"pmfuzz/internal/experiments"
 	"pmfuzz/internal/obs"
@@ -54,6 +60,14 @@ var (
 	stage2Budget  = flag.Int64("stage2-budget-ms", 0, "simulated-time budget of one stage-2 sub-campaign in milliseconds (0 = budget-ms/4)")
 	stage2MaxCamp = flag.Int("stage2-max-campaigns", 0, "cap on stage-2 sub-campaigns per session (0 = 4)")
 	trackRecovery = flag.Bool("track-recovery", false, "account recovery-path PM coverage for crash-image executions (read-only; implied by -cores-stage2)")
+
+	// Distributed fleet & resume.
+	syncDir   = flag.String("sync-dir", "", "shared corpus sync directory for a multi-process fleet; each member publishes discoveries there and imports every peer's (AFL -M/-S style)")
+	fuzzerID  = flag.String("fuzzer-id", "", "this fleet member's unique name under -sync-dir (default f<pid>)")
+	syncEvery = flag.Duration("sync-every", time.Second, "wall-clock cadence of the background corpus sync (off the simulated clock)")
+	ckptOut   = flag.String("checkpoint", "", "write a whole-session checkpoint to this file; the run stops at -checkpoint-at-ms and a later -resume continues its exact trajectory")
+	ckptAtMS  = flag.Int64("checkpoint-at-ms", 0, "simulated instant to checkpoint at, in milliseconds (requires -checkpoint; the session keeps its full -budget-ms)")
+	resumeIn  = flag.String("resume", "", "resume from a checkpoint file (restores workload, seed, corpus, RNG, clock, and bug flags; -budget-ms may raise the horizon)")
 
 	// Bug injection.
 	synBug  = flag.Int("syn-bug", 0, "enable a synthetic injection point by ID")
@@ -94,6 +108,7 @@ var flagGroups = []struct {
 	{"Session", []string{"workload", "config", "budget-ms", "seed", "workers", "list"}},
 	{"Two-stage pipeline (maps to the original tool's --cores-stage1/--cores-stage2)",
 		[]string{"cores-stage1", "cores-stage2", "disable-stage2", "stage2-budget-ms", "stage2-max-campaigns", "track-recovery"}},
+	{"Distributed fleet & resume", []string{"sync-dir", "fuzzer-id", "sync-every", "checkpoint", "checkpoint-at-ms", "resume"}},
 	{"Bug injection", []string{"syn-bug", "real-bug"}},
 	{"Corpus I/O", []string{"out", "in", "series-out", "show-tree"}},
 	{"Experiments (paper artifacts)", []string{"experiment", "workloads"}},
@@ -189,41 +204,98 @@ func main() {
 		return
 	}
 
+	var cfg core.Config
 	bg := bugs.NewSet()
+	var resumeEnv *checkpointEnvelope
+	if *resumeIn != "" {
+		if *inDir != "" {
+			fmt.Fprintln(os.Stderr, "pmfuzz: -in cannot be combined with -resume (the checkpoint already carries the corpus)")
+			os.Exit(1)
+		}
+		raw, err := os.ReadFile(*resumeIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz: resume:", err)
+			os.Exit(1)
+		}
+		var env checkpointEnvelope
+		if err := json.Unmarshal(raw, &env); err != nil {
+			fmt.Fprintf(os.Stderr, "pmfuzz: resume: %s: %v\n", *resumeIn, err)
+			os.Exit(1)
+		}
+		cfg, err = core.PeekCheckpointConfig(env.Core)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz: resume:", err)
+			os.Exit(1)
+		}
+		resumeEnv = &env
+		// The checkpoint's bug flags and session parameters replace the
+		// CLI's; only an explicit -budget-ms raises the horizon.
+		*synBug, *realBug = env.SynBug, env.RealBug
+		budgetSet := false
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "budget-ms" {
+				budgetSet = true
+			}
+		})
+		if budgetSet {
+			cfg.BudgetNS = budget
+		}
+		*workload, *seed, *workers = cfg.Workload, cfg.Seed, cfg.Workers
+		budget = cfg.BudgetNS
+	} else {
+		var err error
+		cfg, err = core.DefaultConfig(*workload, core.ConfigName(*config), budget, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz:", err)
+			os.Exit(1)
+		}
+		if *workers <= 0 {
+			// Resolve "one per CPU" here so the session header reports the
+			// actual fleet size rather than the raw flag value.
+			*workers = runtime.GOMAXPROCS(0)
+		}
+		cfg.Workers = *workers
+		cfg.OracleCheck = *oracleCheck || *reproOut != ""
+		cfg.Stage1Workers = *coresStage1
+		cfg.Stage2Workers = *coresStage2
+		if *disableStage2 {
+			cfg.Stage2Workers = 0
+		}
+		cfg.Stage2BudgetNS = *stage2Budget * 1_000_000
+		cfg.Stage2MaxCampaigns = *stage2MaxCamp
+		cfg.TrackRecovery = *trackRecovery
+		if *noPrune {
+			*pruneSweep = false
+		}
+		cfg.NoPruneSweep = !*pruneSweep
+	}
 	if *synBug > 0 {
 		bg.EnableSyn(*synBug)
 	}
 	if *realBug > 0 {
 		bg.EnableReal(bugs.RealBug(*realBug))
 	}
-	cfg, err := core.DefaultConfig(*workload, core.ConfigName(*config), budget, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pmfuzz:", err)
+	if (*ckptOut == "") != (*ckptAtMS <= 0) {
+		fmt.Fprintln(os.Stderr, "pmfuzz: -checkpoint and -checkpoint-at-ms must be used together")
 		os.Exit(1)
 	}
-	if *workers <= 0 {
-		// Resolve "one per CPU" here so the session header reports the
-		// actual fleet size rather than the raw flag value.
-		*workers = runtime.GOMAXPROCS(0)
-	}
-	cfg.Workers = *workers
-	cfg.OracleCheck = *oracleCheck || *reproOut != ""
-	cfg.Stage1Workers = *coresStage1
-	cfg.Stage2Workers = *coresStage2
-	if *disableStage2 {
-		cfg.Stage2Workers = 0
-	}
-	cfg.Stage2BudgetNS = *stage2Budget * 1_000_000
-	cfg.Stage2MaxCampaigns = *stage2MaxCamp
-	cfg.TrackRecovery = *trackRecovery
-	if *noPrune {
-		*pruneSweep = false
-	}
-	cfg.NoPruneSweep = !*pruneSweep
 	fuzzer, err := core.New(cfg, bg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmfuzz:", err)
 		os.Exit(1)
+	}
+	if resumeEnv != nil {
+		if err := fuzzer.RestoreCheckpoint(resumeEnv.Core); err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz: resume:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resumed from %s\n", *resumeIn)
+	}
+	if *ckptOut != "" {
+		if err := fuzzer.EnableCheckpoint(*ckptAtMS * 1_000_000); err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz: checkpoint:", err)
+			os.Exit(1)
+		}
 	}
 	if *inDir != "" {
 		n, err := importCorpus(fuzzer, *inDir)
@@ -259,13 +331,63 @@ func main() {
 		}
 		fuzzer.SetTelemetry(tele)
 	}
+	var syncer *campaign.Syncer
+	if *syncDir != "" {
+		id := *fuzzerID
+		if id == "" {
+			id = fmt.Sprintf("f%d", os.Getpid())
+		}
+		syncer, err = campaign.New(campaign.Config{Dir: *syncDir, FuzzerID: id, Every: *syncEvery}, fuzzer, tele)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz:", err)
+			os.Exit(1)
+		}
+		fuzzer.SetSyncHook(syncer.Hook())
+		// Barrier sync before the run so a late joiner starts from the
+		// fleet's corpus instead of rediscovering it.
+		syncer.SyncNow()
+		syncer.Start()
+	}
 	res := fuzzer.Run()
+	if syncer != nil {
+		syncer.Stop()
+		// Final barrier so the last discoveries reach the fleet even if
+		// the ticker never fired again.
+		syncer.SyncNow()
+	}
 	if tele != nil {
 		if err := tele.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "pmfuzz: telemetry:", err)
 		}
 	}
+	if *ckptOut != "" {
+		blob, err := fuzzer.SaveCheckpoint()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz: checkpoint:", err)
+			os.Exit(1)
+		}
+		env, err := json.Marshal(checkpointEnvelope{SynBug: *synBug, RealBug: *realBug, Core: blob})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz: checkpoint:", err)
+			os.Exit(1)
+		}
+		tmp := *ckptOut + ".tmp"
+		if err := os.WriteFile(tmp, env, 0o644); err == nil {
+			err = os.Rename(tmp, *ckptOut)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmfuzz: checkpoint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint:     %s at %.2f ms (resume with -resume %s)\n",
+			*ckptOut, float64(res.SimNS)/1e6, *ckptOut)
+	}
 	printSession(res)
+	if syncer != nil {
+		st := syncer.Stats()
+		fmt.Printf("sync:           published %d, imported %d (%d dedup), errors %d, bytes out/in %d/%d\n",
+			st.Published, st.Imported, st.Dedup, st.Errors, st.BytesOut, st.BytesIn)
+	}
 	if tele != nil {
 		printStages(os.Stdout, tele.M.Snapshot())
 	}
@@ -447,6 +569,16 @@ func printStages(w io.Writer, snap obs.Snapshot) {
 	}
 }
 
+// checkpointEnvelope wraps the core checkpoint blob with the CLI-level
+// session state the engine does not own: the bug-injection flags.
+// Resume restores them so the resumed session detects the same bugs the
+// checkpointed one was hunting.
+type checkpointEnvelope struct {
+	SynBug  int             `json:"syn_bug,omitempty"`
+	RealBug int             `json:"real_bug,omitempty"`
+	Core    json.RawMessage `json:"core"`
+}
+
 // caseMeta is the case-*.meta.json sidecar: the scheduling identity an
 // exported entry needs to survive an export→import roundtrip. Without
 // it, crash images re-import as ordinary seeds and the test-case tree
@@ -507,22 +639,28 @@ func importCorpus(f *core.Fuzzer, dir string) (int, error) {
 		if raw, err := os.ReadFile(base + ".meta.json"); err == nil {
 			var cm caseMeta
 			if err := json.Unmarshal(raw, &cm); err != nil {
-				return n, fmt.Errorf("%s: %w", base+".meta.json", err)
-			}
-			oldID = cm.ID
-			parent := -1
-			if p, ok := idMap[cm.ParentID]; ok {
-				parent = p
-			}
-			meta = &core.SeedMeta{
-				ParentID:     parent,
-				IsCrashImage: cm.IsCrashImage,
-				Favored:      cm.Favored,
-				Depth:        cm.Depth,
-				NewBranch:    cm.NewBranch,
-				NewPM:        cm.NewPM,
-				Stage:        cm.Stage,
-				Iter:         cm.Iter,
+				// A corrupt or truncated sidecar downgrades the case to a
+				// plain seed input instead of aborting the whole import —
+				// one bad file must not block the rest of the corpus.
+				fmt.Fprintf(os.Stderr, "pmfuzz: import: %s: %v (importing as seed input without metadata)\n",
+					base+".meta.json", err)
+			} else {
+				oldID = cm.ID
+				parent := -1
+				if p, ok := idMap[cm.ParentID]; ok {
+					parent = p
+				}
+				meta = &core.SeedMeta{
+					ParentID:     parent,
+					IsCrashImage: cm.IsCrashImage,
+					Favored:      cm.Favored,
+					Depth:        cm.Depth,
+					NewBranch:    cm.NewBranch,
+					NewPM:        cm.NewPM,
+					Stage:        cm.Stage,
+					Iter:         cm.Iter,
+					FoundSimNS:   cm.FoundSimNS,
+				}
 			}
 		}
 		newID, err := f.AddSeedMeta(input, img, meta)

@@ -1,0 +1,529 @@
+// Package campaign is the distributed fuzzing fleet's sync layer: N
+// independent pmfuzz processes fuzz the same workload and exchange
+// corpus entries through a shared sync directory, AFL -M/-S style. Each
+// fuzzer owns one subdirectory it alone writes; peers poll everyone
+// else's. Each sync round that discovered anything publishes ONE
+// segment file — the round's new cases plus every image blob they
+// reference, delta bases packed before their dependents (full-blob
+// fallback when a base cannot ship) — so publication cost scales with
+// data volume, not with corpus file count. All publication is atomic
+// (write-temp + rename), pulls are incremental via per-peer cursor
+// files over segment sequence numbers, and imports deduplicate on a
+// content identity over (input, image hash, crash flag), so the fleet
+// converges instead of echoing.
+//
+// Sync runs strictly off the deterministic path: a wall-clock ticker
+// raises a flag that the engine's coordinating goroutine consumes
+// between scheduling decisions, so a solo fuzzer with no sync directory
+// is byte-identical to one built before this package existed — and a
+// synced session is explicitly not deterministic.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pmfuzz/internal/core"
+	"pmfuzz/internal/fuzz"
+	"pmfuzz/internal/imgstore"
+	"pmfuzz/internal/obs"
+)
+
+// DefaultEvery is the wall-clock sync cadence when the config leaves it
+// zero.
+const DefaultEvery = time.Second
+
+// Config parameterizes one fuzzer's membership in a fleet.
+type Config struct {
+	// Dir is the shared sync directory; every fleet member points at the
+	// same path.
+	Dir string
+	// FuzzerID names this member's subdirectory. It must be unique in
+	// the fleet and must not contain path separators.
+	FuzzerID string
+	// Every is the wall-clock cadence of the background sync ticker.
+	// Zero means DefaultEvery.
+	Every time.Duration
+}
+
+// segment is one published sync round on the wire: seg-%08d.json in the
+// publisher's subdirectory. Blobs are ordered base-before-dependent, so
+// an importer replaying segments in sequence always finds a delta's
+// base either earlier in the same segment or in one it already
+// consumed.
+type segment struct {
+	Seq    int        `json:"seq"`
+	Fuzzer string     `json:"fuzzer"`
+	Blobs  []blobRec  `json:"blobs,omitempty"`
+	Cases  []caseFile `json:"cases"`
+}
+
+// blobRec carries one image blob in its store-native encoding (base64
+// via encoding/json's []byte rule).
+type blobRec struct {
+	ID   string `json:"id"`
+	Data []byte `json:"data"`
+}
+
+// caseFile is one published corpus entry. Input rides as base64; the
+// image it references travels in the enclosing segment's blob list.
+type caseFile struct {
+	Input        []byte `json:"input"`
+	ImageID      string `json:"image_id,omitempty"`
+	HasImage     bool   `json:"has_image,omitempty"`
+	IsCrashImage bool   `json:"is_crash_image,omitempty"`
+	Favored      int    `json:"favored"`
+	Depth        int    `json:"depth,omitempty"`
+	NewBranch    bool   `json:"new_branch,omitempty"`
+	NewPM        bool   `json:"new_pm,omitempty"`
+	Stage        int    `json:"stage,omitempty"`
+	Iter         int    `json:"iter,omitempty"`
+}
+
+// Syncer connects one core.Fuzzer to the shared sync directory. All
+// methods except the ticker goroutine run on whichever goroutine drives
+// the fuzzer (the sync hook fires on the engine's coordinating
+// goroutine, which has exclusive queue/store access), so Syncer itself
+// needs no locking beyond the ticker's atomic flag.
+type Syncer struct {
+	cfg  Config
+	f    *core.Fuzzer
+	sess *obs.Session // nil when the session runs without telemetry
+	own  string       // this fuzzer's subdirectory
+
+	// seen holds the sync identity of every entry the layer knows:
+	// workload seeds (identical fleet-wide, never shipped), locally
+	// published entries, and imports. It is the no-echo guard.
+	seen map[[sha256.Size]byte]bool
+	// pubIdx is the next local queue index to consider for publication;
+	// seq numbers this fuzzer's next segment.
+	pubIdx, seq int
+	// cursors maps peer ID to the last segment sequence imported from it.
+	cursors map[string]int
+	// pubBlobs records image blobs already shipped in one of our
+	// segments, so a delta's base publishes exactly once.
+	pubBlobs map[imgstore.ID]bool
+
+	st   obs.SyncStats
+	tick atomic.Bool
+	done chan struct{}
+}
+
+// New builds the Syncer, creates the fuzzer's subdirectory, and seeds
+// the dedup set and publish/cursor state from disk — a resumed session
+// pointed at its old sync directory continues its sequence numbers and
+// peer cursors instead of re-shipping history.
+func New(cfg Config, f *core.Fuzzer, sess *obs.Session) (*Syncer, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("campaign: sync directory not set")
+	}
+	if cfg.FuzzerID == "" || cfg.FuzzerID != filepath.Base(cfg.FuzzerID) || strings.HasPrefix(cfg.FuzzerID, ".") {
+		return nil, fmt.Errorf("campaign: invalid fuzzer ID %q", cfg.FuzzerID)
+	}
+	if cfg.Every <= 0 {
+		cfg.Every = DefaultEvery
+	}
+	s := &Syncer{
+		cfg:      cfg,
+		f:        f,
+		sess:     sess,
+		own:      filepath.Join(cfg.Dir, cfg.FuzzerID),
+		seen:     map[[sha256.Size]byte]bool{},
+		cursors:  map[string]int{},
+		pubBlobs: map[imgstore.ID]bool{},
+		done:     make(chan struct{}),
+	}
+	if err := os.MkdirAll(s.own, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	// Everything already in the queue — workload seeds on a fresh start,
+	// the whole restored corpus on resume — is known and never shipped
+	// as if it were a local discovery.
+	for _, e := range f.CorpusEntries() {
+		s.seen[entryIdentity(e)] = true
+	}
+	s.pubIdx = len(f.CorpusEntries())
+	s.loadOwnState()
+	return s, nil
+}
+
+// entryIdentity computes a queue entry's fleet-wide sync identity.
+func entryIdentity(e *fuzz.Entry) [sha256.Size]byte {
+	img := ""
+	if e.HasImage {
+		img = e.ImageID.Hex()
+	}
+	return identity(e.Input, img, e.IsCrashImage)
+}
+
+func identity(input []byte, imageHex string, crash bool) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(input)
+	h.Write([]byte{0})
+	h.Write([]byte(imageHex))
+	if crash {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// loadOwnState rebuilds publication state from this fuzzer's own
+// subdirectory: published identities join the dedup set, seq continues
+// after the highest existing segment, and peer cursors reload.
+func (s *Syncer) loadOwnState() {
+	ents, err := os.ReadDir(s.own)
+	if err != nil {
+		return
+	}
+	for _, de := range ents {
+		name := de.Name()
+		switch {
+		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".json"):
+			raw, err := os.ReadFile(filepath.Join(s.own, name))
+			if err != nil {
+				continue
+			}
+			var seg segment
+			if err := json.Unmarshal(raw, &seg); err != nil {
+				continue
+			}
+			for _, cf := range seg.Cases {
+				s.seen[identity(cf.Input, cf.ImageID, cf.IsCrashImage)] = true
+			}
+			for _, br := range seg.Blobs {
+				if id, err := imgstore.ParseID(br.ID); err == nil {
+					s.pubBlobs[id] = true
+				}
+			}
+			if seg.Seq >= s.seq {
+				s.seq = seg.Seq + 1
+			}
+		case strings.HasPrefix(name, ".cursor-"):
+			raw, err := os.ReadFile(filepath.Join(s.own, name))
+			if err != nil {
+				continue
+			}
+			if n, err := strconv.Atoi(strings.TrimSpace(string(raw))); err == nil {
+				s.cursors[strings.TrimPrefix(name, ".cursor-")] = n
+			}
+		}
+	}
+}
+
+// Hook returns the engine-side sync pump: a closure for
+// core.Fuzzer.SetSyncHook that runs a full sync exchange whenever the
+// wall-clock ticker has raised the flag since the last scheduling
+// boundary, and costs one atomic load otherwise.
+func (s *Syncer) Hook() func() {
+	return func() {
+		if s.tick.CompareAndSwap(true, false) {
+			s.SyncNow()
+		}
+	}
+}
+
+// Start launches the wall-clock ticker. Stop must be called once.
+func (s *Syncer) Start() {
+	go func() {
+		t := time.NewTicker(s.cfg.Every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.tick.Store(true)
+			case <-s.done:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker goroutine.
+func (s *Syncer) Stop() { close(s.done) }
+
+// Stats returns the cumulative sync counters.
+func (s *Syncer) Stats() obs.SyncStats { return s.st }
+
+// SyncNow runs one full exchange — publish local discoveries, then pull
+// every peer — and pushes the counters to telemetry. Safe to call
+// directly before and after Run for the fleet's barrier syncs.
+func (s *Syncer) SyncNow() {
+	before := s.st
+	s.publish()
+	s.importPeers()
+	if s.sess != nil {
+		s.sess.M.SetSyncStats(s.st)
+		if s.st != before {
+			d := s.st
+			s.sess.Trace().Emit(obs.SyncEvent{
+				T: "sync", SimNS: s.f.SimNow(), Fuzzer: s.cfg.FuzzerID,
+				Published: int(d.Published - before.Published),
+				Imported:  int(d.Imported - before.Imported),
+				Dedup:     int(d.Dedup - before.Dedup),
+				Errors:    int(d.Errors - before.Errors),
+				BytesIn:   d.BytesIn - before.BytesIn,
+				BytesOut:  d.BytesOut - before.BytesOut,
+			})
+		}
+	}
+}
+
+// publish collects every not-yet-considered local queue entry into one
+// segment — blobs first (delta bases before dependents, full fallback),
+// then cases — and ships it with a single atomic write. Foreign entries
+// and identities the fleet already knows are skipped; a failed write
+// leaves pubIdx behind so the next round retries the whole batch.
+func (s *Syncer) publish() {
+	ents := s.f.CorpusEntries()
+	if s.pubIdx >= len(ents) {
+		return
+	}
+	seg := segment{Seq: s.seq, Fuzzer: s.cfg.FuzzerID}
+	var ids [][sha256.Size]byte
+	inSeg := map[imgstore.ID]bool{}
+	for idx := s.pubIdx; idx < len(ents); idx++ {
+		e := ents[idx]
+		if e.Foreign {
+			continue
+		}
+		id := entryIdentity(e)
+		if s.seen[id] {
+			continue
+		}
+		if e.HasImage {
+			if err := s.collectBlob(e.ImageID, 0, &seg, inSeg); err != nil {
+				// Leave the entry unpublished but move on: a vanished
+				// image is not worth stalling the whole stream.
+				s.st.Errors++
+				s.seen[id] = true
+				continue
+			}
+		}
+		cf := caseFile{
+			Input:    e.Input,
+			HasImage: e.HasImage, IsCrashImage: e.IsCrashImage,
+			Favored: int(e.Favored), Depth: e.Depth,
+			NewBranch: e.NewBranch, NewPM: e.NewPM,
+			Stage: e.Stage, Iter: e.Iter,
+		}
+		if e.HasImage {
+			cf.ImageID = e.ImageID.Hex()
+		}
+		seg.Cases = append(seg.Cases, cf)
+		ids = append(ids, id)
+	}
+	if len(seg.Cases) == 0 {
+		s.pubIdx = len(ents)
+		return
+	}
+	raw, err := json.Marshal(&seg)
+	if err != nil {
+		s.st.Errors++
+		return
+	}
+	if err := atomicWrite(filepath.Join(s.own, fmt.Sprintf("seg-%08d.json", s.seq)), raw); err != nil {
+		s.st.Errors++
+		return
+	}
+	for _, id := range ids {
+		s.seen[id] = true
+	}
+	for _, br := range seg.Blobs {
+		if id, err := imgstore.ParseID(br.ID); err == nil {
+			s.pubBlobs[id] = true
+		}
+	}
+	s.pubIdx = len(ents)
+	s.seq++
+	s.st.Published += int64(len(seg.Cases))
+	s.st.BytesOut += int64(len(raw))
+}
+
+// collectBlob appends an image blob to the segment in its stored
+// encoding, packing a delta's base first so importers always see bases
+// before dependents. A delta whose base cannot ship falls back to a
+// self-contained full encoding.
+func (s *Syncer) collectBlob(id imgstore.ID, depth int, seg *segment, inSeg map[imgstore.ID]bool) error {
+	if s.pubBlobs[id] || inSeg[id] {
+		return nil
+	}
+	store := s.f.Store()
+	blob, baseID, hasBase, ok := store.ExportBlob(id)
+	if !ok {
+		return fmt.Errorf("campaign: image %s not in store", id)
+	}
+	// A delta chain deeper than the store would ever build means a
+	// cycle in corrupted state; cap it and ship full instead.
+	if hasBase && depth < 16 {
+		if err := s.collectBlob(baseID, depth+1, seg, inSeg); err != nil {
+			full, ferr := store.ExportBlobFull(id)
+			if ferr != nil {
+				return ferr
+			}
+			blob = full
+		}
+	} else if hasBase {
+		full, err := store.ExportBlobFull(id)
+		if err != nil {
+			return err
+		}
+		blob = full
+	}
+	seg.Blobs = append(seg.Blobs, blobRec{ID: id.Hex(), Data: blob})
+	inSeg[id] = true
+	return nil
+}
+
+// importPeers pulls every peer subdirectory forward from its cursor.
+func (s *Syncer) importPeers() {
+	root, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		s.st.Errors++
+		return
+	}
+	var peers []string
+	for _, de := range root {
+		if de.IsDir() && de.Name() != s.cfg.FuzzerID && !strings.HasPrefix(de.Name(), ".") {
+			peers = append(peers, de.Name())
+		}
+	}
+	sort.Strings(peers)
+	for _, peer := range peers {
+		s.importPeer(peer)
+	}
+}
+
+// importPeer imports one peer's segments with sequence numbers past our
+// cursor, in order, then persists the advanced cursor. A corrupt
+// segment counts its error and is skipped — a fleet member must not
+// wedge on one bad artifact — while an unreadable file leaves the
+// cursor behind for a retry.
+func (s *Syncer) importPeer(peer string) {
+	dir := filepath.Join(s.cfg.Dir, peer)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		s.st.Errors++
+		return
+	}
+	cursor, start := s.cursors[peer], s.cursors[peer]
+	if _, ok := s.cursors[peer]; !ok {
+		cursor, start = -1, -1
+	}
+	var seqs []int
+	for _, de := range ents {
+		name := de.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".json"))
+		if err != nil || n <= cursor {
+			continue
+		}
+		seqs = append(seqs, n)
+	}
+	sort.Ints(seqs)
+	for _, n := range seqs {
+		if s.importSegment(dir, n) {
+			cursor = n
+		} else {
+			break
+		}
+	}
+	if cursor != start {
+		s.cursors[peer] = cursor
+		raw := []byte(strconv.Itoa(cursor) + "\n")
+		if err := atomicWrite(filepath.Join(s.own, ".cursor-"+peer), raw); err != nil {
+			s.st.Errors++
+		}
+	}
+}
+
+// importSegment admits one peer segment: blobs store-to-store in packed
+// order (content-hash verified, duplicates skipped), then cases through
+// the identity dedup. Returns whether the cursor may advance past it —
+// true for success and permanently bad files, false only for an
+// unreadable file worth retrying.
+func (s *Syncer) importSegment(dir string, seq int) bool {
+	path := filepath.Join(dir, fmt.Sprintf("seg-%08d.json", seq))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		s.st.Errors++
+		return false
+	}
+	var seg segment
+	if err := json.Unmarshal(raw, &seg); err != nil {
+		s.st.Errors++
+		return true
+	}
+	s.st.BytesIn += int64(len(raw))
+	store := s.f.Store()
+	for _, br := range seg.Blobs {
+		id, err := imgstore.ParseID(br.ID)
+		if err != nil {
+			s.st.Errors++
+			continue
+		}
+		if store.Has(id) {
+			continue
+		}
+		if _, err := store.ImportBlob(id, br.Data); err != nil {
+			// Bases pack before dependents, so a missing base means a
+			// corrupt or skipped earlier segment — permanent either way.
+			s.st.Errors++
+		}
+	}
+	for _, cf := range seg.Cases {
+		id := identity(cf.Input, cf.ImageID, cf.IsCrashImage)
+		if s.seen[id] {
+			s.st.Dedup++
+			continue
+		}
+		var imgID imgstore.ID
+		if cf.HasImage {
+			imgID, err = imgstore.ParseID(cf.ImageID)
+			if err != nil || !store.Has(imgID) {
+				s.st.Errors++
+				continue
+			}
+		}
+		meta := &core.SeedMeta{
+			ParentID: -1, IsCrashImage: cf.IsCrashImage, Favored: cf.Favored,
+			Depth: cf.Depth, NewBranch: cf.NewBranch, NewPM: cf.NewPM,
+			Stage: cf.Stage, Iter: cf.Iter,
+		}
+		if _, err := s.f.AddForeignSeed(cf.Input, imgID, cf.HasImage, meta); err != nil {
+			s.st.Errors++
+			continue
+		}
+		s.seen[id] = true
+		s.st.Imported++
+	}
+	return true
+}
+
+// atomicWrite publishes a file via write-temp + rename, so readers in
+// other processes never observe a torn artifact.
+func atomicWrite(path string, data []byte) error {
+	tmp := filepath.Join(filepath.Dir(path), ".tmp-"+filepath.Base(path))
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pmfuzz/internal/core"
+)
+
+func newFuzzer(t *testing.T, seed int64, budgetNS int64) *core.Fuzzer {
+	t.Helper()
+	cfg, err := core.DefaultConfig("btree", core.PMFuzzAll, budgetNS, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func countForeign(f *core.Fuzzer) int {
+	n := 0
+	for _, e := range f.CorpusEntries() {
+		if e.Foreign {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFleetConverges is the two-member convergence contract: A fuzzes
+// and publishes, B imports A's discoveries (inputs and images,
+// store-to-store), fuzzes, publishes its own, and A imports those back
+// — each side admits foreign entries, nothing errors, and no entry
+// echoes back to its publisher.
+func TestFleetConverges(t *testing.T) {
+	dir := t.TempDir()
+	fa := newFuzzer(t, 42, 4_000_000)
+	sa, err := New(Config{Dir: dir, FuzzerID: "a"}, fa, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa.Run()
+	sa.SyncNow()
+	if sa.Stats().Published == 0 {
+		t.Fatal("fuzzer a published nothing after a full run")
+	}
+	if sa.Stats().Errors != 0 {
+		t.Fatalf("fuzzer a sync errors: %d", sa.Stats().Errors)
+	}
+
+	fb := newFuzzer(t, 99, 4_000_000)
+	sb, err := New(Config{Dir: dir, FuzzerID: "b"}, fb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.SyncNow()
+	st := sb.Stats()
+	if st.Imported == 0 {
+		t.Fatal("fuzzer b imported nothing from a")
+	}
+	if st.Imported != sa.Stats().Published {
+		t.Errorf("b imported %d of a's %d published entries", st.Imported, sa.Stats().Published)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("fuzzer b sync errors: %d", st.Errors)
+	}
+	if got := countForeign(fb); int64(got) != st.Imported {
+		t.Errorf("b has %d foreign entries, imported %d", got, st.Imported)
+	}
+	// Imported images arrived store-to-store and verify by content hash.
+	for _, e := range fb.CorpusEntries() {
+		if e.Foreign && e.HasImage && !fb.Store().Has(e.ImageID) {
+			t.Errorf("foreign entry %d references image %s missing from store", e.ID, e.ImageID)
+		}
+	}
+
+	fb.Run()
+	sb.SyncNow()
+	if sb.Stats().Published == 0 {
+		t.Fatal("fuzzer b published nothing after its run")
+	}
+
+	// A pulls B's discoveries; B's re-publication stream must not echo
+	// anything A already published (Foreign entries are never shipped).
+	sa.SyncNow()
+	st = sa.Stats()
+	if st.Imported == 0 {
+		t.Fatal("fuzzer a imported nothing from b")
+	}
+	if st.Imported != sb.Stats().Published {
+		t.Errorf("a imported %d of b's %d published entries", st.Imported, sb.Stats().Published)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("fuzzer a sync errors after pull: %d", st.Errors)
+	}
+	if st.Dedup != 0 {
+		t.Errorf("a saw %d duplicate cases from b — foreign entries echoed", st.Dedup)
+	}
+	// No torn artifacts left behind by the atomic writes.
+	for _, sub := range []string{"a", "b"} {
+		ents, err := os.ReadDir(filepath.Join(dir, sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, de := range ents {
+			if strings.HasPrefix(de.Name(), ".tmp-") {
+				t.Errorf("temp file %s/%s left after sync", sub, de.Name())
+			}
+		}
+	}
+}
+
+// TestSyncDedup pins identity dedup: a fresh Syncer over the same
+// member directory (cursors wiped) re-reads every peer case and drops
+// all of them as duplicates instead of double-importing.
+func TestSyncDedup(t *testing.T) {
+	dir := t.TempDir()
+	fa := newFuzzer(t, 42, 3_000_000)
+	sa, err := New(Config{Dir: dir, FuzzerID: "a"}, fa, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa.Run()
+	sa.SyncNow()
+
+	fb := newFuzzer(t, 7, 3_000_000)
+	sb, err := New(Config{Dir: dir, FuzzerID: "b"}, fb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.SyncNow()
+	imported := sb.Stats().Imported
+	if imported == 0 {
+		t.Fatal("first import brought nothing")
+	}
+
+	// Wipe b's cursor and rebuild the syncer over the same fuzzer: the
+	// queue already holds the imports, so every case deduplicates.
+	if err := os.Remove(filepath.Join(dir, "b", ".cursor-a")); err != nil {
+		t.Fatal(err)
+	}
+	sb2, err := New(Config{Dir: dir, FuzzerID: "b"}, fb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb2.SyncNow()
+	st := sb2.Stats()
+	if st.Imported != 0 {
+		t.Errorf("re-import admitted %d entries, want 0", st.Imported)
+	}
+	if st.Dedup != imported {
+		t.Errorf("re-import deduped %d cases, want %d", st.Dedup, imported)
+	}
+	if n := countForeign(fb); int64(n) != imported {
+		t.Errorf("queue holds %d foreign entries after re-import, want %d", n, imported)
+	}
+}
+
+// TestSyncSkipsCorruptCase pins fleet robustness: a corrupt peer
+// segment is counted as an error and skipped, and later segments from
+// the same peer still import.
+func TestSyncSkipsCorruptCase(t *testing.T) {
+	dir := t.TempDir()
+	fa := newFuzzer(t, 42, 3_000_000)
+	sa, err := New(Config{Dir: dir, FuzzerID: "a"}, fa, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa.Run()
+	sa.SyncNow()
+	if sa.Stats().Published == 0 {
+		t.Fatal("nothing published")
+	}
+	// Corrupt a's first segment in place, then append a well-formed
+	// second segment behind it.
+	if err := os.WriteFile(filepath.Join(dir, "a", "seg-00000000.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good, err := json.Marshal(segment{
+		Seq: 1, Fuzzer: "a",
+		Cases: []caseFile{{Input: []byte("i 9 9\n")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a", "seg-00000001.json"), good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fb := newFuzzer(t, 7, 3_000_000)
+	sb, err := New(Config{Dir: dir, FuzzerID: "b"}, fb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.SyncNow()
+	st := sb.Stats()
+	if st.Errors == 0 {
+		t.Error("corrupt segment not counted as an error")
+	}
+	if st.Imported != 1 {
+		t.Errorf("imported %d cases past the corrupt segment, want 1", st.Imported)
+	}
+	if countForeign(fb) != 1 {
+		t.Errorf("queue holds %d foreign entries, want the 1 from the good segment", countForeign(fb))
+	}
+}
+
+// TestSyncReloadsOwnState pins resume behavior: a fresh Syncer over an
+// existing member directory continues the sequence numbering and does
+// not re-publish entries already on disk.
+func TestSyncReloadsOwnState(t *testing.T) {
+	dir := t.TempDir()
+	fa := newFuzzer(t, 42, 3_000_000)
+	sa, err := New(Config{Dir: dir, FuzzerID: "a"}, fa, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa.Run()
+	sa.SyncNow()
+	published := sa.Stats().Published
+	if published == 0 {
+		t.Fatal("nothing published")
+	}
+
+	sa2, err := New(Config{Dir: dir, FuzzerID: "a"}, fa, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa2.SyncNow()
+	if got := sa2.Stats().Published; got != 0 {
+		t.Errorf("rebuilt syncer re-published %d entries, want 0", got)
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := int64(0)
+	maxSeq := -1
+	for _, de := range ents {
+		name := de.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, "a", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seg segment
+		if err := json.Unmarshal(raw, &seg); err != nil {
+			t.Fatal(err)
+		}
+		cases += int64(len(seg.Cases))
+		if seg.Seq > maxSeq {
+			maxSeq = seg.Seq
+		}
+	}
+	if cases != published {
+		t.Errorf("segments hold %d cases for %d published entries", cases, published)
+	}
+	if maxSeq != 0 {
+		t.Errorf("one sync round wrote segments up to seq %d, want a single seg 0", maxSeq)
+	}
+}
+
+// TestSyncHookTicker smokes the wall-clock pump: the hook is a no-op
+// until the ticker fires, then runs one exchange.
+func TestSyncHookTicker(t *testing.T) {
+	dir := t.TempDir()
+	fa := newFuzzer(t, 42, 2_000_000)
+	sa, err := New(Config{Dir: dir, FuzzerID: "a", Every: 5 * time.Millisecond}, fa, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa.Run()
+	hook := sa.Hook()
+	hook() // ticker not started: must not sync
+	if sa.Stats().Published != 0 {
+		t.Fatal("hook synced before the ticker fired")
+	}
+	sa.Start()
+	defer sa.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for sa.Stats().Published == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never triggered a sync")
+		}
+		time.Sleep(time.Millisecond)
+		hook()
+	}
+}
+
+// TestSyncConfigRejects pins the config guard rails.
+func TestSyncConfigRejects(t *testing.T) {
+	fa := newFuzzer(t, 42, 1_000_000)
+	if _, err := New(Config{Dir: "", FuzzerID: "a"}, fa, nil); err == nil {
+		t.Error("empty dir accepted")
+	}
+	for _, id := range []string{"", "a/b", "..", ".hidden"} {
+		if _, err := New(Config{Dir: t.TempDir(), FuzzerID: id}, fa, nil); err == nil {
+			t.Errorf("fuzzer ID %q accepted", id)
+		}
+	}
+}

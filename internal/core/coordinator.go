@@ -67,6 +67,12 @@ func (f *Fuzzer) runParallel(n int) *Result {
 	// results in worker-ID order. A worker leaves the fleet when its
 	// clock shard exhausts the budget.
 	for {
+		if f.syncHook != nil {
+			// Campaign sync pump: between rounds every worker is parked,
+			// so the queue and store are safe to graft foreign entries
+			// into — the same exclusive-access window MergeFrom uses.
+			f.syncHook()
+		}
 		var ids []int
 		for i, a := range active {
 			if a {

@@ -143,7 +143,59 @@ type Fuzzer struct {
 	// run for gauge pushes.
 	stage2Campaigns int
 	stage2Execs     int
+
+	// syncHook, when set, is called between parent selections (serial
+	// loop) and between rounds (coordinator) — the only points where the
+	// campaign sync layer may graft foreign corpus entries into the
+	// session. Nil (the default) leaves the trajectory untouched.
+	syncHook func()
+
+	// Checkpoint/resume state. ckptMode suppresses end-of-session
+	// finalization (forced sample, end event, stage 2) so the session
+	// can be frozen at its budget boundary; resumed suppresses
+	// start-of-session events so a resumed trace continues the
+	// checkpointed one seamlessly. resumePos is the loop position to
+	// continue from; savedPos is where the last run stopped. reproPrior
+	// counts repro bundles minimized before a checkpoint, keeping the
+	// bundle cap's gating identical across a resume (the bundles
+	// themselves are not serialized).
+	ckptMode   bool
+	resumed    bool
+	resumePos  *loopPos
+	savedPos   loopPos
+	reproPrior int
+	// stopNS is where the serial loop stops scheduling work: the budget
+	// normally, the checkpoint instant in checkpoint mode. Only the loop
+	// exit checks use it — in-execution budget gates (harvest sweeps,
+	// probabilistic failure runs) always compare against the full
+	// BudgetNS, so a checkpointed prefix behaves exactly like the same
+	// span of the uninterrupted session.
+	stopNS int64
 }
+
+// loopPos pins the serial loop's exact position at a budget boundary so
+// a resumed session continues mid-stride: still in seed warm-up (next
+// index within the warm-up snapshot), or mid-way through a scheduled
+// parent's energy (next child index).
+type loopPos struct {
+	Warmup   bool `json:"warmup,omitempty"`
+	WarmIdx  int  `json:"warm_idx,omitempty"`
+	WarmLen  int  `json:"warm_len,omitempty"`
+	CurID    int  `json:"cur_id"`
+	ChildIdx int  `json:"child_idx,omitempty"`
+	Energy   int  `json:"energy,omitempty"`
+}
+
+// SetSyncHook registers the campaign sync layer's pump (nil detaches).
+// The hook runs on the session's coordinating goroutine at scheduling
+// boundaries, where the queue and store are safe to grow.
+func (f *Fuzzer) SetSyncHook(fn func()) { f.syncHook = fn }
+
+// SimNow exposes the session's simulated clock (for sync event stamps).
+func (f *Fuzzer) SimNow() int64 { return f.clock.Now() }
+
+// Store exposes the session's image store (for store-to-store sync).
+func (f *Fuzzer) Store() *imgstore.Store { return f.store }
 
 // New builds a fuzzer for the configuration. bugSet configures the
 // target's bug flags (nil = fixed program).
@@ -175,6 +227,7 @@ func New(cfg Config, bugSet *bugs.Set) (*Fuzzer, error) {
 		faultMsgs:    map[string]bool{},
 		pmPathSigs:   map[uint64]struct{}{},
 		arena:        executor.NewArena(),
+		stopNS:       cfg.BudgetNS,
 	}
 	if cfg.OracleCheck {
 		f.oracleCk = oracle.NewChecker()
@@ -355,6 +408,11 @@ type SeedMeta struct {
 	// promotion queue.
 	Stage int
 	Iter  int
+	// FoundSimNS is the entry's original discovery time, preserved so an
+	// export→import→export roundtrip reproduces the corpus tree
+	// byte-identically (modulo the ID remap). Foreign imports ignore it —
+	// a synced entry's discovery time is the importing session's clock.
+	FoundSimNS int64
 }
 
 // AddSeed injects an extra seed test case (input plus optional starting
@@ -383,6 +441,7 @@ func (f *Fuzzer) AddSeedMeta(input []byte, img *pmem.Image, meta *SeedMeta) (int
 		e.NewPM = meta.NewPM
 		e.Stage = meta.Stage
 		e.Iter = meta.Iter
+		e.FoundSimNS = meta.FoundSimNS
 	}
 	if img != nil {
 		id, _, err := f.store.Put(img)
@@ -402,9 +461,52 @@ func (f *Fuzzer) AddSeedMeta(input []byte, img *pmem.Image, meta *SeedMeta) (int
 	return e.ID, nil
 }
 
+// AddForeignSeed grafts a peer's corpus entry into the session: the
+// input plus a reference to an image already imported store-to-store
+// (imageID must be present in the store when hasImage is set). The
+// entry is marked Foreign so the sync layer never re-publishes it, and
+// its discovery time is the current simulated clock — mid-run imports
+// slot into the trace like any admission. Returns the new entry's queue
+// ID, or an error when the referenced image is missing.
+func (f *Fuzzer) AddForeignSeed(input []byte, imageID imgstore.ID, hasImage bool, meta *SeedMeta) (int, error) {
+	e := &fuzz.Entry{
+		Input:      append([]byte(nil), input...),
+		ParentID:   -1,
+		Favored:    fuzz.FavoredHigh,
+		Foreign:    true,
+		FoundSimNS: f.clock.Now(),
+	}
+	if meta != nil {
+		e.IsCrashImage = meta.IsCrashImage
+		e.Favored = meta.Favored
+		e.Depth = meta.Depth
+		e.NewBranch = meta.NewBranch
+		e.NewPM = meta.NewPM
+		e.Stage = meta.Stage
+		e.Iter = meta.Iter
+	}
+	if hasImage {
+		if !f.store.Has(imageID) {
+			return 0, fmt.Errorf("core: foreign seed references image %s not in store", imageID)
+		}
+		e.ImageID = imageID
+		e.HasImage = true
+	}
+	if f.promoter != nil && e.IsCrashImage && e.HasImage {
+		e.Stage = 2
+		f.promoter.consider(e)
+	}
+	f.queue.Add(e)
+	return e.ID, nil
+}
+
 // CorpusEntries exposes the current queue contents (read-only use, for
 // inspecting imported corpora before Run).
 func (f *Fuzzer) CorpusEntries() []*fuzz.Entry { return f.queue.Entries() }
+
+// CorpusQueue exposes the live queue — the same object a Result carries
+// — so an imported corpus can be re-exported without running a session.
+func (f *Fuzzer) CorpusQueue() *fuzz.Queue { return f.queue }
 
 // Run executes the fuzzing loop until the simulated budget is exhausted
 // and returns the session result. With Config.Workers > 1 (or 0, which
@@ -420,12 +522,14 @@ func (f *Fuzzer) Run() *Result {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	// Sub-campaign fuzzers share the session's telemetry: the session
-	// header/footer and stage events are the parent's to emit.
-	if f.stage != 2 {
+	// header/footer and stage events are the parent's to emit. A resumed
+	// session skips them too — its trace continues the checkpointed one,
+	// which already carries them.
+	if f.stage != 2 && !f.resumed {
 		f.obsStart(workers)
 	}
 	twoStage := f.cfg.twoStage() && f.stage != 2
-	if twoStage {
+	if twoStage && !f.resumed {
 		f.obsStageEnter(obs.StageEnterEvent{
 			Stage: 1, Root: -1, Workers: workers, BudgetNS: f.cfg.BudgetNS,
 		})
@@ -436,7 +540,10 @@ func (f *Fuzzer) Run() *Result {
 	} else {
 		res = f.runParallel(workers)
 	}
-	if twoStage {
+	// In checkpoint mode the session freezes at the stage-1 budget
+	// boundary: stage 2 and the trace footer belong to the resumed run
+	// that eventually finishes.
+	if twoStage && !f.ckptMode {
 		f.obsStageExit(obs.StageExitEvent{
 			SimNS: res.SimNS, Stage: 1, Execs: res.Execs, PMPaths: res.PMPaths,
 			RecoverySites: f.recoverySites(),
@@ -447,7 +554,7 @@ func (f *Fuzzer) Run() *Result {
 		res.Recovery = f.recVirgin
 		res.RecoverySites = f.recVirgin.CoveredStates()
 	}
-	if f.stage != 2 {
+	if f.stage != 2 && !f.ckptMode {
 		f.obsFinish(res)
 	}
 	return res
@@ -462,33 +569,79 @@ func (f *Fuzzer) recoverySites() int {
 	return f.recVirgin.CoveredStates()
 }
 
-// runSerial is the single-threaded fuzzing loop. It is kept verbatim as
-// the Workers=1 path so the paper-replay trajectories (and their golden
-// tests) are untouched by the parallel engine.
+// runSerial is the single-threaded fuzzing loop. It is kept
+// semantically verbatim as the Workers=1 path so the paper-replay
+// trajectories (and their golden tests) are untouched by the parallel
+// engine; every exit records the exact loop position so a checkpointed
+// session resumes mid-stride.
 func (f *Fuzzer) runSerial() *Result {
+	pos := f.resumePos
+	f.resumePos = nil
 	// Warm-up: execute every seed once to initialize coverage and (for
-	// PMFuzz) generate the first images — Figure 11 step ①.
-	for _, e := range f.queue.Entries() {
-		if f.clock.Now() >= f.cfg.BudgetNS {
-			break
+	// PMFuzz) generate the first images — Figure 11 step ①. The snapshot
+	// length is fixed at loop entry (entries admitted during warm-up are
+	// not warm-up seeds); a resumed session replays the recorded
+	// snapshot bounds.
+	if pos == nil || pos.Warmup {
+		ents := f.queue.Entries()
+		warmLen, wi := len(ents), 0
+		if pos != nil {
+			warmLen, wi = pos.WarmLen, pos.WarmIdx
 		}
-		f.runCase(e, e.Input, true)
+		for ; wi < warmLen; wi++ {
+			if f.clock.Now() >= f.stopNS {
+				return f.serialExit(loopPos{Warmup: true, WarmIdx: wi, WarmLen: warmLen, CurID: -1})
+			}
+			f.runCase(ents[wi], ents[wi].Input, true)
+		}
 	}
-	for f.clock.Now() < f.cfg.BudgetNS {
+	// A checkpoint taken mid-energy finishes the interrupted parent's
+	// remaining children before any new scheduling decision.
+	if pos != nil && !pos.Warmup && pos.CurID >= 0 {
+		if e := f.queue.Get(pos.CurID); e != nil {
+			for i := pos.ChildIdx; i < pos.Energy; i++ {
+				if f.clock.Now() >= f.stopNS {
+					return f.serialExit(loopPos{CurID: e.ID, ChildIdx: i, Energy: pos.Energy})
+				}
+				input, image := f.deriveChild(e)
+				f.runMutated(e, input, image)
+			}
+		}
+	}
+	for {
+		if f.syncHook != nil {
+			f.syncHook()
+		}
+		if f.clock.Now() >= f.stopNS {
+			return f.serialExit(loopPos{CurID: -1})
+		}
 		e := f.queue.Next()
 		if e == nil {
-			break
+			return f.serialExit(loopPos{CurID: -1})
 		}
 		if f.shard != nil {
 			f.shard.Rounds++ // a serial "round" is one parent selection
 		}
 		energy := energyBase << uint(e.Favored) // 4 / 8 / 16 children
-		for i := 0; i < energy && f.clock.Now() < f.cfg.BudgetNS; i++ {
+		for i := 0; i < energy; i++ {
+			if f.clock.Now() >= f.stopNS {
+				return f.serialExit(loopPos{CurID: e.ID, ChildIdx: i, Energy: energy})
+			}
 			input, image := f.deriveChild(e)
 			f.runMutated(e, input, image)
 		}
 	}
-	f.sample(true)
+}
+
+// serialExit finalizes one serial run segment, pinning the loop
+// position for SaveCheckpoint. The forced sample is skipped in
+// checkpoint mode — the uninterrupted session has no sample at the
+// checkpoint boundary, and the resumed run emits the real final one.
+func (f *Fuzzer) serialExit(pos loopPos) *Result {
+	f.savedPos = pos
+	if !f.ckptMode {
+		f.sample(true)
+	}
 	return &Result{
 		Config:  f.cfg,
 		Series:  f.series,
@@ -727,7 +880,7 @@ func (f *Fuzzer) oracleScan(parent *fuzz.Entry, input []byte, img *pmem.Image, s
 		// should not cost a delta-debugging pass or a duplicate bundle.
 		fresh := !f.faultMsgs[v.String()]
 		f.addFault(parent, input, v.String(), simNS)
-		if fresh && len(f.repros) < maxRepros {
+		if fresh && f.reproPrior+len(f.repros) < maxRepros {
 			f.repros = append(f.repros,
 				f.oracleCk.Minimize(tc, v, oracle.Options{MaxCommands: f.cfg.MaxCommands}))
 		}

@@ -220,7 +220,7 @@ func (f *Fuzzer) mergeCampaign(root *fuzz.Entry, child *Fuzzer, cres *Result, it
 	}
 	f.faults = append(f.faults, cres.Faults...)
 	for _, r := range cres.Repros {
-		if len(f.repros) < maxRepros {
+		if f.reproPrior+len(f.repros) < maxRepros {
 			f.repros = append(f.repros, r)
 		}
 	}

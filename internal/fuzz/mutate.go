@@ -20,13 +20,16 @@ var interestingBytes = []byte{0, 1, 0xff, 0x7f, 0x80, '\n', ' ', '0', '9', 'i', 
 // Mutator generates mutated inputs from existing ones. All randomness
 // comes from the seeded source, so a fuzzing session replays exactly.
 type Mutator struct {
+	seed int64
+	src  *countingSource
 	rng  *rand.Rand
 	dict [][]byte
 }
 
 // NewMutator builds a mutator with a token dictionary (may be empty).
 func NewMutator(seed int64, dict [][]byte) *Mutator {
-	return &Mutator{rng: rand.New(rand.NewSource(seed)), dict: dict}
+	src := newCountingSource(seed)
+	return &Mutator{seed: seed, src: src, rng: rand.New(src), dict: dict}
 }
 
 // DictFor derives a token dictionary from seed inputs: whole lines and

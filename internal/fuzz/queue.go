@@ -67,6 +67,11 @@ type Entry struct {
 	// sweep pruning is active, so behaviorally identical crash states
 	// spawn at most one sub-campaign.
 	ClassKey uint64
+	// Foreign marks entries imported from a peer fuzzer through the
+	// campaign sync directory. Foreign entries are scheduled like local
+	// ones but are never re-published, so a fleet of N peers does not
+	// echo the same test case around the ring.
+	Foreign bool
 }
 
 // Queue holds the corpus and implements favored-first scheduling: high
@@ -77,6 +82,8 @@ type Entry struct {
 type Queue struct {
 	entries []*Entry
 	cursor  int
+	seed    int64
+	src     *countingSource
 	rng     *rand.Rand
 	// routeStage2 hides Stage==2 entries from Next/Lease: the two-stage
 	// session fuzzer routes crash images to the stage-2 promoter instead
@@ -92,7 +99,8 @@ type Queue struct {
 
 // NewQueue creates an empty queue with a seeded scheduler.
 func NewQueue(seed int64) *Queue {
-	return &Queue{rng: rand.New(rand.NewSource(seed))}
+	src := newCountingSource(seed)
+	return &Queue{seed: seed, src: src, rng: rand.New(src)}
 }
 
 // SetStage2Routing toggles stage-2 routing (see Queue.routeStage2).

@@ -1,0 +1,77 @@
+package fuzz
+
+import "math/rand"
+
+// Checkpoint support: a fuzzing session's only nondeterminism sources in
+// this package are the queue scheduler RNG and the mutator RNG. Both are
+// seeded math/rand generators whose underlying source advances exactly
+// one internal step per draw (Int63 and Uint64 consume the same state
+// transition), so a generator's full state is (seed, number of draws).
+// Checkpointing records the draw count; restoring reseeds a fresh source
+// and discards the same number of draws, after which every future draw
+// replays the uninterrupted session exactly.
+
+// countingSource wraps the seeded source and counts draws. It implements
+// rand.Source64 so rand.Rand uses the same fast paths (and therefore the
+// same draw sequence) as an unwrapped source.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	// rand.NewSource returns a *rngSource, which implements Source64.
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.n = 0
+	c.src.Seed(seed)
+}
+
+// discard burns n draws so the source lands on the recorded state.
+func (c *countingSource) discard(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.Int63()
+	}
+	c.n = n
+}
+
+// RNGDraws reports how many draws the scheduler RNG has made, for
+// checkpoint serialization.
+func (q *Queue) RNGDraws() uint64 { return q.src.n }
+
+// RestoreRNG reseeds the scheduler RNG and fast-forwards it by draws,
+// landing it on the exact state a checkpointed session recorded.
+func (q *Queue) RestoreRNG(draws uint64) {
+	q.src = newCountingSource(q.seed)
+	q.src.discard(draws)
+	q.rng = rand.New(q.src)
+}
+
+// Cursor exposes the scheduler's round-robin position for checkpointing.
+func (q *Queue) Cursor() int { return q.cursor }
+
+// SetCursor restores the scheduler's round-robin position.
+func (q *Queue) SetCursor(c int) { q.cursor = c }
+
+// RNGDraws reports how many draws the mutation RNG has made, for
+// checkpoint serialization.
+func (m *Mutator) RNGDraws() uint64 { return m.src.n }
+
+// RestoreRNG reseeds the mutation RNG and fast-forwards it by draws.
+func (m *Mutator) RestoreRNG(draws uint64) {
+	m.src = newCountingSource(m.seed)
+	m.src.discard(draws)
+	m.rng = rand.New(m.src)
+}

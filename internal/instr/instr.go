@@ -369,6 +369,23 @@ func (v *Virgin) CoveredSlots() int {
 	return n
 }
 
+// Bytes returns a copy of the virgin's accumulated slot bytes, for
+// checkpoint serialization.
+func (v *Virgin) Bytes() []byte {
+	out := make([]byte, MapSize)
+	copy(out, v.seen[:])
+	return out
+}
+
+// SetBytes restores virgin state captured by Bytes. Short input leaves
+// the remaining slots zero; long input is truncated.
+func (v *Virgin) SetBytes(b []byte) {
+	for i := range v.seen {
+		v.seen[i] = 0
+	}
+	copy(v.seen[:], b)
+}
+
 // Signature summarizes a map's classified contents into one hash. Two
 // executions share a signature exactly when they hit the same slots with
 // the same counter buckets — the practical identity test for the paper's

@@ -205,6 +205,15 @@ type StoreStats struct {
 	ClassHits, ClassMisses    int64
 }
 
+// SyncStats is the campaign sync layer's cumulative counters: corpus
+// entries published to and imported from the shared sync directory,
+// imports skipped as duplicates, I/O errors tolerated, and blob bytes
+// moved in each direction. Zero for solo sessions.
+type SyncStats struct {
+	Published, Imported, Dedup, Errors int64
+	BytesIn, BytesOut                  int64
+}
+
 // Metrics is the shared registry: every field is an atomic scalar, so
 // sink goroutines (status ticker, HTTP handlers) snapshot a running
 // session without locks and without perturbing it. Writers are the
@@ -238,6 +247,9 @@ type Metrics struct {
 
 	stage2Campaigns, stage2Promoted, stage2Pending atomic.Int64
 	stage2Execs, recoverySites                     atomic.Int64
+
+	syncPublished, syncImported, syncDedup, syncErrors atomic.Int64
+	syncBytesIn, syncBytesOut                          atomic.Int64
 }
 
 // NewMetrics creates a registry stamped with the session parameters.
@@ -313,6 +325,20 @@ func (m *Metrics) SetStage2(g Stage2Gauges) {
 	m.stage2Pending.Store(int64(g.Pending))
 	m.stage2Execs.Store(g.Execs)
 	m.recoverySites.Store(int64(g.RecoverySites))
+}
+
+// SetSyncStats publishes the campaign sync layer's counters. Nil-safe
+// so the sync pump works on sessions without telemetry attached.
+func (m *Metrics) SetSyncStats(st SyncStats) {
+	if m == nil {
+		return
+	}
+	m.syncPublished.Store(st.Published)
+	m.syncImported.Store(st.Imported)
+	m.syncDedup.Store(st.Dedup)
+	m.syncErrors.Store(st.Errors)
+	m.syncBytesIn.Store(st.BytesIn)
+	m.syncBytesOut.Store(st.BytesOut)
 }
 
 // SetStoreStats publishes the image store's counters.
@@ -399,6 +425,13 @@ type Snapshot struct {
 	CompressedBytes int64 `json:"compressed_bytes"`
 	ClassHits       int64 `json:"class_hits"`
 	ClassMisses     int64 `json:"class_misses"`
+
+	SyncPublished int64 `json:"sync_published"`
+	SyncImported  int64 `json:"sync_imported"`
+	SyncDedup     int64 `json:"sync_dedup"`
+	SyncErrors    int64 `json:"sync_errors"`
+	SyncBytesIn   int64 `json:"sync_bytes_in"`
+	SyncBytesOut  int64 `json:"sync_bytes_out"`
 }
 
 // Snapshot copies the registry.
@@ -454,6 +487,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		CompressedBytes: m.compressedBytes.Load(),
 		ClassHits:       m.classHits.Load(),
 		ClassMisses:     m.classMisses.Load(),
+
+		SyncPublished: m.syncPublished.Load(),
+		SyncImported:  m.syncImported.Load(),
+		SyncDedup:     m.syncDedup.Load(),
+		SyncErrors:    m.syncErrors.Load(),
+		SyncBytesIn:   m.syncBytesIn.Load(),
+		SyncBytesOut:  m.syncBytesOut.Load(),
 	}
 	if wall > 0 {
 		s.ExecsPerSec = float64(s.Execs) / wall

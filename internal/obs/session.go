@@ -263,6 +263,12 @@ func FuzzerStats(s Snapshot, now time.Time) string {
 	kv("pmfuzz_stage2_pending", "%d", s.Stage2Pending)
 	kv("pmfuzz_stage2_execs", "%d", s.Stage2Execs)
 	kv("pmfuzz_recovery_sites", "%d", s.RecoverySites)
+	kv("pmfuzz_sync_published", "%d", s.SyncPublished)
+	kv("pmfuzz_sync_imported", "%d", s.SyncImported)
+	kv("pmfuzz_sync_dedup", "%d", s.SyncDedup)
+	kv("pmfuzz_sync_errors", "%d", s.SyncErrors)
+	kv("pmfuzz_sync_bytes_in", "%d", s.SyncBytesIn)
+	kv("pmfuzz_sync_bytes_out", "%d", s.SyncBytesOut)
 	kv("pmfuzz_lease_ms", "%.1f", float64(s.LeaseNS)/1e6)
 	kv("pmfuzz_idle_ms", "%.1f", float64(s.IdleNS)/1e6)
 	for _, st := range s.Stages {

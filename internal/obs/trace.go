@@ -188,6 +188,25 @@ type StageExitEvent struct {
 	RecoverySites int `json:"recovery_sites"`
 }
 
+// SyncEvent records one campaign sync exchange with the shared sync
+// directory: entries pushed, entries pulled in (and how many incoming
+// cases were dropped as duplicates), tolerated I/O errors, and blob
+// bytes moved. Emitted only when a sync directory is configured, so
+// solo traces are byte-identical to pre-fleet ones — and because sync
+// runs on a wall-clock ticker, a trace containing sync events is
+// explicitly not deterministic.
+type SyncEvent struct {
+	T         string `json:"t"` // "sync"
+	SimNS     int64  `json:"sim_ns"`
+	Fuzzer    string `json:"fuzzer"`
+	Published int    `json:"published"`
+	Imported  int    `json:"imported"`
+	Dedup     int    `json:"dedup"`
+	Errors    int    `json:"errors"`
+	BytesIn   int64  `json:"bytes_in"`
+	BytesOut  int64  `json:"bytes_out"`
+}
+
 // EndEvent closes every trace: the session totals.
 type EndEvent struct {
 	T        string `json:"t"` // "end"

@@ -60,6 +60,10 @@ func (c *Clock) Charge(ns int64) { c.ns += ns }
 // Now returns the elapsed simulated nanoseconds.
 func (c *Clock) Now() int64 { return c.ns }
 
+// Restore sets the clock to an absolute simulated time. Only the
+// checkpoint/resume path uses it; everything else advances via Charge.
+func (c *Clock) Restore(ns int64) { c.ns = ns }
+
 // ChargeOpen charges the cost of opening a PM image, cheap if cached.
 func (c *Clock) ChargeOpen(cached bool) {
 	if cached {
