@@ -1,0 +1,62 @@
+// Command pmtrace mines pmfuzz's JSONL event traces: per-trace totals,
+// stage_enter/stage_exit span timelines, class-pruning effectiveness,
+// and sync rollups — plus a merged fleet timeline interleaving several
+// members' traces on simulated time. Like pmwhatsup it is a pure
+// reader: analyzing a trace can never change one.
+//
+// Usage:
+//
+//	pmtrace [flags] <trace.jsonl> [more traces...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmfuzz/internal/obs/fleet"
+)
+
+func main() {
+	var (
+		timeline = flag.Bool("timeline", false, "print the merged fleet timeline (events interleaved on sim time)")
+		rounds   = flag.Bool("rounds", false, "include per-worker round events in the timeline")
+		strict   = flag.Bool("strict", false, "exit non-zero when a trace contains unknown event types")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: pmtrace [flags] <trace.jsonl> [more traces...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var traces []*fleet.TraceStats
+	unknown := false
+	for _, path := range flag.Args() {
+		t, err := fleet.AnalyzeTraceFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmtrace: %v\n", err)
+			os.Exit(1)
+		}
+		traces = append(traces, t)
+		for typ, n := range t.Unknown {
+			fmt.Fprintf(os.Stderr, "pmtrace: %s: unknown event type %q (%d lines)\n", path, typ, n)
+			unknown = true
+		}
+	}
+
+	if *timeline {
+		fmt.Print(fleet.RenderTimeline(fleet.MergedTimeline(traces, *rounds)))
+	} else {
+		for i, t := range traces {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(t.Summary())
+		}
+	}
+
+	if unknown && *strict {
+		os.Exit(1)
+	}
+}

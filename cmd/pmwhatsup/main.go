@@ -1,0 +1,113 @@
+// Command pmwhatsup is pmfuzz's afl-whatsup: it scans a fleet's sync
+// (or out) directory tree, aggregates every member's fuzzer_stats, and
+// prints fleet totals plus per-member health verdicts. It is a strictly
+// read-only observer — it writes nothing into the tree it scans, so
+// watching a live fleet cannot perturb the fuzzers' deterministic
+// traces.
+//
+// Usage:
+//
+//	pmwhatsup [flags] <sync-or-out-dir>
+//
+// Modes: default human summary, -tsv for scripting, -watch for a
+// self-refreshing terminal view, -stats-addr to re-export the
+// aggregated fleet series over Prometheus /metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"pmfuzz/internal/obs/fleet"
+)
+
+func main() {
+	var (
+		tsv       = flag.Bool("tsv", false, "machine-readable tab-separated output (one row per member + TOTAL)")
+		watch     = flag.Bool("watch", false, "refresh the report continuously")
+		every     = flag.Duration("every", 2*time.Second, "refresh cadence with -watch")
+		staleAft  = flag.Duration("stale-after", 5*time.Minute, "mark a member STALLED when fuzzer_stats last_update is older than this")
+		deadAft   = flag.Duration("dead-after", 0, "mark a member DEAD when its heartbeat is older than this (0 = 5x the member's sync cadence, min 15s)")
+		maxLag    = flag.Int("max-lag", 8, "mark a member SYNC-LAGGED when a peer cursor trails by more than this many segments")
+		statsAddr = flag.String("stats-addr", "", "serve the aggregated fleet report as Prometheus /metrics on this address")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pmwhatsup [flags] <sync-or-out-dir>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	dir := flag.Arg(0)
+	opt := func() fleet.Options {
+		return fleet.Options{StaleAfter: *staleAft, DeadAfter: *deadAft, MaxLag: *maxLag}
+	}
+
+	if *statsAddr != "" {
+		if err := serveMetrics(*statsAddr, dir, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "pmwhatsup: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	render := func() (string, error) {
+		rep, err := fleet.Scan(dir, opt())
+		if err != nil {
+			return "", err
+		}
+		now := time.Now()
+		if *tsv {
+			return rep.TSV(now), nil
+		}
+		return rep.Human(now), nil
+	}
+
+	if !*watch {
+		out, err := render()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmwhatsup: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	// Watch mode tolerates scan errors (the fleet may still be starting
+	// up, or a member directory may appear mid-run) and keeps polling.
+	for {
+		out, err := render()
+		fmt.Print("\x1b[H\x1b[2J")
+		if err != nil {
+			fmt.Printf("pmwhatsup: %v (retrying every %s)\n", err, *every)
+		} else {
+			fmt.Print(out)
+			fmt.Printf("\n[refreshing every %s — ctrl-c to exit]\n", *every)
+		}
+		time.Sleep(*every)
+	}
+}
+
+// serveMetrics exposes /metrics, re-scanning the tree on every scrape
+// so the exporter needs no state of its own.
+func serveMetrics(addr, dir string, opt func() fleet.Options) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := fleet.Scan(dir, opt())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, rep.PrometheusText(time.Now()))
+	})
+	fmt.Fprintf(os.Stderr, "pmwhatsup: serving fleet metrics on http://%s/metrics\n", l.Addr())
+	go http.Serve(l, mux)
+	return nil
+}

@@ -36,6 +36,7 @@ import (
 	"pmfuzz/internal/fuzz"
 	"pmfuzz/internal/imgstore"
 	"pmfuzz/internal/obs"
+	"pmfuzz/internal/obs/fleet"
 )
 
 // DefaultEvery is the wall-clock sync cadence when the config leaves it
@@ -113,9 +114,10 @@ type Syncer struct {
 	// segments, so a delta's base publishes exactly once.
 	pubBlobs map[imgstore.ID]bool
 
-	st   obs.SyncStats
-	tick atomic.Bool
-	done chan struct{}
+	st    obs.SyncStats
+	start time.Time // process start, published in the heartbeat
+	tick  atomic.Bool
+	done  chan struct{}
 }
 
 // New builds the Syncer, creates the fuzzer's subdirectory, and seeds
@@ -140,6 +142,7 @@ func New(cfg Config, f *core.Fuzzer, sess *obs.Session) (*Syncer, error) {
 		seen:     map[[sha256.Size]byte]bool{},
 		cursors:  map[string]int{},
 		pubBlobs: map[imgstore.ID]bool{},
+		start:    time.Now(),
 		done:     make(chan struct{}),
 	}
 	if err := os.MkdirAll(s.own, 0o755); err != nil {
@@ -264,6 +267,7 @@ func (s *Syncer) SyncNow() {
 	before := s.st
 	s.publish()
 	s.importPeers()
+	s.writeHeartbeat()
 	if s.sess != nil {
 		s.sess.M.SetSyncStats(s.st)
 		if s.st != before {
@@ -512,6 +516,32 @@ func (s *Syncer) importSegment(dir string, seq int) bool {
 		s.st.Imported++
 	}
 	return true
+}
+
+// writeHeartbeat publishes the member-info file the fleet monitor uses
+// as liveness ground truth: member name, pid, start time, last sync
+// time, highest published segment, and the sync cadence (so the monitor
+// can scale its dead-member threshold). Written every sync round with
+// the same atomic rename the segments use; the wall-clock values only
+// ever touch this side file, never the event trace, so heartbeats keep
+// the deterministic path byte-identical.
+func (s *Syncer) writeHeartbeat() {
+	hb := fleet.Heartbeat{
+		Fuzzer:    s.cfg.FuzzerID,
+		PID:       os.Getpid(),
+		StartUnix: s.start.Unix(),
+		LastUnix:  time.Now().Unix(),
+		LastSeq:   s.seq - 1,
+		EveryMS:   s.cfg.Every.Milliseconds(),
+	}
+	raw, err := json.Marshal(&hb)
+	if err != nil {
+		s.st.Errors++
+		return
+	}
+	if err := atomicWrite(filepath.Join(s.own, fleet.HeartbeatFile), raw); err != nil {
+		s.st.Errors++
+	}
 }
 
 // atomicWrite publishes a file via write-temp + rename, so readers in

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pmfuzz/internal/core"
+	"pmfuzz/internal/obs/fleet"
 )
 
 func newFuzzer(t *testing.T, seed int64, budgetNS int64) *core.Fuzzer {
@@ -306,5 +307,85 @@ func TestSyncConfigRejects(t *testing.T) {
 		if _, err := New(Config{Dir: t.TempDir(), FuzzerID: id}, fa, nil); err == nil {
 			t.Errorf("fuzzer ID %q accepted", id)
 		}
+	}
+}
+
+// TestHeartbeatPublished pins the monitor's liveness ground truth:
+// every sync round rewrites the member's heartbeat.json with its
+// identity, publication progress, and sync cadence — and the segment
+// scanner never mistakes the heartbeat for a segment.
+func TestHeartbeatPublished(t *testing.T) {
+	dir := t.TempDir()
+	f := newFuzzer(t, 42, 2_000_000)
+	s, err := New(Config{Dir: dir, FuzzerID: "a", Every: 250 * time.Millisecond}, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run()
+	s.SyncNow()
+	if s.Stats().Errors != 0 {
+		t.Fatalf("sync errors: %d", s.Stats().Errors)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "a", fleet.HeartbeatFile))
+	if err != nil {
+		t.Fatalf("heartbeat not published: %v", err)
+	}
+	var hb fleet.Heartbeat
+	if err := json.Unmarshal(raw, &hb); err != nil {
+		t.Fatalf("heartbeat not JSON: %v", err)
+	}
+	if hb.Fuzzer != "a" {
+		t.Errorf("heartbeat fuzzer = %q, want a", hb.Fuzzer)
+	}
+	if hb.PID != os.Getpid() {
+		t.Errorf("heartbeat pid = %d, want %d", hb.PID, os.Getpid())
+	}
+	if hb.EveryMS != 250 {
+		t.Errorf("heartbeat every_ms = %d, want 250", hb.EveryMS)
+	}
+	if hb.LastUnix < hb.StartUnix || hb.StartUnix == 0 {
+		t.Errorf("heartbeat times wrong: start %d last %d", hb.StartUnix, hb.LastUnix)
+	}
+	if hb.LastSeq != s.seq-1 {
+		t.Errorf("heartbeat last_seq = %d, want %d", hb.LastSeq, s.seq-1)
+	}
+
+	// A later round after publication advances LastSeq in the heartbeat.
+	s.SyncNow()
+	raw2, err := os.ReadFile(filepath.Join(dir, "a", fleet.HeartbeatFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hb2 fleet.Heartbeat
+	if err := json.Unmarshal(raw2, &hb2); err != nil {
+		t.Fatal(err)
+	}
+	if hb2.LastSeq != s.seq-1 {
+		t.Errorf("heartbeat last_seq after round 2 = %d, want %d", hb2.LastSeq, s.seq-1)
+	}
+
+	// A resumed Syncer over the same directory must not treat the
+	// heartbeat as a segment: sequence numbering continues from real
+	// segments only.
+	f2 := newFuzzer(t, 42, 2_000_000)
+	s2, err := New(Config{Dir: dir, FuzzerID: "a"}, f2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.seq != s.seq {
+		t.Errorf("resumed seq = %d, want %d", s2.seq, s.seq)
+	}
+
+	// The fleet scanner sees the member as alive.
+	rep, err := fleet.Scan(dir, fleet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Members) != 1 || rep.Members[0].Heartbeat == nil {
+		t.Fatalf("fleet scan: %+v", rep.Members)
+	}
+	if rep.Members[0].Health == fleet.HealthDead {
+		t.Errorf("fresh member judged DEAD: %s", rep.Members[0].Note)
 	}
 }

@@ -1,0 +1,390 @@
+// Package fleet is the campaign-level observability ring's read side:
+// it discovers fleet member directories under a sync/out tree, parses
+// each member's fuzzer_stats (via obs.ParseFuzzerStats, the writer's
+// round-trip dual) and heartbeat file, and renders aggregate reports
+// with per-member health verdicts — pmfuzz's afl-whatsup.
+//
+// The package is a strictly read-only observer: it opens files, never
+// writes any, and feeds nothing back into the engine. Monitoring a live
+// fleet therefore leaves every member's JSONL trace byte-identical to
+// an unmonitored run (CI's monitor job proves this with cmp).
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"pmfuzz/internal/obs"
+)
+
+// HeartbeatFile is the member-info file each fleet member publishes in
+// its own sync subdirectory every sync round.
+const HeartbeatFile = "heartbeat.json"
+
+// Heartbeat is the member's ground-truth liveness record: who it is,
+// which process, when it started, when it last synced, and how far its
+// publication sequence has advanced.
+type Heartbeat struct {
+	Fuzzer    string `json:"fuzzer"`
+	PID       int    `json:"pid"`
+	StartUnix int64  `json:"start_unix"`
+	LastUnix  int64  `json:"last_unix"`
+	// LastSeq is the highest segment sequence this member has published
+	// (-1 before the first publication).
+	LastSeq int `json:"last_seq"`
+	// EveryMS is the member's sync cadence, so the monitor can scale its
+	// dead-member threshold to the fleet's own heartbeat period.
+	EveryMS int64 `json:"every_ms"`
+}
+
+// ReadHeartbeat loads a member directory's heartbeat file. A missing
+// file returns (nil, nil): absence is a health signal, not an error.
+func ReadHeartbeat(dir string) (*Heartbeat, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, HeartbeatFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var hb Heartbeat
+	if err := json.Unmarshal(raw, &hb); err != nil {
+		return nil, fmt.Errorf("fleet: %s: %w", HeartbeatFile, err)
+	}
+	return &hb, nil
+}
+
+// Health is a member's verdict, ordered worst-first so callers can
+// compare: Dead > Stalled > SyncLagged > OK.
+type Health int
+
+const (
+	HealthOK Health = iota
+	HealthSyncLagged
+	HealthStalled
+	HealthDead
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthOK:
+		return "OK"
+	case HealthSyncLagged:
+		return "SYNC-LAGGED"
+	case HealthStalled:
+		return "STALLED"
+	case HealthDead:
+		return "DEAD"
+	}
+	return fmt.Sprintf("Health(%d)", int(h))
+}
+
+// Member is one discovered fleet member: its parsed artifacts plus the
+// health verdict derived from them.
+type Member struct {
+	Name string
+	Dir  string
+
+	// Stats is the parsed fuzzer_stats, nil when the file is missing or
+	// unreadable (Note says why). fuzzer_stats is written non-atomically,
+	// so a torn read is tolerated as a note, never a scan failure.
+	Stats *obs.Stats
+	// Heartbeat is the member's liveness record, nil when absent.
+	Heartbeat *Heartbeat
+	// MaxSeq is the highest seg-%08d.json sequence present in the
+	// member's directory, -1 when it has published nothing.
+	MaxSeq int
+	// Cursors maps peer name to the member's .cursor-<peer> value: the
+	// last segment sequence it imported from that peer.
+	Cursors map[string]int
+
+	Health Health
+	// Lag is the worst peer-cursor lag behind published segments.
+	Lag int
+	// Note carries a human-readable reason for a non-OK verdict or a
+	// tolerated parse problem.
+	Note string
+}
+
+// Execs returns the member's execs_done, 0 without stats.
+func (m *Member) Execs() int64 { return m.Stats.Int("execs_done") }
+
+// Options tunes discovery and health thresholds.
+type Options struct {
+	// StaleAfter marks a member STALLED when now - last_update exceeds
+	// it. Zero means 5 minutes.
+	StaleAfter time.Duration
+	// DeadAfter marks a member DEAD when its heartbeat is older than
+	// this. Zero means auto: 5x the member's own sync cadence, floored
+	// at 15s.
+	DeadAfter time.Duration
+	// MaxLag marks a member SYNC-LAGGED when its cursor for some peer
+	// trails that peer's newest segment by more than MaxLag segments.
+	// Zero means 8.
+	MaxLag int
+	// Now is the evaluation time; zero means time.Now(). Injectable so
+	// health tests are deterministic.
+	Now time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.StaleAfter <= 0 {
+		o.StaleAfter = 5 * time.Minute
+	}
+	if o.MaxLag <= 0 {
+		o.MaxLag = 8
+	}
+	if o.Now.IsZero() {
+		o.Now = time.Now()
+	}
+	return o
+}
+
+// deadAfter resolves the DEAD threshold for one member: the explicit
+// option, else 5x the member's own advertised sync cadence, floored at
+// 15s so a fast ticker doesn't make scheduling jitter look like death.
+func (o Options) deadAfter(hb *Heartbeat) time.Duration {
+	if o.DeadAfter > 0 {
+		return o.DeadAfter
+	}
+	d := 15 * time.Second
+	if hb != nil && hb.EveryMS > 0 {
+		if c := 5 * time.Duration(hb.EveryMS) * time.Millisecond; c > d {
+			d = c
+		}
+	}
+	return d
+}
+
+// Report is one scan of the fleet: members sorted by name plus the
+// fleet-summed aggregates pmwhatsup prints.
+type Report struct {
+	Dir     string
+	Members []*Member
+
+	// Aggregates summed over every member with stats.
+	Execs        int64
+	ExecsPerSec  float64
+	Crashes      int64 // unique_crashes
+	Hangs        int64
+	Paths        int64 // paths_total
+	PMPaths      int64
+	Images       int64
+	CrashImages  int64
+	SyncPub      int64
+	SyncImp      int64
+	SyncDedup    int64
+	SyncErrors   int64
+	SinkErrors   int64
+	Stage2Camps  int64
+	Workloads    []string // distinct workloads, from afl_banner
+	HealthCounts map[Health]int
+}
+
+// Alive reports members not judged DEAD.
+func (r *Report) Alive() int {
+	return len(r.Members) - r.HealthCounts[HealthDead]
+}
+
+// Scan discovers and evaluates every fleet member under dir. The root
+// itself counts as a solo member when it directly holds a fuzzer_stats
+// or heartbeat; otherwise each non-hidden subdirectory containing a
+// fuzzer_stats, a heartbeat, or published segments is a member. A tree
+// with no members at all is an error — pointing the monitor at the
+// wrong directory should say so, not print an empty fleet.
+func Scan(dir string, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	var dirs []string
+	if isMemberDir(dir) {
+		dirs = []string{dir}
+	} else {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		for _, de := range ents {
+			if !de.IsDir() || strings.HasPrefix(de.Name(), ".") {
+				continue
+			}
+			sub := filepath.Join(dir, de.Name())
+			if isMemberDir(sub) {
+				dirs = append(dirs, sub)
+			}
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("fleet: no fleet members under %s (no fuzzer_stats, %s, or seg-*.json found)", dir, HeartbeatFile)
+	}
+	sort.Strings(dirs)
+
+	rep := &Report{Dir: dir, HealthCounts: map[Health]int{}}
+	workloads := map[string]bool{}
+	for _, d := range dirs {
+		m := readMember(dir, d)
+		rep.Members = append(rep.Members, m)
+		if m.Stats == nil {
+			continue
+		}
+		rep.Execs += m.Stats.Int("execs_done")
+		rep.ExecsPerSec += m.Stats.Float("execs_per_sec")
+		rep.Crashes += m.Stats.Int("unique_crashes")
+		rep.Hangs += m.Stats.Int("unique_hangs")
+		rep.Paths += m.Stats.Int("paths_total")
+		rep.PMPaths += m.Stats.Int("pmfuzz_pm_paths")
+		rep.Images += m.Stats.Int("pmfuzz_images")
+		rep.CrashImages += m.Stats.Int("pmfuzz_crash_images")
+		rep.SyncPub += m.Stats.Int("pmfuzz_sync_published")
+		rep.SyncImp += m.Stats.Int("pmfuzz_sync_imported")
+		rep.SyncDedup += m.Stats.Int("pmfuzz_sync_dedup")
+		rep.SyncErrors += m.Stats.Int("pmfuzz_sync_errors")
+		rep.SinkErrors += m.Stats.Int("pmfuzz_sink_errors")
+		rep.Stage2Camps += m.Stats.Int("pmfuzz_stage2_campaigns")
+		if banner, ok := m.Stats.Get("afl_banner"); ok {
+			workloads[strings.TrimPrefix(banner, "pmfuzz-")] = true
+		}
+	}
+	for w := range workloads {
+		rep.Workloads = append(rep.Workloads, w)
+	}
+	sort.Strings(rep.Workloads)
+
+	evaluateHealth(rep, opt)
+	for _, m := range rep.Members {
+		rep.HealthCounts[m.Health]++
+	}
+	return rep, nil
+}
+
+// isMemberDir reports whether a directory holds member artifacts.
+func isMemberDir(dir string) bool {
+	if _, err := os.Stat(filepath.Join(dir, "fuzzer_stats")); err == nil {
+		return true
+	}
+	if _, err := os.Stat(filepath.Join(dir, HeartbeatFile)); err == nil {
+		return true
+	}
+	if segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.json")); len(segs) > 0 {
+		return true
+	}
+	return false
+}
+
+// readMember parses one member directory's artifacts. Parse problems
+// become notes, never failures: a live fleet rewrites fuzzer_stats
+// non-atomically, so the monitor must shrug off a torn read.
+func readMember(root, dir string) *Member {
+	name := filepath.Base(dir)
+	if filepath.Clean(dir) == filepath.Clean(root) {
+		name = "."
+	}
+	m := &Member{Name: name, Dir: dir, MaxSeq: -1, Cursors: map[string]int{}}
+
+	if raw, err := os.ReadFile(filepath.Join(dir, "fuzzer_stats")); err == nil {
+		st, perr := obs.ParseFuzzerStats(string(raw))
+		if perr != nil {
+			m.Note = fmt.Sprintf("fuzzer_stats unparseable: %v", perr)
+		} else {
+			m.Stats = st
+		}
+	}
+	hb, err := ReadHeartbeat(dir)
+	if err != nil && m.Note == "" {
+		m.Note = err.Error()
+	}
+	m.Heartbeat = hb
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return m
+	}
+	for _, de := range ents {
+		name := de.Name()
+		switch {
+		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".json"):
+			var n int
+			if _, err := fmt.Sscanf(name, "seg-%d.json", &n); err == nil && n > m.MaxSeq {
+				m.MaxSeq = n
+			}
+		case strings.HasPrefix(name, ".cursor-"):
+			raw, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				continue
+			}
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(string(raw)), "%d", &n); err == nil {
+				m.Cursors[strings.TrimPrefix(name, ".cursor-")] = n
+			}
+		}
+	}
+	return m
+}
+
+// evaluateHealth assigns each member its verdict. Precedence is
+// worst-first: DEAD > STALLED > SYNC-LAGGED > OK.
+//
+//   - DEAD: the heartbeat is older than the dead threshold — or, in a
+//     fleet where at least one member publishes heartbeats, a member
+//     with sync artifacts but no heartbeat at all (it predates the
+//     heartbeat or its process never completed a sync round).
+//   - STALLED: fuzzer_stats exists but last_update is stale.
+//   - SYNC-LAGGED: some peer's newest segment is more than MaxLag
+//     sequences past this member's cursor for that peer.
+func evaluateHealth(rep *Report, opt Options) {
+	fleetHasHeartbeat := false
+	for _, m := range rep.Members {
+		if m.Heartbeat != nil {
+			fleetHasHeartbeat = true
+			break
+		}
+	}
+	for _, m := range rep.Members {
+		m.Health = HealthOK
+		// Worst sync lag across peers, independent of verdict so the
+		// report can always show it.
+		for _, p := range rep.Members {
+			if p == m || p.MaxSeq < 0 {
+				continue
+			}
+			cursor, ok := m.Cursors[p.Name]
+			if !ok {
+				cursor = -1
+			}
+			if lag := p.MaxSeq - cursor; lag > m.Lag {
+				m.Lag = lag
+			}
+		}
+
+		if m.Heartbeat != nil {
+			age := opt.Now.Sub(time.Unix(m.Heartbeat.LastUnix, 0))
+			if dead := opt.deadAfter(m.Heartbeat); age > dead {
+				m.Health = HealthDead
+				m.Note = fmt.Sprintf("heartbeat %s old (threshold %s)", age.Round(time.Second), dead)
+				continue
+			}
+		} else if fleetHasHeartbeat && (m.MaxSeq >= 0 || len(m.Cursors) > 0) {
+			m.Health = HealthDead
+			m.Note = "no heartbeat (member gone or pre-heartbeat)"
+			continue
+		}
+
+		if m.Stats != nil {
+			if last := m.Stats.Int("last_update"); last > 0 {
+				if age := opt.Now.Sub(time.Unix(last, 0)); age > opt.StaleAfter {
+					m.Health = HealthStalled
+					m.Note = fmt.Sprintf("last_update %s old (threshold %s)", age.Round(time.Second), opt.StaleAfter)
+					continue
+				}
+			}
+		}
+
+		if m.Lag > opt.MaxLag {
+			m.Health = HealthSyncLagged
+			m.Note = fmt.Sprintf("cursor %d segments behind a peer (threshold %d)", m.Lag, opt.MaxLag)
+		}
+	}
+}

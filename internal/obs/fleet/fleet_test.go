@@ -1,0 +1,368 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pmfuzz/internal/obs"
+)
+
+// now is the fixed evaluation instant every test injects.
+var now = time.Unix(1700000000, 0)
+
+// writeStats writes a member fuzzer_stats in the writer's exact format.
+func writeStats(t *testing.T, dir string, kv map[string]string) {
+	t.Helper()
+	var b strings.Builder
+	for _, k := range []string{
+		"start_time", "last_update", "execs_done", "execs_per_sec", "paths_total",
+		"unique_crashes", "unique_hangs", "afl_banner", "pmfuzz_pm_paths",
+		"pmfuzz_images", "pmfuzz_sim_ms", "pmfuzz_sync_published",
+		"pmfuzz_sync_imported", "pmfuzz_sync_errors", "pmfuzz_sink_errors",
+	} {
+		if v, ok := kv[k]; ok {
+			fmt.Fprintf(&b, "%-18s: %s\n", k, v)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fuzzer_stats"), []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeHeartbeat(t *testing.T, dir string, hb Heartbeat) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(&hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, HeartbeatFile), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func touch(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// liveMember lays down a healthy two-way-synced member.
+func liveMember(t *testing.T, dir, name string, execs int64, peerName string) {
+	t.Helper()
+	writeStats(t, dir, map[string]string{
+		"last_update": fmt.Sprint(now.Unix() - 1), "execs_done": fmt.Sprint(execs),
+		"execs_per_sec": "100.50", "paths_total": "10", "unique_crashes": "1",
+		"unique_hangs": "0", "afl_banner": "pmfuzz-btree", "pmfuzz_pm_paths": "20",
+		"pmfuzz_images": "5", "pmfuzz_sim_ms": "120.500",
+		"pmfuzz_sync_published": "3", "pmfuzz_sync_imported": "2",
+		"pmfuzz_sync_errors": "0", "pmfuzz_sink_errors": "0",
+	})
+	writeHeartbeat(t, dir, Heartbeat{
+		Fuzzer: name, PID: 123, StartUnix: now.Unix() - 100,
+		LastUnix: now.Unix() - 1, LastSeq: 2, EveryMS: 1000,
+	})
+	touch(t, filepath.Join(dir, "seg-00000002.json"), "{}")
+	touch(t, filepath.Join(dir, ".cursor-"+peerName), "2\n")
+}
+
+func TestScanAggregatesAndHealth(t *testing.T) {
+	root := t.TempDir()
+	liveMember(t, filepath.Join(root, "a"), "a", 100, "b")
+	liveMember(t, filepath.Join(root, "b"), "b", 250, "a")
+
+	rep, err := Scan(root, Options{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Members) != 2 {
+		t.Fatalf("members = %d, want 2", len(rep.Members))
+	}
+	if rep.Execs != 350 {
+		t.Errorf("aggregate execs = %d, want 350", rep.Execs)
+	}
+	if rep.ExecsPerSec != 201 {
+		t.Errorf("aggregate execs/sec = %v, want 201", rep.ExecsPerSec)
+	}
+	if rep.Crashes != 2 || rep.SyncPub != 6 || rep.SyncImp != 4 {
+		t.Errorf("aggregates wrong: %+v", rep)
+	}
+	if len(rep.Workloads) != 1 || rep.Workloads[0] != "btree" {
+		t.Errorf("workloads = %v", rep.Workloads)
+	}
+	for _, m := range rep.Members {
+		if m.Health != HealthOK {
+			t.Errorf("member %s health = %s (%s), want OK", m.Name, m.Health, m.Note)
+		}
+	}
+	// Members sort by name.
+	if rep.Members[0].Name != "a" || rep.Members[1].Name != "b" {
+		t.Errorf("member order: %s, %s", rep.Members[0].Name, rep.Members[1].Name)
+	}
+}
+
+func TestHealthStalled(t *testing.T) {
+	root := t.TempDir()
+	liveMember(t, filepath.Join(root, "a"), "a", 100, "b")
+	// b: heartbeat fresh, but fuzzer_stats last_update ancient.
+	dir := filepath.Join(root, "b")
+	liveMember(t, dir, "b", 50, "a")
+	writeStats(t, dir, map[string]string{
+		"last_update": fmt.Sprint(now.Add(-time.Hour).Unix()), "execs_done": "50",
+	})
+
+	rep, err := Scan(root, Options{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Member{}
+	for _, m := range rep.Members {
+		byName[m.Name] = m
+	}
+	if byName["a"].Health != HealthOK {
+		t.Errorf("a = %s (%s), want OK", byName["a"].Health, byName["a"].Note)
+	}
+	if byName["b"].Health != HealthStalled {
+		t.Errorf("b = %s (%s), want STALLED", byName["b"].Health, byName["b"].Note)
+	}
+	if rep.HealthCounts[HealthStalled] != 1 {
+		t.Errorf("health counts: %v", rep.HealthCounts)
+	}
+}
+
+func TestHealthDead(t *testing.T) {
+	root := t.TempDir()
+	liveMember(t, filepath.Join(root, "a"), "a", 100, "b")
+	// b: heartbeat far older than 5x its 1s cadence.
+	dirB := filepath.Join(root, "b")
+	liveMember(t, dirB, "b", 50, "a")
+	writeHeartbeat(t, dirB, Heartbeat{
+		Fuzzer: "b", LastUnix: now.Add(-time.Minute).Unix(), EveryMS: 1000,
+	})
+	// c: sync artifacts but no heartbeat at all, in a heartbeat fleet.
+	touch(t, filepath.Join(root, "c", "seg-00000000.json"), "{}")
+
+	rep, err := Scan(root, Options{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Member{}
+	for _, m := range rep.Members {
+		byName[m.Name] = m
+	}
+	if byName["b"].Health != HealthDead {
+		t.Errorf("b = %s (%s), want DEAD", byName["b"].Health, byName["b"].Note)
+	}
+	if byName["c"].Health != HealthDead {
+		t.Errorf("c = %s (%s), want DEAD", byName["c"].Health, byName["c"].Note)
+	}
+	if rep.Alive() != 1 {
+		t.Errorf("Alive = %d, want 1", rep.Alive())
+	}
+	// An explicit -dead-after above the age revives b.
+	rep2, err := Scan(root, Options{Now: now, DeadAfter: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rep2.Members {
+		if m.Name == "b" && m.Health == HealthDead {
+			t.Errorf("b still DEAD with 2h threshold (%s)", m.Note)
+		}
+	}
+}
+
+func TestHealthSyncLagged(t *testing.T) {
+	root := t.TempDir()
+	liveMember(t, filepath.Join(root, "a"), "a", 100, "b")
+	liveMember(t, filepath.Join(root, "b"), "b", 50, "a")
+	// a has published far ahead of b's cursor for it.
+	touch(t, filepath.Join(root, "a", "seg-00000050.json"), "{}")
+
+	rep, err := Scan(root, Options{Now: now, MaxLag: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Member{}
+	for _, m := range rep.Members {
+		byName[m.Name] = m
+	}
+	if byName["b"].Health != HealthSyncLagged {
+		t.Errorf("b = %s (%s), want SYNC-LAGGED", byName["b"].Health, byName["b"].Note)
+	}
+	if byName["b"].Lag != 48 {
+		t.Errorf("b lag = %d, want 48", byName["b"].Lag)
+	}
+	// A generous threshold clears it.
+	rep2, _ := Scan(root, Options{Now: now, MaxLag: 1000})
+	for _, m := range rep2.Members {
+		if m.Health != HealthOK {
+			t.Errorf("%s = %s with max-lag 1000", m.Name, m.Health)
+		}
+	}
+}
+
+func TestScanSoloAndErrors(t *testing.T) {
+	// A root that itself holds fuzzer_stats is a solo member ".".
+	solo := t.TempDir()
+	writeStats(t, solo, map[string]string{
+		"last_update": fmt.Sprint(now.Unix()), "execs_done": "42",
+	})
+	rep, err := Scan(solo, Options{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Members) != 1 || rep.Members[0].Name != "." || rep.Execs != 42 {
+		t.Errorf("solo scan: %+v", rep.Members)
+	}
+
+	// An empty tree is an error, not an empty fleet.
+	if _, err := Scan(t.TempDir(), Options{Now: now}); err == nil {
+		t.Error("Scan of memberless tree should fail")
+	}
+
+	// A torn fuzzer_stats becomes a member note, never a scan failure.
+	torn := t.TempDir()
+	touch(t, filepath.Join(torn, "m", "fuzzer_stats"), "half a li")
+	rep, err = Scan(torn, Options{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Members[0]
+	if m.Stats != nil || m.Note == "" {
+		t.Errorf("torn stats should leave nil Stats + note, got %+v", m)
+	}
+}
+
+func TestReadHeartbeat(t *testing.T) {
+	dir := t.TempDir()
+	if hb, err := ReadHeartbeat(dir); err != nil || hb != nil {
+		t.Errorf("missing heartbeat = (%v, %v), want (nil, nil)", hb, err)
+	}
+	writeHeartbeat(t, dir, Heartbeat{Fuzzer: "x", PID: 7, LastSeq: 3, EveryMS: 250})
+	hb, err := ReadHeartbeat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.Fuzzer != "x" || hb.PID != 7 || hb.LastSeq != 3 || hb.EveryMS != 250 {
+		t.Errorf("heartbeat = %+v", hb)
+	}
+	touch(t, filepath.Join(dir, HeartbeatFile), "not json")
+	if _, err := ReadHeartbeat(dir); err == nil {
+		t.Error("corrupt heartbeat should error")
+	}
+}
+
+func TestRenderTSVAndPrometheus(t *testing.T) {
+	root := t.TempDir()
+	liveMember(t, filepath.Join(root, "a"), "a", 100, "b")
+	liveMember(t, filepath.Join(root, "b"), "b", 250, "a")
+	rep, err := Scan(root, Options{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tsv := rep.TSV(now)
+	lines := strings.Split(strings.TrimSpace(tsv), "\n")
+	if len(lines) != 4 { // header + 2 members + TOTAL
+		t.Fatalf("TSV lines = %d:\n%s", len(lines), tsv)
+	}
+	if !strings.HasPrefix(lines[0], "member\thealth\texecs\t") {
+		t.Errorf("TSV header: %q", lines[0])
+	}
+	total := strings.Split(lines[3], "\t")
+	if total[0] != "TOTAL" || total[2] != "350" {
+		t.Errorf("TOTAL row: %q", lines[3])
+	}
+
+	prom := rep.PrometheusText(now)
+	for _, want := range []string{
+		"pmfuzz_fleet_members 2",
+		"pmfuzz_fleet_members_ok 2",
+		"pmfuzz_fleet_execs_total 350",
+		`pmfuzz_member_up{member="a"} 1`,
+		`pmfuzz_member_execs_total{member="b"} 250`,
+		"# TYPE pmfuzz_fleet_execs_per_sec gauge",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+
+	human := rep.Human(now)
+	for _, want := range []string{"Fleet summary", "total execs    : 350", "members        : 2 (2 OK", "btree"} {
+		if !strings.Contains(human, want) {
+			t.Errorf("human output missing %q:\n%s", want, human)
+		}
+	}
+}
+
+// TestScanIsReadOnly pins the observer contract: a scan must not
+// create, modify, or delete anything in the tree it scans.
+func TestScanIsReadOnly(t *testing.T) {
+	root := t.TempDir()
+	liveMember(t, filepath.Join(root, "a"), "a", 100, "b")
+	liveMember(t, filepath.Join(root, "b"), "b", 250, "a")
+	before := treeState(t, root)
+	if _, err := Scan(root, Options{Now: now}); err != nil {
+		t.Fatal(err)
+	}
+	if after := treeState(t, root); after != before {
+		t.Errorf("Scan mutated the tree:\nbefore: %s\nafter:  %s", before, after)
+	}
+}
+
+// treeState fingerprints a tree: every path with size and mtime.
+func treeState(t *testing.T, root string) string {
+	t.Helper()
+	var b strings.Builder
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "%s %d %d\n", path, info.Size(), info.ModTime().UnixNano())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestScanParsesWriterOutput runs the scanner against fuzzer_stats
+// produced by the real writer, not a hand-rolled fixture.
+func TestScanParsesWriterOutput(t *testing.T) {
+	m := obs.NewMetrics("btree", "pmfuzz", 1, 5, 1e9)
+	m.MergeShard(&obs.Shard{Execs: 321})
+	dir := filepath.Join(t.TempDir(), "w")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	content := obs.FuzzerStats(m.Snapshot(), now)
+	if err := os.WriteFile(filepath.Join(dir, "fuzzer_stats"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Scan(dir, Options{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Execs != 321 {
+		t.Errorf("execs = %d, want 321", rep.Execs)
+	}
+	if rep.Members[0].Health != HealthOK {
+		t.Errorf("health = %s (%s)", rep.Members[0].Health, rep.Members[0].Note)
+	}
+}

@@ -1,0 +1,144 @@
+package fleet
+
+// Report renderers: the human summary pmwhatsup prints by default, the
+// machine-greppable TSV the CI monitor job asserts against, and the
+// aggregated Prometheus re-export.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Human renders the afl-whatsup-style fleet summary.
+func (r *Report) Human(now time.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pmwhatsup: fleet status for %s\n\n", r.Dir)
+	fmt.Fprintf(&b, "Fleet summary\n")
+	fmt.Fprintf(&b, "  members        : %d (%d OK, %d sync-lagged, %d stalled, %d dead)\n",
+		len(r.Members), r.HealthCounts[HealthOK], r.HealthCounts[HealthSyncLagged],
+		r.HealthCounts[HealthStalled], r.HealthCounts[HealthDead])
+	if len(r.Workloads) > 0 {
+		fmt.Fprintf(&b, "  workloads      : %s\n", strings.Join(r.Workloads, ", "))
+	}
+	fmt.Fprintf(&b, "  total execs    : %d\n", r.Execs)
+	fmt.Fprintf(&b, "  fleet speed    : %.2f execs/sec\n", r.ExecsPerSec)
+	fmt.Fprintf(&b, "  crashes        : %d unique (%d hangs)\n", r.Crashes, r.Hangs)
+	fmt.Fprintf(&b, "  corpus         : %d paths, %d pm paths, %d images (%d crash)\n",
+		r.Paths, r.PMPaths, r.Images, r.CrashImages)
+	fmt.Fprintf(&b, "  sync           : published %d, imported %d (%d dedup), errors %d\n",
+		r.SyncPub, r.SyncImp, r.SyncDedup, r.SyncErrors)
+	if r.Stage2Camps > 0 {
+		fmt.Fprintf(&b, "  stage 2        : %d campaigns\n", r.Stage2Camps)
+	}
+	if r.SinkErrors > 0 {
+		fmt.Fprintf(&b, "  sink errors    : %d (telemetry writes failed somewhere)\n", r.SinkErrors)
+	}
+	fmt.Fprintf(&b, "\nMembers\n")
+	for _, m := range r.Members {
+		fmt.Fprintf(&b, "  %-16s %-12s", m.Name, m.Health)
+		if m.Stats != nil {
+			fmt.Fprintf(&b, " execs %-10d %8.2f/sec  crashes %-4d paths %-5d",
+				m.Stats.Int("execs_done"), m.Stats.Float("execs_per_sec"),
+				m.Stats.Int("unique_crashes"), m.Stats.Int("paths_total"))
+			if last := m.Stats.Int("last_update"); last > 0 {
+				fmt.Fprintf(&b, " updated %s ago", now.Sub(time.Unix(last, 0)).Round(time.Second))
+			}
+		} else {
+			fmt.Fprintf(&b, " (no fuzzer_stats)")
+		}
+		if m.MaxSeq >= 0 || m.Lag > 0 {
+			fmt.Fprintf(&b, " seq %d lag %d", m.MaxSeq, m.Lag)
+		}
+		b.WriteString("\n")
+		if m.Note != "" {
+			fmt.Fprintf(&b, "  %-16s   %s\n", "", m.Note)
+		}
+	}
+	return b.String()
+}
+
+// tsvHeader names the TSV columns, one member per row plus a TOTAL row.
+const tsvHeader = "member\thealth\texecs\texecs_per_sec\tcrashes\thangs\tpaths\tpm\timages\tsim_ms\tlast_age_s\tseq\tlag\tpub\timp\terrs"
+
+// TSV renders one tab-separated row per member plus a TOTAL row, for
+// scripting (the CI monitor job extracts TOTAL execs with awk).
+func (r *Report) TSV(now time.Time) string {
+	var b strings.Builder
+	b.WriteString(tsvHeader + "\n")
+	for _, m := range r.Members {
+		age := int64(-1)
+		if m.Stats != nil {
+			if last := m.Stats.Int("last_update"); last > 0 {
+				age = int64(now.Sub(time.Unix(last, 0)).Seconds())
+			}
+		}
+		fmt.Fprintf(&b, "%s\t%s\t%d\t%.2f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			m.Name, m.Health,
+			m.Stats.Int("execs_done"), m.Stats.Float("execs_per_sec"),
+			m.Stats.Int("unique_crashes"), m.Stats.Int("unique_hangs"),
+			m.Stats.Int("paths_total"), m.Stats.Int("pmfuzz_pm_paths"),
+			m.Stats.Int("pmfuzz_images"), int64(m.Stats.Float("pmfuzz_sim_ms")),
+			age, m.MaxSeq, m.Lag,
+			m.Stats.Int("pmfuzz_sync_published"), m.Stats.Int("pmfuzz_sync_imported"),
+			m.Stats.Int("pmfuzz_sync_errors"))
+	}
+	fmt.Fprintf(&b, "TOTAL\t-\t%d\t%.2f\t%d\t%d\t%d\t%d\t%d\t-1\t-1\t-1\t-1\t%d\t%d\t%d\n",
+		r.Execs, r.ExecsPerSec, r.Crashes, r.Hangs, r.Paths, r.PMPaths, r.Images,
+		r.SyncPub, r.SyncImp, r.SyncErrors)
+	return b.String()
+}
+
+// PrometheusText re-exports the fleet scan in Prometheus text format:
+// fleet-summed series plus per-member series labeled by member name.
+// Sums use _total counter semantics to match the per-process exporter.
+func (r *Report) PrometheusText(now time.Time) string {
+	var b strings.Builder
+	fleetGauge := func(name, help string, v interface{}) {
+		fmt.Fprintf(&b, "# HELP pmfuzz_fleet_%s %s\n# TYPE pmfuzz_fleet_%s gauge\npmfuzz_fleet_%s %v\n",
+			name, help, name, name, v)
+	}
+	fleetGauge("members", "Discovered fleet members.", len(r.Members))
+	fleetGauge("members_ok", "Members with an OK health verdict.", r.HealthCounts[HealthOK])
+	fleetGauge("execs_total", "Fleet-summed test-case executions.", r.Execs)
+	fleetGauge("execs_per_sec", "Fleet-summed wall-clock execution rate.", fmt.Sprintf("%.2f", r.ExecsPerSec))
+	fleetGauge("unique_crashes_total", "Fleet-summed deduplicated fault buckets.", r.Crashes)
+	fleetGauge("sync_errors_total", "Fleet-summed tolerated sync I/O errors.", r.SyncErrors)
+	fleetGauge("sink_errors_total", "Fleet-summed telemetry sink write failures.", r.SinkErrors)
+
+	perMember := func(name, help string, val func(m *Member) string) {
+		fmt.Fprintf(&b, "# HELP pmfuzz_member_%s %s\n# TYPE pmfuzz_member_%s gauge\n", name, help, name)
+		for _, m := range r.Members {
+			fmt.Fprintf(&b, "pmfuzz_member_%s{member=%q} %s\n", name, m.Name, val(m))
+		}
+	}
+	perMember("up", "1 when the member's health verdict is not DEAD.", func(m *Member) string {
+		if m.Health == HealthDead {
+			return "0"
+		}
+		return "1"
+	})
+	perMember("execs_total", "Member test-case executions.", func(m *Member) string {
+		return fmt.Sprintf("%d", m.Stats.Int("execs_done"))
+	})
+	perMember("execs_per_sec", "Member wall-clock execution rate.", func(m *Member) string {
+		return fmt.Sprintf("%.2f", m.Stats.Float("execs_per_sec"))
+	})
+	perMember("unique_crashes_total", "Member deduplicated fault buckets.", func(m *Member) string {
+		return fmt.Sprintf("%d", m.Stats.Int("unique_crashes"))
+	})
+	perMember("last_update_age_seconds", "Seconds since the member's fuzzer_stats rewrite (-1 unknown).", func(m *Member) string {
+		if m.Stats == nil {
+			return "-1"
+		}
+		last := m.Stats.Int("last_update")
+		if last <= 0 {
+			return "-1"
+		}
+		return fmt.Sprintf("%d", int64(now.Sub(time.Unix(last, 0)).Seconds()))
+	})
+	perMember("sync_lag", "Worst peer-cursor lag behind published segments.", func(m *Member) string {
+		return fmt.Sprintf("%d", m.Lag)
+	})
+	return b.String()
+}

@@ -1,0 +1,440 @@
+package fleet
+
+// The JSONL trace analyzer behind pmtrace: post-hoc mining of the
+// byte-deterministic event traces the obs package writes. One fat event
+// shape decodes every event type the writer emits (the "t" tag selects
+// which fields are meaningful), so the analyzer stays a read-only dual
+// of obs/trace.go the same way ParseFuzzerStats is the dual of
+// FuzzerStats. Unknown event types are counted and reported, never
+// silently dropped — CI asserts zero unknowns on real traces.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Event is the union decode of one trace line. Field names shared
+// across event types (sim_ns, worker, stage, execs, ...) carry the same
+// types in every event, so one struct covers the whole vocabulary.
+type Event struct {
+	T     string `json:"t"`
+	SimNS int64  `json:"sim_ns"`
+
+	// session
+	Workload string `json:"workload"`
+	Seed     int64  `json:"seed"`
+	Workers  int    `json:"workers"`
+	BudgetNS int64  `json:"budget_ns"`
+
+	// admit / harvest
+	Worker     int    `json:"worker"`
+	ID         int    `json:"id"`
+	Parent     int    `json:"parent"`
+	Favored    int    `json:"favored"`
+	NewBranch  bool   `json:"new_branch"`
+	NewPM      bool   `json:"new_pm"`
+	CrashImage bool   `json:"crash_image"`
+	HasImage   bool   `json:"has_image"`
+	Image      string `json:"image"`
+
+	// fault
+	Execs int    `json:"execs"`
+	Msg   string `json:"msg"`
+
+	// class
+	Classes    int `json:"classes"`
+	Hits       int `json:"hits"`
+	Checked    int `json:"checked"`
+	Recoveries int `json:"recoveries"`
+
+	// round
+	Outcomes int  `json:"outcomes"`
+	Done     bool `json:"done"`
+
+	// stage_enter / stage_exit
+	Stage         int `json:"stage"`
+	Iter          int `json:"iter"`
+	Campaign      int `json:"campaign"`
+	Root          int `json:"root"`
+	Score         int `json:"score"`
+	PMPaths       int `json:"pm_paths"`
+	RecoverySites int `json:"recovery_sites"`
+
+	// sync
+	Fuzzer    string `json:"fuzzer"`
+	Published int    `json:"published"`
+	Imported  int    `json:"imported"`
+	Dedup     int    `json:"dedup"`
+	Errors    int    `json:"errors"`
+	BytesIn   int64  `json:"bytes_in"`
+	BytesOut  int64  `json:"bytes_out"`
+
+	// end
+	QueueLen int `json:"queue"`
+	Images   int `json:"images"`
+	Faults   int `json:"faults"`
+}
+
+// knownEvents is the writer's event vocabulary (obs/trace.go).
+var knownEvents = map[string]bool{
+	"session": true, "admit": true, "harvest": true, "fault": true,
+	"class": true, "round": true, "stage_enter": true, "stage_exit": true,
+	"sync": true, "end": true,
+}
+
+// StageSpan is one matched stage_enter/stage_exit pair: a stage-2
+// sub-campaign (or the stage-1 umbrella) with its sim-time extent and
+// outcomes.
+type StageSpan struct {
+	Stage, Iter, Campaign int
+	Root                  int
+	Image                 string
+	Score                 int
+	EnterNS, ExitNS       int64
+	Execs                 int
+	PMPaths               int
+	RecoverySites         int
+	// Open marks a span whose exit never arrived (truncated trace).
+	Open bool
+}
+
+// DurNS is the span's simulated duration.
+func (s *StageSpan) DurNS() int64 { return s.ExitNS - s.EnterNS }
+
+// SyncTotal sums the per-exchange deltas of a trace's sync events.
+type SyncTotal struct {
+	Events    int
+	Published int
+	Imported  int
+	Dedup     int
+	Errors    int
+	BytesIn   int64
+	BytesOut  int64
+}
+
+// TraceStats is one analyzed trace.
+type TraceStats struct {
+	Path string
+
+	// Session parameters from the opening event.
+	Workload string
+	Seed     int64
+	Workers  int
+	BudgetNS int64
+
+	// End totals from the closing event; HasEnd false means the trace
+	// was truncated mid-session.
+	HasEnd   bool
+	EndSimNS int64
+	Execs    int
+	PMPaths  int
+	QueueLen int
+	Images   int
+	Faults   int
+
+	// Counts maps event type to occurrences; Unknown maps unrecognized
+	// type tags to occurrences.
+	Counts  map[string]int
+	Unknown map[string]int
+	Lines   int
+
+	// Per-type rollups.
+	Admits, Harvests, HarvestsCrash int
+	FirstFaultNS                    int64 // -1 when no fault event
+	ClassClasses, ClassHits         int
+	ClassChecked, ClassRecoveries   int
+	Spans                           []*StageSpan
+	Sync                            SyncTotal
+	Events                          []Event
+}
+
+// Stage2Campaigns counts closed stage-2 spans.
+func (t *TraceStats) Stage2Campaigns() int {
+	n := 0
+	for _, sp := range t.Spans {
+		if sp.Stage == 2 && !sp.Open {
+			n++
+		}
+	}
+	return n
+}
+
+// Stage2Execs sums execs over closed stage-2 spans.
+func (t *TraceStats) Stage2Execs() int {
+	n := 0
+	for _, sp := range t.Spans {
+		if sp.Stage == 2 && !sp.Open {
+			n += sp.Execs
+		}
+	}
+	return n
+}
+
+// PruningSaved reports checked-vs-recovered oracle work: how many crash
+// points the class sweep judged and how many recovery executions it
+// actually spent.
+func (t *TraceStats) PruningSaved() int {
+	return t.ClassChecked - t.ClassRecoveries
+}
+
+// AnalyzeTrace reads one JSONL trace. Unparseable lines are an error —
+// traces are machine-written, so a bad line means the wrong file.
+// Unknown event TYPES are tolerated and tallied (forward compatibility
+// with a newer writer), letting the caller decide severity.
+func AnalyzeTrace(r io.Reader, path string) (*TraceStats, error) {
+	t := &TraceStats{
+		Path:         path,
+		Counts:       map[string]int{},
+		Unknown:      map[string]int{},
+		FirstFaultNS: -1,
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var open []*StageSpan
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		t.Lines++
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("%s: line %d: %w", path, t.Lines, err)
+		}
+		t.Counts[ev.T]++
+		if !knownEvents[ev.T] {
+			t.Unknown[ev.T]++
+			continue
+		}
+		t.Events = append(t.Events, ev)
+		switch ev.T {
+		case "session":
+			t.Workload, t.Seed, t.Workers, t.BudgetNS = ev.Workload, ev.Seed, ev.Workers, ev.BudgetNS
+		case "admit":
+			t.Admits++
+		case "harvest":
+			t.Harvests++
+			if ev.CrashImage {
+				t.HarvestsCrash++
+			}
+		case "fault":
+			if t.FirstFaultNS < 0 {
+				t.FirstFaultNS = ev.SimNS
+			}
+		case "class":
+			t.ClassClasses += ev.Classes
+			t.ClassHits += ev.Hits
+			t.ClassChecked += ev.Checked
+			t.ClassRecoveries += ev.Recoveries
+		case "stage_enter":
+			sp := &StageSpan{
+				Stage: ev.Stage, Iter: ev.Iter, Campaign: ev.Campaign,
+				Root: ev.Root, Image: ev.Image, Score: ev.Score,
+				EnterNS: ev.SimNS, Open: true,
+			}
+			t.Spans = append(t.Spans, sp)
+			open = append(open, sp)
+		case "stage_exit":
+			// Close the most recent open span for this stage+campaign;
+			// stage-2 sub-campaigns nest inside the stage-1 umbrella.
+			for i := len(open) - 1; i >= 0; i-- {
+				sp := open[i]
+				if sp.Stage == ev.Stage && sp.Campaign == ev.Campaign {
+					sp.Open = false
+					sp.ExitNS = ev.SimNS
+					sp.Execs = ev.Execs
+					sp.PMPaths = ev.PMPaths
+					sp.RecoverySites = ev.RecoverySites
+					open = append(open[:i], open[i+1:]...)
+					break
+				}
+			}
+		case "sync":
+			t.Sync.Events++
+			t.Sync.Published += ev.Published
+			t.Sync.Imported += ev.Imported
+			t.Sync.Dedup += ev.Dedup
+			t.Sync.Errors += ev.Errors
+			t.Sync.BytesIn += ev.BytesIn
+			t.Sync.BytesOut += ev.BytesOut
+		case "end":
+			t.HasEnd = true
+			t.EndSimNS = ev.SimNS
+			t.Execs, t.PMPaths, t.QueueLen = ev.Execs, ev.PMPaths, ev.QueueLen
+			t.Images, t.Faults = ev.Images, ev.Faults
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if t.Lines == 0 {
+		return nil, fmt.Errorf("%s: empty trace", path)
+	}
+	return t, nil
+}
+
+// AnalyzeTraceFile opens and analyzes one trace file.
+func AnalyzeTraceFile(path string) (*TraceStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return AnalyzeTrace(f, path)
+}
+
+// Summary renders the per-trace report pmtrace prints: session header,
+// totals, stage timeline, per-stage breakdown, pruning effectiveness,
+// and sync rollup. The totals lines are greppable one-liners the CI
+// monitor job compares against the fuzzer's own session summary.
+func (t *TraceStats) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %s\n", t.Path)
+	fmt.Fprintf(&b, "session: workload %s, seed %d, workers %d, budget %s\n",
+		t.Workload, t.Seed, t.Workers, simDur(t.BudgetNS))
+	if t.HasEnd {
+		fmt.Fprintf(&b, "totals: execs %d, pm paths %d, queue %d, images %d, faults %d\n",
+			t.Execs, t.PMPaths, t.QueueLen, t.Images, t.Faults)
+		fmt.Fprintf(&b, "sim time: %s\n", simDur(t.EndSimNS))
+	} else {
+		fmt.Fprintf(&b, "totals: (trace truncated: no end event)\n")
+	}
+
+	fmt.Fprintf(&b, "events: %d lines:", t.Lines)
+	types := make([]string, 0, len(t.Counts))
+	for k := range t.Counts {
+		types = append(types, k)
+	}
+	sort.Strings(types)
+	for _, k := range types {
+		fmt.Fprintf(&b, " %s=%d", k, t.Counts[k])
+	}
+	b.WriteString("\n")
+
+	fmt.Fprintf(&b, "corpus: %d admits, %d harvests (%d crash images)\n",
+		t.Admits, t.Harvests, t.HarvestsCrash)
+	if t.FirstFaultNS >= 0 {
+		fmt.Fprintf(&b, "first fault: %s sim\n", simDur(t.FirstFaultNS))
+	}
+
+	if n := t.Stage2Campaigns(); n > 0 || len(t.Spans) > 0 {
+		fmt.Fprintf(&b, "stage 2: %d campaigns, %d execs\n", n, t.Stage2Execs())
+		fmt.Fprintf(&b, "stage timeline:\n")
+		for _, sp := range t.Spans {
+			if sp.Open {
+				fmt.Fprintf(&b, "  stage %d iter %d campaign %d: enter %s (never exited)\n",
+					sp.Stage, sp.Iter, sp.Campaign, simDur(sp.EnterNS))
+				continue
+			}
+			fmt.Fprintf(&b, "  stage %d iter %d campaign %d: %s -> %s (%s, %d execs",
+				sp.Stage, sp.Iter, sp.Campaign, simDur(sp.EnterNS), simDur(sp.ExitNS),
+				simDur(sp.DurNS()), sp.Execs)
+			if sp.Stage == 2 {
+				fmt.Fprintf(&b, ", root %d image %s score %d", sp.Root, sp.Image, sp.Score)
+			}
+			b.WriteString(")\n")
+		}
+	}
+
+	if t.Counts["class"] > 0 {
+		fmt.Fprintf(&b, "class pruning: %d sweeps, %d classes, %d hits, %d/%d recoveries spent (saved %d)\n",
+			t.Counts["class"], t.ClassClasses, t.ClassHits,
+			t.ClassRecoveries, t.ClassChecked, t.PruningSaved())
+	}
+
+	if t.Sync.Events > 0 {
+		fmt.Fprintf(&b, "sync: %d exchanges, published %d, imported %d, dedup %d, errors %d, bytes out/in %d/%d\n",
+			t.Sync.Events, t.Sync.Published, t.Sync.Imported, t.Sync.Dedup,
+			t.Sync.Errors, t.Sync.BytesOut, t.Sync.BytesIn)
+	}
+
+	if len(t.Unknown) > 0 {
+		unk := make([]string, 0, len(t.Unknown))
+		for k := range t.Unknown {
+			unk = append(unk, fmt.Sprintf("%s=%d", k, t.Unknown[k]))
+		}
+		sort.Strings(unk)
+		fmt.Fprintf(&b, "unknown events: %s\n", strings.Join(unk, " "))
+	}
+	return b.String()
+}
+
+// TimelineEntry is one merged-timeline row: an event tagged with its
+// source trace.
+type TimelineEntry struct {
+	Trace string
+	Event Event
+}
+
+// MergedTimeline interleaves several traces' events by simulated time
+// (stable on ties: trace order, then line order). Round events are
+// skipped unless includeRounds — they are the fleet's heartbeat and
+// drown everything else.
+func MergedTimeline(traces []*TraceStats, includeRounds bool) []TimelineEntry {
+	var out []TimelineEntry
+	for _, t := range traces {
+		name := t.Path
+		for _, ev := range t.Events {
+			if ev.T == "round" && !includeRounds {
+				continue
+			}
+			out = append(out, TimelineEntry{Trace: name, Event: ev})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Event.SimNS < out[j].Event.SimNS
+	})
+	return out
+}
+
+// RenderTimeline formats a merged timeline, one line per event.
+func RenderTimeline(entries []TimelineEntry) string {
+	var b strings.Builder
+	for _, e := range entries {
+		ev := e.Event
+		fmt.Fprintf(&b, "%12s  %-24s %-11s", simDur(ev.SimNS), shortName(e.Trace), ev.T)
+		switch ev.T {
+		case "session":
+			fmt.Fprintf(&b, " workload=%s seed=%d workers=%d", ev.Workload, ev.Seed, ev.Workers)
+		case "admit":
+			fmt.Fprintf(&b, " id=%d parent=%d fav=%d", ev.ID, ev.Parent, ev.Favored)
+		case "harvest":
+			fmt.Fprintf(&b, " id=%d image=%s crash=%v", ev.ID, ev.Image, ev.CrashImage)
+		case "fault":
+			fmt.Fprintf(&b, " execs=%d msg=%q", ev.Execs, ev.Msg)
+		case "class":
+			fmt.Fprintf(&b, " classes=%d hits=%d recoveries=%d/%d", ev.Classes, ev.Hits, ev.Recoveries, ev.Checked)
+		case "round":
+			fmt.Fprintf(&b, " worker=%d outcomes=%d done=%v", ev.Worker, ev.Outcomes, ev.Done)
+		case "stage_enter":
+			fmt.Fprintf(&b, " stage=%d iter=%d campaign=%d root=%d", ev.Stage, ev.Iter, ev.Campaign, ev.Root)
+		case "stage_exit":
+			fmt.Fprintf(&b, " stage=%d campaign=%d execs=%d", ev.Stage, ev.Campaign, ev.Execs)
+		case "sync":
+			fmt.Fprintf(&b, " fuzzer=%s pub=%d imp=%d dedup=%d", ev.Fuzzer, ev.Published, ev.Imported, ev.Dedup)
+		case "end":
+			fmt.Fprintf(&b, " execs=%d faults=%d", ev.Execs, ev.Faults)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func shortName(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) >= 2 {
+		return strings.Join(parts[len(parts)-2:], "/")
+	}
+	return path
+}
+
+// simDur renders simulated nanoseconds compactly.
+func simDur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pmfuzz/internal/obs"
+)
+
+// buildTrace encodes real obs event structs to JSONL, so the analyzer
+// is tested against the writer's own wire format.
+func buildTrace(t *testing.T, events ...interface{}) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &buf
+}
+
+func sampleTrace(t *testing.T) *bytes.Buffer {
+	return buildTrace(t,
+		obs.SessionEvent{T: "session", Workload: "btree", Seed: 42, Workers: 2, BudgetNS: 5e8},
+		obs.AdmitEvent{T: "admit", SimNS: 100, ID: 1, Parent: 0, Favored: 2},
+		obs.HarvestEvent{T: "harvest", SimNS: 200, ID: 2, Image: "ab12", CrashImage: true},
+		obs.FaultEvent{T: "fault", SimNS: 300, Execs: 10, Msg: "missing flush"},
+		obs.ClassEvent{T: "class", SimNS: 350, Classes: 4, Hits: 6, Checked: 10, Recoveries: 4},
+		obs.RoundEvent{T: "round", SimNS: 400, Worker: 1, Outcomes: 8},
+		obs.StageEnterEvent{T: "stage_enter", SimNS: 500, Stage: 2, Iter: 1, Campaign: 1, Root: 3, Image: "ab12", Score: 2, Workers: 1, BudgetNS: 1e8},
+		obs.AdmitEvent{T: "admit", SimNS: 600, ID: 4, Parent: 3, Stage: 2},
+		obs.StageExitEvent{T: "stage_exit", SimNS: 700, Stage: 2, Iter: 1, Campaign: 1, Execs: 50, PMPaths: 30, RecoverySites: 7},
+		obs.SyncEvent{T: "sync", SimNS: 800, Fuzzer: "a", Published: 3, Imported: 2, Dedup: 1, BytesIn: 100, BytesOut: 200},
+		obs.EndEvent{T: "end", SimNS: 900, Execs: 120, PMPaths: 33, QueueLen: 9, Images: 5, Faults: 1},
+	)
+}
+
+func TestAnalyzeTrace(t *testing.T) {
+	ts, err := AnalyzeTrace(sampleTrace(t), "a/trace.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Workload != "btree" || ts.Seed != 42 || ts.Workers != 2 {
+		t.Errorf("session header: %+v", ts)
+	}
+	if !ts.HasEnd || ts.Execs != 120 || ts.PMPaths != 33 || ts.Faults != 1 {
+		t.Errorf("end totals: %+v", ts)
+	}
+	if ts.Admits != 2 || ts.Harvests != 1 || ts.HarvestsCrash != 1 {
+		t.Errorf("corpus rollup: admits %d harvests %d crash %d", ts.Admits, ts.Harvests, ts.HarvestsCrash)
+	}
+	if ts.FirstFaultNS != 300 {
+		t.Errorf("first fault = %d", ts.FirstFaultNS)
+	}
+	if ts.ClassChecked != 10 || ts.ClassRecoveries != 4 || ts.PruningSaved() != 6 {
+		t.Errorf("pruning: checked %d recoveries %d", ts.ClassChecked, ts.ClassRecoveries)
+	}
+	if ts.Stage2Campaigns() != 1 || ts.Stage2Execs() != 50 {
+		t.Errorf("stage 2: %d campaigns, %d execs", ts.Stage2Campaigns(), ts.Stage2Execs())
+	}
+	if len(ts.Spans) != 1 || ts.Spans[0].Open || ts.Spans[0].DurNS() != 200 {
+		t.Errorf("spans: %+v", ts.Spans)
+	}
+	if ts.Sync.Events != 1 || ts.Sync.Published != 3 || ts.Sync.Imported != 2 {
+		t.Errorf("sync rollup: %+v", ts.Sync)
+	}
+	if len(ts.Unknown) != 0 {
+		t.Errorf("unexpected unknowns: %v", ts.Unknown)
+	}
+
+	sum := ts.Summary()
+	for _, want := range []string{
+		"totals: execs 120, pm paths 33, queue 9, images 5, faults 1",
+		"stage 2: 1 campaigns, 50 execs",
+		"class pruning: 1 sweeps, 4 classes, 6 hits, 4/10 recoveries spent (saved 6)",
+		"sync: 1 exchanges, published 3, imported 2, dedup 1, errors 0, bytes out/in 200/100",
+		"workload btree, seed 42, workers 2",
+	} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestAnalyzeTraceUnknownAndErrors(t *testing.T) {
+	buf := buildTrace(t,
+		obs.SessionEvent{T: "session", Workload: "btree"},
+		map[string]interface{}{"t": "wibble", "sim_ns": 5},
+		obs.EndEvent{T: "end", SimNS: 10, Execs: 1},
+	)
+	ts, err := AnalyzeTrace(buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Unknown["wibble"] != 1 {
+		t.Errorf("unknown tally: %v", ts.Unknown)
+	}
+	if !strings.Contains(ts.Summary(), "unknown events: wibble=1") {
+		t.Errorf("summary must surface unknowns:\n%s", ts.Summary())
+	}
+
+	// Garbage lines are an error, not a tolerated unknown.
+	if _, err := AnalyzeTrace(strings.NewReader("this is not json\n"), "x"); err == nil {
+		t.Error("non-JSON line should fail")
+	}
+	if _, err := AnalyzeTrace(strings.NewReader(""), "x"); err == nil {
+		t.Error("empty trace should fail")
+	}
+
+	// A truncated trace (no end event) is flagged, and its open span
+	// stays open.
+	buf = buildTrace(t,
+		obs.SessionEvent{T: "session"},
+		obs.StageEnterEvent{T: "stage_enter", SimNS: 1, Stage: 2, Campaign: 1},
+	)
+	ts, err = AnalyzeTrace(buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.HasEnd || ts.Stage2Campaigns() != 0 || !ts.Spans[0].Open {
+		t.Errorf("truncated trace: %+v", ts)
+	}
+	if !strings.Contains(ts.Summary(), "trace truncated") {
+		t.Errorf("summary should flag truncation:\n%s", ts.Summary())
+	}
+}
+
+func TestMergedTimeline(t *testing.T) {
+	a, err := AnalyzeTrace(buildTrace(t,
+		obs.SessionEvent{T: "session", Workload: "btree"},
+		obs.AdmitEvent{T: "admit", SimNS: 100, ID: 1},
+		obs.RoundEvent{T: "round", SimNS: 150, Worker: 1},
+		obs.EndEvent{T: "end", SimNS: 400, Execs: 10},
+	), "a/trace.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnalyzeTrace(buildTrace(t,
+		obs.SessionEvent{T: "session", Workload: "btree"},
+		obs.AdmitEvent{T: "admit", SimNS: 50, ID: 1},
+		obs.EndEvent{T: "end", SimNS: 300, Execs: 20},
+	), "b/trace.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tl := MergedTimeline([]*TraceStats{a, b}, false)
+	// Rounds excluded: 2 sessions + 2 admits + 2 ends.
+	if len(tl) != 6 {
+		t.Fatalf("timeline entries = %d, want 6", len(tl))
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i].Event.SimNS < tl[i-1].Event.SimNS {
+			t.Fatalf("timeline out of order at %d: %d < %d", i, tl[i].Event.SimNS, tl[i-1].Event.SimNS)
+		}
+	}
+	// b's admit (sim 50) must precede a's (sim 100) despite trace order.
+	var admits []string
+	for _, e := range tl {
+		if e.Event.T == "admit" {
+			admits = append(admits, e.Trace)
+		}
+	}
+	if len(admits) != 2 || admits[0] != "b/trace.jsonl" || admits[1] != "a/trace.jsonl" {
+		t.Errorf("admit order: %v", admits)
+	}
+
+	if withRounds := MergedTimeline([]*TraceStats{a, b}, true); len(withRounds) != 7 {
+		t.Errorf("timeline with rounds = %d, want 7", len(withRounds))
+	}
+
+	out := RenderTimeline(tl)
+	if !strings.Contains(out, "a/trace.jsonl") || !strings.Contains(out, "admit") {
+		t.Errorf("rendered timeline:\n%s", out)
+	}
+}

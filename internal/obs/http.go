@@ -120,6 +120,7 @@ func PrometheusText(s Snapshot) string {
 	counter("image_cache_misses_total", "Worker image-cache misses.", s.CacheMisses)
 	gauge("store_compression_ratio", "Raw/compressed stored-image bytes.",
 		fmt.Sprintf("%.4f", s.CompressionRatio()))
+	counter("sink_errors_total", "Telemetry sink (fuzzer_stats/plot_data) write failures.", s.SinkErrors)
 
 	fmt.Fprintf(&b, "# HELP pmfuzz_stage_seconds_total Wall-clock seconds per pipeline stage.\n")
 	fmt.Fprintf(&b, "# TYPE pmfuzz_stage_seconds_total counter\n")

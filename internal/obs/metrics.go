@@ -250,6 +250,8 @@ type Metrics struct {
 
 	syncPublished, syncImported, syncDedup, syncErrors atomic.Int64
 	syncBytesIn, syncBytesOut                          atomic.Int64
+
+	sinkErrors atomic.Int64
 }
 
 // NewMetrics creates a registry stamped with the session parameters.
@@ -301,6 +303,18 @@ func (m *Metrics) CountHarvest(crash bool) {
 
 // CountUniqueFault counts one deduplicated fault bucket.
 func (m *Metrics) CountUniqueFault() { m.uniqueFaults.Add(1) }
+
+// CountSinkError counts one failed sink write (fuzzer_stats rewrite or
+// plot_data append). Sinks are best-effort — a full disk must never
+// stop the engine — but the failures must not vanish either: the count
+// lands in the registry, the pmfuzz_sink_errors stats key, and the
+// fleet monitor's per-member rows.
+func (m *Metrics) CountSinkError() {
+	if m == nil {
+		return
+	}
+	m.sinkErrors.Add(1)
+}
 
 // SetGauges publishes a coordinator snapshot of session state.
 func (m *Metrics) SetGauges(g Gauges) {
@@ -432,6 +446,8 @@ type Snapshot struct {
 	SyncErrors    int64 `json:"sync_errors"`
 	SyncBytesIn   int64 `json:"sync_bytes_in"`
 	SyncBytesOut  int64 `json:"sync_bytes_out"`
+
+	SinkErrors int64 `json:"sink_errors"`
 }
 
 // Snapshot copies the registry.
@@ -494,6 +510,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		SyncErrors:    m.syncErrors.Load(),
 		SyncBytesIn:   m.syncBytesIn.Load(),
 		SyncBytesOut:  m.syncBytesOut.Load(),
+
+		SinkErrors: m.sinkErrors.Load(),
 	}
 	if wall > 0 {
 		s.ExecsPerSec = float64(s.Execs) / wall

@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -64,8 +65,10 @@ type Session struct {
 	stop chan struct{}
 	done chan struct{}
 
-	httpLn  ln
-	started bool
+	httpLn   ln
+	started  bool
+	closed   bool
+	warnOnce sync.Once
 }
 
 // NewSession builds the session and opens its file sinks. Nothing is
@@ -168,12 +171,29 @@ func (s *Session) flushSinks() {
 	}
 }
 
+// sinkError accounts one failed sink write in the registry and warns
+// exactly once per session (on StatusW, i.e. stderr by default): a full
+// disk repeats on every tick, and a warning per tick would bury the
+// session's own status stream.
+func (s *Session) sinkError(sink string, err error) {
+	s.M.CountSinkError()
+	s.warnOnce.Do(func() {
+		fmt.Fprintf(s.cfg.StatusW,
+			"pmfuzz: obs: %s write failed: %v (further sink-write failures counted in pmfuzz_sink_errors only)\n",
+			sink, err)
+	})
+}
+
 // Close stops the ticker, writes the final stats/plot/status state,
-// closes the trace, and shuts the HTTP endpoint down.
+// closes the trace, and shuts the HTTP endpoint down. Short sessions
+// can begin and end between two ticker fires, so the final flush here
+// — not the ticker — is what guarantees fuzzer_stats and plot_data
+// reflect the session's terminal state. Close is idempotent.
 func (s *Session) Close() error {
-	if s == nil {
+	if s == nil || s.closed {
 		return nil
 	}
+	s.closed = true
 	var err error
 	if s.started {
 		close(s.stop)
@@ -214,7 +234,9 @@ func StatusLine(s Snapshot) string {
 // then pmfuzz_* extensions for the PM-specific registry.
 func (s *Session) writeFuzzerStats(snap Snapshot) {
 	data := FuzzerStats(snap, time.Now())
-	os.WriteFile(filepath.Join(s.cfg.OutDir, "fuzzer_stats"), []byte(data), 0o644)
+	if err := os.WriteFile(filepath.Join(s.cfg.OutDir, "fuzzer_stats"), []byte(data), 0o644); err != nil {
+		s.sinkError("fuzzer_stats", err)
+	}
 }
 
 // FuzzerStats renders the AFL-format fuzzer_stats content.
@@ -269,6 +291,7 @@ func FuzzerStats(s Snapshot, now time.Time) string {
 	kv("pmfuzz_sync_errors", "%d", s.SyncErrors)
 	kv("pmfuzz_sync_bytes_in", "%d", s.SyncBytesIn)
 	kv("pmfuzz_sync_bytes_out", "%d", s.SyncBytesOut)
+	kv("pmfuzz_sink_errors", "%d", s.SinkErrors)
 	kv("pmfuzz_lease_ms", "%.1f", float64(s.LeaseNS)/1e6)
 	kv("pmfuzz_idle_ms", "%.1f", float64(s.IdleNS)/1e6)
 	for _, st := range s.Stages {
@@ -295,7 +318,9 @@ func (s *Session) appendPlotRow(snap Snapshot) {
 	if s.plotF == nil {
 		return
 	}
-	fmt.Fprintln(s.plotF, PlotRow(snap, time.Now()))
+	if _, err := fmt.Fprintln(s.plotF, PlotRow(snap, time.Now())); err != nil {
+		s.sinkError("plot_data", err)
+	}
 }
 
 // PlotRow renders one plot_data CSV row. cur_path carries the PM-path

@@ -1,0 +1,125 @@
+package obs
+
+// ParseFuzzerStats is the read side of the fuzzer_stats format: the
+// exact round-trip dual of FuzzerStats. The fleet monitor (pmwhatsup)
+// parses every member's file with it, so the parser carries a
+// losslessness contract: for any snapshot,
+//
+//	ParseFuzzerStats(FuzzerStats(snap, now)).Render() == FuzzerStats(snap, now)
+//
+// byte for byte (TestParseFuzzerStatsRoundTrip). Keeping the dual next
+// to the writer means the monitor can never drift from the format the
+// session emits.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// StatsEntry is one fuzzer_stats key/value pair, value kept verbatim.
+type StatsEntry struct {
+	Key, Val string
+}
+
+// Stats is a parsed fuzzer_stats file: the ordered key/value pairs
+// (order and raw values preserved so Render is lossless) plus an index
+// for typed lookups.
+type Stats struct {
+	entries []StatsEntry
+	index   map[string]int
+}
+
+// ParseFuzzerStats parses fuzzer_stats content (AFL's "key : value"
+// lines, as written by FuzzerStats). It rejects malformed or duplicate
+// lines so a torn or foreign file surfaces as an error instead of a
+// silently half-read snapshot.
+func ParseFuzzerStats(data string) (*Stats, error) {
+	st := &Stats{index: map[string]int{}}
+	lines := strings.Split(data, "\n")
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1] // the writer always ends with one newline
+	}
+	for i, line := range lines {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("fuzzer_stats line %d: no key separator: %q", i+1, line)
+		}
+		key := strings.TrimRight(k, " ")
+		if key == "" || strings.ContainsAny(key, " \t") {
+			return nil, fmt.Errorf("fuzzer_stats line %d: bad key %q", i+1, k)
+		}
+		if _, dup := st.index[key]; dup {
+			return nil, fmt.Errorf("fuzzer_stats line %d: duplicate key %q", i+1, key)
+		}
+		st.index[key] = len(st.entries)
+		st.entries = append(st.entries, StatsEntry{Key: key, Val: strings.TrimPrefix(v, " ")})
+	}
+	if len(st.entries) == 0 {
+		return nil, fmt.Errorf("fuzzer_stats: empty file")
+	}
+	return st, nil
+}
+
+// Render re-emits the file in the writer's format. For any input that
+// ParseFuzzerStats accepted from FuzzerStats output, the result is
+// byte-identical to that output.
+func (s *Stats) Render() string {
+	var b strings.Builder
+	for _, e := range s.entries {
+		fmt.Fprintf(&b, "%-18s: %s\n", e.Key, e.Val)
+	}
+	return b.String()
+}
+
+// Len reports the number of parsed keys.
+func (s *Stats) Len() int { return len(s.entries) }
+
+// Entries returns the parsed pairs in file order.
+func (s *Stats) Entries() []StatsEntry { return s.entries }
+
+// Get returns a key's raw value and whether it was present.
+func (s *Stats) Get(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	i, ok := s.index[key]
+	if !ok {
+		return "", false
+	}
+	return s.entries[i].Val, true
+}
+
+// Has reports whether the key was present.
+func (s *Stats) Has(key string) bool {
+	_, ok := s.Get(key)
+	return ok
+}
+
+// Int returns a key's value as an integer, 0 when the key is missing
+// or not numeric — monitor aggregation treats absent series as zero.
+func (s *Stats) Int(key string) int64 {
+	v, ok := s.Get(key)
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Float returns a key's value as a float, 0 when missing or not
+// numeric. A trailing "%" (bitmap_cvg) is stripped.
+func (s *Stats) Float(key string) float64 {
+	v, ok := s.Get(key)
+	if !ok {
+		return 0
+	}
+	f, err := strconv.ParseFloat(strings.TrimSuffix(v, "%"), 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// populatedSnapshot builds a snapshot with every counter group nonzero,
+// so format tests exercise each key's real rendering path.
+func populatedSnapshot(t *testing.T) Snapshot {
+	t.Helper()
+	m := NewMetrics("btree", "pmfuzz", 2, 5, 5e8)
+	sh := &Shard{Execs: 12456, Hangs: 1, Faults: 3, Rounds: 4, LeaseNS: 7e6, IdleNS: 2e6}
+	sh.StageNS[StageExec] = 9e6
+	sh.StageOps[StageExec] = 12456
+	sh.ExecHist.Observe(300)
+	m.MergeShard(sh)
+	m.CountAdmit()
+	m.CountHarvest(true)
+	m.CountUniqueFault()
+	m.CountSinkError()
+	m.SetGauges(Gauges{
+		SimNS: 88_200_000, QueueLen: 317, PMPaths: 330, BranchCov: 512,
+		Images: 237, CrashImages: 45, FavHigh: 45, PendingFavs: 12,
+		PendingTotal: 20, MaxDepth: 5,
+	})
+	m.SetStoreStats(StoreStats{
+		Puts: 100, Dedups: 31, DeltaPuts: 20, CacheHits: 9, CacheMisses: 1,
+		RawBytes: 4000, CompressedBytes: 1000, ClassHits: 6, ClassMisses: 2,
+	})
+	m.SetStage2(Stage2Gauges{Campaigns: 2, Promoted: 3, Pending: 1, Execs: 500, RecoverySites: 17})
+	m.SetSyncStats(SyncStats{Published: 8, Imported: 5, Dedup: 2, Errors: 1, BytesIn: 1024, BytesOut: 2048})
+	return m.Snapshot()
+}
+
+// TestParseFuzzerStatsRoundTrip pins the parser as the writer's exact
+// dual: FuzzerStats -> ParseFuzzerStats -> Render is byte-lossless, and
+// every key the README's fuzzer_stats table documents is present.
+func TestParseFuzzerStatsRoundTrip(t *testing.T) {
+	out := FuzzerStats(populatedSnapshot(t), time.Unix(1700000000, 0))
+	st, err := ParseFuzzerStats(out)
+	if err != nil {
+		t.Fatalf("ParseFuzzerStats on writer output: %v", err)
+	}
+	if got := st.Render(); got != out {
+		t.Fatalf("round trip not lossless:\n--- wrote ---\n%s--- rendered ---\n%s", out, got)
+	}
+	if got := st.Int("execs_done"); got != 12456 {
+		t.Errorf("Int(execs_done) = %d, want 12456", got)
+	}
+	if got := st.Int("last_update"); got != 1700000000 {
+		t.Errorf("Int(last_update) = %d", got)
+	}
+	if got := st.Float("bitmap_cvg"); got <= 0 {
+		t.Errorf("Float(bitmap_cvg) = %v, want > 0 (percent suffix must strip)", got)
+	}
+	if got := st.Int("pmfuzz_sink_errors"); got != 1 {
+		t.Errorf("Int(pmfuzz_sink_errors) = %d, want 1", got)
+	}
+	if v, ok := st.Get("afl_banner"); !ok || v != "pmfuzz-btree" {
+		t.Errorf("Get(afl_banner) = %q, %v", v, ok)
+	}
+
+	// Every key in the README table must exist in the writer's output
+	// (template keys substitute a real stage name), so docs, writer, and
+	// parser cannot drift apart.
+	readme, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatalf("README.md: %v", err)
+	}
+	keys := readmeStatsKeys(t, string(readme))
+	if len(keys) < 30 {
+		t.Fatalf("README fuzzer_stats table parse suspiciously small: %d keys", len(keys))
+	}
+	for _, k := range keys {
+		k = strings.ReplaceAll(k, "<name>", StageExec.String())
+		if !st.Has(k) {
+			t.Errorf("README documents fuzzer_stats key %q but the writer does not emit it", k)
+		}
+	}
+	for _, must := range []string{"pmfuzz_sink_errors", "pmfuzz_sync_errors"} {
+		found := false
+		for _, k := range keys {
+			if k == must {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("README fuzzer_stats table missing key %q", must)
+		}
+	}
+}
+
+// readmeStatsKeys extracts the backticked key names from the README's
+// fuzzer_stats markdown table.
+func readmeStatsKeys(t *testing.T, readme string) []string {
+	t.Helper()
+	idx := strings.Index(readme, "The full key set:")
+	if idx < 0 {
+		t.Fatal("README fuzzer_stats table marker not found")
+	}
+	tick := regexp.MustCompile("`([^`]+)`")
+	var keys []string
+	inTable := false
+	for _, line := range strings.Split(readme[idx:], "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "|") {
+			inTable = true
+			cells := strings.Split(trimmed, "|")
+			if len(cells) < 2 {
+				continue
+			}
+			for _, m := range tick.FindAllStringSubmatch(cells[1], -1) {
+				keys = append(keys, m[1])
+			}
+		} else if inTable {
+			break
+		}
+	}
+	return keys
+}
+
+func TestParseFuzzerStatsRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"no separator here\n",
+		"key               : 1\nkey               : 2\n", // duplicate
+		"two words         : 1\n",                        // space inside key
+	} {
+		if _, err := ParseFuzzerStats(bad); err == nil {
+			t.Errorf("ParseFuzzerStats(%q) should fail", bad)
+		}
+	}
+	st, err := ParseFuzzerStats("k : v\n")
+	if err != nil {
+		t.Fatalf("minimal file: %v", err)
+	}
+	if v, ok := st.Get("k"); !ok || v != "v" {
+		t.Errorf("Get(k) = %q, %v", v, ok)
+	}
+	var nilStats *Stats
+	if _, ok := nilStats.Get("k"); ok {
+		t.Error("nil Stats Get should miss")
+	}
+	if nilStats.Int("k") != 0 || nilStats.Float("k") != 0 {
+		t.Error("nil Stats typed getters should return 0")
+	}
+}
+
+// TestStatusLineGolden pins the exact status-line rendering for a fixed
+// snapshot (previously only field presence was checked).
+func TestStatusLineGolden(t *testing.T) {
+	snap := Snapshot{
+		Workload: "btree", Config: "pmfuzz", Workers: 2, BudgetNS: 5e8,
+		WallSecs: 2.1, Execs: 12456, ExecsPerSec: 5930.4, SimNS: 88_200_000,
+		QueueLen: 317, FavHigh: 45, PendingFavs: 12, PMPaths: 330, BranchCov: 512,
+		Images: 237, CrashImages: 45, StorePuts: 100, StoreDedups: 31,
+		UniqueFaults: 2, Hangs: 0,
+	}
+	want := "[pmfuzz btree/pmfuzz w2] 2.1s | sim 88.2/500.0 ms | execs 12456 (5930/s)" +
+		" | q 317 (fav 45, pend 12) | pm 330 | br 512 | imgs 237 (45 crash, 31% dedup)" +
+		" | faults 2 | hangs 0"
+	if got := StatusLine(snap); got != want {
+		t.Errorf("StatusLine:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestPlotRowGolden pins the exact plot_data row rendering.
+func TestPlotRowGolden(t *testing.T) {
+	snap := Snapshot{
+		Rounds: 4, PMPaths: 330, QueueLen: 317, PendingTotal: 20, PendingFavs: 12,
+		BranchCov: 512, UniqueFaults: 2, Hangs: 0, MaxDepth: 5,
+		ExecsPerSec: 5930.4, Execs: 12456, SimNS: 88_200_000, Images: 237,
+	}
+	want := "1700000000, 4, 330, 317, 20, 12, 0.78%, 2, 0, 5, 5930.40, 12456, 88.200, 330, 237"
+	if got := PlotRow(snap, time.Unix(1700000000, 0)); got != want {
+		t.Errorf("PlotRow:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestCloseWritesFinalSinkState pins the Close-time flush: a session
+// shorter than one ticker period must still leave fuzzer_stats and a
+// terminal plot_data row reflecting its final counters.
+func TestCloseWritesFinalSinkState(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewSession(Config{
+		Workload: "btree", FuzzConfig: "pmfuzz", Workers: 1, Seed: 5, BudgetNS: 1e9,
+		OutDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// No ticker fire can have happened yet (default period is 1s);
+	// everything below must come from Close's final flush.
+	s.M.MergeShard(&Shard{Execs: 777})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "fuzzer_stats"))
+	if err != nil {
+		t.Fatalf("Close did not write fuzzer_stats: %v", err)
+	}
+	st, err := ParseFuzzerStats(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Int("execs_done"); got != 777 {
+		t.Errorf("terminal fuzzer_stats execs_done = %d, want 777", got)
+	}
+	plot, err := os.ReadFile(filepath.Join(dir, "plot_data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(plot)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("plot_data should be header + exactly the terminal row, got %d lines:\n%s", len(lines), plot)
+	}
+	if !strings.Contains(lines[1], " 777, ") {
+		t.Errorf("terminal plot row missing final exec count: %q", lines[1])
+	}
+	// Close must be idempotent: a second call is a no-op, not a second
+	// flush or a double-close error.
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestSinkErrorsCounted pins the sink-failure path: failed
+// fuzzer_stats/plot_data writes land in the registry gauge and warn
+// exactly once.
+func TestSinkErrorsCounted(t *testing.T) {
+	dir := t.TempDir()
+	var status strings.Builder
+	s, err := NewSession(Config{
+		Workload: "btree", FuzzConfig: "pmfuzz", Workers: 1, Seed: 5, BudgetNS: 1e9,
+		OutDir: dir, StatusW: &status,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage both sinks: fuzzer_stats becomes a directory (EISDIR on
+	// rewrite) and the plot file handle is closed underneath the session.
+	if err := os.Mkdir(filepath.Join(dir, "fuzzer_stats"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.plotF.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.flushSinks()
+	s.flushSinks()
+	if got := s.M.Snapshot().SinkErrors; got != 4 {
+		t.Errorf("SinkErrors = %d, want 4 (2 sinks x 2 flushes)", got)
+	}
+	if got := strings.Count(status.String(), "write failed"); got != 1 {
+		t.Errorf("want exactly one warning, got %d:\n%s", got, status.String())
+	}
+	if !strings.Contains(PrometheusText(s.M.Snapshot()), "pmfuzz_sink_errors_total") {
+		t.Error("Prometheus output missing pmfuzz_sink_errors_total")
+	}
+	out := FuzzerStats(s.M.Snapshot(), time.Unix(1700000000, 0))
+	st, err := ParseFuzzerStats(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Int("pmfuzz_sink_errors"); got != 4 {
+		t.Errorf("pmfuzz_sink_errors key = %d, want 4", got)
+	}
+}
