@@ -9,20 +9,55 @@
 //	pmcheck -workload redis -input case.input -xfd -xfd-barriers 50
 //	pmcheck -workload hashmap-tx -input case.input -real-bug 1 -xfd
 //	pmcheck -workload btree -input case.input -real-bug 2 -oracle
+//	pmcheck -workload btree -input case.input -real-bug 2 -invariant
+//	pmcheck -workload btree -input case.input -oracle -invariant   (cross-validation)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pmfuzz/internal/executor"
+	"pmfuzz/internal/invariant"
 	"pmfuzz/internal/oracle"
 	"pmfuzz/internal/pmcheck"
 	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/workloads"
 	"pmfuzz/internal/workloads/bugs"
 	"pmfuzz/internal/xfd"
 )
+
+// hasShadowModel reports whether the differential oracle can judge the
+// workload: it needs the workload's state-dump hook and a shadow model
+// (the same gates oracle.Check tests before sweeping).
+func hasShadowModel(workload string) bool {
+	prog, err := workloads.New(workload)
+	if err != nil {
+		return false
+	}
+	if _, ok := prog.(workloads.StateDumper); !ok {
+		return false
+	}
+	_, err = oracle.CheckLine(workload)
+	return err == nil
+}
+
+// resolveOracles decides which oracle legs actually run. When both the
+// differential and the invariant oracle are requested but the workload
+// has no shadow model, the differential leg cannot judge anything —
+// rather than reporting a skip next to real invariant findings (which
+// used to read as a contradictory verdict), fall back to the invariant
+// oracle alone and say so on warn. A lone -oracle keeps its existing
+// skip-and-report behavior.
+func resolveOracles(workload string, oracleOn, invOn bool, warn io.Writer) (bool, bool) {
+	if oracleOn && invOn && !hasShadowModel(workload) {
+		fmt.Fprintf(warn, "pmcheck: workload %q has no shadow model; differential oracle unavailable, using the invariant oracle only\n", workload)
+		return false, true
+	}
+	return oracleOn, invOn
+}
 
 func main() {
 	var (
@@ -36,6 +71,7 @@ func main() {
 		xfdBarriers = flag.Int("xfd-barriers", 50, "cross-failure barrier sweep cap")
 		xfdProb     = flag.Float64("xfd-prob", 0, "probabilistic failure rate for the cross-failure sweep")
 		runOracle   = flag.Bool("oracle", false, "also run the differential crash-consistency oracle over the barrier sweep")
+		runInv      = flag.Bool("invariant", false, "also run the annotation-free invariant oracle: mine likely invariants from the case's own clean trace, then check the barrier sweep against them (with -oracle, cross-validates the two verdicts)")
 		noPrune     = flag.Bool("no-prune-sweep", false, "check every crash state individually instead of one representative per equivalence class")
 		reproOut    = flag.String("repro-out", "", "directory for minimized oracle repro bundles (implies minimization)")
 	)
@@ -110,32 +146,90 @@ func main() {
 		}
 	}
 
-	if *runOracle || *reproOut != "" {
-		rep := oracle.Check(tc, oracle.Options{
+	oracleOn, invOn := resolveOracles(*workload, *runOracle || *reproOut != "", *runInv, os.Stderr)
+
+	var orep *oracle.Report
+	if oracleOn {
+		orep = oracle.Check(tc, oracle.Options{
 			PreFence: true,
 			Minimize: *reproOut != "",
 			NoPrune:  *noPrune,
 		})
-		if rep.Skipped != "" {
-			fmt.Printf("oracle: skipped: %s\n", rep.Skipped)
+		if orep.Skipped != "" {
+			fmt.Printf("oracle: skipped: %s\n", orep.Skipped)
+			orep = nil
 		} else {
-			fmt.Printf("oracle: %d crash images checked over %d barriers\n", rep.Checked, rep.Barriers)
-			for _, v := range rep.Violations {
+			fmt.Printf("oracle: %d crash images checked over %d barriers\n", orep.Checked, orep.Barriers)
+			for _, v := range orep.Violations {
 				fmt.Println(v)
 			}
-			findings += len(rep.Violations)
-			if len(rep.Violations) == 0 {
+			findings += len(orep.Violations)
+			if len(orep.Violations) == 0 {
 				fmt.Println("oracle: clean")
 			}
-		}
-		for i, b := range rep.Bundles {
-			dir := fmt.Sprintf("%s/repro-%03d", *reproOut, i)
-			if err := b.Write(dir); err != nil {
-				fmt.Fprintln(os.Stderr, "pmcheck: writing repro bundle:", err)
-				os.Exit(1)
+			for i, b := range orep.Bundles {
+				dir := fmt.Sprintf("%s/repro-%03d", *reproOut, i)
+				if err := b.Write(dir); err != nil {
+					fmt.Fprintln(os.Stderr, "pmcheck: writing repro bundle:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("oracle: repro bundle (input %d -> %d bytes, barrier %d -> %d) written to %s\n",
+					b.OrigInputLen, len(b.Input), b.OrigBarrier, b.Barrier, dir)
 			}
-			fmt.Printf("oracle: repro bundle (input %d -> %d bytes, barrier %d -> %d) written to %s\n",
-				b.OrigInputLen, len(b.Input), b.OrigBarrier, b.Barrier, dir)
+		}
+	}
+
+	var irep *invariant.Report
+	if invOn {
+		ck := invariant.NewChecker()
+		set, err := ck.MineCase(tc, invariant.Options{})
+		if err != nil {
+			fmt.Printf("invariant: skipped: %v\n", err)
+		} else {
+			fmt.Printf("invariant: mined %d invariants from the clean trace\n", set.Len())
+			irep = ck.Check(tc, set, invariant.Options{PreFence: true, NoPrune: *noPrune})
+			if irep.Skipped != "" {
+				fmt.Printf("invariant: skipped: %s\n", irep.Skipped)
+				irep = nil
+			} else {
+				fmt.Printf("invariant: %d crash images checked over %d barriers (%d rules dropped by self-validation)\n",
+					irep.Checked, irep.Barriers, len(irep.Dropped))
+				for _, v := range irep.Violations {
+					fmt.Println(v)
+				}
+				findings += len(irep.Violations)
+				if len(irep.Violations) == 0 {
+					fmt.Println("invariant: clean")
+				}
+				if *reproOut != "" {
+					for i, v := range irep.Violations {
+						b := ck.Minimize(tc, v, set, invariant.Options{PreFence: true})
+						if b == nil {
+							continue
+						}
+						dir := fmt.Sprintf("%s/inv-repro-%03d", *reproOut, i)
+						if err := b.Write(dir); err != nil {
+							fmt.Fprintln(os.Stderr, "pmcheck: writing repro bundle:", err)
+							os.Exit(1)
+						}
+						fmt.Printf("invariant: repro bundle (input %d -> %d bytes, barrier %d -> %d) written to %s\n",
+							b.OrigInputLen, len(b.Input), b.OrigBarrier, b.Barrier, dir)
+					}
+				}
+			}
+		}
+	}
+
+	// Cross-validation: with both oracles' reports in hand, join their
+	// verdicts crash point by crash point.
+	if orep != nil && irep != nil {
+		agr := invariant.Agree(orep, irep)
+		fmt.Printf("cross-oracle: %s\n", agr)
+		for _, d := range agr.OracleOnly {
+			fmt.Printf("cross-oracle: oracle only: %s\n", d)
+		}
+		for _, d := range agr.InvariantOnly {
+			fmt.Printf("cross-oracle: invariant only: %s\n", d)
 		}
 	}
 

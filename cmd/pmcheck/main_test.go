@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/workloads"
+	"pmfuzz/internal/workloads/bugs"
+)
+
+// modellessProg is a minimal registered workload with no state-dump
+// hook and no shadow model — the configuration that makes the
+// differential oracle unusable and forces resolveOracles' fallback.
+type modellessProg struct{}
+
+func (modellessProg) Name() string                      { return "pmcheck-test-modelless" }
+func (modellessProg) PoolSize() int                     { return 1 << 16 }
+func (modellessProg) Setup(*workloads.Env) error        { return nil }
+func (modellessProg) Exec(*workloads.Env, []byte) error { return nil }
+func (modellessProg) Close(*workloads.Env) *pmem.Image  { return nil }
+func (modellessProg) SynPoints() []bugs.Point           { return nil }
+func (modellessProg) SeedInputs() [][]byte              { return nil }
+
+func init() {
+	workloads.Register("pmcheck-test-modelless", func() workloads.Program { return modellessProg{} })
+}
+
+func TestResolveOracles(t *testing.T) {
+	cases := []struct {
+		name                string
+		workload            string
+		oracleOn, invOn     bool
+		wantOracle, wantInv bool
+		wantWarn            bool
+	}{
+		{"both on, modeled workload", "btree", true, true, true, true, false},
+		{"both on, model-less workload falls back to invariant only",
+			"pmcheck-test-modelless", true, true, false, true, true},
+		{"oracle only, model-less workload keeps its skip-and-report path",
+			"pmcheck-test-modelless", true, false, true, false, false},
+		{"invariant only, model-less workload", "pmcheck-test-modelless", false, true, false, true, false},
+		{"invariant only, modeled workload", "btree", false, true, false, true, false},
+		{"neither", "btree", false, false, false, false, false},
+		{"both on, unknown workload falls back (oracle would error anyway)",
+			"no-such-workload", true, true, false, true, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var warn bytes.Buffer
+			gotOracle, gotInv := resolveOracles(c.workload, c.oracleOn, c.invOn, &warn)
+			if gotOracle != c.wantOracle || gotInv != c.wantInv {
+				t.Fatalf("resolveOracles(%q, %v, %v) = (%v, %v), want (%v, %v)",
+					c.workload, c.oracleOn, c.invOn, gotOracle, gotInv, c.wantOracle, c.wantInv)
+			}
+			if warned := warn.Len() > 0; warned != c.wantWarn {
+				t.Fatalf("warning emitted = %v, want %v (output %q)", warned, c.wantWarn, warn.String())
+			}
+			if c.wantWarn && !strings.Contains(warn.String(), "no shadow model") {
+				t.Fatalf("warning %q does not name the missing shadow model", warn.String())
+			}
+		})
+	}
+}
+
+func TestHasShadowModel(t *testing.T) {
+	if !hasShadowModel("btree") {
+		t.Fatal("btree should have a shadow model")
+	}
+	if hasShadowModel("pmcheck-test-modelless") {
+		t.Fatal("the registered model-less workload must not report a shadow model")
+	}
+	if hasShadowModel("no-such-workload") {
+		t.Fatal("an unknown workload must not report a shadow model")
+	}
+}

@@ -90,6 +90,7 @@ var (
 
 	// Crash-consistency oracle.
 	oracleCheck = flag.Bool("oracle", false, "run the differential crash-consistency oracle on favored test cases (off the simulated clock)")
+	invCheck    = flag.Bool("invariant", false, "run the annotation-free invariant oracle: mine likely crash-consistency invariants from the first favored test cases' PM-op traces, then check later crash images against them (off the simulated clock; needs no shadow model)")
 	reproOut    = flag.String("repro-out", "", "directory for minimized oracle repro bundles (implies -oracle)")
 	pruneSweep  = flag.Bool("prune-sweep", true, "group sweep crash states into behavioral equivalence classes and check one representative per class (full per-member fallback on any violation keeps the reported violation set identical)")
 	noPrune     = flag.Bool("no-prune-sweep", false, "disable sweep pruning (overrides -prune-sweep): check every crash state individually")
@@ -113,7 +114,7 @@ var flagGroups = []struct {
 	{"Corpus I/O", []string{"out", "in", "series-out", "show-tree"}},
 	{"Experiments (paper artifacts)", []string{"experiment", "workloads"}},
 	{"Observability", []string{"status-every", "trace-out", "stats-addr"}},
-	{"Crash-consistency oracle", []string{"oracle", "repro-out", "prune-sweep", "no-prune-sweep"}},
+	{"Crash-consistency oracle", []string{"oracle", "invariant", "repro-out", "prune-sweep", "no-prune-sweep"}},
 	{"Profiling", []string{"cpuprofile", "memprofile"}},
 }
 
@@ -256,6 +257,7 @@ func main() {
 		}
 		cfg.Workers = *workers
 		cfg.OracleCheck = *oracleCheck || *reproOut != ""
+		cfg.InvariantCheck = *invCheck
 		cfg.Stage1Workers = *coresStage1
 		cfg.Stage2Workers = *coresStage2
 		if *disableStage2 {
@@ -405,6 +407,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pmfuzz: export:", err)
 			os.Exit(1)
 		}
+		if res.InvariantSet != nil {
+			path := filepath.Join(*outDir, campaign.InvariantFile)
+			if err := os.WriteFile(path, res.InvariantSet.Marshal(), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "pmfuzz: invariants:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("exported %d mined invariants to %s\n", res.InvariantSet.Len(), path)
+		}
 	}
 	if *reproOut != "" {
 		for i, b := range res.Repros {
@@ -413,8 +423,12 @@ func main() {
 				fmt.Fprintln(os.Stderr, "pmfuzz: repro bundle:", err)
 				os.Exit(1)
 			}
-			fmt.Printf("oracle repro %d: %s at barrier %d (input %d -> %d bytes) -> %s\n",
-				i, b.Kind, b.Barrier, b.OrigInputLen, len(b.Input), dir)
+			src := "oracle"
+			if b.Invariant != "" {
+				src = "invariant"
+			}
+			fmt.Printf("%s repro %d: %s at barrier %d (input %d -> %d bytes) -> %s\n",
+				src, i, b.Kind, b.Barrier, b.OrigInputLen, len(b.Input), dir)
 		}
 		if len(res.Repros) == 0 {
 			fmt.Println("oracle: no violations; no repro bundles written")
@@ -537,6 +551,14 @@ func printSessionTo(w io.Writer, res *core.Result) {
 	if res.Config.Stage2Workers > 0 {
 		fmt.Fprintf(w, "stage 2:        %d campaigns, %d execs, %d recovery coverage states\n",
 			res.Stage2Campaigns, res.Stage2Execs, res.RecoverySites)
+	}
+	if res.Config.InvariantCheck {
+		if res.InvariantSet != nil {
+			fmt.Fprintf(w, "invariants:     %d mined, %d checks, %d violations, %d dropped\n",
+				res.InvariantSet.Len(), res.InvariantChecks, res.InvariantViolations, res.InvariantsDropped)
+		} else {
+			fmt.Fprintln(w, "invariants:     mining incomplete (too few clean favored cases)")
+		}
 	}
 	if len(res.Faults) > 0 {
 		fmt.Fprintf(w, "faults (%d):\n", len(res.Faults))

@@ -35,9 +35,14 @@ import (
 	"pmfuzz/internal/core"
 	"pmfuzz/internal/fuzz"
 	"pmfuzz/internal/imgstore"
+	"pmfuzz/internal/invariant"
 	"pmfuzz/internal/obs"
 	"pmfuzz/internal/obs/fleet"
 )
+
+// InvariantFile is the name of the mined invariant-set artifact each
+// member publishes in its own subdirectory once its set freezes.
+const InvariantFile = "invariants.pminv"
 
 // DefaultEvery is the wall-clock sync cadence when the config leaves it
 // zero.
@@ -113,6 +118,10 @@ type Syncer struct {
 	// pubBlobs records image blobs already shipped in one of our
 	// segments, so a delta's base publishes exactly once.
 	pubBlobs map[imgstore.ID]bool
+	// invPublished flags that our frozen invariant set already shipped;
+	// invAdopted that we either froze locally or adopted a peer's set,
+	// so peer scans stop.
+	invPublished, invAdopted bool
 
 	st    obs.SyncStats
 	start time.Time // process start, published in the heartbeat
@@ -267,6 +276,7 @@ func (s *Syncer) SyncNow() {
 	before := s.st
 	s.publish()
 	s.importPeers()
+	s.syncInvariants()
 	s.writeHeartbeat()
 	if s.sess != nil {
 		s.sess.M.SetSyncStats(s.st)
@@ -516,6 +526,57 @@ func (s *Syncer) importSegment(dir string, seq int) bool {
 		s.st.Imported++
 	}
 	return true
+}
+
+// syncInvariants shares the invariant oracle's mined set across the
+// fleet: once this member's set freezes it is published (exactly once)
+// as invariants.pminv in our subdirectory, and until a local or
+// adopted set exists, peer subdirectories are scanned in sorted order
+// for the first parseable set matching the workload. Adoption lets
+// late-started members skip the mining phase entirely. Both sides are
+// no-ops when the invariant oracle is off.
+func (s *Syncer) syncInvariants() {
+	set := s.f.InvariantSet()
+	if set != nil && set.Len() > 0 {
+		s.invAdopted = true
+		if !s.invPublished {
+			if err := atomicWrite(filepath.Join(s.own, InvariantFile), set.Marshal()); err != nil {
+				s.st.Errors++
+			} else {
+				s.invPublished = true
+			}
+		}
+		return
+	}
+	if s.invAdopted {
+		return
+	}
+	root, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return
+	}
+	var peers []string
+	for _, de := range root {
+		if de.IsDir() && de.Name() != s.cfg.FuzzerID && !strings.HasPrefix(de.Name(), ".") {
+			peers = append(peers, de.Name())
+		}
+	}
+	sort.Strings(peers)
+	for _, peer := range peers {
+		raw, err := os.ReadFile(filepath.Join(s.cfg.Dir, peer, InvariantFile))
+		if err != nil {
+			continue
+		}
+		ps, err := invariant.ParseSet(raw)
+		if err != nil {
+			s.st.Errors++
+			continue
+		}
+		if s.f.AdoptInvariantSet(ps) {
+			s.invAdopted = true
+			return
+		}
+	}
 }
 
 // writeHeartbeat publishes the member-info file the fleet monitor uses

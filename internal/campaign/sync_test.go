@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pmfuzz/internal/core"
+	"pmfuzz/internal/invariant"
 	"pmfuzz/internal/obs/fleet"
 )
 
@@ -387,5 +388,105 @@ func TestHeartbeatPublished(t *testing.T) {
 	}
 	if rep.Members[0].Health == fleet.HealthDead {
 		t.Errorf("fresh member judged DEAD: %s", rep.Members[0].Note)
+	}
+}
+
+// TestSyncInvariants is the mined-set exchange contract: a member with
+// the invariant oracle on publishes its frozen set exactly once as
+// invariants.pminv, a set-less peer adopts the first parseable peer
+// set, and members with the feature off neither publish nor adopt.
+func TestSyncInvariants(t *testing.T) {
+	dir := t.TempDir()
+	newInvFuzzer := func(seed int64) *core.Fuzzer {
+		cfg, err := core.DefaultConfig("btree", core.PMFuzzAll, 2_000_000, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.InvariantCheck = true
+		f, err := core.New(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	fa := newInvFuzzer(42)
+	sa, err := New(Config{Dir: dir, FuzzerID: "a"}, fa, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.SyncNow()
+	if _, err := os.Stat(filepath.Join(dir, "a", InvariantFile)); !os.IsNotExist(err) {
+		t.Fatal("member without a frozen set must not publish invariants")
+	}
+	fa.Run()
+	if fa.InvariantSet() == nil {
+		t.Skip("session too short to freeze a set")
+	}
+	sa.SyncNow()
+	raw, err := os.ReadFile(filepath.Join(dir, "a", InvariantFile))
+	if err != nil {
+		t.Fatalf("frozen set not published: %v", err)
+	}
+	set, err := invariant.ParseSet(raw)
+	if err != nil {
+		t.Fatalf("published set does not parse: %v", err)
+	}
+	if string(set.Marshal()) != string(fa.InvariantSet().Marshal()) {
+		t.Fatal("published set differs from the fuzzer's frozen set")
+	}
+
+	// A set-less member with the feature on adopts the peer's set on
+	// its first sync.
+	fb := newInvFuzzer(99)
+	sb, err := New(Config{Dir: dir, FuzzerID: "b"}, fb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.SyncNow()
+	if fb.InvariantSet() == nil {
+		t.Fatal("peer did not adopt the published set")
+	}
+	if string(fb.InvariantSet().Marshal()) != string(set.Marshal()) {
+		t.Fatal("adopted set differs from the published one")
+	}
+	if sb.Stats().Errors != 0 {
+		t.Fatalf("adoption sync errors: %d", sb.Stats().Errors)
+	}
+
+	// A member with the invariant oracle off ignores peer sets.
+	fc := newFuzzer(t, 7, 2_000_000)
+	sc, err := New(Config{Dir: dir, FuzzerID: "c"}, fc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.SyncNow()
+	if fc.InvariantSet() != nil {
+		t.Fatal("feature-off member adopted a set")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "c", InvariantFile)); !os.IsNotExist(err) {
+		t.Fatal("feature-off member published a set")
+	}
+
+	// A corrupt peer set is counted and skipped, not adopted. The
+	// corrupt member sorts before every valid one so the scan hits it
+	// first.
+	if err := os.MkdirAll(filepath.Join(dir, "0corrupt"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "0corrupt", InvariantFile), []byte("not pminv\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fd := newInvFuzzer(11)
+	sd, err := New(Config{Dir: dir, FuzzerID: "d"}, fd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd.SyncNow()
+	if fd.InvariantSet() == nil {
+		t.Fatal("valid peer set not adopted past the corrupt one")
+	}
+	if sd.Stats().Errors == 0 {
+		t.Fatal("corrupt peer set not counted as an error")
 	}
 }

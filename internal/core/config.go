@@ -105,6 +105,20 @@ type Config struct {
 	// each check costs one journaled re-execution plus one recovery per
 	// ordering point.
 	OracleMaxChecks int
+	// InvariantCheck runs the annotation-free invariant oracle
+	// (internal/invariant) beside the fuzzing loop: the first few
+	// favored new-PM-path entries are mined for likely ordering,
+	// atomicity, and at-rest value invariants, the mined set is frozen,
+	// and subsequent entries' crash images are judged against it.
+	// Violations flow through the same fault/minimizer/repro pipeline as
+	// the differential oracle. Needs no shadow model, so it covers
+	// workloads OracleCheck cannot. Like the oracle, it runs off the
+	// simulated clock on private arenas and never changes the session's
+	// trajectory. Default off.
+	InvariantCheck bool
+	// InvariantMaxChecks caps invariant sweeps per session (0 = default
+	// cap).
+	InvariantMaxChecks int
 	// Workers is the number of parallel fuzzing workers — the in-process
 	// analog of the master/slave AFL fleet the paper runs (§5.1). Each
 	// worker owns a private coverage shard, mutator, image cache, and

@@ -119,6 +119,11 @@ func (f *Fuzzer) runParallel(n int) *Result {
 		Queue:   f.queue,
 		Store:   f.store,
 		Repros:  f.repros,
+
+		InvariantSet:        f.invSet,
+		InvariantChecks:     f.invStats.checks,
+		InvariantViolations: f.invStats.violations,
+		InvariantsDropped:   f.invStats.dropped,
 	}
 }
 
@@ -230,5 +235,6 @@ func (f *Fuzzer) admitOutcome(parent *fuzz.Entry, o *execOutcome, newBranch, new
 	// concurrency-safe) against the same test case the worker executed.
 	if e.NewPM {
 		f.oracleScan(e, o.input, o.inImage, o.simNS)
+		f.invariantScan(e, o.input, o.inImage, o.simNS)
 	}
 }

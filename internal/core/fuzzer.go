@@ -8,6 +8,7 @@ import (
 	"pmfuzz/internal/fuzz"
 	"pmfuzz/internal/imgstore"
 	"pmfuzz/internal/instr"
+	"pmfuzz/internal/invariant"
 	"pmfuzz/internal/obs"
 	"pmfuzz/internal/oracle"
 	"pmfuzz/internal/pmem"
@@ -76,6 +77,13 @@ type Result struct {
 	// which forces it). RecoverySites is its CoveredStates count.
 	Recovery      *instr.Virgin
 	RecoverySites int
+	// InvariantSet is the invariant oracle's frozen mined set (nil
+	// unless Config.InvariantCheck and mining completed); the counters
+	// mirror the pmfuzz_invariants_* stats keys.
+	InvariantSet        *invariant.Set
+	InvariantChecks     int
+	InvariantViolations int
+	InvariantsDropped   int
 }
 
 // Fuzzer is one fuzzing session.
@@ -113,6 +121,19 @@ type Fuzzer struct {
 	oracleCk     *oracle.Checker
 	oracleChecks int
 	repros       []*oracle.Bundle
+
+	// Invariant-oracle state (nil/zero unless Config.InvariantCheck).
+	// The session mines the first invariantMineObs favored new-PM-path
+	// entries into invMiner, freezes the surviving rules as invSet, and
+	// judges subsequent entries against it ("mine then freeze").
+	// invStats aggregates for the gauges/fuzzer_stats keys. Same
+	// off-clock, off-trajectory discipline as the differential oracle.
+	invCk     *invariant.Checker
+	invMiner  *invariant.Miner
+	invSet    *invariant.Set
+	invObs    int
+	invChecks int
+	invStats  invStats
 
 	// tele is the attached telemetry session (nil when disabled); shard
 	// is the serial loop's / coordinator's private metrics shard, merged
@@ -232,6 +253,10 @@ func New(cfg Config, bugSet *bugs.Set) (*Fuzzer, error) {
 	if cfg.OracleCheck {
 		f.oracleCk = oracle.NewChecker()
 	}
+	if cfg.InvariantCheck {
+		f.invCk = invariant.NewChecker()
+		f.invMiner = invariant.NewMiner(cfg.Workload)
+	}
 	if cfg.twoStage() {
 		// Stage 2 needs recovery accounting for its coverage claim, and
 		// crash images leave the stage-1 schedule: they are routed to the
@@ -257,11 +282,13 @@ func (f *Fuzzer) SetTelemetry(s *obs.Session) {
 		f.shard = nil
 		f.store.SetShard(nil)
 		f.oracleCk.SetShard(nil)
+		f.invCk.SetShard(nil)
 		return
 	}
 	f.shard = &obs.Shard{}
 	f.store.SetShard(f.shard)
 	f.oracleCk.SetShard(f.shard)
+	f.invCk.SetShard(f.shard)
 }
 
 // obsStart emits the trace's session header.
@@ -378,6 +405,12 @@ func (f *Fuzzer) pushObs(simNS int64) {
 			g.RecoverySites = f.recVirgin.CoveredStates()
 		}
 		f.tele.M.SetStage2(g)
+	}
+	if f.invCk != nil {
+		f.tele.M.SetInvariant(obs.InvariantGauges{
+			Mined: f.invStats.mined, Checks: f.invStats.checks,
+			Violations: f.invStats.violations, Dropped: f.invStats.dropped,
+		})
 	}
 	st := f.store.Stats()
 	f.tele.M.SetStoreStats(obs.StoreStats{
@@ -652,6 +685,11 @@ func (f *Fuzzer) serialExit(pos loopPos) *Result {
 		Queue:   f.queue,
 		Store:   f.store,
 		Repros:  f.repros,
+
+		InvariantSet:        f.invSet,
+		InvariantChecks:     f.invStats.checks,
+		InvariantViolations: f.invStats.violations,
+		InvariantsDropped:   f.invStats.dropped,
 	}
 }
 
@@ -823,6 +861,7 @@ func (f *Fuzzer) observe(parent *fuzz.Entry, tc executor.TestCase, res *executor
 	}
 	if e.NewPM {
 		f.oracleScan(e, tc.Input, tc.Image, f.clock.Now())
+		f.invariantScan(e, tc.Input, tc.Image, f.clock.Now())
 	}
 }
 
@@ -891,6 +930,126 @@ func (f *Fuzzer) oracleScan(parent *fuzz.Entry, input []byte, img *pmem.Image, s
 			parent.OracleFlagged = true
 		}
 	}
+}
+
+// invariantMineObs is how many favored new-PM-path entries the
+// invariant oracle observes before freezing the mined set.
+const invariantMineObs = 3
+
+// defaultInvariantMaxChecks bounds invariant sweeps when the config
+// doesn't.
+const defaultInvariantMaxChecks = 32
+
+// invStats aggregates invariant-oracle activity for gauges and
+// fuzzer_stats.
+type invStats struct {
+	mined      int
+	checks     int
+	violations int
+	dropped    int
+}
+
+// invariantScan feeds one favored test case to the invariant oracle.
+// While the set is unfrozen, the case (full run plus every command
+// prefix) is mined as observations; once invariantMineObs clean cases
+// have been observed, the surviving rules freeze and subsequent cases'
+// crash images are judged against them. Violations flow through the
+// same fault/minimizer/repro path as the differential oracle's. Runs
+// entirely off the simulated clock on the checker's own arenas.
+func (f *Fuzzer) invariantScan(parent *fuzz.Entry, input []byte, img *pmem.Image, simNS int64) {
+	if f.invCk == nil {
+		return
+	}
+	tc := executor.TestCase{
+		Workload: f.cfg.Workload,
+		Input:    input,
+		Image:    img,
+		Bugs:     f.bugs,
+		Seed:     f.cfg.Seed,
+	}
+	iopts := invariant.Options{MaxCommands: f.cfg.MaxCommands}
+	if f.invSet == nil {
+		// Mining phase. A faulting prefix just skips the observation —
+		// mining requires clean executions.
+		if err := f.invCk.Observe(f.invMiner, tc, iopts); err != nil {
+			return
+		}
+		f.invObs++
+		if f.invObs >= invariantMineObs {
+			f.invSet = f.invMiner.Mine()
+			f.invStats.mined = f.invSet.Len()
+			f.obsInvariant(simNS, nil)
+		}
+		return
+	}
+	maxChecks := f.cfg.InvariantMaxChecks
+	if maxChecks <= 0 {
+		maxChecks = defaultInvariantMaxChecks
+	}
+	if f.invChecks >= maxChecks {
+		return
+	}
+	f.invChecks++
+	iopts.MaxViolations = 1
+	iopts.NoPrune = f.cfg.NoPruneSweep
+	rep := f.invCk.Check(tc, f.invSet, iopts)
+	f.invStats.checks++
+	f.invStats.violations += len(rep.Violations)
+	f.invStats.dropped += len(rep.Dropped)
+	f.obsInvariant(simNS, rep)
+	for _, v := range rep.Violations {
+		fresh := !f.faultMsgs[v.String()]
+		f.addFault(parent, input, v.String(), simNS)
+		if fresh && f.reproPrior+len(f.repros) < maxRepros {
+			if b := f.invCk.Minimize(tc, v, f.invSet, invariant.Options{MaxCommands: f.cfg.MaxCommands}); b != nil {
+				f.repros = append(f.repros, b)
+			}
+		}
+		if parent != nil {
+			parent.OracleFlagged = true
+		}
+	}
+}
+
+// obsInvariant emits one "t":"inv" trace event: the mined-set freeze
+// (rep nil) or one check's outcome. Emitted only with the feature on,
+// so traces without -invariant stay byte-identical.
+func (f *Fuzzer) obsInvariant(simNS int64, rep *invariant.Report) {
+	if f.tele == nil {
+		return
+	}
+	ev := obs.InvEvent{T: "inv", SimNS: simNS, Worker: f.obsWorker, Stage: f.stage}
+	if rep == nil {
+		ev.Obs = f.invObs
+		ev.Mined = f.invStats.mined
+	} else {
+		ev.Checked = rep.Checked
+		ev.Violations = len(rep.Violations)
+		ev.Dropped = len(rep.Dropped)
+		ev.Classes = rep.Classes
+		ev.Hits = rep.ClassHits
+		ev.Recoveries = rep.Recoveries
+	}
+	f.tele.Trace().Emit(ev)
+}
+
+// InvariantSet returns the frozen mined set (nil while mining or with
+// the feature off). The campaign sync layer publishes it to peers.
+func (f *Fuzzer) InvariantSet() *invariant.Set {
+	return f.invSet
+}
+
+// AdoptInvariantSet installs a peer-mined set, skipping the local
+// mining phase. Only applies while the feature is on, no local set has
+// frozen yet, and the set matches the workload; reports whether the
+// set was adopted.
+func (f *Fuzzer) AdoptInvariantSet(s *invariant.Set) bool {
+	if f.invCk == nil || f.invSet != nil || s.Len() == 0 || s.Workload != f.cfg.Workload {
+		return false
+	}
+	f.invSet = s
+	f.invStats.mined = s.Len()
+	return true
 }
 
 // favoredLevel maps PM counter-map novelty to an Algorithm 2 priority.

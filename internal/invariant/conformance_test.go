@@ -1,0 +1,136 @@
+package invariant
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pmfuzz/internal/executor"
+	"pmfuzz/internal/oracle"
+	"pmfuzz/internal/workloads"
+)
+
+// genCommands emits a randomized command stream in the workload's
+// dialect (mirrors the differential oracle's generator).
+func genCommands(w string, rng *rand.Rand, n int) []byte {
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		k, v := rng.Intn(32), rng.Intn(1000)
+		switch w {
+		case "redis":
+			switch rng.Intn(8) {
+			case 0, 1, 2, 3:
+				fmt.Fprintf(&b, "SET %d %d\n", k, v)
+			case 4:
+				fmt.Fprintf(&b, "set %d %d\n", k, v)
+			case 5:
+				fmt.Fprintf(&b, "DEL %d\n", k)
+			case 6:
+				fmt.Fprintf(&b, "GET %d\n", k)
+			case 7:
+				b.WriteString("?? noise ##\n")
+			}
+		case "memcached":
+			switch rng.Intn(8) {
+			case 0, 1, 2, 3:
+				fmt.Fprintf(&b, "set %d %d\n", k, v)
+			case 4, 5:
+				fmt.Fprintf(&b, "del %d\n", k)
+			case 6:
+				fmt.Fprintf(&b, "get %d\n", k)
+			case 7:
+				b.WriteString("?? noise ##\n")
+			}
+		default: // mapcli
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4:
+				fmt.Fprintf(&b, "i %d %d\n", k, v)
+			case 5, 6:
+				fmt.Fprintf(&b, "r %d\n", k)
+			case 7:
+				fmt.Fprintf(&b, "g %d\n", k)
+			case 8:
+				b.WriteString("c\n")
+			case 9:
+				b.WriteString("?? noise ##\n")
+			}
+		}
+	}
+	return b.Bytes()
+}
+
+// TestCrossOracleConformance is the randomized agreement gate: for 5
+// seeds x 8 workloads, every crash image of the sweep (pre-fence
+// windows included) is judged by both the differential oracle and the
+// invariant oracle. On clean workloads both must agree everywhere; any
+// disagreement fails with the disputed invariant and image ID.
+func TestCrossOracleConformance(t *testing.T) {
+	oc := oracle.NewChecker()
+	ic := NewChecker()
+	for _, w := range workloads.Names() {
+		w := w
+		t.Run(w, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				input := genCommands(w, rng, 12)
+				tc := executor.TestCase{Workload: w, Input: input, Seed: seed}
+
+				set, err := ic.MineCase(tc, Options{})
+				if err != nil {
+					t.Fatalf("seed %d: mining failed: %v", seed, err)
+				}
+				irep := ic.Check(tc, set, Options{PreFence: true})
+				if irep.Skipped != "" {
+					t.Fatalf("seed %d: invariant check skipped: %s", seed, irep.Skipped)
+				}
+				orep := oc.Check(tc, oracle.Options{PreFence: true})
+				if orep.Skipped != "" {
+					t.Fatalf("seed %d: oracle check skipped: %s", seed, orep.Skipped)
+				}
+
+				a := Agree(orep, irep)
+				if !a.Agrees() {
+					t.Fatalf("seed %d: oracles disagree (%s)\ninput: %q\noracle-only: %v\ninvariant-only: %v",
+						seed, a, input, a.OracleOnly, a.InvariantOnly)
+				}
+				if a.Points == 0 {
+					t.Fatalf("seed %d: no crash points judged", seed)
+				}
+				if a.BothViolated != 0 {
+					t.Fatalf("seed %d: clean workload flagged by both oracles at %d points", seed, a.BothViolated)
+				}
+			}
+		})
+	}
+}
+
+// TestCrossOracleBugAgreement checks the bug side of the join: on Bugs
+// 1-6 both oracles flag the case, and the per-point join reports at
+// least one jointly-violated crash point for each.
+func TestCrossOracleBugAgreement(t *testing.T) {
+	oc := oracle.NewChecker()
+	ic := NewChecker()
+	for _, tcase := range bugCases {
+		tcase := tcase
+		t.Run(tcase.name, func(t *testing.T) {
+			tc := executor.TestCase{
+				Workload: tcase.workload,
+				Input:    tcase.input,
+				Bugs:     bugsFor(tcase.bug),
+				Seed:     1,
+			}
+			set, err := ic.MineCase(tc, Options{})
+			if err != nil {
+				t.Fatalf("mining failed: %v", err)
+			}
+			irep := ic.Check(tc, set, Options{PreFence: true})
+			orep := oc.Check(tc, oracle.Options{PreFence: true})
+			a := Agree(orep, irep)
+			if a.BothViolated == 0 {
+				t.Fatalf("no jointly-violated crash point (%s)\noracle-only: %v\ninvariant-only: %v",
+					a, a.OracleOnly, a.InvariantOnly)
+			}
+		})
+	}
+}

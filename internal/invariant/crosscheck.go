@@ -1,0 +1,105 @@
+package invariant
+
+import (
+	"fmt"
+	"sort"
+
+	"pmfuzz/internal/oracle"
+)
+
+// Agreement is the per-crash-point join of a differential-oracle report
+// and an invariant report over the same sweep: how often the two
+// oracles reached the same verdict, and the points where they split.
+type Agreement struct {
+	// Points is the number of crash points at least one oracle judged.
+	Points int
+	// BothClean / BothViolated count agreeing points.
+	BothClean    int
+	BothViolated int
+	// OracleOnly / InvariantOnly list the disputed points, rendered as
+	// "barrier 7" / "pre-fence barrier 7: <violation strings>".
+	OracleOnly    []string
+	InvariantOnly []string
+}
+
+// Agrees reports whether the oracles reached the same verdict at every
+// judged crash point.
+func (a *Agreement) Agrees() bool {
+	return len(a.OracleOnly) == 0 && len(a.InvariantOnly) == 0
+}
+
+// String summarizes the join in one line.
+func (a *Agreement) String() string {
+	return fmt.Sprintf("points=%d both-clean=%d both-violated=%d oracle-only=%d invariant-only=%d",
+		a.Points, a.BothClean, a.BothViolated, len(a.OracleOnly), len(a.InvariantOnly))
+}
+
+// crashPoint keys one judged crash injection.
+type crashPoint struct {
+	barrier  int
+	preFence bool
+}
+
+func (p crashPoint) String() string {
+	if p.preFence {
+		return fmt.Sprintf("pre-fence barrier %d", p.barrier)
+	}
+	return fmt.Sprintf("barrier %d", p.barrier)
+}
+
+// Agree joins the two oracles' verdicts point by point. Both reports
+// must come from the same sweep (same test case and crash-point range);
+// Agree itself is a pure join and does not re-execute anything.
+func Agree(orep *oracle.Report, irep *Report) *Agreement {
+	a := &Agreement{}
+	obad := map[crashPoint][]string{}
+	for _, v := range orep.Violations {
+		p := crashPoint{v.Barrier, v.PreFence}
+		obad[p] = append(obad[p], v.String())
+	}
+	ibad := map[crashPoint][]*Violation{}
+	for _, v := range irep.Violations {
+		p := crashPoint{v.Barrier, v.PreFence}
+		ibad[p] = append(ibad[p], v)
+	}
+	// Both oracles sweep the same barrier range; judged points are
+	// 1..Barriers (and their pre-fence twins when swept). Use the larger
+	// Checked as the point count and classify violation keys directly.
+	a.Points = max(orep.Checked, irep.Checked)
+	points := map[crashPoint]bool{}
+	for p := range obad {
+		points[p] = true
+	}
+	for p := range ibad {
+		points[p] = true
+	}
+	var disputed []crashPoint
+	for p := range points {
+		switch {
+		case len(obad[p]) > 0 && len(ibad[p]) > 0:
+			a.BothViolated++
+		default:
+			disputed = append(disputed, p)
+		}
+	}
+	sort.Slice(disputed, func(i, j int) bool {
+		if disputed[i].barrier != disputed[j].barrier {
+			return disputed[i].barrier < disputed[j].barrier
+		}
+		return !disputed[i].preFence && disputed[j].preFence
+	})
+	for _, p := range disputed {
+		if vs := obad[p]; len(vs) > 0 {
+			a.OracleOnly = append(a.OracleOnly, fmt.Sprintf("%s: %s", p, vs[0]))
+		} else {
+			iv := ibad[p][0]
+			a.InvariantOnly = append(a.InvariantOnly,
+				fmt.Sprintf("%s: %s [invariant %q, image %s]", p, iv, iv.Inv, iv.Image))
+		}
+	}
+	a.BothClean = a.Points - a.BothViolated - len(a.OracleOnly) - len(a.InvariantOnly)
+	if a.BothClean < 0 {
+		a.BothClean = 0
+	}
+	return a
+}

@@ -1,0 +1,294 @@
+// Package invariant is the annotation-free crash-consistency oracle:
+// it mines likely ordering, atomicity, and at-rest value invariants
+// from the PM-operation traces of clean executions (the WITCHER
+// approach from PAPERS.md), validates every candidate against clean
+// prefix re-executions, and judges recovered crash images against the
+// surviving set — no per-workload shadow model required. Violations
+// flow through the same minimizer/repro-bundle pipeline as the
+// differential oracle, so findings shrink to replayable bundles.
+package invariant
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the mined invariant families.
+type Kind uint8
+
+// The three families: ordering and atomicity rules over PM store-site
+// pairs (WITCHER's likely-correctness conditions), plus at-rest value
+// constants over store ranges (init-time state recovery must preserve).
+const (
+	Order  Kind = iota // site A's stores persist no later than site B's
+	Atomic             // sites A and B reach durability at the same barrier
+	Value              // the range holds constant bytes in every at-rest image
+)
+
+var kindNames = map[Kind]string{Order: "order", Atomic: "atomic", Value: "value"}
+
+// String returns the serialization keyword for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Invariant is one mined rule.
+type Invariant struct {
+	Kind Kind
+	// A and B are static PM store-site IDs. Order: every B-store's
+	// persist barrier is at or after the preceding A-store's. Atomic:
+	// adjacent A/B stores persist at the same barrier (canonically
+	// A < B). Value: A is the writing site, B is unused.
+	A, B uint32
+	// Off/Len/Data describe a Value invariant's at-rest byte range.
+	Off, Len int
+	Data     []byte
+	// Support counts the observations that exhibited the rule.
+	Support int
+}
+
+// Line renders the invariant's canonical serialized form (one line of
+// the pminv format, Support included).
+func (iv *Invariant) Line() string {
+	switch iv.Kind {
+	case Value:
+		return fmt.Sprintf("value %#x %d %d %s support=%d",
+			iv.A, iv.Off, iv.Len, hex.EncodeToString(iv.Data), iv.Support)
+	default:
+		return fmt.Sprintf("%s %#x %#x support=%d", iv.Kind, iv.A, iv.B, iv.Support)
+	}
+}
+
+// Short renders the rule without its support count, for violation
+// messages.
+func (iv *Invariant) Short() string {
+	switch iv.Kind {
+	case Value:
+		return fmt.Sprintf("value site %#x range [%d,+%d)", iv.A, iv.Off, iv.Len)
+	default:
+		return fmt.Sprintf("%s %#x -> %#x", iv.Kind, iv.A, iv.B)
+	}
+}
+
+// less is the canonical ordering: by kind, then site pair, then range.
+func (iv *Invariant) less(o *Invariant) bool {
+	if iv.Kind != o.Kind {
+		return iv.Kind < o.Kind
+	}
+	if iv.A != o.A {
+		return iv.A < o.A
+	}
+	if iv.B != o.B {
+		return iv.B < o.B
+	}
+	if iv.Off != o.Off {
+		return iv.Off < o.Off
+	}
+	if iv.Len != o.Len {
+		return iv.Len < o.Len
+	}
+	return bytes.Compare(iv.Data, o.Data) < 0
+}
+
+// Set is a mined invariant set for one workload, held in canonical
+// order so serialization is deterministic (golden-pinnable and
+// byte-comparable across fleet members).
+type Set struct {
+	Workload string
+	Invs     []*Invariant
+}
+
+// Len reports the number of invariants (nil-safe).
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Invs)
+}
+
+// Canonicalize sorts the set, merges duplicates (keeping the larger
+// support), and drops every Order pair implied by a mined Atomic pair
+// — atomicity subsumes ordering in both directions.
+func (s *Set) Canonicalize() {
+	atomic := map[uint64]bool{}
+	for _, iv := range s.Invs {
+		if iv.Kind == Atomic {
+			atomic[pairKey(iv.A, iv.B)] = true
+			atomic[pairKey(iv.B, iv.A)] = true
+		}
+	}
+	sort.Slice(s.Invs, func(i, j int) bool { return s.Invs[i].less(s.Invs[j]) })
+	out := s.Invs[:0]
+	for _, iv := range s.Invs {
+		if iv.Kind == Order && atomic[pairKey(iv.A, iv.B)] {
+			continue
+		}
+		if n := len(out); n > 0 && !out[n-1].less(iv) && !iv.less(out[n-1]) {
+			if iv.Support > out[n-1].Support {
+				out[n-1].Support = iv.Support
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	s.Invs = out
+}
+
+// pairKey packs an ordered site pair into one comparable key.
+func pairKey(a, b uint32) uint64 { return uint64(a)<<32 | uint64(b) }
+
+// The pminv serialization format, version 1:
+//
+//	pminv v1
+//	workload <name>
+//	order <A-hex> <B-hex> support=<n>
+//	atomic <A-hex> <B-hex> support=<n>
+//	value <site-hex> <off> <len> <data-hex> support=<n>
+//
+// Lines appear in canonical order; Marshal of a parsed set reproduces
+// the input byte-for-byte when the input was itself canonical.
+const (
+	formatHeader = "pminv v1"
+	// maxValueLen caps a Value invariant's byte range; longer store
+	// ranges are not mined (they would bloat sets for little power).
+	maxValueLen = 256
+)
+
+// Marshal renders the set in canonical pminv v1 form. The receiver is
+// canonicalized as a side effect.
+func (s *Set) Marshal() []byte {
+	s.Canonicalize()
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s\n", formatHeader)
+	fmt.Fprintf(&b, "workload %s\n", s.Workload)
+	for _, iv := range s.Invs {
+		b.WriteString(iv.Line())
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// ParseSet parses pminv v1 data. Lines may arrive in any order; the
+// returned set is canonical. Unknown directives are an error so format
+// drift surfaces instead of silently dropping rules.
+func ParseSet(data []byte) (*Set, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("invariant: empty set data")
+	}
+	if got := strings.TrimRight(sc.Text(), "\r"); got != formatHeader {
+		return nil, fmt.Errorf("invariant: bad header %q (want %q)", got, formatHeader)
+	}
+	s := &Set{}
+	sawWorkload := false
+	ln := 1
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "workload":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("invariant: line %d: workload wants 1 field", ln)
+			}
+			if sawWorkload {
+				return nil, fmt.Errorf("invariant: line %d: duplicate workload directive", ln)
+			}
+			s.Workload, sawWorkload = f[1], true
+		case "order", "atomic":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("invariant: line %d: %s wants 3 fields", ln, f[0])
+			}
+			a, err := parseSite(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("invariant: line %d: %v", ln, err)
+			}
+			b, err := parseSite(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("invariant: line %d: %v", ln, err)
+			}
+			sup, err := parseSupport(f[3])
+			if err != nil {
+				return nil, fmt.Errorf("invariant: line %d: %v", ln, err)
+			}
+			k := Order
+			if f[0] == "atomic" {
+				k = Atomic
+				if a > b {
+					return nil, fmt.Errorf("invariant: line %d: atomic pair not canonical (%#x > %#x)", ln, a, b)
+				}
+			}
+			if a == b {
+				return nil, fmt.Errorf("invariant: line %d: self pair %#x", ln, a)
+			}
+			s.Invs = append(s.Invs, &Invariant{Kind: k, A: a, B: b, Support: sup})
+		case "value":
+			if len(f) != 6 {
+				return nil, fmt.Errorf("invariant: line %d: value wants 5 fields", ln)
+			}
+			a, err := parseSite(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("invariant: line %d: %v", ln, err)
+			}
+			off, err := strconv.Atoi(f[2])
+			if err != nil || off < 0 {
+				return nil, fmt.Errorf("invariant: line %d: bad offset %q", ln, f[2])
+			}
+			length, err := strconv.Atoi(f[3])
+			if err != nil || length <= 0 || length > maxValueLen {
+				return nil, fmt.Errorf("invariant: line %d: bad length %q", ln, f[3])
+			}
+			raw, err := hex.DecodeString(f[4])
+			if err != nil || len(raw) != length {
+				return nil, fmt.Errorf("invariant: line %d: data/length mismatch", ln)
+			}
+			sup, err := parseSupport(f[5])
+			if err != nil {
+				return nil, fmt.Errorf("invariant: line %d: %v", ln, err)
+			}
+			s.Invs = append(s.Invs, &Invariant{Kind: Value, A: a, Off: off, Len: length, Data: raw, Support: sup})
+		default:
+			return nil, fmt.Errorf("invariant: line %d: unknown directive %q", ln, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("invariant: %v", err)
+	}
+	if !sawWorkload {
+		return nil, fmt.Errorf("invariant: missing workload directive")
+	}
+	s.Canonicalize()
+	return s, nil
+}
+
+func parseSite(tok string) (uint32, error) {
+	v, err := strconv.ParseUint(tok, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad site %q", tok)
+	}
+	return uint32(v), nil
+}
+
+func parseSupport(tok string) (int, error) {
+	rest, ok := strings.CutPrefix(tok, "support=")
+	if !ok {
+		return 0, fmt.Errorf("bad support field %q", tok)
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad support count %q", rest)
+	}
+	return n, nil
+}

@@ -1,0 +1,100 @@
+package invariant
+
+import (
+	"pmfuzz/internal/pmem"
+	"pmfuzz/internal/trace"
+)
+
+// persistNever marks a store whose lines never all drained to PM
+// before the execution ended — it is ordered after every barrier.
+const persistNever = 1 << 30
+
+// storeInst is one store event annotated with the barrier index at
+// which it became durable.
+type storeInst struct {
+	site     uint32
+	off, len int
+	internal bool
+	// persistB is the 1-based index of the fence that drained the last
+	// of the store's cache lines (persistNever if none did). A store is
+	// durable in the barrier-b crash image iff persistB <= b.
+	persistB int
+}
+
+// analysis is the per-execution durability model: every store in
+// sequence order with its persist barrier, derived by replaying the
+// device's line state machine (Store dirties lines, NTStore queues
+// them, Flush moves dirty lines to queued, Fence drains every queued
+// line) over the recorded trace.
+type analysis struct {
+	stores   []storeInst
+	barriers int
+}
+
+const (
+	lineClean  = 0
+	lineDirty  = 1
+	lineQueued = 2
+)
+
+// analyze replays the trace and assigns each store its persist
+// barrier. Internal (library-metadata) stores participate in the line
+// machine — they share cache lines with user data — but are flagged so
+// the miner skips them as invariant subjects.
+func analyze(events []trace.Event) *analysis {
+	a := &analysis{}
+	state := map[int]uint8{}     // line index -> line state
+	pending := map[int][]int{}   // line index -> store indices awaiting its drain
+	queued := map[int]struct{}{} // lines currently queued
+	var left []int               // per store: lines not yet drained
+	lines := func(off, n int) (int, int) {
+		if n <= 0 {
+			n = 1
+		}
+		return off / pmem.LineSize, (off + n - 1) / pmem.LineSize
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.Store, trace.NTStore:
+			idx := len(a.stores)
+			a.stores = append(a.stores, storeInst{
+				site: ev.Site, off: ev.Off, len: ev.Len,
+				internal: ev.Internal, persistB: persistNever,
+			})
+			lo, hi := lines(ev.Off, ev.Len)
+			left = append(left, hi-lo+1)
+			for l := lo; l <= hi; l++ {
+				if ev.Kind == trace.NTStore {
+					state[l] = lineQueued
+					queued[l] = struct{}{}
+				} else {
+					state[l] = lineDirty
+					delete(queued, l)
+				}
+				pending[l] = append(pending[l], idx)
+			}
+		case trace.Flush:
+			lo, hi := lines(ev.Off, ev.Len)
+			for l := lo; l <= hi; l++ {
+				if state[l] == lineDirty {
+					state[l] = lineQueued
+					queued[l] = struct{}{}
+				}
+			}
+		case trace.Fence:
+			a.barriers++
+			for l := range queued {
+				state[l] = lineClean
+				for _, idx := range pending[l] {
+					left[idx]--
+					if left[idx] == 0 {
+						a.stores[idx].persistB = a.barriers
+					}
+				}
+				delete(pending, l)
+			}
+			clear(queued)
+		}
+	}
+	return a
+}

@@ -47,11 +47,17 @@ type Event struct {
 	Execs int    `json:"execs"`
 	Msg   string `json:"msg"`
 
-	// class
+	// class / inv
 	Classes    int `json:"classes"`
 	Hits       int `json:"hits"`
 	Checked    int `json:"checked"`
 	Recoveries int `json:"recoveries"`
+
+	// inv (invariant-oracle activity)
+	Obs        int `json:"obs"`
+	Mined      int `json:"mined"`
+	Violations int `json:"violations"`
+	Dropped    int `json:"dropped"`
 
 	// round
 	Outcomes int  `json:"outcomes"`
@@ -84,8 +90,8 @@ type Event struct {
 // knownEvents is the writer's event vocabulary (obs/trace.go).
 var knownEvents = map[string]bool{
 	"session": true, "admit": true, "harvest": true, "fault": true,
-	"class": true, "round": true, "stage_enter": true, "stage_exit": true,
-	"sync": true, "end": true,
+	"class": true, "inv": true, "round": true, "stage_enter": true,
+	"stage_exit": true, "sync": true, "end": true,
 }
 
 // StageSpan is one matched stage_enter/stage_exit pair: a stage-2
@@ -149,6 +155,8 @@ type TraceStats struct {
 	FirstFaultNS                    int64 // -1 when no fault event
 	ClassClasses, ClassHits         int
 	ClassChecked, ClassRecoveries   int
+	InvMined, InvChecks             int
+	InvViolations, InvDropped       int
 	Spans                           []*StageSpan
 	Sync                            SyncTotal
 	Events                          []Event
@@ -232,6 +240,15 @@ func AnalyzeTrace(r io.Reader, path string) (*TraceStats, error) {
 			t.ClassHits += ev.Hits
 			t.ClassChecked += ev.Checked
 			t.ClassRecoveries += ev.Recoveries
+		case "inv":
+			if ev.Mined > 0 {
+				t.InvMined = ev.Mined
+			}
+			if ev.Checked > 0 || ev.Violations > 0 || ev.Dropped > 0 {
+				t.InvChecks++
+			}
+			t.InvViolations += ev.Violations
+			t.InvDropped += ev.Dropped
 		case "stage_enter":
 			sp := &StageSpan{
 				Stage: ev.Stage, Iter: ev.Iter, Campaign: ev.Campaign,
@@ -348,6 +365,11 @@ func (t *TraceStats) Summary() string {
 			t.ClassRecoveries, t.ClassChecked, t.PruningSaved())
 	}
 
+	if t.Counts["inv"] > 0 {
+		fmt.Fprintf(&b, "invariant oracle: %d mined, %d checks, %d violations, %d dropped\n",
+			t.InvMined, t.InvChecks, t.InvViolations, t.InvDropped)
+	}
+
 	if t.Sync.Events > 0 {
 		fmt.Fprintf(&b, "sync: %d exchanges, published %d, imported %d, dedup %d, errors %d, bytes out/in %d/%d\n",
 			t.Sync.Events, t.Sync.Published, t.Sync.Imported, t.Sync.Dedup,
@@ -410,6 +432,12 @@ func RenderTimeline(entries []TimelineEntry) string {
 			fmt.Fprintf(&b, " execs=%d msg=%q", ev.Execs, ev.Msg)
 		case "class":
 			fmt.Fprintf(&b, " classes=%d hits=%d recoveries=%d/%d", ev.Classes, ev.Hits, ev.Recoveries, ev.Checked)
+		case "inv":
+			if ev.Mined > 0 {
+				fmt.Fprintf(&b, " obs=%d mined=%d", ev.Obs, ev.Mined)
+			} else {
+				fmt.Fprintf(&b, " checked=%d violations=%d dropped=%d", ev.Checked, ev.Violations, ev.Dropped)
+			}
 		case "round":
 			fmt.Fprintf(&b, " worker=%d outcomes=%d done=%v", ev.Worker, ev.Outcomes, ev.Done)
 		case "stage_enter":

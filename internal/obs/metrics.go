@@ -194,6 +194,14 @@ type Stage2Gauges struct {
 	RecoverySites                int
 }
 
+// InvariantGauges is the invariant oracle's cumulative activity: the
+// size of the frozen mined set, sweeps judged against it, violations
+// found, and rules self-validation dropped. All zero with the feature
+// off.
+type InvariantGauges struct {
+	Mined, Checks, Violations, Dropped int
+}
+
 // StoreStats mirrors the image store's counters (obs cannot import
 // imgstore — the dependency points the other way). ClassHits/ClassMisses
 // are the sweep-pruning equivalence-class counters: a miss is a fresh
@@ -247,6 +255,8 @@ type Metrics struct {
 
 	stage2Campaigns, stage2Promoted, stage2Pending atomic.Int64
 	stage2Execs, recoverySites                     atomic.Int64
+
+	invMined, invChecks, invViolations, invDropped atomic.Int64
 
 	syncPublished, syncImported, syncDedup, syncErrors atomic.Int64
 	syncBytesIn, syncBytesOut                          atomic.Int64
@@ -341,6 +351,14 @@ func (m *Metrics) SetStage2(g Stage2Gauges) {
 	m.recoverySites.Store(int64(g.RecoverySites))
 }
 
+// SetInvariant publishes the invariant oracle's cumulative activity.
+func (m *Metrics) SetInvariant(g InvariantGauges) {
+	m.invMined.Store(int64(g.Mined))
+	m.invChecks.Store(int64(g.Checks))
+	m.invViolations.Store(int64(g.Violations))
+	m.invDropped.Store(int64(g.Dropped))
+}
+
 // SetSyncStats publishes the campaign sync layer's counters. Nil-safe
 // so the sync pump works on sessions without telemetry attached.
 func (m *Metrics) SetSyncStats(st SyncStats) {
@@ -430,6 +448,11 @@ type Snapshot struct {
 	Stage2Execs     int64 `json:"stage2_execs"`
 	RecoverySites   int64 `json:"recovery_sites"`
 
+	InvariantsMined     int64 `json:"invariants_mined"`
+	InvariantChecks     int64 `json:"invariant_checks"`
+	InvariantViolations int64 `json:"invariant_violations"`
+	InvariantsDropped   int64 `json:"invariants_dropped"`
+
 	StorePuts       int64 `json:"store_puts"`
 	StoreDedups     int64 `json:"store_dedups"`
 	StoreDeltaPuts  int64 `json:"store_delta_puts"`
@@ -493,6 +516,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		Stage2Pending:   m.stage2Pending.Load(),
 		Stage2Execs:     m.stage2Execs.Load(),
 		RecoverySites:   m.recoverySites.Load(),
+
+		InvariantsMined:     m.invMined.Load(),
+		InvariantChecks:     m.invChecks.Load(),
+		InvariantViolations: m.invViolations.Load(),
+		InvariantsDropped:   m.invDropped.Load(),
 
 		StorePuts:       m.storePuts.Load(),
 		StoreDedups:     m.storeDedups.Load(),

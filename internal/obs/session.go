@@ -285,6 +285,10 @@ func FuzzerStats(s Snapshot, now time.Time) string {
 	kv("pmfuzz_stage2_pending", "%d", s.Stage2Pending)
 	kv("pmfuzz_stage2_execs", "%d", s.Stage2Execs)
 	kv("pmfuzz_recovery_sites", "%d", s.RecoverySites)
+	kv("pmfuzz_invariants_mined", "%d", s.InvariantsMined)
+	kv("pmfuzz_invariants_checks", "%d", s.InvariantChecks)
+	kv("pmfuzz_invariants_violations", "%d", s.InvariantViolations)
+	kv("pmfuzz_invariants_dropped", "%d", s.InvariantsDropped)
 	kv("pmfuzz_sync_published", "%d", s.SyncPublished)
 	kv("pmfuzz_sync_imported", "%d", s.SyncImported)
 	kv("pmfuzz_sync_dedup", "%d", s.SyncDedup)

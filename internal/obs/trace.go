@@ -138,6 +138,27 @@ type ClassEvent struct {
 	Stage      int    `json:"stage,omitempty"`
 }
 
+// InvEvent records invariant-oracle activity: the mined-set freeze
+// (Obs/Mined set, check fields zero) or one check of a test case's
+// sweep against the frozen set (Checked/Violations/Dropped plus the
+// value-leg class statistics). Emitted only when the invariant oracle
+// is enabled, so traces without it are byte-identical to pre-feature
+// ones.
+type InvEvent struct {
+	T          string `json:"t"` // "inv"
+	SimNS      int64  `json:"sim_ns"`
+	Worker     int    `json:"worker"`
+	Obs        int    `json:"obs,omitempty"`
+	Mined      int    `json:"mined,omitempty"`
+	Checked    int    `json:"checked,omitempty"`
+	Violations int    `json:"violations,omitempty"`
+	Dropped    int    `json:"dropped,omitempty"`
+	Classes    int    `json:"classes,omitempty"`
+	Hits       int    `json:"hits,omitempty"`
+	Recoveries int    `json:"recoveries,omitempty"`
+	Stage      int    `json:"stage,omitempty"`
+}
+
 // RoundEvent records one worker batch merged by the coordinator — the
 // fleet's heartbeat. Done marks the worker's budget exhausting.
 type RoundEvent struct {

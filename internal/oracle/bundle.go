@@ -35,6 +35,10 @@ type Bundle struct {
 	// "state-mismatch") recorded when the bundle was minimized.
 	Kind   string `json:"kind"`
 	Detail string `json:"detail"`
+	// Invariant is the violated mined rule in short form when the bundle
+	// came from the invariant oracle (empty for differential-oracle
+	// bundles).
+	Invariant string `json:"invariant,omitempty"`
 	// For state-mismatch verdicts: the two explainable states and the
 	// state recovery actually produced.
 	Expected     []workloads.KV `json:"expected,omitempty"`
